@@ -1,0 +1,318 @@
+package comb
+
+// One benchmark per paper figure (4-17): each iteration regenerates the
+// figure's sweep in quick mode from scratch and reports the headline
+// numbers the paper's plot shows, so `go test -bench .` doubles as a
+// compact reproduction report.  The ablation benchmarks at the bottom
+// vary the design parameters DESIGN.md calls out.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"comb/internal/cluster"
+	"comb/internal/core"
+	"comb/internal/machine"
+	"comb/internal/platform"
+	"comb/internal/sim"
+	"comb/internal/sweep"
+	"comb/internal/transport"
+)
+
+// benchFigure regenerates figure id once per iteration and reports the
+// peak y value of each series.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	var tbl *Table
+	for i := 0; i < b.N; i++ {
+		sweep.ClearCache()
+		var err error
+		tbl, err = BuildFigure(id, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range tbl.Series {
+		_, hi := s.YRange()
+		b.ReportMetric(hi, "max_"+metricName(s.Name, tbl.YLabel))
+	}
+}
+
+// metricName squashes a series name + unit into a metric suffix.
+func metricName(series, ylabel string) string {
+	unit := "y"
+	switch {
+	case strings.Contains(ylabel, "Bandwidth"):
+		unit = "MBps"
+	case strings.Contains(ylabel, "Availability"):
+		unit = "avail"
+	case strings.Contains(ylabel, "us"):
+		unit = "us"
+	}
+	return strings.ReplaceAll(series, " ", "_") + "_" + unit
+}
+
+func BenchmarkFig04PollingAvailabilityPortals(b *testing.B) { benchFigure(b, "4") }
+func BenchmarkFig05PollingBandwidthPortals(b *testing.B)    { benchFigure(b, "5") }
+func BenchmarkFig06PWWAvailabilityPortals(b *testing.B)     { benchFigure(b, "6") }
+func BenchmarkFig07PWWBandwidthPortals(b *testing.B)        { benchFigure(b, "7") }
+func BenchmarkFig08PollingBandwidthGMvsPortals(b *testing.B) {
+	benchFigure(b, "8")
+}
+func BenchmarkFig09PWWBandwidthGMvsPortals(b *testing.B) { benchFigure(b, "9") }
+func BenchmarkFig10PWWPostTime(b *testing.B)             { benchFigure(b, "10") }
+func BenchmarkFig11PWWWaitTime(b *testing.B)             { benchFigure(b, "11") }
+func BenchmarkFig12WorkOverheadPortals(b *testing.B)     { benchFigure(b, "12") }
+func BenchmarkFig13WorkOverheadGM(b *testing.B)          { benchFigure(b, "13") }
+func BenchmarkFig14BandwidthVsAvailabilityGM(b *testing.B) {
+	benchFigure(b, "14")
+}
+func BenchmarkFig15BandwidthVsAvailabilityPortals(b *testing.B) {
+	benchFigure(b, "15")
+}
+func BenchmarkFig16MethodsGM(b *testing.B)         { benchFigure(b, "16") }
+func BenchmarkFig17MethodsPlusTestGM(b *testing.B) { benchFigure(b, "17") }
+
+// benchPollingPoint is the unit benchmark behind the figures: one polling
+// measurement per iteration.
+func benchPollingPoint(b *testing.B, system string, size int, poll int64) {
+	b.Helper()
+	var res *PollingResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = RunPolling(system, PollingConfig{
+			Config:       Config{MsgSize: size},
+			PollInterval: poll,
+			WorkTotal:    25_000_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.BandwidthMBs, "MBps")
+	b.ReportMetric(res.Availability, "avail")
+}
+
+func BenchmarkPollingPoint(b *testing.B) {
+	for _, system := range []string{"gm", "portals", "ideal"} {
+		b.Run(system, func(b *testing.B) {
+			benchPollingPoint(b, system, 100_000, 100_000)
+		})
+	}
+}
+
+func BenchmarkPWWPoint(b *testing.B) {
+	for _, system := range []string{"gm", "portals", "ideal"} {
+		b.Run(system, func(b *testing.B) {
+			var res *PWWResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = RunPWW(system, PWWConfig{
+					Config:       Config{MsgSize: 100_000},
+					WorkInterval: 1_000_000,
+					Reps:         10,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.BandwidthMBs, "MBps")
+			b.ReportMetric(res.AvgWait.Seconds()*1e6, "wait_us")
+		})
+	}
+}
+
+// --- Ablations (design choices from DESIGN.md §5) ---
+
+// BenchmarkAblationQueueDepth shows the polling queue's effect: depth 1
+// is the paper's degenerate ping-pong.
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			var res *PollingResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = RunPolling("gm", PollingConfig{
+					Config:       Config{MsgSize: 100_000},
+					PollInterval: 10_000,
+					WorkTotal:    25_000_000,
+					QueueDepth:   depth,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.BandwidthMBs, "MBps")
+		})
+	}
+}
+
+// runCustom measures one PWW point on a hand-configured transport and/or
+// platform.
+func runCustom(b *testing.B, tr transport.Transport, plat *cluster.Platform, cfg core.PWWConfig) *core.PWWResult {
+	b.Helper()
+	var res *core.PWWResult
+	err := machine.Run(platform.Config{Custom: tr, Platform: plat}, func(m core.Machine) {
+		r, err := core.RunPWW(m, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r != nil {
+			res = r
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationEagerThreshold moves GM's protocol switch across the
+// 10 KB operating point: with a large threshold the 10 KB messages go
+// eager (45 us sends, lower availability); with a small one they go
+// rendezvous.
+func BenchmarkAblationEagerThreshold(b *testing.B) {
+	for _, thresh := range []int{4 << 10, 16 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("thresh%dKB", thresh>>10), func(b *testing.B) {
+			var res *core.PWWResult
+			for i := 0; i < b.N; i++ {
+				g := transport.NewGM()
+				g.Config.EagerThreshold = thresh
+				res = runCustom(b, g, nil, core.PWWConfig{
+					Config:       core.Config{MsgSize: 10_000},
+					WorkInterval: 10_000_000,
+					Reps:         10,
+				})
+			}
+			b.ReportMetric(res.AvgWait.Seconds()*1e6, "wait_us")
+			b.ReportMetric(res.AvgPostSend.Seconds()*1e6, "post_us")
+		})
+	}
+}
+
+// BenchmarkAblationInterruptCost scales the Portals per-packet interrupt
+// cost, which sets the availability plateau of Figure 4.
+func BenchmarkAblationInterruptCost(b *testing.B) {
+	for _, us := range []int{1, 7, 20} {
+		b.Run(fmt.Sprintf("intr%dus", us), func(b *testing.B) {
+			var avail float64
+			for i := 0; i < b.N; i++ {
+				p := transport.NewPortals()
+				p.Config.InterruptCost = sim.Time(us) * sim.Microsecond
+				res := runCustom(b, p, nil, core.PWWConfig{
+					Config:       core.Config{MsgSize: 100_000},
+					WorkInterval: 5_000_000,
+					Reps:         10,
+				})
+				avail = res.Availability
+			}
+			b.ReportMetric(avail, "avail")
+		})
+	}
+}
+
+// BenchmarkAblationCopyBandwidth scales the host memcpy rate, which sets
+// Portals' ~50 MB/s bandwidth ceiling (Figure 5).
+func BenchmarkAblationCopyBandwidth(b *testing.B) {
+	for _, mbps := range []float64{80, 160, 320} {
+		b.Run(fmt.Sprintf("copy%.0fMBps", mbps), func(b *testing.B) {
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				plat := cluster.PlatformPIII500()
+				plat.CopyBandwidth = mbps * cluster.MB
+				res := runCustom(b, transport.NewPortals(), &plat, core.PWWConfig{
+					Config:       core.Config{MsgSize: 100_000},
+					WorkInterval: 10_000,
+					Reps:         10,
+				})
+				bw = res.BandwidthMBs
+			}
+			b.ReportMetric(bw, "MBps")
+		})
+	}
+}
+
+// BenchmarkAblationMTU scales the fabric MTU: smaller packets mean more
+// per-packet NIC occupancy (lower GM bandwidth) and more Portals
+// interrupts.
+func BenchmarkAblationMTU(b *testing.B) {
+	for _, mtu := range []int{1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("mtu%d", mtu), func(b *testing.B) {
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				plat := cluster.PlatformPIII500()
+				plat.Link.MTU = mtu
+				res := runCustom(b, transport.NewGM(), &plat, core.PWWConfig{
+					Config:       core.Config{MsgSize: 300_000},
+					WorkInterval: 10_000,
+					Reps:         10,
+				})
+				bw = res.BandwidthMBs
+			}
+			b.ReportMetric(bw, "MBps")
+		})
+	}
+}
+
+// BenchmarkAblationPWWBatch varies the PWW batch size (the paper's
+// earlier versions interleaved 3-4 message batches).
+func BenchmarkAblationPWWBatch(b *testing.B) {
+	for _, batch := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunPWW("gm", PWWConfig{
+					Config:       Config{MsgSize: 100_000},
+					WorkInterval: 10_000,
+					Reps:         10,
+					BatchSize:    batch,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bw = res.BandwidthMBs
+			}
+			b.ReportMetric(bw, "MBps")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the discrete-event engine itself:
+// simulated events per wall second under a Portals polling load.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunPolling("portals", PollingConfig{
+			Config:       Config{MsgSize: 100_000},
+			PollInterval: 10_000,
+			WorkTotal:    25_000_000,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationInterleave reproduces the paper's earlier PWW variant:
+// keeping several batches in flight sustains bandwidth into larger work
+// intervals (and reintroduces library progress on GM).
+func BenchmarkAblationInterleave(b *testing.B) {
+	for _, il := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("interleave%d", il), func(b *testing.B) {
+			var res *PWWResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = RunPWW("gm", PWWConfig{
+					Config:       Config{MsgSize: 100_000},
+					WorkInterval: 2_000_000,
+					Reps:         20,
+					Interleave:   il,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.BandwidthMBs, "MBps")
+			b.ReportMetric(res.Availability, "avail")
+		})
+	}
+}

@@ -1,0 +1,492 @@
+// Command comb runs the COMB benchmark suite on the simulated systems and
+// regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	comb list                         # figures and systems
+//	comb polling [flags]              # one polling-method measurement
+//	comb pww [flags]                  # one post-work-wait measurement
+//	comb figure <n|all> [flags]       # regenerate paper figure(s) 4-17
+//	comb compare [flags]              # side-by-side system summary
+//	comb assess <system|all>          # full diagnostic report
+//	comb sweep [flags]                # custom sweep over systems/sizes/metric
+//	comb pingpong [flags]             # the pre-COMB microbenchmark view
+//	comb selfcheck                    # verify calibration and headline claims
+//	comb report [flags]               # auto-generated markdown report
+//
+// Run `comb <subcommand> -h` for flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"comb"
+	"comb/internal/asciichart"
+	"comb/internal/assess"
+	"comb/internal/pingpong"
+	"comb/internal/report"
+	"comb/internal/selfcheck"
+	"comb/internal/stats"
+	"comb/internal/sweep"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "polling":
+		err = cmdPolling(os.Args[2:])
+	case "pww":
+		err = cmdPWW(os.Args[2:])
+	case "figure":
+		err = cmdFigure(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "assess":
+		err = cmdAssess(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "pingpong":
+		err = cmdPingpong(os.Args[2:])
+	case "selfcheck":
+		err = cmdSelfcheck()
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "comb: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comb: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: comb <subcommand> [flags]
+
+subcommands:
+  list      list reproducible figures and simulated systems
+  polling   run one polling-method measurement
+  pww       run one post-work-wait measurement
+  figure    regenerate paper figure <n|all> (Figures 4-17)
+  compare   quick side-by-side summary of all systems
+  assess    full COMB characterization of one system (or 'all')
+  sweep     custom parameter sweep over any systems/sizes/metric
+  pingpong  classic latency/bandwidth microbenchmark (the pre-COMB view)
+  selfcheck verify the reproduction's calibration and headline claims
+  report    write the full reproduction report as markdown`)
+}
+
+func cmdList() error {
+	fmt.Println("systems:")
+	for _, s := range comb.Systems() {
+		fmt.Printf("  %s\n", s)
+	}
+	fmt.Println("\nfigures:")
+	for _, f := range comb.Figures() {
+		fmt.Printf("  %-3s %s\n      expect: %s\n", f.ID, f.Title, f.Expect)
+	}
+	return nil
+}
+
+func cmdPolling(args []string) error {
+	fs := flag.NewFlagSet("polling", flag.ExitOnError)
+	system := fs.String("system", "gm", "system to benchmark (gm|portals|ideal)")
+	size := fs.Int("size", 100_000, "message size in bytes")
+	poll := fs.Int64("poll", 100_000, "poll interval (loop iterations)")
+	work := fs.Int64("work", 25_000_000, "total work (loop iterations)")
+	queue := fs.Int("queue", 4, "message queue depth per direction")
+	cpus := fs.Int("cpus", 1, "processors per node (SMP extension, paper s7)")
+	showStats := fs.Bool("stats", false, "print hardware counters (packets, CPU breakdown)")
+	traceN := fs.Int("trace", 0, "print the last N packet deliveries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, stats, rec, err := comb.RunPollingTraced(*system, *cpus, *traceN, comb.PollingConfig{
+		Config:       comb.Config{MsgSize: *size},
+		PollInterval: *poll,
+		WorkTotal:    *work,
+		QueueDepth:   *queue,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system          %s\n", *system)
+	fmt.Printf("message size    %d B\n", res.MsgSize)
+	fmt.Printf("poll interval   %d iterations\n", res.PollInterval)
+	fmt.Printf("work total      %d iterations\n", res.WorkTotal)
+	fmt.Printf("queue depth     %d\n", res.QueueDepth)
+	fmt.Printf("dry-run time    %v\n", res.DryTime)
+	fmt.Printf("messaging time  %v\n", res.Elapsed)
+	fmt.Printf("messages        %d (%d bytes)\n", res.MsgsReceived, res.BytesReceived)
+	fmt.Printf("bandwidth       %.2f MB/s\n", res.BandwidthMBs)
+	fmt.Printf("availability    %.3f\n", res.Availability)
+	if res.SystemAvailability > 0 {
+		fmt.Printf("system avail    %.3f (node-wide, SMP-safe)\n", res.SystemAvailability)
+	}
+	if *showStats {
+		printStats(stats)
+	}
+	if rec != nil {
+		fmt.Printf("--- last %d packet deliveries (%s) ---\n", rec.Len(), rec.Summary())
+		if _, err := rec.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printStats renders the hardware counters.
+func printStats(st *comb.RunStats) {
+	fmt.Printf("--- hardware counters (whole run incl. setup/drain) ---\n")
+	fmt.Printf("wire            %d packets, %d bytes\n", st.Packets, st.WireBytes)
+	for _, n := range st.CPUs {
+		fmt.Printf("node%d CPU       user %v, kernel %v, interrupt %v (%d core(s))\n",
+			n.Node, n.User.Round(time.Microsecond), n.Kernel.Round(time.Microsecond),
+			n.Interrupt.Round(time.Microsecond), n.Cores)
+	}
+}
+
+func cmdPWW(args []string) error {
+	fs := flag.NewFlagSet("pww", flag.ExitOnError)
+	system := fs.String("system", "gm", "system to benchmark (gm|portals|ideal)")
+	size := fs.Int("size", 100_000, "message size in bytes")
+	work := fs.Int64("work", 1_000_000, "work interval (loop iterations)")
+	reps := fs.Int("reps", 20, "post-work-wait cycles")
+	batch := fs.Int("batch", 4, "messages per batch per direction")
+	test := fs.Bool("test", false, "plant one MPI_Test early in the work phase (paper §4.3)")
+	interleave := fs.Int("interleave", 1, "batches kept in flight (paper §4.3's earlier variant)")
+	cpus := fs.Int("cpus", 1, "processors per node (SMP extension, paper s7)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := comb.RunPWWOn(*system, *cpus, comb.PWWConfig{
+		Config:       comb.Config{MsgSize: *size},
+		WorkInterval: *work,
+		Reps:         *reps,
+		BatchSize:    *batch,
+		TestInWork:   *test,
+		Interleave:   *interleave,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system          %s\n", *system)
+	fmt.Printf("message size    %d B\n", res.MsgSize)
+	fmt.Printf("work interval   %d iterations\n", res.WorkInterval)
+	fmt.Printf("reps x batch    %d x %d (test-in-work: %v)\n", res.Reps, res.BatchSize, res.TestInWork)
+	fmt.Printf("work only       %v per phase\n", res.AvgWorkOnly)
+	fmt.Printf("work with MH    %v per phase (overhead %.1f%%)\n", res.AvgWorkMH, res.WorkOverhead*100)
+	fmt.Printf("post (recv)     %v per message\n", res.AvgPostRecv)
+	fmt.Printf("post (send)     %v per message\n", res.AvgPostSend)
+	fmt.Printf("wait            %v per message\n", res.AvgWait)
+	fmt.Printf("bandwidth       %.2f MB/s\n", res.BandwidthMBs)
+	fmt.Printf("availability    %.3f\n", res.Availability)
+	if res.SystemAvailability > 0 {
+		fmt.Printf("system avail    %.3f (node-wide, SMP-safe)\n", res.SystemAvailability)
+	}
+	return nil
+}
+
+func cmdFigure(args []string) error {
+	fs := flag.NewFlagSet("figure", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced sweep (one size, fewer points)")
+	chart := fs.Bool("chart", true, "render an ASCII chart")
+	table := fs.Bool("table", false, "print the aligned numeric table")
+	csvDir := fs.String("csv", "", "directory to write figNN.csv files into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("figure: need a figure number (4-17) or 'all'")
+	}
+	var ids []string
+	if fs.Arg(0) == "all" {
+		for _, f := range comb.Figures() {
+			ids = append(ids, f.ID)
+		}
+	} else {
+		ids = fs.Args()
+	}
+	for _, id := range ids {
+		f, err := sweep.ByID(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "building figure %s (%s)...\n", f.ID, f.Title)
+		tbl, err := f.Build(sweep.Options{Quick: *quick})
+		if err != nil {
+			return err
+		}
+		if *chart {
+			fmt.Println(asciichart.Render(tbl, asciichart.Options{}))
+		}
+		if *table {
+			fmt.Println(tbl.Text())
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, f.ID, tbl); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("expected shape: %s\n\n", f.Expect)
+	}
+	return nil
+}
+
+func writeCSV(dir, id string, tbl *stats.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("fig%02s.csv", id))
+	if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func cmdAssess(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("assess: need a system name (%v) or 'all'", comb.Systems())
+	}
+	systems := args
+	if args[0] == "all" {
+		systems = comb.Systems()
+	}
+	for _, sys := range systems {
+		r, err := assess.Run(sys)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	}
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	size := fs.Int("size", 100_000, "message size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %14s %14s %14s %14s %10s\n",
+		"system", "poll BW MB/s", "poll avail", "pww wait/msg", "pww overhead", "offload?")
+	for _, sys := range comb.Systems() {
+		p, err := comb.RunPolling(sys, comb.PollingConfig{
+			Config:       comb.Config{MsgSize: *size},
+			PollInterval: 100_000,
+			WorkTotal:    25_000_000,
+		})
+		if err != nil {
+			return err
+		}
+		w, err := comb.RunPWW(sys, comb.PWWConfig{
+			Config:       comb.Config{MsgSize: *size},
+			WorkInterval: 20_000_000,
+			Reps:         10,
+		})
+		if err != nil {
+			return err
+		}
+		// COMB's operational offload test (§4.1): does messaging complete
+		// during a long work phase, leaving (almost) nothing to wait for?
+		offload := "no"
+		if w.AvgWait < w.AvgWorkOnly/100 {
+			offload = "yes"
+		}
+		fmt.Printf("%-10s %14.2f %14.3f %14s %13.1f%% %10s\n",
+			sys, p.BandwidthMBs, p.Availability, w.AvgWait.Round(time.Microsecond), w.WorkOverhead*100, offload)
+	}
+	return nil
+}
+
+// cmdSweep runs a custom sweep: any method, systems, sizes and metric.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	method := fs.String("method", "polling", "benchmark method (polling|pww)")
+	systems := fs.String("systems", "gm,portals", "comma-separated system list")
+	sizes := fs.String("sizes", "100000", "comma-separated message sizes in bytes")
+	lo := fs.Int64("from", 1000, "axis start (loop iterations)")
+	hi := fs.Int64("to", 100_000_000, "axis end (loop iterations)")
+	perDecade := fs.Int("points", 2, "points per decade")
+	metric := fs.String("metric", "bandwidth",
+		"y value: bandwidth|availability|wait|overhead|postrecv")
+	chart := fs.Bool("chart", true, "render an ASCII chart")
+	table := fs.Bool("table", false, "print the aligned numeric table")
+	csvOut := fs.Bool("csv", false, "print CSV to stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sysList := strings.Split(*systems, ",")
+	var sizeList []int
+	for _, s := range strings.Split(*sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("sweep: bad size %q", s)
+		}
+		sizeList = append(sizeList, v)
+	}
+	axis := stats.LogSpaceInt(*lo, *hi, *perDecade)
+
+	tbl := &stats.Table{
+		Title:  fmt.Sprintf("custom sweep: %s %s", *method, *metric),
+		YLabel: *metric,
+		LogX:   true,
+	}
+	switch *method {
+	case "polling":
+		tbl.XLabel = "Poll Interval (loop iterations)"
+	case "pww":
+		tbl.XLabel = "Work Interval (loop iterations)"
+	default:
+		return fmt.Errorf("sweep: unknown method %q", *method)
+	}
+
+	for _, sys := range sysList {
+		sys = strings.TrimSpace(sys)
+		for _, size := range sizeList {
+			name := sys
+			if len(sizeList) > 1 {
+				name = fmt.Sprintf("%s %dB", sys, size)
+			}
+			series := stats.Series{Name: name}
+			for _, x := range axis {
+				y, err := sweepPoint(*method, *metric, sys, size, x)
+				if err != nil {
+					return err
+				}
+				series.Add(float64(x), y)
+			}
+			tbl.Series = append(tbl.Series, series)
+		}
+	}
+
+	if *chart {
+		fmt.Println(asciichart.Render(tbl, asciichart.Options{}))
+	}
+	if *table {
+		fmt.Println(tbl.Text())
+	}
+	if *csvOut {
+		fmt.Print(tbl.CSV())
+	}
+	return nil
+}
+
+// sweepPoint measures one (method, system, size, x) point and extracts
+// the requested metric.
+func sweepPoint(method, metric, sys string, size int, x int64) (float64, error) {
+	switch method {
+	case "polling":
+		r, err := sweep.PollingPoint(sys, size, x)
+		if err != nil {
+			return 0, err
+		}
+		switch metric {
+		case "bandwidth":
+			return r.BandwidthMBs, nil
+		case "availability":
+			return r.Availability, nil
+		default:
+			return 0, fmt.Errorf("sweep: metric %q not available for polling (bandwidth|availability)", metric)
+		}
+	case "pww":
+		r, err := sweep.PWWPoint(sys, size, x, 20, false)
+		if err != nil {
+			return 0, err
+		}
+		switch metric {
+		case "bandwidth":
+			return r.BandwidthMBs, nil
+		case "availability":
+			return r.Availability, nil
+		case "wait":
+			return r.AvgWait.Seconds() * 1e6, nil
+		case "overhead":
+			return r.WorkOverhead * 100, nil
+		case "postrecv":
+			return r.AvgPostRecv.Seconds() * 1e6, nil
+		}
+		return 0, fmt.Errorf("sweep: unknown metric %q", metric)
+	}
+	return 0, fmt.Errorf("sweep: unknown method %q", method)
+}
+
+// cmdReport writes the auto-generated reproduction report.
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced figure sweeps")
+	out := fs.String("o", "", "output file (default stdout)")
+	rows := fs.Int("rows", 0, "max data rows per figure (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return report.Write(w, report.Options{Quick: *quick, MaxRowsPerFigure: *rows})
+}
+
+// cmdSelfcheck verifies the reproduction's headline claims.
+func cmdSelfcheck() error {
+	r, err := selfcheck.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Print(r)
+	if !r.Passed() {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// cmdPingpong runs the classic microbenchmark across sizes — the
+// pre-COMB view of a system that the paper's introduction argues is
+// insufficient.
+func cmdPingpong(args []string) error {
+	fs := flag.NewFlagSet("pingpong", flag.ExitOnError)
+	systems := fs.String("systems", "gm,portals", "comma-separated system list")
+	reps := fs.Int("reps", 50, "round trips per point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sizes := []int{8, 1024, 10_000, 100_000, 300_000}
+	fmt.Printf("%-10s %12s %14s %14s\n", "system", "size (B)", "latency", "bandwidth")
+	for _, sys := range strings.Split(*systems, ",") {
+		sys = strings.TrimSpace(sys)
+		for _, size := range sizes {
+			r, err := pingpong.Run(sys, size, *reps)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %12d %14v %11.2f MB/s\n",
+				sys, size, r.Latency.Round(100*time.Nanosecond), r.BandwidthMBs)
+		}
+	}
+	fmt.Println("\nnote: these numbers say nothing about overlap or host CPU cost —")
+	fmt.Println("run `comb assess <system>` for the characterization that does.")
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"comb/internal/stats"
+)
+
+func TestSweepPointMetrics(t *testing.T) {
+	for _, metric := range []string{"bandwidth", "availability"} {
+		v, err := sweepPoint("polling", metric, "gm", 100_000, 1_000_000)
+		if err != nil {
+			t.Fatalf("polling %s: %v", metric, err)
+		}
+		if v <= 0 {
+			t.Errorf("polling %s = %v", metric, v)
+		}
+	}
+	for _, metric := range []string{"bandwidth", "availability", "wait", "overhead", "postrecv"} {
+		v, err := sweepPoint("pww", metric, "portals", 100_000, 1_000_000)
+		if err != nil {
+			t.Fatalf("pww %s: %v", metric, err)
+		}
+		if v < 0 {
+			t.Errorf("pww %s = %v", metric, v)
+		}
+	}
+}
+
+func TestSweepPointErrors(t *testing.T) {
+	if _, err := sweepPoint("polling", "wait", "gm", 1000, 1000); err == nil {
+		t.Error("polling has no wait metric")
+	}
+	if _, err := sweepPoint("pww", "nosuch", "gm", 1000, 1000); err == nil {
+		t.Error("unknown metric must fail")
+	}
+	if _, err := sweepPoint("nosuch", "bandwidth", "gm", 1000, 1000); err == nil {
+		t.Error("unknown method must fail")
+	}
+	if _, err := sweepPoint("polling", "bandwidth", "nosuch", 1000, 1000); err == nil {
+		t.Error("unknown system must fail")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	tbl := &stats.Table{
+		XLabel: "x", YLabel: "y",
+		Series: []stats.Series{{Name: "s", Points: []stats.Point{{X: 1, Y: 2}}}},
+	}
+	if err := writeCSV(dir, "7", tbl); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "fig07.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "series,x,y") {
+		t.Fatalf("csv content: %q", b)
+	}
+}
+
+func TestCommandFunctions(t *testing.T) {
+	// The plumbing-level command handlers, driven directly.
+	if err := cmdList(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPolling([]string{"-system", "ideal", "-work", "5000000"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPWW([]string{"-system", "ideal", "-reps", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFigure([]string{}); err == nil {
+		t.Fatal("figure without args must fail")
+	}
+	if err := cmdFigure([]string{"-quick", "-chart=false", "13"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAssess(nil); err == nil {
+		t.Fatal("assess without args must fail")
+	}
+	if err := cmdSweep([]string{"-systems", "ideal", "-from", "100000", "-to", "1000000",
+		"-points", "1", "-chart=false"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep([]string{"-sizes", "abc"}); err == nil {
+		t.Fatal("bad sizes must fail")
+	}
+	if err := cmdSweep([]string{"-method", "bogus"}); err == nil {
+		t.Fatal("bad method must fail")
+	}
+	if err := cmdPingpong([]string{"-systems", "ideal", "-reps", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package comb
+
+import (
+	"time"
+
+	"comb/internal/cluster"
+	"comb/internal/core"
+	"comb/internal/machine"
+	"comb/internal/mpi"
+	"comb/internal/platform"
+	"comb/internal/sim"
+	"comb/internal/stats"
+	"comb/internal/sweep"
+	"comb/internal/trace"
+	"comb/internal/transport"
+)
+
+// Re-exported configuration and result types; see internal/core for the
+// field documentation.
+type (
+	// Config holds parameters shared by both methods.
+	Config = core.Config
+	// PollingConfig parameterizes the polling method (§2.1).
+	PollingConfig = core.PollingConfig
+	// PWWConfig parameterizes the post-work-wait method (§2.2).
+	PWWConfig = core.PWWConfig
+	// PollingResult is one polling-method measurement.
+	PollingResult = core.PollingResult
+	// PWWResult is one post-work-wait measurement.
+	PWWResult = core.PWWResult
+	// Machine is the abstract platform COMB runs on.
+	Machine = core.Machine
+	// Table is a figure's data: named series plus axis metadata.
+	Table = stats.Table
+	// FigureSpec describes one reproducible paper figure.
+	FigureSpec = sweep.Figure
+)
+
+// Systems lists the available simulated messaging systems ("gm",
+// "portals", "ideal").
+func Systems() []string { return transport.Names() }
+
+// RunPolling runs one polling-method measurement of the named system on a
+// freshly built two-node simulation and returns the worker's result.
+func RunPolling(system string, cfg PollingConfig) (*PollingResult, error) {
+	return sweep.RunPollingOnce(system, cfg)
+}
+
+// RunPWW runs one post-work-wait measurement of the named system and
+// returns the worker's result.
+func RunPWW(system string, cfg PWWConfig) (*PWWResult, error) {
+	return sweep.RunPWWOnce(system, cfg)
+}
+
+// RunPollingOn is RunPolling with a processors-per-node override (cpus 0
+// or 1 reproduces the paper's uniprocessor testbed).  Multi-processor
+// nodes implement the paper's §7 future work: compare the result's
+// Availability (the classic single-process metric, which SMP inflates)
+// with SystemAvailability (the node-wide metric, which SMP does not fool).
+func RunPollingOn(system string, cpus int, cfg PollingConfig) (*PollingResult, error) {
+	var res *PollingResult
+	var ferr error
+	err := machine.Run(platform.Config{Transport: system, CPUs: cpus}, func(m Machine) {
+		r, err := core.RunPolling(m, cfg)
+		if err != nil {
+			ferr = err
+			return
+		}
+		if r != nil {
+			res = r
+		}
+	})
+	if err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// NodeCPU is one node's CPU-time breakdown over a whole run.
+type NodeCPU struct {
+	Node      int
+	Cores     int
+	User      time.Duration
+	Kernel    time.Duration
+	Interrupt time.Duration
+}
+
+// RunStats aggregates the simulator's hardware counters for a run: what
+// the wire and the hosts actually did while the benchmark measured.
+type RunStats struct {
+	// Packets and WireBytes count fabric traffic (headers included).
+	Packets   int64
+	WireBytes int64
+	// CPUs holds the per-node CPU breakdown.
+	CPUs []NodeCPU
+}
+
+// RunPollingStats is RunPollingOn plus the hardware counters.
+func RunPollingStats(system string, cpus int, cfg PollingConfig) (*PollingResult, *RunStats, error) {
+	res, st, _, err := RunPollingTraced(system, cpus, 0, cfg)
+	return res, st, err
+}
+
+// RunPollingTraced is RunPollingStats plus a packet-level trace of the
+// last traceCap fabric deliveries (nil recorder when traceCap is 0).
+func RunPollingTraced(system string, cpus, traceCap int, cfg PollingConfig) (*PollingResult, *RunStats, *trace.Recorder, error) {
+	var res *PollingResult
+	var ferr error
+	in, err := platform.New(platform.Config{Transport: system, CPUs: cpus})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer in.Close()
+	var rec *trace.Recorder
+	if traceCap > 0 {
+		rec = trace.NewRecorder(traceCap)
+		trace.AttachFabric(rec, in.Sys)
+	}
+	err = in.Run(func(p *sim.Proc, c *mpi.Comm) {
+		r, err := core.RunPolling(machine.NewSim(p, c, in.Sys.Nodes[c.Rank()]), cfg)
+		if err != nil {
+			ferr = err
+			return
+		}
+		if r != nil {
+			res = r
+		}
+	})
+	if err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, snapshot(in), rec, nil
+}
+
+// snapshot collects hardware counters from a finished instance.
+func snapshot(in *platform.Instance) *RunStats {
+	st := &RunStats{}
+	st.Packets, st.WireBytes, _ = in.Sys.Fabric.Stats()
+	for _, n := range in.Sys.Nodes {
+		st.CPUs = append(st.CPUs, NodeCPU{
+			Node:      n.ID,
+			Cores:     n.CPU.Cores(),
+			User:      time.Duration(n.CPU.Usage(cluster.User)),
+			Kernel:    time.Duration(n.CPU.Usage(cluster.Kernel)),
+			Interrupt: time.Duration(n.CPU.Usage(cluster.Interrupt)),
+		})
+	}
+	return st
+}
+
+// RunPWWOn is RunPWW with a processors-per-node override; see RunPollingOn.
+func RunPWWOn(system string, cpus int, cfg PWWConfig) (*PWWResult, error) {
+	var res *PWWResult
+	var ferr error
+	err := machine.Run(platform.Config{Transport: system, CPUs: cpus}, func(m Machine) {
+		r, err := core.RunPWW(m, cfg)
+		if err != nil {
+			ferr = err
+			return
+		}
+		if r != nil {
+			res = r
+		}
+	})
+	if err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Figures lists every reproducible evaluation figure (paper Figures 4-17).
+func Figures() []FigureSpec { return sweep.Figures() }
+
+// BuildFigure regenerates the paper figure with the given number.  Quick
+// mode shrinks the sweep for fast smoke runs.
+func BuildFigure(id string, quick bool) (*Table, error) {
+	f, err := sweep.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return f.Build(sweep.Options{Quick: quick})
+}

@@ -1,0 +1,72 @@
+package comb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSystems(t *testing.T) {
+	got := Systems()
+	want := []string{"emp", "gm", "ideal", "portals", "tcp"}
+	if len(got) != len(want) {
+		t.Fatalf("Systems() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Systems() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunPollingFacade(t *testing.T) {
+	res, err := RunPolling("gm", PollingConfig{
+		Config:       Config{MsgSize: 50_000},
+		PollInterval: 50_000,
+		WorkTotal:    10_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BandwidthMBs <= 0 || res.Availability <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if _, err := RunPolling("nosuch", PollingConfig{PollInterval: 1}); err == nil {
+		t.Fatal("unknown system must error")
+	}
+}
+
+func TestRunPWWFacade(t *testing.T) {
+	res, err := RunPWW("portals", PWWConfig{
+		Config:       Config{MsgSize: 50_000},
+		WorkInterval: 500_000,
+		Reps:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesReceived != 5*int64(res.BatchSize)*50_000 {
+		t.Fatalf("bytes wrong: %+v", res)
+	}
+	if _, err := RunPWW("nosuch", PWWConfig{WorkInterval: 1}); err == nil {
+		t.Fatal("unknown system must error")
+	}
+}
+
+func TestFiguresFacade(t *testing.T) {
+	if len(Figures()) != 14 {
+		t.Fatalf("Figures() has %d entries, want 14", len(Figures()))
+	}
+	if _, err := BuildFigure("2", false); err == nil {
+		t.Fatal("figure 2 is a diagram, not a result")
+	}
+	tbl, err := BuildFigure("13", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.Title, "Figure 13") {
+		t.Fatalf("title %q", tbl.Title)
+	}
+	if len(tbl.Series) != 2 {
+		t.Fatalf("figure 13 needs the two work-time series, got %d", len(tbl.Series))
+	}
+}

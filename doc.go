@@ -1,0 +1,30 @@
+// Package comb is a reproduction of COMB, the Communication Offload
+// MPI-based Benchmark (Lawry, Wilson, Maccabe, Brightwell — CLUSTER 2002):
+// a portable benchmark suite that measures how well a messaging system
+// overlaps MPI communication with host computation.
+//
+// Because Go has no MPI and the paper's Myrinet testbed is long gone, the
+// whole substrate is reproduced as a deterministic discrete-event
+// simulation: a two-node cluster (preemptive priority CPUs, a switched
+// fabric with per-packet costs) carrying a mini-MPI library over
+// transports that mirror the paper's two systems — MPICH/GM (OS-bypass,
+// no application offload) and kernel-based Portals 3.0 (interrupt-driven,
+// application offload).  See DESIGN.md for the full inventory and
+// EXPERIMENTS.md for paper-versus-measured results.
+//
+// Quick use:
+//
+//	res, err := comb.RunPolling("gm", comb.PollingConfig{
+//		Config:       comb.Config{MsgSize: 100_000},
+//		PollInterval: 100_000,
+//		WorkTotal:    25_000_000,
+//	})
+//	fmt.Println(res) // bandwidth + CPU availability
+//
+// or regenerate a paper figure:
+//
+//	tbl, err := comb.BuildFigure("11", false)
+//	fmt.Print(tbl.Text())
+//
+// The cmd/comb command wraps all of this for the terminal.
+package comb

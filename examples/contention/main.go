@@ -1,0 +1,86 @@
+// Contention scales COMB beyond the paper's two nodes: several
+// worker/support pairs run the polling method simultaneously through one
+// switch with finite aggregate (backplane) capacity — a step toward the
+// large DOE machines the paper's §7 wanted to benchmark next.
+//
+// With a non-blocking crossbar every pair keeps its full bandwidth; with
+// a finite backplane the pairs share it, and COMB measures each pair's
+// slice — while per-pair CPU availability stays put, because waiting on a
+// contended switch costs wire time, not host cycles.
+//
+// Run with: go run ./examples/contention
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"comb/internal/cluster"
+	"comb/internal/core"
+	"comb/internal/machine"
+	"comb/internal/platform"
+)
+
+// measure runs COMB's polling method on every pair of a 2*pairs-node
+// cluster and returns each pair's bandwidth and availability.
+func measure(pairs int, backplane float64) ([]float64, []float64, error) {
+	p := cluster.PlatformPIII500()
+	p.Link.BackplaneBandwidth = backplane
+	var mu sync.Mutex
+	var bws, avails []float64
+	err := machine.Run(platform.Config{
+		Transport: "gm",
+		Nodes:     2 * pairs,
+		Platform:  &p,
+	}, func(m core.Machine) {
+		res, err := core.RunPolling(machine.PairView{M: m}, core.PollingConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			PollInterval: 10_000,
+			WorkTotal:    25_000_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res != nil {
+			mu.Lock()
+			bws = append(bws, res.BandwidthMBs)
+			avails = append(avails, res.Availability)
+			mu.Unlock()
+		}
+	})
+	return bws, avails, err
+}
+
+func mean(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func main() {
+	const backplane = 250 * cluster.MB
+	fmt.Println("COMB polling method, GM, concurrent pairs through one switch")
+	fmt.Printf("backplane capacity: %.0f MB/s aggregate\n\n", backplane/cluster.MB)
+	fmt.Printf("%6s %22s %22s %14s\n",
+		"pairs", "per-pair BW (ideal sw)", "per-pair BW (shared)", "availability")
+	for _, pairs := range []int{1, 2, 4} {
+		idealBW, _, err := measure(pairs, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sharedBW, avails, err := measure(pairs, backplane)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %17.1f MB/s %17.1f MB/s %14.3f\n",
+			pairs, mean(idealBW), mean(sharedBW), mean(avails))
+	}
+	fmt.Println()
+	fmt.Println("On the non-blocking crossbar every pair keeps the full GM plateau.")
+	fmt.Println("Once the pairs' aggregate demand exceeds the shared backplane, each")
+	fmt.Println("pair gets a fair slice — and because GM waits in the NIC rather")
+	fmt.Println("than the host, the lost bandwidth costs no CPU availability.")
+}

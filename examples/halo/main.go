@@ -1,0 +1,152 @@
+// Halo runs the application pattern that motivates overlap benchmarks: a
+// 1-D domain decomposition exchanging halo regions with neighbours every
+// iteration, plus a global residual Allreduce — the skeleton of every
+// iterative stencil solver.  Each system runs two schedules —
+//
+//	no-overlap: post halo exchange, wait, then compute everything
+//	overlap:    post halo exchange, compute the interior, wait, then
+//	            compute the boundary
+//
+// — and the speedup (or lack of it) shows exactly what COMB predicts:
+// overlap only pays on systems with application offload, and its benefit
+// is eroded by host-side communication overhead.
+//
+// Run with: go run ./examples/halo
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	"comb/internal/mpi"
+	"comb/internal/platform"
+	"comb/internal/sim"
+)
+
+const (
+	ranks         = 4
+	haloBytes     = 100_000   // one face of ghost cells
+	interiorIters = 4_000_000 // ~8 ms of interior stencil work
+	boundaryIters = 400_000   // ~0.8 ms of boundary stencil work
+	iterations    = 20
+	tag           = 1
+)
+
+// neighbours returns the left/right peers of a rank in a non-periodic
+// 1-D decomposition (-1 at the edges).
+func neighbours(rank, size int) (left, right int) {
+	left, right = rank-1, rank+1
+	if right >= size {
+		right = -1
+	}
+	return left, right
+}
+
+// exchange posts non-blocking halo receives and sends with both
+// neighbours and returns the requests.
+func exchange(p *sim.Proc, c *mpi.Comm, bufs [][]byte, payload []byte) []*mpi.Request {
+	left, right := neighbours(c.Rank(), c.Size())
+	var reqs []*mpi.Request
+	for i, nb := range []int{left, right} {
+		if nb < 0 {
+			continue
+		}
+		reqs = append(reqs, c.Irecv(p, nb, tag, bufs[i]))
+	}
+	for _, nb := range []int{left, right} {
+		if nb < 0 {
+			continue
+		}
+		reqs = append(reqs, c.Isend(p, nb, tag, payload))
+	}
+	return reqs
+}
+
+// sumCombine adds little-endian uint64 residual contributions.
+func sumCombine(acc, contribution []byte) {
+	a := binary.LittleEndian.Uint64(acc)
+	b := binary.LittleEndian.Uint64(contribution)
+	binary.LittleEndian.PutUint64(acc, a+b)
+}
+
+// run executes the stencil loop; overlap selects the schedule.  It
+// returns rank 0's elapsed time and the final global residual.
+func run(system string, overlap bool) (time.Duration, uint64, error) {
+	in, err := platform.New(platform.Config{Transport: system, Nodes: ranks})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer in.Close()
+	var elapsed sim.Time
+	var residual uint64
+	err = in.Run(func(p *sim.Proc, c *mpi.Comm) {
+		node := in.Sys.Nodes[c.Rank()]
+		bufs := [][]byte{make([]byte, haloBytes), make([]byte, haloBytes)}
+		payload := make([]byte, haloBytes)
+		res := make([]byte, 8)
+		c.Barrier(p)
+		start := p.Now()
+		for it := 0; it < iterations; it++ {
+			reqs := exchange(p, c, bufs, payload)
+			if overlap {
+				node.Work(p, interiorIters) // interior needs no ghost cells
+				c.Waitall(p, reqs)
+				node.Work(p, boundaryIters) // boundary waits for the halos
+			} else {
+				c.Waitall(p, reqs)
+				node.Work(p, interiorIters+boundaryIters)
+			}
+			// Global convergence check: each rank contributes its local
+			// residual; everyone learns the sum.
+			binary.LittleEndian.PutUint64(res, uint64(c.Rank()+it))
+			c.Allreduce(p, res, sumCombine)
+		}
+		c.Barrier(p)
+		if c.Rank() == 0 {
+			elapsed = p.Now() - start
+			residual = binary.LittleEndian.Uint64(res)
+		}
+	})
+	return time.Duration(elapsed), residual, err
+}
+
+func main() {
+	fmt.Printf("1-D halo exchange + Allreduce, %d ranks, %d KB halos, %d iterations\n\n",
+		ranks, haloBytes/1000, iterations)
+	fmt.Printf("%-10s %14s %14s %10s\n", "system", "no-overlap", "overlap", "speedup")
+	var checkResidual uint64
+	for _, system := range []string{"gm", "portals", "emp", "tcp", "ideal"} {
+		blocking, res1, err := run(system, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		overlapped, res2, err := run(system, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res1 != res2 {
+			log.Fatalf("%s: schedules disagree on the residual (%d vs %d)", system, res1, res2)
+		}
+		checkResidual = res1
+		fmt.Printf("%-10s %14v %14v %9.2fx\n",
+			system,
+			blocking.Round(10*time.Microsecond),
+			overlapped.Round(10*time.Microsecond),
+			float64(blocking)/float64(overlapped))
+	}
+	fmt.Printf("\n(all systems converge to the same residual: %d)\n\n", checkResidual)
+	fmt.Println("COMB's measurements predict exactly this table:")
+	fmt.Println(" * ideal and emp overlap fully — their wire time hides behind the")
+	fmt.Println("   interior compute (low overhead + application offload).")
+	fmt.Println(" * gm gains nothing: rendezvous halos only move inside MPI calls")
+	fmt.Println("   (no application offload, COMB Fig 11).")
+	fmt.Println(" * portals gains nothing either, for the other reason: its")
+	fmt.Println("   progress is offloaded but its cost is host CPU (interrupts and")
+	fmt.Println("   kernel copies, COMB Fig 12) — overlap cannot hide cycles the")
+	fmt.Println("   compute phase itself has to give up.")
+	fmt.Println(" * tcp gains: its slow wire is the bottleneck and the kernel")
+	fmt.Println("   buffers bytes during the compute phase, leaving only the")
+	fmt.Println("   socket-drain copies in the wait.")
+}

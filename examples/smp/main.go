@@ -1,0 +1,46 @@
+// Smp implements the paper's §7 future work: COMB on multi-processor
+// nodes.  The paper warns that its availability metric — dilation of one
+// process's work loop — "will not work on systems with multiple
+// processors per node", because interrupt and kernel load migrate to the
+// idle processor.  This example shows the failure and the node-wide
+// metric that repairs it.
+//
+// Run with: go run ./examples/smp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"comb"
+)
+
+func main() {
+	fmt.Println("COMB on SMP nodes (paper §7 future work)")
+	fmt.Println()
+	fmt.Printf("%-10s %6s %14s %14s %14s\n",
+		"system", "cpus", "bandwidth", "classic avail", "system avail")
+	for _, system := range []string{"gm", "portals"} {
+		for _, cpus := range []int{1, 2, 4} {
+			res, err := comb.RunPollingOn(system, cpus, comb.PollingConfig{
+				Config:       comb.Config{MsgSize: 100_000},
+				PollInterval: 100_000,
+				WorkTotal:    25_000_000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %6d %11.2f MB/s %14.3f %14.3f\n",
+				system, cpus, res.BandwidthMBs, res.Availability, res.SystemAvailability)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Two things happen to Portals as processors are added:")
+	fmt.Println(" 1. bandwidth rises — the kernel's copies no longer fight the")
+	fmt.Println("    application for one CPU; and")
+	fmt.Println(" 2. the classic availability climbs even though the node still")
+	fmt.Println("    burns the same cycles per byte.  The work loop just stops")
+	fmt.Println("    seeing them — exactly the failure the paper predicted.")
+	fmt.Println("The system-availability column charges overhead against the")
+	fmt.Println("node's aggregate capacity, so it stays honest on SMP.")
+}

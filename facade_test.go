@@ -1,0 +1,112 @@
+package comb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunPollingOnSMP(t *testing.T) {
+	cfg := PollingConfig{
+		Config:       Config{MsgSize: 100_000},
+		PollInterval: 100_000,
+		WorkTotal:    10_000_000,
+	}
+	uni, err := RunPollingOn("portals", 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := RunPollingOn("portals", 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smp.Availability <= uni.Availability {
+		t.Errorf("SMP should inflate classic availability: %.3f vs %.3f",
+			smp.Availability, uni.Availability)
+	}
+	if _, err := RunPollingOn("nosuch", 1, cfg); err == nil {
+		t.Error("unknown system must fail")
+	}
+	if _, err := RunPollingOn("gm", -1, cfg); err == nil {
+		t.Error("negative CPU count must fail")
+	}
+}
+
+func TestRunPWWOnSMP(t *testing.T) {
+	cfg := PWWConfig{
+		Config:       Config{MsgSize: 100_000},
+		WorkInterval: 2_000_000,
+		Reps:         5,
+	}
+	res, err := RunPWWOn("portals", 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SystemAvailability <= 0 {
+		t.Error("system availability missing")
+	}
+	if _, err := RunPWWOn("nosuch", 1, cfg); err == nil {
+		t.Error("unknown system must fail")
+	}
+}
+
+func TestRunPollingStatsCounters(t *testing.T) {
+	res, st, err := RunPollingStats("portals", 1, PollingConfig{
+		Config:       Config{MsgSize: 100_000},
+		PollInterval: 100_000,
+		WorkTotal:    10_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || st == nil {
+		t.Fatal("missing result or stats")
+	}
+	if st.Packets <= 0 || st.WireBytes <= 0 {
+		t.Errorf("no wire traffic recorded: %+v", st)
+	}
+	if len(st.CPUs) != 2 {
+		t.Fatalf("expected 2 nodes of CPU stats, got %d", len(st.CPUs))
+	}
+	// The support node (1) does almost pure kernel work on Portals; the
+	// worker node (0) carries the benchmark's user-time work loop.
+	if st.CPUs[0].User < 10*time.Millisecond {
+		t.Errorf("worker user time %v implausibly low", st.CPUs[0].User)
+	}
+	if st.CPUs[1].Kernel < st.CPUs[1].User {
+		t.Errorf("support node should be kernel-dominated: %+v", st.CPUs[1])
+	}
+	for _, n := range st.CPUs {
+		if n.Cores != 1 {
+			t.Errorf("node %d cores = %d", n.Node, n.Cores)
+		}
+	}
+	if _, _, err := RunPollingStats("nosuch", 1, PollingConfig{PollInterval: 1}); err == nil {
+		t.Error("unknown system must fail")
+	}
+}
+
+// Every figure must build end to end in quick mode (the CLI's `figure
+// all` path); skipped under -short.
+func TestAllFiguresBuildQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep skipped in -short mode")
+	}
+	for _, f := range Figures() {
+		tbl, err := BuildFigure(f.ID, true)
+		if err != nil {
+			t.Fatalf("figure %s: %v", f.ID, err)
+		}
+		if len(tbl.Series) == 0 {
+			t.Fatalf("figure %s: empty", f.ID)
+		}
+		for _, s := range tbl.Series {
+			if len(s.Points) == 0 {
+				t.Fatalf("figure %s: series %q empty", f.ID, s.Name)
+			}
+			lo, hi := s.YRange()
+			if lo < 0 || hi < lo {
+				t.Fatalf("figure %s: series %q has invalid range", f.ID, s.Name)
+			}
+		}
+	}
+}

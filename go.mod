@@ -1,0 +1,3 @@
+module comb
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package asciichart renders stats tables as terminal line charts so
+// `comb figure N` output can be eyeballed against the paper's plots.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"comb/internal/stats"
+)
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Options controls rendering.
+type Options struct {
+	// Width and Height are the plot-area dimensions in characters.
+	Width, Height int
+}
+
+// Render draws the table as a scatter/line chart with axes and a legend.
+func Render(t *stats.Table, opt Options) string {
+	w, h := opt.Width, opt.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	// Determine ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			x := p.X
+			if t.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+			points++
+		}
+	}
+	if points == 0 {
+		return "(empty chart)\n"
+	}
+	if ymin > 0 && ymin < ymax/4 {
+		ymin = 0 // anchor at zero unless the data is far from it
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(x, y float64, mark byte) {
+		cx := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+		cy := int(math.Round((y - ymin) / (ymax - ymin) * float64(h-1)))
+		row := h - 1 - cy
+		if row >= 0 && row < h && cx >= 0 && cx < w {
+			grid[row][cx] = mark
+		}
+	}
+	for si, s := range t.Series {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			x := p.X
+			if t.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			plot(x, p.Y, mark)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	yFmt := func(v float64) string { return fmt.Sprintf("%8.3g", v) }
+	for i, row := range grid {
+		label := strings.Repeat(" ", 8)
+		switch i {
+		case 0:
+			label = yFmt(ymax)
+		case h - 1:
+			label = yFmt(ymin)
+		case (h - 1) / 2:
+			label = yFmt((ymax + ymin) / 2)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", w))
+	lo, hi := xmin, xmax
+	xl := t.XLabel
+	if t.LogX {
+		lo, hi = math.Pow(10, xmin), math.Pow(10, xmax)
+		xl += " (log scale)"
+	}
+	fmt.Fprintf(&b, "%s %-10.3g%s%10.3g\n", strings.Repeat(" ", 9), lo,
+		center(xl, w-20), hi)
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "    %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	fmt.Fprintf(&b, "    y: %s\n", t.YLabel)
+	return b.String()
+}
+
+// center pads s to width w, centred (truncating if needed).
+func center(s string, w int) string {
+	if w < 1 {
+		return ""
+	}
+	if len(s) > w {
+		return s[:w]
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", w-len(s)-left)
+}

@@ -1,0 +1,87 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+
+	"comb/internal/stats"
+)
+
+func demoTable(logx bool) *stats.Table {
+	return &stats.Table{
+		Title:  "demo chart",
+		XLabel: "x",
+		YLabel: "y",
+		LogX:   logx,
+		Series: []stats.Series{
+			{Name: "up", Points: []stats.Point{{X: 10, Y: 1}, {X: 100, Y: 2}, {X: 1000, Y: 3}}},
+			{Name: "down", Points: []stats.Point{{X: 10, Y: 3}, {X: 100, Y: 2}, {X: 1000, Y: 1}}},
+		},
+	}
+}
+
+func TestRenderContainsMarkersAndLegend(t *testing.T) {
+	out := Render(demoTable(false), Options{})
+	if !strings.Contains(out, "demo chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series markers")
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "y: y") {
+		t.Error("missing y label")
+	}
+}
+
+func TestRenderLogXLabel(t *testing.T) {
+	out := Render(demoTable(true), Options{})
+	if !strings.Contains(out, "log scale") {
+		t.Error("log-x chart must say so")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(&stats.Table{Title: "empty"}, Options{})
+	if !strings.Contains(out, "empty chart") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	tbl := &stats.Table{
+		Title:  "one",
+		Series: []stats.Series{{Name: "s", Points: []stats.Point{{X: 5, Y: 5}}}},
+	}
+	out := Render(tbl, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestRenderDimensions(t *testing.T) {
+	out := Render(demoTable(false), Options{Width: 30, Height: 8})
+	lines := strings.Split(out, "\n")
+	// title + 8 grid rows + axis + xlabels + 2 legend + ylabel + trailing
+	if len(lines) < 13 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	gridLine := lines[1]
+	if len(gridLine) < 30 {
+		t.Fatalf("grid narrower than requested: %q", gridLine)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	if got := center("ab", 6); got != "  ab  " {
+		t.Fatalf("center = %q", got)
+	}
+	if got := center("abcdef", 3); got != "abc" {
+		t.Fatalf("truncate = %q", got)
+	}
+	if center("x", 0) != "" {
+		t.Fatal("zero width should be empty")
+	}
+}

@@ -1,0 +1,101 @@
+package assess
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssessGM(t *testing.T) {
+	r, err := Run("gm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offload {
+		t.Error("GM must be diagnosed as lacking application offload")
+	}
+	if r.WorkOverhead > 0.05 {
+		t.Errorf("GM work overhead %.3f, want ~0", r.WorkOverhead)
+	}
+	if r.TestGain < 0.05 {
+		t.Errorf("GM MPI_Test gain %.3f, want a clear progress-rule violation", r.TestGain)
+	}
+	if gap := r.LargeMsgAvailability - r.SmallMsgAvailability; gap < 0.1 {
+		t.Errorf("GM small-message availability gap %.3f, want the eager penalty", gap)
+	}
+	s := r.String()
+	for _, want := range []string{"NO application offload", "progress-rule violation", "small-message penalty"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAssessPortals(t *testing.T) {
+	r, err := Run("portals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Offload {
+		t.Error("Portals must be diagnosed as providing application offload")
+	}
+	if r.WorkOverhead < 0.05 {
+		t.Errorf("Portals work overhead %.3f, want substantial", r.WorkOverhead)
+	}
+	if r.AvailabilityAtPeak > 0.3 {
+		t.Errorf("Portals availability at peak %.3f, want low", r.AvailabilityAtPeak)
+	}
+	s := r.String()
+	if !strings.Contains(s, "provides application offload") {
+		t.Errorf("report missing offload verdict:\n%s", s)
+	}
+	if !strings.Contains(s, "low CPU availability") {
+		t.Errorf("report missing Fig 15 verdict:\n%s", s)
+	}
+}
+
+func TestAssessIdeal(t *testing.T) {
+	r, err := Run("ideal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Offload || r.WorkOverhead > 0.01 || r.TestGain > 0.05 {
+		t.Errorf("ideal should be clean on every axis: %+v", r)
+	}
+	if !strings.Contains(r.String(), "overlap-friendly") {
+		t.Error("ideal should be called overlap-friendly")
+	}
+}
+
+func TestAssessEMP(t *testing.T) {
+	r, err := Run("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The published EMP result: NIC-driven gigabit Ethernet with both
+	// offload and negligible host overhead.
+	if !r.Offload || r.WorkOverhead > 0.02 {
+		t.Errorf("EMP diagnosis wrong: offload=%v overhead=%.3f", r.Offload, r.WorkOverhead)
+	}
+}
+
+func TestAssessTCP(t *testing.T) {
+	r, err := Run("tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offload {
+		t.Error("TCP's socket drain must show up as lack of full application offload")
+	}
+	if r.WorkOverhead < 0.05 {
+		t.Errorf("TCP work overhead %.3f, want interrupt+checksum load", r.WorkOverhead)
+	}
+	if r.PeakBandwidth > 13 {
+		t.Errorf("TCP peak %.1f MB/s exceeds Fast Ethernet", r.PeakBandwidth)
+	}
+}
+
+func TestAssessUnknown(t *testing.T) {
+	if _, err := Run("nosuch"); err == nil {
+		t.Fatal("unknown system must fail")
+	}
+}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"fmt"
+
+	"comb/internal/sim"
+)
+
+// Priority is a CPU scheduling class.  Higher priorities preempt lower
+// ones; within a priority, grants are FIFO and run to completion (unless
+// preempted from above).  This mirrors a uniprocessor OS: interrupt
+// handlers preempt kernel work, which preempts the application.
+type Priority int
+
+// Scheduling classes, lowest first.
+const (
+	User Priority = iota
+	Kernel
+	Interrupt
+	numPriorities
+)
+
+// String returns the scheduling-class name.
+func (p Priority) String() string {
+	switch p {
+	case User:
+		return "user"
+	case Kernel:
+		return "kernel"
+	case Interrupt:
+		return "interrupt"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// CPU is a simulated processor complex of one or more identical cores
+// shared by application work, kernel processing and interrupt handlers.
+// Demands are expressed as amounts of CPU time; a demand finishes once
+// some core has devoted that much time to it, however often it was
+// preempted or migrated in between.
+//
+// Scheduling: a pending grant runs on any idle core; if none is idle and a
+// lower-priority grant is running somewhere, the lowest-priority (most
+// recently started among equals) grant is preempted.  Within a priority,
+// dispatch is FIFO.  The single-core case reduces to strict priority
+// preemption, the model the COMB availability metric relies on; the
+// multi-core case exists to reproduce the paper's §7 observation that the
+// metric breaks on SMP nodes.
+type CPU struct {
+	env    *sim.Env
+	name   string
+	queues [numPriorities][]*cpuGrant
+	cores  []coreState
+	usage  [numPriorities]sim.Time
+}
+
+// coreState is one core's current assignment.
+type coreState struct {
+	running   *cpuGrant
+	startedAt sim.Time
+	timer     *sim.Timer
+}
+
+// cpuGrant is one outstanding CPU demand.
+type cpuGrant struct {
+	prio      Priority
+	remaining sim.Time
+	done      *sim.Event
+}
+
+// NewCPU returns an idle single-core CPU bound to env.
+func NewCPU(env *sim.Env, name string) *CPU { return NewSMP(env, name, 1) }
+
+// NewSMP returns an idle CPU complex with cores identical cores.
+func NewSMP(env *sim.Env, name string, cores int) *CPU {
+	if cores < 1 {
+		panic(fmt.Sprintf("cluster: CPU %q needs at least one core, got %d", name, cores))
+	}
+	return &CPU{env: env, name: name, cores: make([]coreState, cores)}
+}
+
+// Cores returns the number of cores.
+func (c *CPU) Cores() int { return len(c.cores) }
+
+// Use consumes d of CPU time at priority prio on behalf of the calling
+// process, blocking it until the demand is fully served.  A non-positive
+// demand returns immediately.
+func (c *CPU) Use(p *sim.Proc, d sim.Time, prio Priority) {
+	if d <= 0 {
+		return
+	}
+	p.Await(c.Submit(d, prio))
+}
+
+// Submit enqueues a CPU demand without blocking and returns the event that
+// fires when the demand has been fully served.  It is the interface used by
+// interrupt and kernel machinery that is not modeled as a process.
+func (c *CPU) Submit(d sim.Time, prio Priority) *sim.Event {
+	g := &cpuGrant{prio: prio, remaining: d, done: c.env.NewEvent()}
+	if d <= 0 {
+		g.done.Fire(nil)
+		return g.done
+	}
+	c.queues[prio] = append(c.queues[prio], g)
+	c.dispatch()
+	return g.done
+}
+
+// nextWaiting returns (and removes) the highest-priority waiting grant, or
+// nil when every queue is empty.
+func (c *CPU) nextWaiting() *cpuGrant {
+	for prio := numPriorities - 1; prio >= 0; prio-- {
+		if q := c.queues[prio]; len(q) > 0 {
+			g := q[0]
+			c.queues[prio] = q[1:]
+			return g
+		}
+	}
+	return nil
+}
+
+// highestWaitingPrio returns the priority of the best waiting grant, or -1.
+func (c *CPU) highestWaitingPrio() Priority {
+	for prio := numPriorities - 1; prio >= 0; prio-- {
+		if len(c.queues[prio]) > 0 {
+			return prio
+		}
+	}
+	return -1
+}
+
+// dispatch places waiting grants on cores, preempting lower-priority work
+// when necessary.  It loops because one call may both fill idle cores and
+// trigger preemptions.
+func (c *CPU) dispatch() {
+	for {
+		want := c.highestWaitingPrio()
+		if want < 0 {
+			return
+		}
+		// Prefer an idle core (lowest index for determinism).
+		idle := -1
+		for i := range c.cores {
+			if c.cores[i].running == nil {
+				idle = i
+				break
+			}
+		}
+		if idle >= 0 {
+			c.start(idle, c.nextWaiting())
+			continue
+		}
+		// Otherwise preempt the lowest-priority running grant, if it is
+		// strictly lower than the best waiting one.  Among equals, the
+		// most recently started is preempted (it has made the least
+		// progress per unit of residual work — and the rule is
+		// deterministic).
+		victim := -1
+		for i := range c.cores {
+			g := c.cores[i].running
+			if g.prio >= want {
+				continue
+			}
+			if victim < 0 || g.prio < c.cores[victim].running.prio ||
+				(g.prio == c.cores[victim].running.prio && c.cores[i].startedAt >= c.cores[victim].startedAt) {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		c.preempt(victim)
+		c.start(victim, c.nextWaiting())
+	}
+}
+
+// start runs g on core i.
+func (c *CPU) start(i int, g *cpuGrant) {
+	core := &c.cores[i]
+	core.running = g
+	core.startedAt = c.env.Now()
+	core.timer = c.env.Schedule(g.remaining, func() { c.complete(i, g) })
+}
+
+// preempt pulls core i's grant off the core and puts it back at the front
+// of its priority queue with its residual demand.
+func (c *CPU) preempt(i int) {
+	core := &c.cores[i]
+	g := core.running
+	elapsed := c.env.Now() - core.startedAt
+	g.remaining -= elapsed
+	c.usage[g.prio] += elapsed
+	core.timer.Stop()
+	core.running = nil
+	c.queues[g.prio] = append([]*cpuGrant{g}, c.queues[g.prio]...)
+}
+
+// complete retires core i's running grant and dispatches further work.
+func (c *CPU) complete(i int, g *cpuGrant) {
+	core := &c.cores[i]
+	if core.running != g {
+		panic("cluster: completion for a grant not running on its core")
+	}
+	c.usage[g.prio] += c.env.Now() - core.startedAt
+	core.running = nil
+	g.done.Fire(nil)
+	c.dispatch()
+}
+
+// Usage returns the total CPU time consumed so far at priority prio,
+// excluding partially-served running grants.
+func (c *CPU) Usage(prio Priority) sim.Time { return c.usage[prio] }
+
+// TotalBusy returns the total CPU time consumed across all priorities and
+// cores, excluding partially-served running grants.
+func (c *CPU) TotalBusy() sim.Time {
+	var t sim.Time
+	for _, u := range c.usage {
+		t += u
+	}
+	return t
+}
+
+// Busy reports whether any core is serving a grant right now.
+func (c *CPU) Busy() bool {
+	for i := range c.cores {
+		if c.cores[i].running != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// QueueLen returns the number of waiting (not running) grants at prio.
+func (c *CPU) QueueLen(prio Priority) int { return len(c.queues[prio]) }

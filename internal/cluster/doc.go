@@ -1,0 +1,11 @@
+// Package cluster models the hardware of a small commodity cluster at the
+// fidelity COMB needs: per-node CPUs with preemptive priority scheduling
+// (user code loses cycles to kernel work and interrupts, which is exactly
+// what COMB's availability metric observes), a host memory-copy engine with
+// finite bandwidth, and a switched network fabric with per-packet
+// serialization, latency and MTU fragmentation.
+//
+// The reference parameterization ([PlatformPIII500]) approximates the
+// paper's testbed: 500 MHz Pentium III nodes with Myrinet LANai 7.2 NICs
+// behind an 8-port SAN/LAN switch.
+package cluster

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"fmt"
+
+	"comb/internal/sim"
+)
+
+// Packet is one unit of data on the wire.  Size is the wire size in bytes
+// (payload plus header); Payload carries transport-level metadata and is
+// never inspected by the fabric.
+//
+// Urgent packets travel on a separate priority channel (Myrinet-style
+// two-priority messaging): they do not queue behind bulk data on either
+// port.  Transports use it for small control packets (RTS/CTS), whose
+// head-of-line blocking behind in-flight payloads would otherwise stall
+// the rendezvous pipeline.
+type Packet struct {
+	From, To int
+	Size     int
+	Urgent   bool
+	Payload  any
+}
+
+// LinkConfig describes one network port/wire.
+type LinkConfig struct {
+	// Bandwidth is the wire data rate in bytes per second.
+	Bandwidth float64
+	// Latency is the one-way propagation plus switching delay.
+	Latency sim.Time
+	// PerPacket is extra occupancy per packet charged at both the sending
+	// and receiving port.  It models the NIC packet engine (for Myrinet
+	// LANai, firmware processing per packet).
+	PerPacket sim.Time
+	// MTU is the maximum packet payload size in bytes.
+	MTU int
+	// Jitter, when non-zero, scales each packet's port occupancy by a
+	// uniform factor in [1-Jitter, 1+Jitter] drawn from the fabric's
+	// seeded generator.  Runs stay deterministic per seed; jitter exists
+	// to check that conclusions survive timing noise.
+	Jitter float64
+	// LossRate, when non-zero, drops each packet with this probability
+	// after it has consumed its TX port occupancy (a corrupted frame
+	// still burned wire time).  Only transports with their own
+	// reliability layer (TCP) survive loss; the OS-bypass transports
+	// assume the fabric's Myrinet-style reliability.
+	LossRate float64
+	// BackplaneBandwidth, when non-zero, caps the switch's aggregate
+	// forwarding rate in bytes/sec: every packet additionally serializes
+	// through the shared backplane between the TX and RX ports.  Zero
+	// models an ideal non-blocking crossbar (the paper's 8-port SAN
+	// switch at 2 nodes never saturates, but multi-pair runs do).
+	BackplaneBandwidth float64
+	// Seed seeds the jitter/loss generator (0 is a valid seed).
+	Seed uint64
+}
+
+// Occupancy returns how long a packet of size bytes holds a port.
+func (lc LinkConfig) Occupancy(size int) sim.Time {
+	return sim.PerByte(int64(size), lc.Bandwidth) + lc.PerPacket
+}
+
+// Fabric is a switched network connecting N nodes.  Each node has a
+// full-duplex port: packets serialize on the sender's TX side, cross the
+// switch after Latency, and serialize again on the receiver's RX side.
+// Delivery order is FIFO per (sender, receiver) pair and per receiver.
+type Fabric struct {
+	env       *sim.Env
+	cfg       LinkConfig
+	rng       *sim.Rand
+	tx        []sim.Time // TX port busy-until, per node (bulk channel)
+	rx        []sim.Time // RX port busy-until, per node (bulk channel)
+	txU       []sim.Time // TX busy-until, urgent channel
+	rxU       []sim.Time // RX busy-until, urgent channel
+	backplane sim.Time   // shared switch capacity busy-until
+	sinks     []func(*Packet)
+
+	// stats
+	packets   int64
+	bytes     int64
+	delivered int64
+	lost      int64
+
+	// observer, when set, is called on every delivery (tracing).
+	observer func(*Packet, sim.Time)
+}
+
+// Observe registers a delivery observer (at most one; later calls
+// replace earlier ones).  Used by the trace package.
+func (f *Fabric) Observe(fn func(pkt *Packet, at sim.Time)) { f.observer = fn }
+
+// NewFabric returns a fabric with n ports.
+func NewFabric(env *sim.Env, n int, cfg LinkConfig) *Fabric {
+	if cfg.MTU <= 0 {
+		panic("cluster: fabric MTU must be positive")
+	}
+	return &Fabric{
+		env:   env,
+		cfg:   cfg,
+		rng:   sim.NewRand(cfg.Seed),
+		tx:    make([]sim.Time, n),
+		rx:    make([]sim.Time, n),
+		txU:   make([]sim.Time, n),
+		rxU:   make([]sim.Time, n),
+		sinks: make([]func(*Packet), n),
+	}
+}
+
+// Config returns the fabric's link configuration.
+func (f *Fabric) Config() LinkConfig { return f.cfg }
+
+// Ports returns the number of attached ports.
+func (f *Fabric) Ports() int { return len(f.tx) }
+
+// Attach registers the packet sink for a node.  The sink runs in
+// event-loop context when a packet finishes arriving at the node's RX port.
+func (f *Fabric) Attach(node int, sink func(*Packet)) {
+	if f.sinks[node] != nil {
+		panic(fmt.Sprintf("cluster: node %d already attached", node))
+	}
+	f.sinks[node] = sink
+}
+
+// Send transmits pkt.  It returns the time at which the packet has fully
+// left the sender's port (i.e. when the send-side buffer is reusable).
+// Sends never block; contention shows up purely as queueing delay.
+func (f *Fabric) Send(pkt *Packet) sim.Time {
+	if pkt.From == pkt.To {
+		// Loopback: deliver after a nominal latency without using ports.
+		f.env.Schedule(f.cfg.Latency, func() { f.deliver(pkt) })
+		return f.env.Now()
+	}
+	occ := f.cfg.Occupancy(pkt.Size)
+	if f.cfg.Jitter > 0 {
+		occ = f.rng.Jitter(occ, f.cfg.Jitter)
+	}
+	now := f.env.Now()
+
+	txLane, rxLane := f.tx, f.rx
+	if pkt.Urgent {
+		txLane, rxLane = f.txU, f.rxU
+	}
+
+	start := txLane[pkt.From]
+	if start < now {
+		start = now
+	}
+	sent := start + occ
+	txLane[pkt.From] = sent
+
+	if f.cfg.LossRate > 0 && f.rng.Float64() < f.cfg.LossRate {
+		f.packets++
+		f.bytes += int64(pkt.Size)
+		f.lost++
+		return sent
+	}
+
+	arrive := sent + f.cfg.Latency
+	if f.cfg.BackplaneBandwidth > 0 {
+		// Shared switching capacity: serialize through the backplane.
+		bocc := sim.PerByte(int64(pkt.Size), f.cfg.BackplaneBandwidth)
+		bstart := f.backplane
+		if bstart < arrive {
+			bstart = arrive
+		}
+		f.backplane = bstart + bocc
+		arrive = f.backplane
+	}
+	rstart := rxLane[pkt.To]
+	if rstart < arrive {
+		rstart = arrive
+	}
+	done := rstart + occ
+	rxLane[pkt.To] = done
+
+	f.packets++
+	f.bytes += int64(pkt.Size)
+	f.env.Schedule(done-now, func() { f.deliver(pkt) })
+	return sent
+}
+
+func (f *Fabric) deliver(pkt *Packet) {
+	f.delivered++
+	if f.observer != nil {
+		f.observer(pkt, f.env.Now())
+	}
+	sink := f.sinks[pkt.To]
+	if sink == nil {
+		panic(fmt.Sprintf("cluster: packet for unattached node %d", pkt.To))
+	}
+	sink(pkt)
+}
+
+// SendMessage fragments a message of size bytes into MTU-sized packets and
+// transmits them back to back.  mk builds the per-fragment payload given
+// (fragment index, fragment bytes, last).  It returns the time the final
+// fragment has left the sender's port.
+func (f *Fabric) SendMessage(from, to, size, header int, mk func(i, n int, last bool) any) sim.Time {
+	if size < 0 {
+		panic("cluster: negative message size")
+	}
+	var sent sim.Time
+	rem := size
+	i := 0
+	for {
+		n := rem
+		if n > f.cfg.MTU {
+			n = f.cfg.MTU
+		}
+		rem -= n
+		last := rem == 0
+		sent = f.Send(&Packet{From: from, To: to, Size: n + header, Payload: mk(i, n, last)})
+		i++
+		if last {
+			break
+		}
+	}
+	return sent
+}
+
+// Stats returns (packets sent, wire bytes sent, packets delivered).
+func (f *Fabric) Stats() (packets, bytes, delivered int64) {
+	return f.packets, f.bytes, f.delivered
+}
+
+// Lost returns the number of packets dropped by loss injection.
+func (f *Fabric) Lost() int64 { return f.lost }

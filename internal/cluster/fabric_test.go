@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"comb/internal/sim"
+)
+
+func testLink() LinkConfig {
+	return LinkConfig{Bandwidth: 100 * MB, Latency: 1 * sim.Microsecond, PerPacket: 0, MTU: 4096}
+}
+
+func TestFabricDeliversPacket(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, 2, testLink())
+	var gotAt sim.Time
+	var got *Packet
+	f.Attach(0, func(p *Packet) {})
+	f.Attach(1, func(p *Packet) { got, gotAt = p, env.Now() })
+	sent := f.Send(&Packet{From: 0, To: 1, Size: 1000, Payload: "x"})
+	env.Run()
+	// 1000 B at 100 MB/s = 10 us serialization, twice (tx + rx), + 1 us latency.
+	if sent != 10*sim.Microsecond {
+		t.Fatalf("sent at %v, want 10us", sent)
+	}
+	if gotAt != 21*sim.Microsecond {
+		t.Fatalf("delivered at %v, want 21us", gotAt)
+	}
+	if got.Payload != "x" {
+		t.Fatalf("payload corrupted: %v", got.Payload)
+	}
+}
+
+func TestFabricSerializesSender(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, 2, testLink())
+	var arrivals []sim.Time
+	f.Attach(0, func(p *Packet) {})
+	f.Attach(1, func(p *Packet) { arrivals = append(arrivals, env.Now()) })
+	for i := 0; i < 3; i++ {
+		f.Send(&Packet{From: 0, To: 1, Size: 1000})
+	}
+	env.Run()
+	// Packets serialize at 10 us each on TX; pipeline drains one per 10 us.
+	want := []sim.Time{21 * sim.Microsecond, 31 * sim.Microsecond, 41 * sim.Microsecond}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrivals = %v, want %v", arrivals, want)
+		}
+	}
+}
+
+func TestFabricPerPacketOverheadLimitsBandwidth(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := testLink()
+	cfg.PerPacket = 10 * sim.Microsecond // doubles per-packet occupancy
+	f := NewFabric(env, 2, cfg)
+	var last sim.Time
+	count := 0
+	f.Attach(0, func(p *Packet) {})
+	f.Attach(1, func(p *Packet) { count++; last = env.Now() })
+	const n = 100
+	for i := 0; i < n; i++ {
+		f.Send(&Packet{From: 0, To: 1, Size: 4096})
+	}
+	env.Run()
+	if count != n {
+		t.Fatalf("delivered %d, want %d", count, n)
+	}
+	gotBW := float64(n*4096) / last.Seconds() / MB
+	// 4096 B / (40.96us + 10us) = ~80.4 MB/s
+	if gotBW < 70 || gotBW > 85 {
+		t.Fatalf("sustained bandwidth %.1f MB/s, want ~80", gotBW)
+	}
+}
+
+func TestFabricFIFOPerPair(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, 2, testLink())
+	var order []int
+	f.Attach(0, func(p *Packet) {})
+	f.Attach(1, func(p *Packet) { order = append(order, p.Payload.(int)) })
+	for i := 0; i < 20; i++ {
+		i := i
+		// Stagger submissions at various times, all from node 0.
+		env.Schedule(sim.Time(i), func() {
+			f.Send(&Packet{From: 0, To: 1, Size: 100 + i*13, Payload: i})
+		})
+	}
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestFabricBidirectionalIndependent(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, 2, testLink())
+	var at0, at1 sim.Time
+	f.Attach(0, func(p *Packet) { at0 = env.Now() })
+	f.Attach(1, func(p *Packet) { at1 = env.Now() })
+	f.Send(&Packet{From: 0, To: 1, Size: 1000})
+	f.Send(&Packet{From: 1, To: 0, Size: 1000})
+	env.Run()
+	// Full duplex: both directions complete at the same time.
+	if at0 != at1 || at0 != 21*sim.Microsecond {
+		t.Fatalf("at0=%v at1=%v, want both 21us", at0, at1)
+	}
+}
+
+func TestSendMessageFragmentsAtMTU(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, 2, testLink())
+	var sizes []int
+	var lasts []bool
+	f.Attach(0, func(p *Packet) {})
+	f.Attach(1, func(p *Packet) {
+		m := p.Payload.(map[string]any)
+		sizes = append(sizes, m["n"].(int))
+		lasts = append(lasts, m["last"].(bool))
+	})
+	const total = 10_000
+	f.SendMessage(0, 1, total, 16, func(i, n int, last bool) any {
+		return map[string]any{"n": n, "last": last}
+	})
+	env.Run()
+	sum := 0
+	for i, s := range sizes {
+		sum += s
+		if (i == len(sizes)-1) != lasts[i] {
+			t.Fatalf("last flags wrong: %v", lasts)
+		}
+		if s > 4096 {
+			t.Fatalf("fragment %d exceeds MTU: %d", i, s)
+		}
+	}
+	if sum != total {
+		t.Fatalf("fragments sum to %d, want %d", sum, total)
+	}
+	if len(sizes) != 3 {
+		t.Fatalf("got %d fragments, want 3", len(sizes))
+	}
+}
+
+func TestSendMessageZeroBytesSendsHeaderPacket(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, 2, testLink())
+	count := 0
+	f.Attach(0, func(p *Packet) {})
+	f.Attach(1, func(p *Packet) { count++ })
+	f.SendMessage(0, 1, 0, 16, func(i, n int, last bool) any { return nil })
+	env.Run()
+	if count != 1 {
+		t.Fatalf("zero-size message delivered %d packets, want 1 (control)", count)
+	}
+}
+
+func TestFabricLoopback(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, 1, testLink())
+	var at sim.Time
+	f.Attach(0, func(p *Packet) { at = env.Now() })
+	f.Send(&Packet{From: 0, To: 0, Size: 1000})
+	env.Run()
+	if at != 1*sim.Microsecond {
+		t.Fatalf("loopback delivered at %v, want latency only", at)
+	}
+}
+
+// Property: byte conservation — every byte sent is delivered, in FIFO order
+// per pair, and arrival times are non-decreasing per receiver.
+func TestPropertyFabricConservation(t *testing.T) {
+	f := func(raw []uint16) bool {
+		env := sim.NewEnv()
+		fab := NewFabric(env, 3, testLink())
+		sentBytes := make(map[int]int64)
+		recvBytes := make(map[int]int64)
+		lastArrival := make(map[int]sim.Time)
+		ok := true
+		for to := 0; to < 3; to++ {
+			to := to
+			fab.Attach(to, func(p *Packet) {
+				recvBytes[to] += int64(p.Size)
+				if env.Now() < lastArrival[to] {
+					ok = false
+				}
+				lastArrival[to] = env.Now()
+			})
+		}
+		n := 0
+		for i, r := range raw {
+			if n >= 100 {
+				break
+			}
+			n++
+			from := int(r) % 3
+			to := (int(r) / 3) % 3
+			size := int(r%5000) + 1
+			sentBytes[to] += int64(size)
+			at := sim.Time((i * 131) % 10000)
+			env.Schedule(at, func() {
+				fab.Send(&Packet{From: from, To: to, Size: size})
+			})
+		}
+		env.Run()
+		for to := 0; to < 3; to++ {
+			if sentBytes[to] != recvBytes[to] {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemConstruction(t *testing.T) {
+	s := NewSystem(4, PlatformPIII500())
+	defer s.Close()
+	if len(s.Nodes) != 4 || s.Fabric.Ports() != 4 {
+		t.Fatal("system shape wrong")
+	}
+	for i, n := range s.Nodes {
+		if n.ID != i || n.CPU == nil {
+			t.Fatalf("node %d malformed", i)
+		}
+	}
+}
+
+func TestPlatformHelpers(t *testing.T) {
+	p := PlatformPIII500()
+	if p.WorkTime(1_000_000) != 2*sim.Millisecond {
+		t.Fatalf("WorkTime(1e6) = %v, want 2ms", p.WorkTime(1_000_000))
+	}
+	if ct := p.CopyTime(120_000_000); ct < sim.Second || ct > sim.Second+sim.Microsecond {
+		t.Fatalf("CopyTime(120MB) = %v, want ~1s", ct)
+	}
+	// GM-calibration: one MTU packet should sustain ~88 MB/s.
+	occ := p.Link.Occupancy(4096)
+	bw := 4096 / occ.Seconds() / MB
+	if bw < 85 || bw > 91 {
+		t.Fatalf("per-packet sustained bandwidth %.1f MB/s, want ~88", bw)
+	}
+}
+
+func TestUrgentChannelBypassesBulkQueue(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, 2, testLink())
+	var urgentAt, bulkAt sim.Time
+	f.Attach(0, func(p *Packet) {})
+	f.Attach(1, func(p *Packet) {
+		if p.Urgent {
+			urgentAt = env.Now()
+		} else {
+			bulkAt = env.Now()
+		}
+	})
+	// Queue 1 MB of bulk data (10 ms of wire), then an urgent control
+	// packet: it must arrive ahead of the bulk backlog.
+	for i := 0; i < 10; i++ {
+		f.Send(&Packet{From: 0, To: 1, Size: 100_000})
+	}
+	f.Send(&Packet{From: 0, To: 1, Size: 64, Urgent: true})
+	env.Run()
+	if urgentAt > 100*sim.Microsecond {
+		t.Fatalf("urgent packet arrived at %v, queued behind bulk", urgentAt)
+	}
+	if bulkAt < 5*sim.Millisecond {
+		t.Fatalf("bulk backlog finished implausibly early: %v", bulkAt)
+	}
+}
+
+func TestBackplaneCapsAggregate(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := testLink() // 100 MB/s ports
+	cfg.BackplaneBandwidth = 50 * MB
+	f := NewFabric(env, 4, cfg)
+	var last sim.Time
+	total := 0
+	for n := 0; n < 4; n++ {
+		f.Attach(n, func(p *Packet) { total += p.Size; last = env.Now() })
+	}
+	// Two disjoint pairs stream simultaneously; each port could do
+	// 100 MB/s but the shared backplane caps the sum at 50 MB/s.
+	const per = 50
+	for i := 0; i < per; i++ {
+		f.Send(&Packet{From: 0, To: 1, Size: 4096})
+		f.Send(&Packet{From: 2, To: 3, Size: 4096})
+	}
+	env.Run()
+	if total != 2*per*4096 {
+		t.Fatalf("delivered %d bytes", total)
+	}
+	bw := float64(total) / last.Seconds() / MB
+	if bw < 40 || bw > 55 {
+		t.Fatalf("aggregate %.1f MB/s, want ~50 (backplane cap)", bw)
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"testing"
+
+	"comb/internal/sim"
+)
+
+func jitterLink(jitter float64, seed uint64) LinkConfig {
+	return LinkConfig{
+		Bandwidth: 100 * MB, Latency: sim.Microsecond, MTU: 4096,
+		Jitter: jitter, Seed: seed,
+	}
+}
+
+// runJittered sends n packets and returns the arrival times.
+func runJittered(jitter float64, seed uint64, n int) []sim.Time {
+	env := sim.NewEnv()
+	f := NewFabric(env, 2, jitterLink(jitter, seed))
+	var arrivals []sim.Time
+	f.Attach(0, func(p *Packet) {})
+	f.Attach(1, func(p *Packet) { arrivals = append(arrivals, env.Now()) })
+	for i := 0; i < n; i++ {
+		f.Send(&Packet{From: 0, To: 1, Size: 1000})
+	}
+	env.Run()
+	return arrivals
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	a := runJittered(0.2, 42, 50)
+	b := runJittered(0.2, 42, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at packet %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := runJittered(0.2, 43, 50)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical timings")
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	// With 20% jitter each port occupancy stays within ±20% of the 10 us
+	// nominal.  A consecutive arrival gap combines one TX occupancy with
+	// the difference of two RX occupancies, so it is bounded by
+	// [8-4, 12+4] us; the mean must stay near 10 us.
+	arr := runJittered(0.2, 7, 200)
+	var sum sim.Time
+	for i := 1; i < len(arr); i++ {
+		gap := arr[i] - arr[i-1]
+		if gap < 4*sim.Microsecond-sim.Microsecond/10 || gap > 16*sim.Microsecond+sim.Microsecond/10 {
+			t.Fatalf("gap %d = %v outside jitter bounds", i, gap)
+		}
+		sum += gap
+	}
+	mean := float64(sum) / float64(len(arr)-1)
+	if mean < 9e3 || mean > 11e3 {
+		t.Fatalf("mean gap %.0fns, want ~10000 (jitter must be zero-mean)", mean)
+	}
+}
+
+func TestJitterPreservesFIFO(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, 2, jitterLink(0.5, 99))
+	var order []int
+	f.Attach(0, func(p *Packet) {})
+	f.Attach(1, func(p *Packet) { order = append(order, p.Payload.(int)) })
+	for i := 0; i < 100; i++ {
+		f.Send(&Packet{From: 0, To: 1, Size: 500 + i%1000, Payload: i})
+	}
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("jitter broke per-pair FIFO: %v", order[:i+1])
+		}
+	}
+}
+
+func TestZeroJitterExactTiming(t *testing.T) {
+	a := runJittered(0, 1, 10)
+	b := runJittered(0, 999, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("zero jitter must ignore the seed entirely")
+		}
+	}
+}

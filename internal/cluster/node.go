@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+
+	"comb/internal/sim"
+)
+
+// Node is one simulated host: a CPU plus its platform parameters.  NIC
+// behaviour lives in the transport layer, which attaches itself to the
+// fabric port carrying the node's ID.
+type Node struct {
+	ID  int
+	Env *sim.Env
+	CPU *CPU
+	P   Platform
+}
+
+// Memcpy charges the calling process the CPU time to copy n bytes at the
+// platform's host copy bandwidth, at priority prio.
+func (n *Node) Memcpy(p *sim.Proc, bytes int, prio Priority) {
+	n.CPU.Use(p, n.P.CopyTime(bytes), prio)
+}
+
+// MemcpyAsync submits the copy demand without blocking and returns its
+// completion event.
+func (n *Node) MemcpyAsync(bytes int, prio Priority) *sim.Event {
+	return n.CPU.Submit(n.P.CopyTime(bytes), prio)
+}
+
+// Work charges the calling process iters empty loop iterations of user-
+// priority CPU time.  This is the COMB "simulated computation": elapsed
+// virtual time exceeds the demand whenever kernel work or interrupts steal
+// the CPU, which is exactly what the availability metric measures.
+func (n *Node) Work(p *sim.Proc, iters int64) {
+	n.CPU.Use(p, n.P.WorkTime(iters), User)
+}
+
+// System is a complete simulated cluster: an environment, n nodes and the
+// fabric connecting them.
+type System struct {
+	Env    *sim.Env
+	Nodes  []*Node
+	Fabric *Fabric
+	P      Platform
+}
+
+// NewSystem builds a cluster of n identical nodes on a fresh environment.
+func NewSystem(n int, p Platform) *System {
+	if n < 1 {
+		panic(fmt.Sprintf("cluster: need at least one node, got %d", n))
+	}
+	env := sim.NewEnv()
+	s := &System{
+		Env:    env,
+		Fabric: NewFabric(env, n, p.Link),
+		P:      p,
+	}
+	cores := p.CPUs
+	if cores == 0 {
+		cores = 1
+	}
+	for i := 0; i < n; i++ {
+		s.Nodes = append(s.Nodes, &Node{
+			ID:  i,
+			Env: env,
+			CPU: NewSMP(env, fmt.Sprintf("cpu%d", i), cores),
+			P:   p,
+		})
+	}
+	return s
+}
+
+// Close releases the underlying simulation environment.
+func (s *System) Close() { s.Env.Close() }

@@ -1,0 +1,148 @@
+package core
+
+import "fmt"
+
+// Default benchmark parameters.
+const (
+	DefaultMsgSize    = 100_000
+	DefaultQueueDepth = 4
+	DefaultTag        = 7
+	DefaultWorkTotal  = 50_000_000 // polling method: ~100 ms of work on the reference platform
+	DefaultReps       = 20
+	DefaultBatchSize  = 4
+
+	// finTag and finAckTag carry the polling method's termination
+	// handshake; they are offsets added to Config.Tag.
+	finTagOff    = 1
+	finAckTagOff = 2
+)
+
+// Config holds the parameters shared by both COMB methods.
+type Config struct {
+	// MsgSize is the payload size in bytes.
+	MsgSize int
+	// Tag is the MPI tag for benchmark data messages.  Tag+1 and Tag+2
+	// are reserved for the polling method's termination handshake.
+	Tag int
+}
+
+func (c *Config) setDefaults() {
+	if c.MsgSize == 0 {
+		c.MsgSize = DefaultMsgSize
+	}
+	if c.Tag == 0 {
+		c.Tag = DefaultTag
+	}
+}
+
+func (c *Config) validate() error {
+	if c.MsgSize < 0 {
+		return fmt.Errorf("core: negative message size %d", c.MsgSize)
+	}
+	if c.Tag < 1 {
+		return fmt.Errorf("core: tag %d must be >= 1", c.Tag)
+	}
+	return nil
+}
+
+// PollingConfig parameterizes the polling method.
+type PollingConfig struct {
+	Config
+	// PollInterval is the number of empty-loop iterations between
+	// completion polls — the method's primary variable.
+	PollInterval int64
+	// WorkTotal is the fixed amount of work (iterations) performed over
+	// the whole measurement, with and without messaging.
+	WorkTotal int64
+	// QueueDepth is the number of messages kept in flight in each
+	// direction.  Depth 1 degenerates to a standard ping-pong (§2.1).
+	QueueDepth int
+}
+
+func (c *PollingConfig) setDefaults() {
+	c.Config.setDefaults()
+	if c.WorkTotal == 0 {
+		c.WorkTotal = DefaultWorkTotal
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+}
+
+func (c *PollingConfig) validate() error {
+	if err := c.Config.validate(); err != nil {
+		return err
+	}
+	if c.PollInterval < 1 {
+		return fmt.Errorf("core: poll interval %d must be >= 1", c.PollInterval)
+	}
+	if c.WorkTotal < 1 {
+		return fmt.Errorf("core: work total %d must be >= 1", c.WorkTotal)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("core: queue depth %d must be >= 1", c.QueueDepth)
+	}
+	return nil
+}
+
+// PWWConfig parameterizes the post-work-wait method.
+type PWWConfig struct {
+	Config
+	// WorkInterval is the number of iterations in each work phase — the
+	// method's primary variable.
+	WorkInterval int64
+	// Reps is the number of post-work-wait cycles measured.
+	Reps int
+	// BatchSize is the number of messages posted per cycle in each
+	// direction.  (Earlier versions of the benchmark interleaved 3-4
+	// batches; one pipelined batch is equivalent and simpler, §4.3.)
+	BatchSize int
+	// TestInWork plants a single MPI_Test early in the work phase — the
+	// paper's §4.3 experiment showing that one library call restores
+	// progress on systems without application offload.
+	TestInWork bool
+	// Interleave keeps this many batches in flight, reproducing the
+	// paper's earlier PWW versions ("interleaved three and four batches
+	// of messages such that after completion of one batch the
+	// communication pipeline was still occupied with a following
+	// batch").  1 (the default) is the published method; larger values
+	// intersperse the MPI calls of neighbouring batches inside the timed
+	// cycle, which §4.3 notes makes the results redundant with the
+	// polling method.
+	Interleave int
+}
+
+func (c *PWWConfig) setDefaults() {
+	c.Config.setDefaults()
+	if c.Reps == 0 {
+		c.Reps = DefaultReps
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.Interleave == 0 {
+		c.Interleave = 1
+	}
+}
+
+func (c *PWWConfig) validate() error {
+	if err := c.Config.validate(); err != nil {
+		return err
+	}
+	if c.WorkInterval < 1 {
+		return fmt.Errorf("core: work interval %d must be >= 1", c.WorkInterval)
+	}
+	if c.Reps < 1 {
+		return fmt.Errorf("core: reps %d must be >= 1", c.Reps)
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("core: batch size %d must be >= 1", c.BatchSize)
+	}
+	if c.Interleave < 1 {
+		return fmt.Errorf("core: interleave %d must be >= 1", c.Interleave)
+	}
+	if c.Interleave > c.Reps {
+		return fmt.Errorf("core: interleave %d exceeds reps %d", c.Interleave, c.Reps)
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package core implements COMB, the Communication Offload MPI-based
+// Benchmark of Lawry, Wilson, Maccabe and Brightwell (CLUSTER 2002) — the
+// paper's primary contribution.
+//
+// COMB characterizes how well a messaging stack overlaps MPI communication
+// with host computation, using two methods run between a worker process
+// (rank 0) and a support process (rank 1):
+//
+//   - The Polling method ([RunPolling]) interleaves fixed chunks of
+//     busy-loop work (the poll interval) with completion polls, replying
+//     to every arrived message from a depth-Q queue.  It never blocks, so
+//     it reports the best-case relationship between sustained bandwidth
+//     and CPU availability.
+//
+//   - The Post-Work-Wait method ([RunPWW]) serializes each cycle into a
+//     non-blocking post phase, a work phase containing no MPI calls, and a
+//     wait phase, timing each.  Because the application stays out of the
+//     library during work, communication only advances if the system
+//     provides application offload; the per-phase timings show where host
+//     time goes.  An optional variant plants one MPI_Test early in the
+//     work phase (§4.3 of the paper).
+//
+// Both methods first run a dry-run phase timing the same total work with
+// no messaging, and report
+//
+//	availability = time(work without messaging) /
+//	               time(work plus MPI calls while messaging)
+//
+// alongside the sustained bandwidth observed at the worker.
+//
+// The package is written against the abstract [Machine] interface — the
+// portability the paper emphasizes.  internal/machine binds it to the
+// simulated cluster; tests bind it to in-memory fakes.
+package core

@@ -1,0 +1,344 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"comb/internal/core"
+	"comb/internal/machine"
+	"comb/internal/platform"
+)
+
+// These tests run full COMB configurations on the simulated GM and Portals
+// systems and assert the qualitative properties each paper figure reports.
+
+func TestPollingDeterministic(t *testing.T) {
+	cfg := core.PollingConfig{
+		Config:       core.Config{MsgSize: 100_000},
+		PollInterval: 50_000,
+		WorkTotal:    10_000_000,
+	}
+	a := runPolling(t, "portals", cfg)
+	b := runPolling(t, "portals", cfg)
+	if *a != *b {
+		t.Fatalf("same config, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPollingConservation(t *testing.T) {
+	for _, name := range []string{"gm", "portals", "ideal"} {
+		r := runPolling(t, name, core.PollingConfig{
+			Config:       core.Config{MsgSize: 50_000},
+			PollInterval: 10_000,
+			WorkTotal:    5_000_000,
+		})
+		if r.BytesReceived != r.MsgsReceived*50_000 {
+			t.Errorf("%s: bytes %d != msgs %d * 50000", name, r.BytesReceived, r.MsgsReceived)
+		}
+		if r.Availability <= 0 || r.Availability > 1 {
+			t.Errorf("%s: availability %v out of (0,1]", name, r.Availability)
+		}
+		if r.MsgsReceived == 0 {
+			t.Errorf("%s: no messages in timed window", name)
+		}
+	}
+}
+
+// Fig 4: Portals polling availability sits on a low plateau while polls
+// are frequent, then climbs steeply once the poll interval is long enough
+// to stall the message flow.
+func TestFig4Shape_PortalsAvailabilityPlateauThenClimb(t *testing.T) {
+	get := func(poll int64) float64 {
+		work := int64(20_000_000)
+		if 10*poll > work {
+			work = 10 * poll // keep several polls per run at huge intervals
+		}
+		return runPolling(t, "portals", core.PollingConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			PollInterval: poll,
+			WorkTotal:    work,
+		}).Availability
+	}
+	low1, low2 := get(1_000), get(100_000)
+	high := get(100_000_000)
+	if low1 > 0.35 || low2 > 0.35 {
+		t.Errorf("plateau availability %0.3f / %0.3f, want low (<0.35)", low1, low2)
+	}
+	if high < 0.7 {
+		t.Errorf("large-interval availability %0.3f, want steep climb (>0.7)", high)
+	}
+}
+
+// Fig 5 / Fig 8: bandwidth plateaus at the system maximum then declines
+// once all in-flight messages complete within one poll interval; GM's
+// plateau is well above Portals'.
+func TestFig5And8Shape_BandwidthPlateauAndGMAdvantage(t *testing.T) {
+	bw := func(name string, poll int64) float64 {
+		return runPolling(t, name, core.PollingConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			PollInterval: poll,
+			WorkTotal:    20_000_000,
+		}).BandwidthMBs
+	}
+	gmPeak, gmTail := bw("gm", 10_000), bw("gm", 20_000_000)
+	ptlPeak, ptlTail := bw("portals", 10_000), bw("portals", 20_000_000)
+	if gmPeak < 75 || gmPeak > 92 {
+		t.Errorf("GM plateau %.1f MB/s, want ~88 (paper Fig 8)", gmPeak)
+	}
+	if ptlPeak < 38 || ptlPeak > 60 {
+		t.Errorf("Portals plateau %.1f MB/s, want ~50 (paper Fig 5)", ptlPeak)
+	}
+	if gmPeak <= ptlPeak {
+		t.Errorf("GM (%.1f) must beat Portals (%.1f) on identical hardware", gmPeak, ptlPeak)
+	}
+	if gmTail > gmPeak/2 || ptlTail > ptlPeak {
+		t.Errorf("bandwidth must decline at huge poll intervals: gm %.1f->%.1f, ptl %.1f->%.1f",
+			gmPeak, gmTail, ptlPeak, ptlTail)
+	}
+}
+
+// Fig 6: the PWW availability curve lacks the polling method's plateau —
+// waiting is charged against availability even when the delay is the
+// network's fault.
+func TestFig6Shape_PWWAvailabilityRises(t *testing.T) {
+	get := func(work int64) float64 {
+		return runPWW(t, "portals", core.PWWConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			WorkInterval: work,
+			Reps:         10,
+		}).Availability
+	}
+	a, b, c := get(50_000), get(2_000_000), get(50_000_000)
+	if !(a < b && b < c) {
+		t.Errorf("PWW availability not increasing: %.3f, %.3f, %.3f", a, b, c)
+	}
+	if a > 0.2 {
+		t.Errorf("short-work availability %.3f, want near zero (wait dominates)", a)
+	}
+	if c < 0.8 {
+		t.Errorf("long-work availability %.3f, want high", c)
+	}
+}
+
+// Fig 7 / Fig 9: PWW bandwidth declines as the work interval grows, more
+// gradually than the polling method's cliff; GM beats Portals at small
+// work intervals.
+func TestFig7And9Shape_PWWBandwidth(t *testing.T) {
+	bw := func(name string, work int64) float64 {
+		return runPWW(t, name, core.PWWConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			WorkInterval: work,
+			Reps:         10,
+		}).BandwidthMBs
+	}
+	gmSmall, ptlSmall := bw("gm", 10_000), bw("portals", 10_000)
+	if gmSmall <= ptlSmall {
+		t.Errorf("small-work PWW: GM %.1f must beat Portals %.1f (Fig 9)", gmSmall, ptlSmall)
+	}
+	gmMid, gmBig := bw("gm", 2_000_000), bw("gm", 20_000_000)
+	if !(gmSmall > gmMid && gmMid > gmBig) {
+		t.Errorf("GM PWW bandwidth not declining: %.1f, %.1f, %.1f", gmSmall, gmMid, gmBig)
+	}
+}
+
+// Fig 10: the average time to post a receive is far higher on Portals
+// (kernel trap, contended with interrupt load) than on GM (user level).
+func TestFig10Shape_PostTime(t *testing.T) {
+	post := func(name string) time.Duration {
+		return runPWW(t, name, core.PWWConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			WorkInterval: 1_000_000,
+			Reps:         10,
+		}).AvgPostRecv
+	}
+	gm, ptl := post("gm"), post("portals")
+	if ptl <= gm {
+		t.Errorf("Portals post %v must exceed GM post %v", ptl, gm)
+	}
+	if gm > 20*time.Microsecond {
+		t.Errorf("GM post %v, want a few microseconds", gm)
+	}
+}
+
+// Fig 11: given a long enough work interval, Portals virtually completes
+// messaging before the wait (application offload) while GM has not even
+// started moving data (no application offload).
+func TestFig11Shape_WaitTimeOffloadSignature(t *testing.T) {
+	wait := func(name string, work int64) time.Duration {
+		return runPWW(t, name, core.PWWConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			WorkInterval: work,
+			Reps:         10,
+		}).AvgWait
+	}
+	gmShort, gmLong := wait("gm", 100_000), wait("gm", 20_000_000)
+	ptlLong := wait("portals", 20_000_000)
+	if ptlLong > 100*time.Microsecond {
+		t.Errorf("Portals long-work wait %v, want ~0 (offload)", ptlLong)
+	}
+	if gmLong < 500*time.Microsecond {
+		t.Errorf("GM long-work wait %v, must stay high (no offload)", gmLong)
+	}
+	// GM's wait must not shrink materially as work grows.
+	if gmLong < gmShort/2 {
+		t.Errorf("GM wait shrank from %v to %v; rendezvous should not progress during work", gmShort, gmLong)
+	}
+}
+
+// Fig 12 / Fig 13: during the no-MPI-call work phase, Portals messaging
+// dilates the work (interrupts and kernel copies) while GM leaves it
+// untouched.
+func TestFig12And13Shape_WorkPhaseOverhead(t *testing.T) {
+	res := func(name string) *core.PWWResult {
+		return runPWW(t, name, core.PWWConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			WorkInterval: 2_000_000,
+			Reps:         10,
+		})
+	}
+	gm, ptl := res("gm"), res("portals")
+	if gm.WorkOverhead > 0.01 {
+		t.Errorf("GM work overhead %.3f, want ~0 (Fig 13)", gm.WorkOverhead)
+	}
+	if ptl.WorkOverhead < 0.2 {
+		t.Errorf("Portals work overhead %.3f, want substantial (Fig 12)", ptl.WorkOverhead)
+	}
+}
+
+// Fig 14: GM sustains maximum bandwidth at near-full availability for
+// large messages, but the 10 KB (eager) curve pays ~45us sends and sits at
+// visibly lower availability for its bandwidth.
+func TestFig14Shape_GMBandwidthVsAvailability(t *testing.T) {
+	point := func(size int, poll int64) *core.PollingResult {
+		return runPolling(t, "gm", core.PollingConfig{
+			Config:       core.Config{MsgSize: size},
+			PollInterval: poll,
+			WorkTotal:    20_000_000,
+		})
+	}
+	big := point(300_000, 300_000)
+	if big.BandwidthMBs < 75 || big.Availability < 0.9 {
+		t.Errorf("GM 300KB: %.1f MB/s at availability %.3f, want ~88 at ~1.0",
+			big.BandwidthMBs, big.Availability)
+	}
+	small := point(10_000, 300_000)
+	if small.Availability > big.Availability-0.15 {
+		t.Errorf("GM 10KB availability %.3f should sit well below 300KB's %.3f (eager send cost)",
+			small.Availability, big.Availability)
+	}
+}
+
+// Fig 15: Portals' communication overhead restricts maximum sustained
+// bandwidth to the low range of CPU availability.
+func TestFig15Shape_PortalsBandwidthOnlyAtLowAvailability(t *testing.T) {
+	r := runPolling(t, "portals", core.PollingConfig{
+		Config:       core.Config{MsgSize: 300_000},
+		PollInterval: 100_000,
+		WorkTotal:    20_000_000,
+	})
+	if r.BandwidthMBs < 35 {
+		t.Errorf("Portals peak %.1f MB/s too low", r.BandwidthMBs)
+	}
+	if r.Availability > 0.4 {
+		t.Errorf("Portals at peak bandwidth has availability %.3f, want low (overhead)", r.Availability)
+	}
+}
+
+// Fig 17: a single MPI_Test planted early in the work phase restores
+// progress on GM, extending sustained bandwidth into higher availability.
+func TestFig17Shape_TestInWorkHelpsGM(t *testing.T) {
+	run := func(tiw bool) *core.PWWResult {
+		return runPWW(t, "gm", core.PWWConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			WorkInterval: 5_000_000,
+			Reps:         10,
+			TestInWork:   tiw,
+		})
+	}
+	plain, tiw := run(false), run(true)
+	if tiw.BandwidthMBs < plain.BandwidthMBs*1.1 {
+		t.Errorf("MPI_Test in work: bandwidth %.1f vs plain %.1f, want clear improvement",
+			tiw.BandwidthMBs, plain.BandwidthMBs)
+	}
+	if tiw.AvgWait >= plain.AvgWait {
+		t.Errorf("MPI_Test in work: wait %v vs plain %v, want reduction", tiw.AvgWait, plain.AvgWait)
+	}
+}
+
+// The ideal transport bounds both real systems.
+func TestIdealDominates(t *testing.T) {
+	cfg := core.PollingConfig{
+		Config:       core.Config{MsgSize: 100_000},
+		PollInterval: 100_000,
+		WorkTotal:    20_000_000,
+	}
+	ideal := runPolling(t, "ideal", cfg)
+	gm := runPolling(t, "gm", cfg)
+	ptl := runPolling(t, "portals", cfg)
+	if ideal.BandwidthMBs < gm.BandwidthMBs-1 || ideal.BandwidthMBs < ptl.BandwidthMBs-1 {
+		t.Errorf("ideal bandwidth %.1f below a real system (gm %.1f, ptl %.1f)",
+			ideal.BandwidthMBs, gm.BandwidthMBs, ptl.BandwidthMBs)
+	}
+	if ideal.Availability < gm.Availability-0.01 || ideal.Availability < ptl.Availability-0.01 {
+		t.Errorf("ideal availability %.3f below a real system (gm %.3f, ptl %.3f)",
+			ideal.Availability, gm.Availability, ptl.Availability)
+	}
+}
+
+// Queue depth 1 degenerates to ping-pong and sacrifices sustained
+// bandwidth (paper §2.1).
+func TestQueueDepthOneSacrificesBandwidth(t *testing.T) {
+	bw := func(depth int) float64 {
+		return runPolling(t, "gm", core.PollingConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			PollInterval: 10_000,
+			WorkTotal:    10_000_000,
+			QueueDepth:   depth,
+		}).BandwidthMBs
+	}
+	deep, pingpong := bw(4), bw(1)
+	if pingpong >= deep {
+		t.Errorf("depth 1 bandwidth %.1f not below depth 4's %.1f", pingpong, deep)
+	}
+}
+
+// Concurrent pairs on a non-blocking crossbar are fully independent: each
+// pair of a 4-rank run measures exactly what the 2-rank run measures.
+// (This pinned down a real head-of-line-blocking artifact once: GM's
+// control packets must ride the urgent channel.)
+func TestConcurrentPairsIndependentOnCrossbar(t *testing.T) {
+	cfg := core.PollingConfig{
+		Config:       core.Config{MsgSize: 100_000},
+		PollInterval: 10_000,
+		WorkTotal:    25_000_000,
+	}
+	single := runPolling(t, "gm", cfg)
+
+	var mu sync.Mutex
+	var pairResults []*core.PollingResult
+	err := machine.Run(platform.Config{Transport: "gm", Nodes: 4}, func(m core.Machine) {
+		r, err := core.RunPolling(machine.PairView{M: m}, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if r != nil {
+			mu.Lock()
+			pairResults = append(pairResults, r)
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairResults) != 2 {
+		t.Fatalf("expected 2 worker results, got %d", len(pairResults))
+	}
+	for i, r := range pairResults {
+		if rel := r.BandwidthMBs / single.BandwidthMBs; rel < 0.97 || rel > 1.03 {
+			t.Errorf("pair %d bandwidth %.1f vs solo %.1f: pairs must be independent",
+				i, r.BandwidthMBs, single.BandwidthMBs)
+		}
+	}
+}

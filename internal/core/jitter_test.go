@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"comb/internal/cluster"
+	"comb/internal/core"
+	"comb/internal/machine"
+	"comb/internal/platform"
+)
+
+// runPollingJitter runs one polling point on a platform with the given
+// link jitter and seed.
+func runPollingJitter(t *testing.T, name string, jitter float64, seed uint64, cfg core.PollingConfig) *core.PollingResult {
+	t.Helper()
+	p := cluster.PlatformPIII500()
+	p.Link.Jitter = jitter
+	p.Link.Seed = seed
+	var mu sync.Mutex
+	var res *core.PollingResult
+	err := machine.Run(platform.Config{Transport: name, Platform: &p}, func(m core.Machine) {
+		r, err := core.RunPolling(m, cfg)
+		if err != nil {
+			t.Errorf("rank %d: %v", m.Rank(), err)
+			return
+		}
+		if r != nil {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no worker result")
+	}
+	return res
+}
+
+// The paper's conclusions must not hinge on perfectly clean wire timing:
+// under 10% per-packet jitter, GM still beats Portals on bandwidth and
+// availability, and both stay near their nominal operating points.
+func TestConclusionsSurviveLinkJitter(t *testing.T) {
+	cfg := core.PollingConfig{
+		Config:       core.Config{MsgSize: 100_000},
+		PollInterval: 10_000,
+		WorkTotal:    25_000_000,
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		gm := runPollingJitter(t, "gm", 0.1, seed, cfg)
+		ptl := runPollingJitter(t, "portals", 0.1, seed, cfg)
+		if gm.BandwidthMBs <= ptl.BandwidthMBs {
+			t.Errorf("seed %d: jitter flipped the bandwidth ordering (%.1f vs %.1f)",
+				seed, gm.BandwidthMBs, ptl.BandwidthMBs)
+		}
+		if gm.Availability <= ptl.Availability {
+			t.Errorf("seed %d: jitter flipped the availability ordering", seed)
+		}
+		clean := runPolling(t, "gm", cfg)
+		rel := gm.BandwidthMBs / clean.BandwidthMBs
+		if rel < 0.85 || rel > 1.15 {
+			t.Errorf("seed %d: 10%% jitter moved GM bandwidth by %.0f%%", seed, (rel-1)*100)
+		}
+	}
+}
+
+// Jittered runs remain reproducible for a fixed seed.
+func TestJitteredRunsDeterministicPerSeed(t *testing.T) {
+	cfg := core.PollingConfig{
+		Config:       core.Config{MsgSize: 50_000},
+		PollInterval: 50_000,
+		WorkTotal:    10_000_000,
+	}
+	a := runPollingJitter(t, "portals", 0.2, 77, cfg)
+	b := runPollingJitter(t, "portals", 0.2, 77, cfg)
+	if *a != *b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import "time"
+
+// Request is a pending non-blocking communication, the benchmark-visible
+// face of MPI_Request.
+type Request interface {
+	// Done reports whether the request has completed.  It does not give
+	// the library a progress opportunity; use Machine.Test for that.
+	Done() bool
+	// Bytes is the payload size the request moves.
+	Bytes() int
+}
+
+// Machine is everything COMB needs from a platform: a rank identity, a
+// clock, a calibrated busy-loop, and MPI-style non-blocking messaging.
+// The benchmark methods are written solely against this interface, which
+// is what makes the suite portable across transports (and, in tests,
+// runnable on fakes).
+//
+// All durations are wall-clock on the machine's own clock; "iterations"
+// are iterations of the machine's calibrated empty loop, the unit the
+// paper's poll/work interval axes use.
+type Machine interface {
+	// Rank returns this process's rank; COMB uses rank 0 as the worker and
+	// rank 1 as the support process.
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Now returns the machine's wall clock.
+	Now() time.Duration
+	// Work spins the calibrated empty loop for iters iterations.
+	Work(iters int64)
+	// Isend starts a non-blocking send of data to dst.
+	Isend(dst, tag int, data []byte) Request
+	// Irecv posts a non-blocking receive into buf from src.
+	Irecv(src, tag int, buf []byte) Request
+	// Test polls r for completion, giving the library a progress
+	// opportunity (MPI_Test).
+	Test(r Request) bool
+	// Wait blocks until r completes (MPI_Wait).
+	Wait(r Request)
+	// Waitany blocks until one of rs completes and returns its index
+	// (MPI_Waitany).
+	Waitany(rs []Request) int
+	// Waitall blocks until all of rs complete (MPI_Waitall).
+	Waitall(rs []Request)
+	// Barrier synchronizes all ranks.
+	Barrier()
+}
+
+// SystemMeter is an optional Machine extension exposing node-wide CPU
+// accounting.  The paper (§7) notes that COMB's availability metric —
+// dilation of a single process's work loop — breaks on multi-processor
+// nodes, where communication overhead lands on the other processor.  When
+// a machine implements SystemMeter, the methods additionally report
+// SystemAvailability:
+//
+//	1 - (CPU consumed beyond the benchmark's own work) / (cores × elapsed)
+//
+// which charges offloaded host overhead no matter which processor paid it.
+// On a uniprocessor it coincides with the classic metric (up to library
+// call costs).
+type SystemMeter interface {
+	// CPUAccount returns the cumulative busy CPU time summed over the
+	// node's cores (all scheduling classes), and the core count.
+	CPUAccount() (busy time.Duration, cores int)
+}

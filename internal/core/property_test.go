@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"comb/internal/core"
+)
+
+// Property: for any valid polling configuration, the method terminates on
+// the fake machine and its accounting invariants hold — byte/message
+// conservation, dry time equal to the demanded work, and positive
+// availability.
+func TestPropertyPollingInvariants(t *testing.T) {
+	f := func(sizeRaw, pollRaw, workRaw, depthRaw uint16) bool {
+		cfg := core.PollingConfig{
+			Config:       core.Config{MsgSize: int(sizeRaw%2000) + 1},
+			PollInterval: int64(pollRaw%500) + 1,
+			WorkTotal:    int64(workRaw%20000) + 1,
+			QueueDepth:   int(depthRaw%6) + 1,
+		}
+		w := newFakeWorld(2)
+		var res *core.PollingResult
+		var bad bool
+		w.run(func(m core.Machine) {
+			r, err := core.RunPolling(m, cfg)
+			if err != nil {
+				bad = true
+				return
+			}
+			if r != nil {
+				res = r
+			}
+		})
+		if bad || res == nil {
+			return false
+		}
+		if res.BytesReceived != res.MsgsReceived*int64(cfg.MsgSize) {
+			return false
+		}
+		if int64(res.DryTime) != cfg.WorkTotal { // fake: 1 ns per iteration
+			return false
+		}
+		return res.Availability > 0 && res.Elapsed >= res.DryTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any valid PWW configuration (batch, reps, interleave) the
+// phase durations tile the elapsed window exactly on the fake machine and
+// all bytes are accounted for.
+func TestPropertyPWWInvariants(t *testing.T) {
+	f := func(sizeRaw, workRaw, repsRaw, batchRaw, ilRaw uint16, tiw bool) bool {
+		reps := int(repsRaw%10) + 1
+		cfg := core.PWWConfig{
+			Config:       core.Config{MsgSize: int(sizeRaw%2000) + 1},
+			WorkInterval: int64(workRaw%20000) + 10,
+			Reps:         reps,
+			BatchSize:    int(batchRaw%4) + 1,
+			Interleave:   int(ilRaw)%reps + 1,
+			TestInWork:   tiw,
+		}
+		w := newFakeWorld(2)
+		var res *core.PWWResult
+		var bad bool
+		w.run(func(m core.Machine) {
+			r, err := core.RunPWW(m, cfg)
+			if err != nil {
+				bad = true
+				return
+			}
+			if r != nil {
+				res = r
+			}
+		})
+		if bad || res == nil {
+			return false
+		}
+		want := int64(cfg.Reps) * int64(cfg.BatchSize) * int64(cfg.MsgSize)
+		if res.BytesReceived != want {
+			return false
+		}
+		// The fake clock only advances inside Work, so the four phases
+		// exactly tile the elapsed window, interleaved or not.
+		if res.PostRecvTotal+res.PostSendTotal+res.WorkTotal+res.WaitTotal != res.Elapsed {
+			return false
+		}
+		return res.AvgWorkOnly > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

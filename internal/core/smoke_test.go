@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"comb/internal/core"
+	"comb/internal/machine"
+	"comb/internal/platform"
+)
+
+// runPolling executes one polling-method point on the named transport.
+func runPolling(t testing.TB, name string, cfg core.PollingConfig) *core.PollingResult {
+	t.Helper()
+	var mu sync.Mutex
+	var res *core.PollingResult
+	err := machine.Run(platform.Config{Transport: name}, func(m core.Machine) {
+		r, err := core.RunPolling(m, cfg)
+		if err != nil {
+			t.Errorf("rank %d: %v", m.Rank(), err)
+			return
+		}
+		if r != nil {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no worker result")
+	}
+	return res
+}
+
+// runPWW executes one PWW-method point on the named transport.
+func runPWW(t testing.TB, name string, cfg core.PWWConfig) *core.PWWResult {
+	t.Helper()
+	var mu sync.Mutex
+	var res *core.PWWResult
+	err := machine.Run(platform.Config{Transport: name}, func(m core.Machine) {
+		r, err := core.RunPWW(m, cfg)
+		if err != nil {
+			t.Errorf("rank %d: %v", m.Rank(), err)
+			return
+		}
+		if r != nil {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no worker result")
+	}
+	return res
+}
+
+func TestSmokePollingGM(t *testing.T) {
+	for _, poll := range []int64{1_000, 100_000, 10_000_000} {
+		r := runPolling(t, "gm", core.PollingConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			PollInterval: poll,
+			WorkTotal:    20_000_000,
+		})
+		t.Logf("gm %v", r)
+	}
+}
+
+func TestSmokePollingPortals(t *testing.T) {
+	for _, poll := range []int64{1_000, 100_000, 10_000_000} {
+		r := runPolling(t, "portals", core.PollingConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			PollInterval: poll,
+			WorkTotal:    20_000_000,
+		})
+		t.Logf("portals %v", r)
+	}
+}
+
+func TestSmokePWW(t *testing.T) {
+	for _, name := range []string{"gm", "portals"} {
+		for _, work := range []int64{10_000, 1_000_000, 10_000_000} {
+			r := runPWW(t, name, core.PWWConfig{
+				Config:       core.Config{MsgSize: 100_000},
+				WorkInterval: work,
+				Reps:         10,
+			})
+			t.Logf("%s %v post=%v wait=%v workMH=%v", name, r, r.AvgPostRecv, r.AvgWait, r.AvgWorkMH)
+		}
+	}
+}

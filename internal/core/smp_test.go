@@ -1,0 +1,147 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"comb/internal/core"
+	"comb/internal/machine"
+	"comb/internal/platform"
+)
+
+// runPollingCPUs is runPolling with a processors-per-node override.
+func runPollingCPUs(t *testing.T, name string, cpus int, cfg core.PollingConfig) *core.PollingResult {
+	t.Helper()
+	var mu sync.Mutex
+	var res *core.PollingResult
+	err := machine.Run(platform.Config{Transport: name, CPUs: cpus}, func(m core.Machine) {
+		r, err := core.RunPolling(m, cfg)
+		if err != nil {
+			t.Errorf("rank %d: %v", m.Rank(), err)
+			return
+		}
+		if r != nil {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no worker result")
+	}
+	return res
+}
+
+// The paper's §7: "Our current method for measuring CPU availability will
+// not work on systems with multiple processors per node."  On a 2-CPU
+// node, Portals' interrupts and kernel copies land on the idle processor,
+// so the classic work-loop metric reports high availability even though
+// the node is paying heavily for communication.  The SystemMeter-based
+// metric still sees it.
+func TestSMPBreaksNaiveAvailabilityMetric(t *testing.T) {
+	cfg := core.PollingConfig{
+		Config:       core.Config{MsgSize: 100_000},
+		PollInterval: 100_000,
+		WorkTotal:    25_000_000,
+	}
+	uni := runPollingCPUs(t, "portals", 1, cfg)
+	smp := runPollingCPUs(t, "portals", 2, cfg)
+
+	if uni.Availability > 0.3 {
+		t.Errorf("uniprocessor Portals availability %.3f, want low", uni.Availability)
+	}
+	// The interrupt and receive-copy load migrates to the idle processor,
+	// inflating the classic metric well above the uniprocessor truth.
+	// (It does not reach 1.0: the worker still blocks in its own send
+	// syscalls, which no second core can hide.)
+	if smp.Availability < uni.Availability*1.5 {
+		t.Errorf("2-CPU Portals naive availability %.3f vs uniprocessor %.3f; "+
+			"the second core should inflate the classic metric", smp.Availability, uni.Availability)
+	}
+	// The system-wide metric keeps charging the hidden overhead.
+	if smp.SystemAvailability >= smp.Availability {
+		t.Errorf("system availability %.3f should sit below the inflated classic %.3f",
+			smp.SystemAvailability, smp.Availability)
+	}
+	if smp.SystemAvailability <= 0 {
+		t.Error("system availability not measured")
+	}
+}
+
+// On a uniprocessor, the system-wide metric agrees with the classic one
+// (up to library call costs).
+func TestSystemAvailabilityMatchesClassicOnUniprocessor(t *testing.T) {
+	cfg := core.PollingConfig{
+		Config:       core.Config{MsgSize: 100_000},
+		PollInterval: 100_000,
+		WorkTotal:    25_000_000,
+	}
+	for _, name := range []string{"gm", "portals"} {
+		r := runPollingCPUs(t, name, 1, cfg)
+		diff := r.SystemAvailability - r.Availability
+		if diff < -0.1 || diff > 0.1 {
+			t.Errorf("%s: system %.3f vs classic %.3f diverge on 1 CPU",
+				name, r.SystemAvailability, r.Availability)
+		}
+	}
+}
+
+// GM on SMP: both metrics stay high — there is genuinely no host overhead
+// to hide.
+func TestSMPGMStillFullyAvailable(t *testing.T) {
+	r := runPollingCPUs(t, "gm", 2, core.PollingConfig{
+		Config:       core.Config{MsgSize: 100_000},
+		PollInterval: 100_000,
+		WorkTotal:    25_000_000,
+	})
+	if r.Availability < 0.9 || r.SystemAvailability < 0.9 {
+		t.Errorf("GM on SMP: classic %.3f system %.3f, want both high",
+			r.Availability, r.SystemAvailability)
+	}
+}
+
+// The fake machine has no SystemMeter: the field must stay zero.
+func TestSystemAvailabilityZeroWithoutMeter(t *testing.T) {
+	r := runFakePolling(t, 2, core.PollingConfig{
+		Config:       core.Config{MsgSize: 100},
+		PollInterval: 100,
+		WorkTotal:    1_000,
+	})
+	if r.SystemAvailability != 0 {
+		t.Errorf("SystemAvailability = %v without a meter", r.SystemAvailability)
+	}
+}
+
+// PWW also reports the system metric.
+func TestPWWSystemAvailability(t *testing.T) {
+	var res *core.PWWResult
+	err := machine.Run(platform.Config{Transport: "portals", CPUs: 2}, func(m core.Machine) {
+		r, err := core.RunPWW(m, core.PWWConfig{
+			Config:       core.Config{MsgSize: 100_000},
+			WorkInterval: 5_000_000,
+			Reps:         10,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if r != nil {
+			res = r
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SystemAvailability <= 0 || res.SystemAvailability >= res.Availability+0.3 {
+		t.Errorf("pww system availability %.3f vs classic %.3f implausible",
+			res.SystemAvailability, res.Availability)
+	}
+	// On 2 CPUs the work phase should no longer dilate (overhead hides on
+	// the other core) — the naive Fig 12 signature disappears.
+	if res.WorkOverhead > 0.05 {
+		t.Errorf("work overhead %.3f on SMP, want ~0 (second core absorbs it)", res.WorkOverhead)
+	}
+}

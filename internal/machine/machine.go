@@ -1,0 +1,142 @@
+// Package machine binds the COMB benchmark's abstract core.Machine
+// interface to the simulated cluster: virtual time becomes the wall clock,
+// the calibrated work loop becomes user-priority CPU demand, and the MPI
+// verbs go to the rank's mpi.Comm.
+package machine
+
+import (
+	"time"
+
+	"comb/internal/cluster"
+	"comb/internal/core"
+	"comb/internal/mpi"
+	"comb/internal/platform"
+	"comb/internal/sim"
+)
+
+// Sim implements core.Machine on a simulated rank.
+type Sim struct {
+	p    *sim.Proc
+	c    *mpi.Comm
+	node *cluster.Node
+}
+
+// NewSim binds a machine for the process p running rank c on node.
+func NewSim(p *sim.Proc, c *mpi.Comm, node *cluster.Node) *Sim {
+	return &Sim{p: p, c: c, node: node}
+}
+
+// Rank implements core.Machine.
+func (m *Sim) Rank() int { return m.c.Rank() }
+
+// Size implements core.Machine.
+func (m *Sim) Size() int { return m.c.Size() }
+
+// Now implements core.Machine using virtual time.
+func (m *Sim) Now() time.Duration { return time.Duration(m.p.Now()) }
+
+// Work implements core.Machine: iters iterations of the calibrated empty
+// loop, i.e. user-priority CPU demand that higher-priority communication
+// work dilates.
+func (m *Sim) Work(iters int64) { m.node.Work(m.p, iters) }
+
+// Isend implements core.Machine.
+func (m *Sim) Isend(dst, tag int, data []byte) core.Request {
+	return m.c.Isend(m.p, dst, tag, data)
+}
+
+// Irecv implements core.Machine.
+func (m *Sim) Irecv(src, tag int, buf []byte) core.Request {
+	return m.c.Irecv(m.p, src, tag, buf)
+}
+
+// Test implements core.Machine.
+func (m *Sim) Test(r core.Request) bool { return m.c.Test(m.p, r.(*mpi.Request)) }
+
+// Wait implements core.Machine.
+func (m *Sim) Wait(r core.Request) { m.c.Wait(m.p, r.(*mpi.Request)) }
+
+// Waitany implements core.Machine.
+func (m *Sim) Waitany(rs []core.Request) int {
+	return m.c.Waitany(m.p, unwrap(rs))
+}
+
+// Waitall implements core.Machine.
+func (m *Sim) Waitall(rs []core.Request) { m.c.Waitall(m.p, unwrap(rs)) }
+
+// Barrier implements core.Machine.
+func (m *Sim) Barrier() { m.c.Barrier(m.p) }
+
+// CPUAccount implements core.SystemMeter with the node's CPU counters.
+func (m *Sim) CPUAccount() (time.Duration, int) {
+	return time.Duration(m.node.CPU.TotalBusy()), m.node.CPU.Cores()
+}
+
+func unwrap(rs []core.Request) []*mpi.Request {
+	out := make([]*mpi.Request, len(rs))
+	for i, r := range rs {
+		out[i] = r.(*mpi.Request)
+	}
+	return out
+}
+
+// PairView presents a two-rank view of a larger machine whose global
+// ranks form consecutive pairs (0-1, 2-3, ...).  It lets the unmodified
+// two-process COMB methods run on every pair of a bigger cluster
+// simultaneously — the multi-pair contention experiment.  Barriers stay
+// global, which keeps the concurrent pairs phase-aligned.
+type PairView struct {
+	M core.Machine
+}
+
+func (v PairView) base() int { return (v.M.Rank() / 2) * 2 }
+
+// Rank implements core.Machine: the rank within the pair.
+func (v PairView) Rank() int { return v.M.Rank() % 2 }
+
+// Size implements core.Machine: a pair.
+func (v PairView) Size() int { return 2 }
+
+// Now implements core.Machine.
+func (v PairView) Now() time.Duration { return v.M.Now() }
+
+// Work implements core.Machine.
+func (v PairView) Work(iters int64) { v.M.Work(iters) }
+
+// Isend implements core.Machine, translating the pair-local destination.
+func (v PairView) Isend(dst, tag int, data []byte) core.Request {
+	return v.M.Isend(v.base()+dst, tag, data)
+}
+
+// Irecv implements core.Machine, translating the pair-local source.
+func (v PairView) Irecv(src, tag int, buf []byte) core.Request {
+	return v.M.Irecv(v.base()+src, tag, buf)
+}
+
+// Test implements core.Machine.
+func (v PairView) Test(r core.Request) bool { return v.M.Test(r) }
+
+// Wait implements core.Machine.
+func (v PairView) Wait(r core.Request) { v.M.Wait(r) }
+
+// Waitany implements core.Machine.
+func (v PairView) Waitany(rs []core.Request) int { return v.M.Waitany(rs) }
+
+// Waitall implements core.Machine.
+func (v PairView) Waitall(rs []core.Request) { v.M.Waitall(rs) }
+
+// Barrier implements core.Machine (global across all pairs).
+func (v PairView) Barrier() { v.M.Barrier() }
+
+// Run builds the platform described by cfg and executes fn once per rank
+// on a bound Sim machine, driving the simulation to completion.
+func Run(cfg platform.Config, fn func(m core.Machine)) error {
+	in, err := platform.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	return in.Run(func(p *sim.Proc, c *mpi.Comm) {
+		fn(NewSim(p, c, in.Sys.Nodes[c.Rank()]))
+	})
+}

@@ -1,0 +1,90 @@
+package machine_test
+
+import (
+	"testing"
+	"time"
+
+	"comb/internal/core"
+	"comb/internal/machine"
+	"comb/internal/platform"
+)
+
+func TestSimMachineBasics(t *testing.T) {
+	var rank0Work time.Duration
+	err := machine.Run(platform.Config{Transport: "ideal"}, func(m core.Machine) {
+		if m.Size() != 2 {
+			t.Errorf("Size = %d", m.Size())
+		}
+		if m.Rank() == 0 {
+			t0 := m.Now()
+			m.Work(1_000_000) // 2 ms at 2 ns/iter, nothing competing
+			rank0Work = m.Now() - t0
+		}
+		m.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank0Work != 2*time.Millisecond {
+		t.Fatalf("Work(1e6) took %v, want exactly 2ms on an idle node", rank0Work)
+	}
+}
+
+func TestSimMachineMessaging(t *testing.T) {
+	var got byte
+	err := machine.Run(platform.Config{Transport: "gm"}, func(m core.Machine) {
+		if m.Rank() == 0 {
+			r := m.Isend(1, 3, []byte{99})
+			m.Wait(r)
+			if r.Bytes() != 1 {
+				t.Errorf("send Bytes = %d", r.Bytes())
+			}
+		} else {
+			buf := make([]byte, 1)
+			r := m.Irecv(0, 3, buf)
+			m.Wait(r)
+			got = buf[0]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("payload = %d", got)
+	}
+}
+
+func TestSimMachineWaitanyWaitall(t *testing.T) {
+	err := machine.Run(platform.Config{Transport: "portals"}, func(m core.Machine) {
+		peer := 1 - m.Rank()
+		bufs := [][]byte{make([]byte, 10), make([]byte, 10)}
+		rs := []core.Request{
+			m.Irecv(peer, 1, bufs[0]),
+			m.Irecv(peer, 1, bufs[1]),
+		}
+		ss := []core.Request{
+			m.Isend(peer, 1, make([]byte, 10)),
+			m.Isend(peer, 1, make([]byte, 10)),
+		}
+		i := m.Waitany(rs)
+		if i != 0 && i != 1 {
+			t.Errorf("Waitany index %d", i)
+		}
+		m.Waitall(rs)
+		m.Waitall(ss)
+		for _, r := range rs {
+			if !r.Done() || !m.Test(r) {
+				t.Error("request not done after Waitall")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesBuildError(t *testing.T) {
+	if err := machine.Run(platform.Config{Transport: "nosuch"}, func(core.Machine) {}); err == nil {
+		t.Fatal("unknown transport must fail")
+	}
+}

@@ -1,0 +1,218 @@
+package mpi_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"comb/internal/mpi"
+	"comb/internal/platform"
+	"comb/internal/sim"
+)
+
+// sumCombine adds little-endian int64 vectors element-wise.
+func sumCombine(acc, contribution []byte) {
+	for i := 0; i+8 <= len(acc); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(acc[i:]))
+		b := int64(binary.LittleEndian.Uint64(contribution[i:]))
+		binary.LittleEndian.PutUint64(acc[i:], uint64(a+b))
+	}
+}
+
+func encodeInts(vs ...int64) []byte {
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+	}
+	return b
+}
+
+func decodeInts(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+func collectiveSizes() []int { return []int{1, 2, 3, 4, 5, 8} }
+
+func TestBcastAllSizesAndRoots(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, name string) {
+		for _, n := range collectiveSizes() {
+			for root := 0; root < n; root++ {
+				n, root := n, root
+				t.Run(fmt.Sprintf("n%d_root%d", n, root), func(t *testing.T) {
+					payload := pattern(1000, byte(root))
+					got := make([][]byte, n)
+					err := platform.Launch(platform.Config{Transport: name, Nodes: n},
+						func(p *sim.Proc, c *mpi.Comm) {
+							buf := make([]byte, len(payload))
+							if c.Rank() == root {
+								copy(buf, payload)
+							}
+							c.Bcast(p, root, buf)
+							got[c.Rank()] = buf
+						})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for r, b := range got {
+						if !bytes.Equal(b, payload) {
+							t.Fatalf("rank %d got wrong broadcast", r)
+						}
+					}
+				})
+			}
+		}
+	})
+}
+
+func TestReduceSum(t *testing.T) {
+	const n = 5
+	var result []int64
+	err := platform.Launch(platform.Config{Transport: "ideal", Nodes: n},
+		func(p *sim.Proc, c *mpi.Comm) {
+			data := encodeInts(int64(c.Rank()+1), int64(10*(c.Rank()+1)))
+			c.Reduce(p, 2, data, sumCombine)
+			if c.Rank() == 2 {
+				result = decodeInts(data)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1+2+3+4+5 = 15; 10+20+30+40+50 = 150.
+	if result[0] != 15 || result[1] != 150 {
+		t.Fatalf("reduce = %v, want [15 150]", result)
+	}
+}
+
+func TestAllreduceEveryRankSeesTotal(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, name string) {
+		const n = 4
+		results := make([][]int64, n)
+		err := platform.Launch(platform.Config{Transport: name, Nodes: n},
+			func(p *sim.Proc, c *mpi.Comm) {
+				data := encodeInts(int64(c.Rank() + 1))
+				c.Allreduce(p, data, sumCombine)
+				results[c.Rank()] = decodeInts(data)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, v := range results {
+			if v[0] != 10 {
+				t.Fatalf("rank %d allreduce = %d, want 10", r, v[0])
+			}
+		}
+	})
+}
+
+func TestGatherRankOrder(t *testing.T) {
+	const n = 4
+	var out []byte
+	err := platform.Launch(platform.Config{Transport: "gm", Nodes: n},
+		func(p *sim.Proc, c *mpi.Comm) {
+			data := []byte{byte(c.Rank()), byte(c.Rank() * 2)}
+			var buf []byte
+			if c.Rank() == 1 {
+				buf = make([]byte, 2*n)
+			}
+			c.Gather(p, 1, data, buf)
+			if c.Rank() == 1 {
+				out = buf
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 0, 1, 2, 2, 4, 3, 6}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("gather = %v, want %v", out, want)
+	}
+}
+
+func TestGatherRootBufferTooSmallPanics(t *testing.T) {
+	err := platform.Launch(platform.Config{Transport: "ideal"}, func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() != 0 {
+			// Keep the peer from deadlocking: it sends to root normally.
+			c.Gather(p, 0, []byte{1}, nil)
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on short root buffer")
+			}
+		}()
+		c.Gather(p, 0, []byte{1}, make([]byte, 1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceNilCombinePanics(t *testing.T) {
+	err := platform.Launch(platform.Config{Transport: "ideal"}, func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on nil combine")
+			}
+		}()
+		c.Reduce(p, 0, []byte{1}, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesInterleaveWithPointToPoint(t *testing.T) {
+	// A broadcast between two sends with the same tag must not disturb
+	// matching (collectives live in the reserved tag space).
+	err := platform.Launch(platform.Config{Transport: "portals"}, func(p *sim.Proc, c *mpi.Comm) {
+		b := make([]byte, 4)
+		if c.Rank() == 0 {
+			c.Send(p, 1, 3, []byte("aaaa"))
+			copy(b, "bbbb")
+			c.Bcast(p, 0, b)
+			c.Send(p, 1, 3, []byte("cccc"))
+		} else {
+			buf := make([]byte, 4)
+			c.Recv(p, 0, 3, buf)
+			if string(buf) != "aaaa" {
+				t.Errorf("first recv = %q", buf)
+			}
+			c.Bcast(p, 0, b)
+			if string(b) != "bbbb" {
+				t.Errorf("bcast = %q", b)
+			}
+			c.Recv(p, 0, 3, buf)
+			if string(buf) != "cccc" {
+				t.Errorf("second recv = %q", buf)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedCollectivesDistinctTags(t *testing.T) {
+	err := platform.Launch(platform.Config{Transport: "ideal", Nodes: 3},
+		func(p *sim.Proc, c *mpi.Comm) {
+			for i := 0; i < 20; i++ {
+				data := encodeInts(int64(i))
+				c.Allreduce(p, data, sumCombine)
+				if got := decodeInts(data)[0]; got != int64(3*i) {
+					t.Errorf("round %d: %d, want %d", i, got, 3*i)
+				}
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package mpi
+
+import (
+	"fmt"
+
+	"comb/internal/sim"
+)
+
+// TagUpper is the first tag value reserved for library-internal traffic
+// (the barrier).  Applications must use tags below it.
+const TagUpper = 1 << 30
+
+// Comm is a communicator: the user-facing MPI handle for one rank.
+type Comm struct {
+	rank int
+	size int
+	env  *sim.Env
+	ep   Endpoint
+
+	barrierSeq int
+	collSeq    int
+}
+
+// NewComm binds a communicator for rank (of size) to an endpoint.
+func NewComm(env *sim.Env, rank, size int, ep Endpoint) *Comm {
+	return &Comm{rank: rank, size: size, env: env, ep: ep}
+}
+
+// Rank returns this process's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Endpoint returns the transport endpoint backing this communicator.
+func (c *Comm) Endpoint() Endpoint { return c.ep }
+
+// Isend starts a non-blocking send of data to rank dst with the given tag
+// and returns its request.  The payload is captured at call time, so the
+// caller may reuse the slice once the request completes.
+func (c *Comm) Isend(p *sim.Proc, dst, tag int, data []byte) *Request {
+	c.checkRank(dst)
+	c.checkTag(tag)
+	r := &Request{
+		kind:     KindSend,
+		comm:     c,
+		peer:     dst,
+		tag:      tag,
+		data:     data,
+		ev:       c.env.NewEvent(),
+		postedAt: c.env.Now(),
+	}
+	c.ep.Isend(p, r)
+	return r
+}
+
+// Irecv posts a non-blocking receive into buf from rank src (or AnySource)
+// with the given tag (or AnyTag) and returns its request.
+func (c *Comm) Irecv(p *sim.Proc, src, tag int, buf []byte) *Request {
+	if src != AnySource {
+		c.checkRank(src)
+	}
+	if tag != AnyTag {
+		c.checkTag(tag)
+	}
+	r := &Request{
+		kind:     KindRecv,
+		comm:     c,
+		peer:     src,
+		tag:      tag,
+		buf:      buf,
+		ev:       c.env.NewEvent(),
+		postedAt: c.env.Now(),
+	}
+	c.ep.Irecv(p, r)
+	return r
+}
+
+// Test gives the library a progress opportunity and reports whether r has
+// completed (MPI_Test).
+func (c *Comm) Test(p *sim.Proc, r *Request) bool {
+	c.ep.Progress(p)
+	return r.done
+}
+
+// Wait blocks until r completes (MPI_Wait).  Library-driven endpoints
+// progress communication from inside this call; offloaded endpoints simply
+// park until the completion flag is set.
+func (c *Comm) Wait(p *sim.Proc, r *Request) {
+	for {
+		act := c.ep.Activity()
+		c.ep.Progress(p)
+		if r.done {
+			return
+		}
+		p.Await(act)
+	}
+}
+
+// Waitall blocks until every request completes (MPI_Waitall).
+func (c *Comm) Waitall(p *sim.Proc, rs []*Request) {
+	for {
+		act := c.ep.Activity()
+		c.ep.Progress(p)
+		alldone := true
+		for _, r := range rs {
+			if !r.done {
+				alldone = false
+				break
+			}
+		}
+		if alldone {
+			return
+		}
+		p.Await(act)
+	}
+}
+
+// Waitany blocks until at least one of rs has completed and returns the
+// lowest completed index (MPI_Waitany).  Callers typically replace the
+// returned slot with a fresh request.
+func (c *Comm) Waitany(p *sim.Proc, rs []*Request) int {
+	if len(rs) == 0 {
+		panic("mpi: Waitany with no requests")
+	}
+	for {
+		act := c.ep.Activity()
+		c.ep.Progress(p)
+		for i, r := range rs {
+			if r.done {
+				return i
+			}
+		}
+		p.Await(act)
+	}
+}
+
+// Iprobe checks — without receiving — whether a message matching (src,
+// tag) has arrived and is waiting unexpected (MPI_Iprobe).  Wildcards are
+// allowed.  It returns the envelope's status when one is pending.
+func (c *Comm) Iprobe(p *sim.Proc, src, tag int) (Status, bool) {
+	ms, ok := c.ep.(MatchStater)
+	if !ok {
+		panic("mpi: transport does not expose matching state for probes")
+	}
+	c.ep.Progress(p)
+	if in := ms.MatchState().Peek(src, tag); in != nil {
+		return Status{Source: in.Src, Tag: in.Tag, Count: in.Size}, true
+	}
+	return Status{}, false
+}
+
+// Probe blocks until a message matching (src, tag) is pending and returns
+// its envelope without receiving it (MPI_Probe).
+func (c *Comm) Probe(p *sim.Proc, src, tag int) Status {
+	for {
+		act := c.ep.Activity()
+		if st, ok := c.Iprobe(p, src, tag); ok {
+			return st
+		}
+		p.Await(act)
+	}
+}
+
+// Sendrecv runs a send and a receive concurrently and returns the
+// receive's status (MPI_Sendrecv) — the deadlock-free exchange idiom.
+func (c *Comm) Sendrecv(p *sim.Proc, dst, sendTag int, data []byte, src, recvTag int, buf []byte) Status {
+	rr := c.Irecv(p, src, recvTag, buf)
+	sr := c.Isend(p, dst, sendTag, data)
+	c.Waitall(p, []*Request{rr, sr})
+	return rr.status
+}
+
+// Send is the blocking send (MPI_Send): Isend followed by Wait.
+func (c *Comm) Send(p *sim.Proc, dst, tag int, data []byte) {
+	c.Wait(p, c.Isend(p, dst, tag, data))
+}
+
+// Recv is the blocking receive (MPI_Recv): Irecv followed by Wait.
+func (c *Comm) Recv(p *sim.Proc, src, tag int, buf []byte) Status {
+	r := c.Irecv(p, src, tag, buf)
+	c.Wait(p, r)
+	return r.status
+}
+
+// Barrier synchronizes all ranks with a linear gather to rank 0 followed
+// by a broadcast, using a reserved tag space.
+func (c *Comm) Barrier(p *sim.Proc) {
+	tag := TagUpper + c.barrierSeq%(1<<20)
+	c.barrierSeq++
+	if c.size == 1 {
+		return
+	}
+	if c.rank == 0 {
+		buf := make([]byte, 1)
+		for src := 1; src < c.size; src++ {
+			c.recvInternal(p, src, tag, buf)
+		}
+		for dst := 1; dst < c.size; dst++ {
+			c.sendInternal(p, dst, tag, []byte{0})
+		}
+	} else {
+		c.sendInternal(p, 0, tag, []byte{0})
+		c.recvInternal(p, 0, tag, make([]byte, 1))
+	}
+}
+
+// sendInternal / recvInternal bypass tag validation for reserved tags.
+func (c *Comm) sendInternal(p *sim.Proc, dst, tag int, data []byte) {
+	r := &Request{kind: KindSend, comm: c, peer: dst, tag: tag, data: data,
+		ev: c.env.NewEvent(), postedAt: c.env.Now()}
+	c.ep.Isend(p, r)
+	c.Wait(p, r)
+}
+
+func (c *Comm) recvInternal(p *sim.Proc, src, tag int, buf []byte) {
+	r := &Request{kind: KindRecv, comm: c, peer: src, tag: tag, buf: buf,
+		ev: c.env.NewEvent(), postedAt: c.env.Now()}
+	c.ep.Irecv(p, r)
+	c.Wait(p, r)
+}
+
+func (c *Comm) checkRank(rank int) {
+	if rank < 0 || rank >= c.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, c.size))
+	}
+}
+
+func (c *Comm) checkTag(tag int) {
+	if tag < 0 || tag >= TagUpper {
+		panic(fmt.Sprintf("mpi: tag %d out of range [0,%d)", tag, TagUpper))
+	}
+}

@@ -1,0 +1,19 @@
+// Package mpi implements the subset of the MPI point-to-point interface
+// that COMB exercises, on top of the simulated cluster: non-blocking sends
+// and receives (Isend/Irecv), completion testing and waiting (Test, Wait,
+// Waitall), their blocking shorthands, and a barrier.
+//
+// The library/transport split mirrors real MPI stacks.  This package owns
+// the user-facing semantics — request objects, (source, tag) matching with
+// posted-receive and unexpected-message queues, completion rules — while a
+// pluggable [Endpoint] implements message movement.  Critically, each
+// endpoint declares its progress semantics:
+//
+//   - library-driven endpoints (the GM model) only advance outstanding
+//     communication from inside MPI calls, violating the MPI progress rule
+//     exactly the way the paper observes for MPICH/GM;
+//   - offloaded endpoints (the Portals model) progress independently of
+//     the application, i.e. they provide application offload.
+//
+// COMB's two methods exist precisely to tell these behaviours apart.
+package mpi

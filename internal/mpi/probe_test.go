@@ -1,0 +1,118 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"comb/internal/mpi"
+	"comb/internal/platform"
+	"comb/internal/sim"
+)
+
+func TestIprobeFalseBeforeArrival(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, name string) {
+		err := platform.Launch(platform.Config{Transport: name}, func(p *sim.Proc, c *mpi.Comm) {
+			if c.Rank() == 0 {
+				if _, ok := c.Iprobe(p, 1, 5); ok {
+					t.Error("Iprobe true with nothing sent")
+				}
+				c.Barrier(p)
+			} else {
+				c.Barrier(p)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, name string) {
+		err := platform.Launch(platform.Config{Transport: name}, func(p *sim.Proc, c *mpi.Comm) {
+			if c.Rank() == 0 {
+				c.Send(p, 1, 9, pattern(5_000, 1))
+			} else {
+				// Probe first — learn the size, then receive into a
+				// right-sized buffer (the classic Probe idiom).
+				st := c.Probe(p, 0, 9)
+				if st.Source != 0 || st.Tag != 9 || st.Count != 5_000 {
+					t.Errorf("probe status = %+v", st)
+				}
+				buf := make([]byte, st.Count)
+				got := c.Recv(p, 0, 9, buf)
+				if got.Count != 5_000 {
+					t.Errorf("recv after probe = %+v", got)
+				}
+				// The envelope must be gone now.
+				if _, ok := c.Iprobe(p, 0, 9); ok {
+					t.Error("Iprobe true after the message was received")
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestProbeWildcards(t *testing.T) {
+	err := platform.Launch(platform.Config{Transport: "ideal"}, func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.Send(p, 1, 42, []byte("xy"))
+		} else {
+			st := c.Probe(p, mpi.AnySource, mpi.AnyTag)
+			if st.Source != 0 || st.Tag != 42 || st.Count != 2 {
+				t.Errorf("wildcard probe = %+v", st)
+			}
+			c.Recv(p, st.Source, st.Tag, make([]byte, st.Count))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeDoesNotStealFromPostedRecv(t *testing.T) {
+	// A posted receive must still win the message even if a probe looked
+	// at the unexpected queue before it arrived.
+	err := platform.Launch(platform.Config{Transport: "gm"}, func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() == 0 {
+			p.Sleep(sim.Millisecond)
+			c.Send(p, 1, 3, []byte("ok"))
+		} else {
+			buf := make([]byte, 2)
+			r := c.Irecv(p, 0, 3, buf)
+			if _, ok := c.Iprobe(p, 0, 3); ok {
+				t.Error("Iprobe must not see messages destined for posted receives")
+			}
+			c.Wait(p, r)
+			if string(buf) != "ok" {
+				t.Errorf("payload %q", buf)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvExchanges(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, name string) {
+		var got [2]byte
+		err := platform.Launch(platform.Config{Transport: name}, func(p *sim.Proc, c *mpi.Comm) {
+			me, peer := c.Rank(), 1-c.Rank()
+			buf := make([]byte, 1)
+			st := c.Sendrecv(p, peer, 4, []byte{byte(me + 10)}, peer, 4, buf)
+			if st.Source != peer || st.Count != 1 {
+				t.Errorf("sendrecv status = %+v", st)
+			}
+			got[me] = buf[0]
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 11 || got[1] != 10 {
+			t.Fatalf("exchange got %v", got)
+		}
+	})
+}

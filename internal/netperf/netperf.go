@@ -1,0 +1,203 @@
+// Package netperf reproduces the netperf-style CPU-availability
+// measurement the paper contrasts COMB against (§5): a delay-loop process
+// and a communication-driving process run as two processes on the SAME
+// node, and the reported availability is the delay loop's slowdown.
+//
+// The paper identifies two problems with this approach for MPI systems,
+// both reproducible here:
+//
+//  1. MPI environments assume one process per node, so the measurement
+//     perturbs the thing it measures; and
+//  2. netperf assumes the communication process relinquishes the CPU
+//     while waiting (a select call).  OS-bypass MPI implementations
+//     busy-wait instead, so the communication process soaks up ~half the
+//     CPU and netperf reports ~50% availability even on a system (like
+//     GM) that truly leaves the host idle during transfers.
+package netperf
+
+import (
+	"fmt"
+	"time"
+
+	"comb/internal/cluster"
+	"comb/internal/mpi"
+	"comb/internal/platform"
+	"comb/internal/sim"
+)
+
+// WaitMode is how the communication process waits for completions.
+type WaitMode int
+
+const (
+	// SelectWait parks the process until completion (netperf's
+	// assumption: the waiter yields the CPU).
+	SelectWait WaitMode = iota
+	// BusyWait spins on MPI_Test, consuming user CPU in scheduler quanta
+	// (how OS-bypass MPI implementations actually wait).
+	BusyWait
+)
+
+// String names the mode.
+func (m WaitMode) String() string {
+	if m == BusyWait {
+		return "busy-wait"
+	}
+	return "select"
+}
+
+// Quantum is the scheduler timeslice used to interleave the two processes
+// on one CPU (Linux 2.2-era 10 ms jiffies-based round robin).
+const Quantum = 10 * sim.Millisecond
+
+// Result is one netperf-style measurement.
+type Result struct {
+	System string
+	Mode   WaitMode
+	// MsgSize and Streams describe the driven communication.
+	MsgSize int
+	// DryTime / Elapsed are the delay loop's durations without / with the
+	// communication process running.
+	DryTime, Elapsed time.Duration
+	// Availability is what netperf reports: DryTime / Elapsed.
+	Availability float64
+}
+
+// String gives a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("netperf %s (%s): reports availability %.3f",
+		r.System, r.Mode, r.Availability)
+}
+
+// Run performs the netperf-style measurement on the named system: a delay
+// loop of loopIters iterations shares node 0 with a process streaming
+// msgSize-byte messages to node 1 (echoed back), waiting per mode.
+func Run(system string, mode WaitMode, msgSize int, loopIters int64) (*Result, error) {
+	if msgSize < 0 || loopIters < 1 {
+		return nil, fmt.Errorf("netperf: invalid msgSize=%d loopIters=%d", msgSize, loopIters)
+	}
+	in, err := platform.New(platform.Config{Transport: system})
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+
+	node0 := in.Sys.Nodes[0]
+	env := in.Sys.Env
+
+	// slicedWork consumes user CPU in scheduler quanta so two user
+	// processes on the node round-robin rather than running to completion.
+	slicedWork := func(p *sim.Proc, demand sim.Time) {
+		for demand > 0 {
+			q := Quantum
+			if q > demand {
+				q = demand
+			}
+			node0.CPU.Use(p, q, cluster.User)
+			demand -= q
+		}
+	}
+
+	demand := node0.P.WorkTime(loopIters)
+
+	// Dry run: the delay loop alone.
+	var dry sim.Time
+	dryProc := env.Spawn("netperf-dry", func(p *sim.Proc) {
+		t0 := p.Now()
+		slicedWork(p, demand)
+		dry = p.Now() - t0
+	})
+	env.Run()
+	if !dryProc.Done() {
+		return nil, fmt.Errorf("netperf: dry run did not finish")
+	}
+
+	// Measured run: delay loop and communication driver share node 0.
+	// The loop starts only once the driver's window is in flight, as
+	// netperf measures against an already-running stream.
+	stop := false
+	var elapsed sim.Time
+	commDone := env.NewEvent()
+	streamReady := env.NewEvent()
+
+	loopProc := env.Spawn("netperf-loop", func(p *sim.Proc) {
+		p.Await(streamReady)
+		t0 := p.Now()
+		slicedWork(p, demand)
+		elapsed = p.Now() - t0
+		stop = true
+	})
+	env.Spawn("netperf-comm", func(p *sim.Proc) {
+		// Netperf streams continuously; keep a window of exchanges in
+		// flight so the node sees sustained communication load.
+		const window = 8
+		c := in.Comms[0]
+		payload := make([]byte, msgSize)
+		recvs := make([]*mpi.Request, window)
+		bufs := make([][]byte, window)
+		for i := range recvs {
+			bufs[i] = make([]byte, msgSize)
+			recvs[i] = c.Irecv(p, 1, 1, bufs[i])
+			c.Isend(p, 1, 1, payload)
+		}
+		streamReady.Fire(nil)
+		for !stop {
+			switch mode {
+			case SelectWait:
+				// Netperf's assumption: relinquish the CPU while waiting.
+				i := c.Waitany(p, recvs)
+				recvs[i] = c.Irecv(p, 1, 1, bufs[i])
+				c.Isend(p, 1, 1, payload)
+			case BusyWait:
+				// How OS-bypass MPI actually waits: spin inside the
+				// library, losing the CPU only when the scheduler preempts
+				// it.  On a one-CPU node the spinner soaks up every other
+				// quantum — which is precisely the utilization netperf
+				// then misattributes to communication.  (The stream itself
+				// starves meanwhile, another face of the same pathology.)
+				node0.CPU.Use(p, Quantum, cluster.User)
+			}
+		}
+		// Tell the echo rank to stop.
+		c.Send(p, 1, 2, nil)
+		commDone.Fire(nil)
+	})
+	env.Spawn("netperf-echo", func(p *sim.Proc) {
+		c := in.Comms[1]
+		buf := make([]byte, msgSize)
+		finBuf := make([]byte, 0)
+		fin := c.Irecv(p, 0, 2, finBuf)
+		pending := make([]*mpi.Request, 0, 3)
+		for {
+			rr := c.Irecv(p, 0, 1, buf)
+			sr := c.Isend(p, 0, 1, buf)
+			for !(rr.Done() && sr.Done()) {
+				// Wait only on still-incomplete requests (plus the stop
+				// signal) so Waitany always makes progress.
+				pending = pending[:0]
+				pending = append(pending, fin)
+				if !rr.Done() {
+					pending = append(pending, rr)
+				}
+				if !sr.Done() {
+					pending = append(pending, sr)
+				}
+				if i := c.Waitany(p, pending); pending[i] == fin {
+					return
+				}
+			}
+		}
+	})
+	env.Run()
+	if !loopProc.Done() {
+		return nil, fmt.Errorf("netperf: delay loop did not finish")
+	}
+
+	return &Result{
+		System:       system,
+		Mode:         mode,
+		MsgSize:      msgSize,
+		DryTime:      time.Duration(dry),
+		Elapsed:      time.Duration(elapsed),
+		Availability: float64(dry) / float64(elapsed),
+	}, nil
+}

@@ -1,0 +1,71 @@
+package netperf
+
+import "testing"
+
+const loopIters = 25_000_000 // ~50 ms of work
+
+func TestNetperfBusyWaitMisreportsGM(t *testing.T) {
+	// The paper's §5 criticism, reproduced: GM truly leaves the host CPU
+	// alone during transfers (COMB measures ~1.0 availability), but a
+	// netperf-style two-process measurement sees the busy-waiting MPI
+	// process eat roughly half the node and reports ~0.5.
+	r, err := Run("gm", BusyWait, 100_000, loopIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Availability < 0.3 || r.Availability > 0.7 {
+		t.Errorf("busy-wait netperf on GM reports %.3f, want ~0.5 (round-robin with spinner)", r.Availability)
+	}
+}
+
+func TestNetperfSelectWaitGM(t *testing.T) {
+	// Under netperf's own assumption (the waiter yields), GM measures
+	// nearly fully available — consistent with COMB.
+	r, err := Run("gm", SelectWait, 100_000, loopIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Availability < 0.9 {
+		t.Errorf("select netperf on GM reports %.3f, want ~1.0", r.Availability)
+	}
+}
+
+func TestNetperfSelectWaitPortalsSeesOverhead(t *testing.T) {
+	// Portals' interrupts and kernel copies slow the delay loop even when
+	// the communication process yields while waiting.
+	r, err := Run("portals", SelectWait, 100_000, loopIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Availability > 0.8 {
+		t.Errorf("select netperf on Portals reports %.3f, want substantial overhead", r.Availability)
+	}
+}
+
+func TestNetperfResultFields(t *testing.T) {
+	r, err := Run("ideal", SelectWait, 50_000, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.System != "ideal" || r.MsgSize != 50_000 || r.Mode != SelectWait {
+		t.Errorf("config not echoed: %+v", r)
+	}
+	if r.DryTime <= 0 || r.Elapsed < r.DryTime {
+		t.Errorf("times inconsistent: dry %v elapsed %v", r.DryTime, r.Elapsed)
+	}
+	if r.String() == "" || BusyWait.String() != "busy-wait" || SelectWait.String() != "select" {
+		t.Error("string forms wrong")
+	}
+}
+
+func TestNetperfValidation(t *testing.T) {
+	if _, err := Run("gm", BusyWait, -1, 10); err == nil {
+		t.Error("negative size must fail")
+	}
+	if _, err := Run("gm", BusyWait, 10, 0); err == nil {
+		t.Error("zero loop iters must fail")
+	}
+	if _, err := Run("nosuch", BusyWait, 10, 10); err == nil {
+		t.Error("unknown system must fail")
+	}
+}

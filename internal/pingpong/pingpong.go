@@ -1,0 +1,74 @@
+// Package pingpong implements the classic latency/bandwidth microbenchmark
+// — what "most MPI microbenchmarks" measure, per the paper's introduction.
+// It exists as the baseline COMB improves on: ping-pong numbers say nothing
+// about overlap or host CPU cost, which is exactly the blind spot COMB's
+// two methods illuminate.
+package pingpong
+
+import (
+	"fmt"
+	"time"
+
+	"comb/internal/mpi"
+	"comb/internal/platform"
+	"comb/internal/sim"
+)
+
+// Result is one ping-pong measurement.
+type Result struct {
+	System  string
+	MsgSize int
+	Reps    int
+	// Latency is the half-round-trip time.
+	Latency time.Duration
+	// BandwidthMBs is the one-way data rate implied by the round trips.
+	BandwidthMBs float64
+}
+
+// String gives a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("pingpong %s size=%dB: latency %v, %.2f MB/s",
+		r.System, r.MsgSize, r.Latency, r.BandwidthMBs)
+}
+
+// Run measures reps round trips of size-byte messages on the named system.
+func Run(system string, size, reps int) (*Result, error) {
+	if size < 0 || reps < 1 {
+		return nil, fmt.Errorf("pingpong: invalid size=%d reps=%d", size, reps)
+	}
+	var elapsed sim.Time
+	err := platform.Launch(platform.Config{Transport: system}, func(p *sim.Proc, c *mpi.Comm) {
+		peer := 1 - c.Rank()
+		buf := make([]byte, size)
+		payload := make([]byte, size)
+		c.Barrier(p)
+		start := p.Now()
+		for i := 0; i < reps; i++ {
+			if c.Rank() == 0 {
+				c.Send(p, peer, 1, payload)
+				c.Recv(p, peer, 1, buf)
+			} else {
+				c.Recv(p, peer, 1, buf)
+				c.Send(p, peer, 1, payload)
+			}
+		}
+		if c.Rank() == 0 {
+			elapsed = p.Now() - start
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rtts := time.Duration(elapsed) / time.Duration(reps)
+	res := &Result{
+		System:  system,
+		MsgSize: size,
+		Reps:    reps,
+		Latency: rtts / 2,
+	}
+	if elapsed > 0 {
+		// One message crosses the wire per half round trip.
+		res.BandwidthMBs = float64(size) / (rtts / 2).Seconds() / 1e6
+	}
+	return res, nil
+}

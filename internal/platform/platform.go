@@ -1,0 +1,113 @@
+// Package platform assembles complete simulated systems: a cluster, a
+// transport, and per-rank MPI communicators, plus a launcher that runs one
+// function per rank to completion — the moral equivalent of mpirun.
+package platform
+
+import (
+	"fmt"
+
+	"comb/internal/cluster"
+	"comb/internal/mpi"
+	"comb/internal/sim"
+	"comb/internal/transport"
+)
+
+// Config selects the system to simulate.
+type Config struct {
+	// Transport is a registry name ("gm", "portals", "ideal") used when
+	// Custom is nil.
+	Transport string
+	// Custom, when non-nil, overrides Transport with a pre-configured
+	// transport (used for ablations).
+	Custom transport.Transport
+	// Nodes is the cluster size (default 2, as in the paper).
+	Nodes int
+	// Platform overrides the hardware model; zero value means
+	// cluster.PlatformPIII500.
+	Platform *cluster.Platform
+	// CPUs overrides the processors-per-node count of the chosen platform
+	// (0 keeps the platform's own value; the reference platform is
+	// uniprocessor, like the paper's testbed).
+	CPUs int
+}
+
+// Instance is a ready-to-run simulated system.
+type Instance struct {
+	Sys       *cluster.System
+	Transport transport.Transport
+	Comms     []*mpi.Comm
+}
+
+// New builds an instance from cfg.
+func New(cfg Config) (*Instance, error) {
+	n := cfg.Nodes
+	if n == 0 {
+		n = 2
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("platform: invalid node count %d", n)
+	}
+	p := cluster.PlatformPIII500()
+	if cfg.Platform != nil {
+		p = *cfg.Platform
+	}
+	if cfg.CPUs < 0 {
+		return nil, fmt.Errorf("platform: invalid CPU count %d", cfg.CPUs)
+	}
+	if cfg.CPUs > 0 {
+		p.CPUs = cfg.CPUs
+	}
+	tr := cfg.Custom
+	if tr == nil {
+		var err error
+		tr, err = transport.ByName(cfg.Transport)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Transports built for a different interconnect (Ethernet rather than
+	// Myrinet) bring their own wire, unless the caller pinned a platform.
+	if lp, ok := tr.(transport.LinkPreferencer); ok && cfg.Platform == nil {
+		p.Link, p.PacketHeader = lp.PreferredLink()
+	}
+	sys := cluster.NewSystem(n, p)
+	eps := tr.Build(sys)
+	comms := make([]*mpi.Comm, n)
+	for i, ep := range eps {
+		comms[i] = mpi.NewComm(sys.Env, i, n, ep)
+	}
+	return &Instance{Sys: sys, Transport: tr, Comms: comms}, nil
+}
+
+// Run spawns fn once per rank and drives the simulation until the event
+// queue drains.  It returns an error if any rank failed to finish (a
+// communication deadlock).
+func (in *Instance) Run(fn func(p *sim.Proc, c *mpi.Comm)) error {
+	procs := make([]*sim.Proc, len(in.Comms))
+	for i, c := range in.Comms {
+		c := c
+		procs[i] = in.Sys.Env.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			fn(p, c)
+		})
+	}
+	in.Sys.Env.Run()
+	for i, p := range procs {
+		if !p.Done() {
+			return fmt.Errorf("platform: rank %d did not finish (deadlock at t=%v)", i, in.Sys.Env.Now())
+		}
+	}
+	return nil
+}
+
+// Close tears the simulation down (terminating kernel driver processes).
+func (in *Instance) Close() { in.Sys.Close() }
+
+// Launch is the one-shot helper: build cfg, run fn per rank, tear down.
+func Launch(cfg Config, fn func(p *sim.Proc, c *mpi.Comm)) error {
+	in, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	return in.Run(fn)
+}

@@ -1,0 +1,90 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"comb/internal/cluster"
+	"comb/internal/mpi"
+	"comb/internal/sim"
+	"comb/internal/transport"
+)
+
+func TestNewDefaults(t *testing.T) {
+	in, err := New(Config{Transport: "gm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if len(in.Comms) != 2 {
+		t.Fatalf("default node count = %d, want 2", len(in.Comms))
+	}
+	for i, c := range in.Comms {
+		if c.Rank() != i || c.Size() != 2 {
+			t.Fatalf("comm %d misconfigured", i)
+		}
+	}
+	if in.Transport.Name() != "gm" {
+		t.Fatalf("transport = %q", in.Transport.Name())
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Transport: "bogus"}); err == nil {
+		t.Fatal("unknown transport must fail")
+	}
+	if _, err := New(Config{Transport: "gm", Nodes: -1}); err == nil {
+		t.Fatal("negative node count must fail")
+	}
+}
+
+func TestNewCustomTransportAndPlatform(t *testing.T) {
+	g := transport.NewGM()
+	g.Config.EagerThreshold = 1 // everything rendezvous
+	p := cluster.PlatformPIII500()
+	p.IterCost = 4 * sim.Nanosecond
+	in, err := New(Config{Custom: g, Platform: &p, Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if in.Sys.P.IterCost != 4 {
+		t.Fatal("platform override lost")
+	}
+	if len(in.Sys.Nodes) != 3 {
+		t.Fatal("node count override lost")
+	}
+}
+
+func TestRunReportsDeadlock(t *testing.T) {
+	in, err := New(Config{Transport: "ideal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	err = in.Run(func(p *sim.Proc, c *mpi.Comm) {
+		c.Recv(p, 1-c.Rank(), 0, make([]byte, 1)) // both receive: hang
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock report", err)
+	}
+}
+
+func TestLaunchRoundTrip(t *testing.T) {
+	var sum int
+	err := Launch(Config{Transport: "ideal"}, func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.Send(p, 1, 1, []byte{41})
+		} else {
+			b := make([]byte, 1)
+			c.Recv(p, 0, 1, b)
+			sum = int(b[0]) + 1
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

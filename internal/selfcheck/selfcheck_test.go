@@ -1,0 +1,37 @@
+package selfcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelfCheckPasses(t *testing.T) {
+	r, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Fatalf("self-check failed:\n%s", r)
+	}
+	if len(r.Checks) < 10 {
+		t.Fatalf("only %d checks ran", len(r.Checks))
+	}
+	s := r.String()
+	if !strings.Contains(s, "all checks passed") {
+		t.Fatalf("summary line missing:\n%s", s)
+	}
+	if strings.Contains(s, "FAIL") {
+		t.Fatalf("unexpected FAIL in:\n%s", s)
+	}
+}
+
+func TestSelfCheckRendersFailures(t *testing.T) {
+	r := &Result{}
+	r.add("x", "should be y", "z", false)
+	if r.Passed() {
+		t.Fatal("Passed with a failing check")
+	}
+	if !strings.Contains(r.String(), "SELF-CHECK FAILED") {
+		t.Fatalf("failure summary missing:\n%s", r)
+	}
+}

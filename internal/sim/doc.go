@@ -1,0 +1,14 @@
+// Package sim provides a small, deterministic discrete-event simulation
+// kernel used as the substrate for the COMB reproduction.
+//
+// The kernel models virtual time in nanoseconds ([Time]), a stable binary
+// heap of scheduled callbacks ([Env.Schedule]), cooperatively scheduled
+// processes backed by goroutines ([Env.Spawn], [Proc]) and one-shot
+// condition events ([Event]).
+//
+// Determinism: exactly one goroutine is runnable at any instant.  The event
+// loop hands control to a process and blocks until that process either
+// parks (sleeps or awaits an event) or terminates.  Ties between events
+// scheduled for the same timestamp are broken by scheduling order, so a
+// simulation run is a pure function of its inputs.
+package sim

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Env is a single-threaded discrete-event simulation environment.
+//
+// All scheduling and process interaction must happen from the goroutine
+// that calls Run (directly, or transitively from a process the event loop
+// has dispatched).  Env is not safe for concurrent use.
+type Env struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	procs []*Proc
+	cur   *Proc
+	steps uint64
+
+	// MaxSteps, when non-zero, bounds the number of executed events.  It is
+	// a safety valve against accidental livelock (for example a process
+	// that re-schedules itself at zero delay forever); exceeding it panics.
+	MaxSteps uint64
+}
+
+// NewEnv returns an empty environment at virtual time zero.
+func NewEnv() *Env {
+	return &Env{MaxSteps: 1 << 34}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Steps reports how many events have executed so far.
+func (e *Env) Steps() uint64 { return e.steps }
+
+// Cur returns the process currently being executed, or nil when the event
+// loop itself is running a plain callback.
+func (e *Env) Cur() *Proc { return e.cur }
+
+// Schedule arranges for fn to run at Now()+delay.  A negative delay panics.
+// The returned Timer may be used to cancel the callback before it fires.
+func (e *Env) Schedule(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	t := &Timer{when: e.now + delay}
+	e.seq++
+	heap.Push(&e.queue, &queued{at: t.when, seq: e.seq, fn: fn, timer: t})
+	return t
+}
+
+// Run executes events until the queue drains.  It panics if MaxSteps is
+// exceeded, and re-raises any panic that escapes a process.
+func (e *Env) Run() { e.run(-1) }
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline.  Events scheduled beyond the deadline remain queued.
+func (e *Env) RunUntil(deadline Time) {
+	e.run(deadline)
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Env) run(deadline Time) {
+	for e.queue.Len() > 0 {
+		top := e.queue.items[0]
+		if deadline >= 0 && top.at > deadline {
+			return
+		}
+		heap.Pop(&e.queue)
+		if top.timer != nil && top.timer.stopped {
+			continue
+		}
+		if top.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = top.at
+		e.steps++
+		if e.MaxSteps != 0 && e.steps > e.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v (livelock?)", e.MaxSteps, e.now))
+		}
+		if top.timer != nil {
+			top.timer.fired = true
+		}
+		top.fn()
+	}
+}
+
+// Close terminates every parked process so their goroutines exit.  The
+// environment must not be used afterwards.  Close is idempotent.
+func (e *Env) Close() {
+	for _, p := range e.procs {
+		if !p.done {
+			e.dispatch(p, killSignal{})
+		}
+	}
+	e.procs = nil
+}
+
+// Timer identifies a scheduled callback and allows cancelling it.
+type Timer struct {
+	when    Time
+	stopped bool
+	fired   bool
+}
+
+// When returns the virtual time the timer was scheduled for.
+func (t *Timer) When() Time { return t.when }
+
+// Stop cancels the callback.  It reports whether the cancellation took
+// effect (false if the callback already ran or was already stopped).
+func (t *Timer) Stop() bool {
+	if t.stopped || t.fired {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// queued is one pending event-queue entry.
+type queued struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	timer *Timer
+}
+
+// eventQueue is a stable min-heap: earlier time first, FIFO within a
+// timestamp (by insertion sequence number).
+type eventQueue struct {
+	items []*queued
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(*queued)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}

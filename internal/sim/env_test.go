@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	e := NewEnv()
+	var got []Time
+	for _, d := range []Time{50, 10, 30, 20, 40} {
+		d := d
+		e.Schedule(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at t=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScheduleFIFOWithinTimestamp(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, FIFO broken: %v", i, v, order)
+		}
+	}
+}
+
+func TestScheduleNegativeDelayPanics(t *testing.T) {
+	e := NewEnv()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEnv()
+	var trace []Time
+	e.Schedule(10, func() {
+		trace = append(trace, e.Now())
+		e.Schedule(5, func() { trace = append(trace, e.Now()) })
+		e.Schedule(0, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 10, 15}
+	if len(trace) != 3 || trace[0] != want[0] || trace[1] != want[1] || trace[2] != want[2] {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEnv()
+	fired := false
+	tm := e.Schedule(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if e.Now() != 0 {
+		// The cancelled entry is skipped without advancing the clock to it
+		// only if nothing else runs; popping it does advance Len bookkeeping
+		// but must not run the callback.  Clock may legitimately stay 0.
+		t.Logf("clock advanced to %v after cancelled timer", e.Now())
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEnv()
+	tm := e.Schedule(1, func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEnv()
+	var ran []Time
+	for _, d := range []Time{5, 15, 25} {
+		e.Schedule(d, func() { ran = append(ran, e.Now()) })
+	}
+	e.RunUntil(20)
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events before deadline, want 2", len(ran))
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v after RunUntil(20)", e.Now())
+	}
+	e.Run()
+	if len(ran) != 3 {
+		t.Fatalf("ran %d events total, want 3", len(ran))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v at end, want 25", e.Now())
+	}
+}
+
+func TestMaxStepsPanics(t *testing.T) {
+	e := NewEnv()
+	e.MaxSteps = 100
+	var loop func()
+	loop = func() { e.Schedule(0, loop) }
+	e.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected MaxSteps panic")
+		}
+	}()
+	e.Run()
+}
+
+// Property: for any set of delays, execution order is the sorted order of
+// delays, with ties broken by submission order.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEnv()
+		type stamp struct {
+			at  Time
+			seq int
+		}
+		var got []stamp
+		for i, d := range raw {
+			i, d := i, Time(d)
+			e.Schedule(d, func() { got = append(got, stamp{e.Now(), i}) })
+		}
+		e.Run()
+		if len(got) != len(raw) {
+			return false
+		}
+		want := make([]stamp, len(raw))
+		for i, d := range raw {
+			want[i] = stamp{Time(d), i}
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never goes backwards, whatever the schedule.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEnv()
+		last := Time(-1)
+		ok := true
+		for _, d := range raw {
+			e.Schedule(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+// Event is a one-shot condition variable in virtual time.  Processes block
+// on it with Proc.Await / Proc.AwaitAny; plain callbacks subscribe with
+// OnFire.  An event fires exactly once; firing twice panics.
+type Event struct {
+	env     *Env
+	fired   bool
+	val     any
+	waiters []*Proc
+	cbs     []func(any)
+}
+
+// NewEvent returns an unfired event bound to the environment.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Value returns the value the event fired with (nil before firing).
+func (ev *Event) Value() any { return ev.val }
+
+// Fire marks the event fired with val and schedules every waiter and
+// callback to run at the current instant (after the currently executing
+// event completes, preserving determinism).
+func (ev *Event) Fire(val any) {
+	if ev.fired {
+		panic("sim: event fired twice")
+	}
+	ev.fired = true
+	ev.val = val
+	waiters := ev.waiters
+	ev.waiters = nil
+	cbs := ev.cbs
+	ev.cbs = nil
+	for _, w := range waiters {
+		w := w
+		ev.env.Schedule(0, func() { ev.env.dispatch(w, val) })
+	}
+	for _, cb := range cbs {
+		cb := cb
+		ev.env.Schedule(0, func() { cb(val) })
+	}
+}
+
+// OnFire registers cb to run (in event-loop context) when the event fires.
+// If the event already fired, cb is scheduled immediately.
+func (ev *Event) OnFire(cb func(any)) {
+	if ev.fired {
+		v := ev.val
+		ev.env.Schedule(0, func() { cb(v) })
+		return
+	}
+	ev.cbs = append(ev.cbs, cb)
+}

@@ -1,0 +1,173 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: user code running on its own goroutine that
+// the event loop resumes and parks cooperatively.  At most one process (or
+// event callback) executes at any moment, which keeps simulations
+// deterministic without locks.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan any      // event loop -> process: wake-up value
+	parked chan struct{} // process -> event loop: I parked or finished
+	done   bool
+	doneEv *Event // lazily created; fires when the process finishes
+	panicv any
+	haspan bool
+}
+
+// killSignal is delivered to parked processes by Env.Close so their
+// goroutines unwind and exit.
+type killSignal struct{}
+
+// Spawn creates a process named name running fn and schedules its first
+// activation at the current virtual time.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		env:    e,
+		name:   name,
+		resume: make(chan any),
+		parked: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, killed := r.(killSignal); !killed {
+					p.panicv = r
+					p.haspan = true
+				}
+			}
+			p.done = true
+			if p.doneEv != nil && !p.doneEv.Fired() {
+				p.doneEv.Fire(p)
+			}
+			p.parked <- struct{}{}
+		}()
+		first := <-p.resume
+		if _, killed := first.(killSignal); killed {
+			panic(killSignal{})
+		}
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.dispatch(p, nil) })
+	return p
+}
+
+// dispatch resumes p with val and blocks until p parks again or finishes.
+// It must only be called from event-loop context (an event callback), never
+// from inside another process.
+func (e *Env) dispatch(p *Proc, val any) {
+	if p.done {
+		return
+	}
+	prev := e.cur
+	e.cur = p
+	p.resume <- val
+	<-p.parked
+	e.cur = prev
+	if p.haspan {
+		v := p.panicv
+		p.haspan = false
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, v))
+	}
+}
+
+// park suspends the calling process until something dispatches it again,
+// returning the wake-up value.
+func (p *Proc) park() any {
+	p.parked <- struct{}{}
+	v := <-p.resume
+	if _, killed := v.(killSignal); killed {
+		panic(killSignal{})
+	}
+	return v
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// DoneEvent returns an event that fires when the process finishes.  It
+// fires immediately on subscription if the process already finished.
+func (p *Proc) DoneEvent() *Event {
+	if p.doneEv == nil {
+		p.doneEv = p.env.NewEvent()
+		if p.done {
+			p.doneEv.Fire(p)
+		}
+	}
+	return p.doneEv
+}
+
+// Join suspends the calling process until other finishes.  Joining a
+// finished process returns immediately; a process joining itself panics.
+func (p *Proc) Join(other *Proc) {
+	if p == other {
+		panic("sim: process joining itself")
+	}
+	if other.done {
+		return
+	}
+	p.Await(other.DoneEvent())
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.Now() }
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	p.env.Schedule(d, func() { p.env.dispatch(p, nil) })
+	p.park()
+}
+
+// Yield suspends the process until all other events already scheduled for
+// the current instant have run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Await suspends the process until ev fires and returns the event's value.
+// If ev already fired it returns immediately.
+func (p *Proc) Await(ev *Event) any {
+	if ev.fired {
+		return ev.val
+	}
+	ev.waiters = append(ev.waiters, p)
+	return p.park()
+}
+
+// AwaitAny suspends the process until the first of evs fires, returning its
+// index and value.  If several have already fired, the lowest index wins.
+// Calling it with no events panics.
+func (p *Proc) AwaitAny(evs ...*Event) (int, any) {
+	if len(evs) == 0 {
+		panic("sim: AwaitAny with no events")
+	}
+	for i, ev := range evs {
+		if ev.fired {
+			return i, ev.val
+		}
+	}
+	type wake struct {
+		i int
+		v any
+	}
+	woke := false
+	for i, ev := range evs {
+		i := i
+		ev.OnFire(func(v any) {
+			if woke {
+				return
+			}
+			woke = true
+			p.env.dispatch(p, wake{i, v})
+		})
+	}
+	w := p.park().(wake)
+	return w.i, w.v
+}

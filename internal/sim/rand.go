@@ -1,0 +1,42 @@
+package sim
+
+// Rand is a tiny deterministic PRNG (SplitMix64).  The simulator cannot use
+// math/rand's global source because reproducibility across runs is part of
+// the package contract; every random stream is explicitly seeded.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n).  It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Jitter returns base scaled by a uniform factor in [1-frac, 1+frac].
+func (r *Rand) Jitter(base Time, frac float64) Time {
+	if frac <= 0 {
+		return base
+	}
+	f := 1 + frac*(2*r.Float64()-1)
+	return Time(float64(base) * f)
+}

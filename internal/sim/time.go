@@ -1,0 +1,57 @@
+package sim
+
+import "fmt"
+
+// Time is a point in (or a duration of) virtual time, in nanoseconds.
+//
+// Virtual time is a plain int64 so that arithmetic in hot simulation paths
+// stays allocation-free and branch-free.  The zero Time is the simulation
+// epoch.
+type Time int64
+
+// Duration units for virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t expressed in microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns t expressed in milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time with an auto-selected unit, e.g. "12.5us".
+func (t Time) String() string {
+	switch abs := t; {
+	case abs < 0:
+		return "-" + (-t).String()
+	case abs < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case abs < Millisecond:
+		return fmt.Sprintf("%.3gus", t.Micros())
+	case abs < Second:
+		return fmt.Sprintf("%.4gms", t.Millis())
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// PerByte returns the time needed to move n bytes at a rate of bytesPerSec.
+// It rounds up so that a non-zero transfer always takes non-zero time.
+func PerByte(n int64, bytesPerSec float64) Time {
+	if n <= 0 || bytesPerSec <= 0 {
+		return 0
+	}
+	ns := float64(n) / bytesPerSec * float64(Second)
+	t := Time(ns)
+	if float64(t) < ns {
+		t++
+	}
+	return t
+}

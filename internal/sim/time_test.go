@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{1500, "1.5us"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+		{-1500, "-1.5us"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if (2 * Second).Seconds() != 2 {
+		t.Error("Seconds wrong")
+	}
+	if (3 * Microsecond).Micros() != 3 {
+		t.Error("Micros wrong")
+	}
+	if (5 * Millisecond).Millis() != 5 {
+		t.Error("Millis wrong")
+	}
+}
+
+func TestPerByte(t *testing.T) {
+	// 1000 bytes at 1 GB/s = 1 microsecond.
+	if got := PerByte(1000, 1e9); got != Microsecond {
+		t.Errorf("PerByte(1000, 1e9) = %v, want 1us", got)
+	}
+	if PerByte(0, 1e9) != 0 {
+		t.Error("zero bytes should cost zero time")
+	}
+	if PerByte(100, 0) != 0 {
+		t.Error("zero bandwidth treated as free (disabled) channel")
+	}
+}
+
+// Property: PerByte is monotonic in n and always positive for n>0.
+func TestPropertyPerByteMonotonic(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a%1<<20)+1, int64(b%1<<20)+1
+		if x > y {
+			x, y = y, x
+		}
+		tx, ty := PerByte(x, 100e6), PerByte(y, 100e6)
+		return tx > 0 && tx <= ty
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandIntn(t *testing.T) {
+	r := NewRand(7)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Intn(5) only produced %d distinct values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandJitter(t *testing.T) {
+	r := NewRand(9)
+	base := Time(1000)
+	for i := 0; i < 100; i++ {
+		j := r.Jitter(base, 0.1)
+		if j < 900 || j > 1100 {
+			t.Fatalf("jitter %v outside [900,1100]", j)
+		}
+	}
+	if r.Jitter(base, 0) != base {
+		t.Fatal("zero-fraction jitter must be identity")
+	}
+}

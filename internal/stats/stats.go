@@ -1,0 +1,159 @@
+// Package stats holds the small numeric plumbing shared by the benchmark
+// harness: (x, y) series, tables that mirror one paper figure each, CSV
+// encoding, and sweep-axis generators.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// SortByX orders the points by x ascending (stable).
+func (s *Series) SortByX() {
+	sort.SliceStable(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// YRange returns the min and max y of the series (0,0 when empty).
+func (s *Series) YRange() (lo, hi float64) {
+	if len(s.Points) == 0 {
+		return 0, 0
+	}
+	lo, hi = s.Points[0].Y, s.Points[0].Y
+	for _, p := range s.Points[1:] {
+		lo = math.Min(lo, p.Y)
+		hi = math.Max(hi, p.Y)
+	}
+	return lo, hi
+}
+
+// Table is the data behind one figure.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	Series []Series
+}
+
+// CSV renders the table in long form: series,x,y — one row per point,
+// stable order, full float precision.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,%s,%s\n", csvField(t.XLabel), csvField(t.YLabel))
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%g,%g\n", csvField(s.Name), p.X, p.Y)
+		}
+	}
+	return b.String()
+}
+
+// csvField quotes a field if it contains a comma or quote.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Text renders the table as aligned columns for terminal reading: one row
+// per x value, one column per series (missing cells blank).
+func (t *Table) Text() string {
+	// Collect the union of x values in order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	cols := make(map[string]map[float64]float64, len(t.Series))
+	for _, s := range t.Series {
+		m := make(map[float64]float64, len(s.Points))
+		for _, p := range s.Points {
+			m[p.X] = p.Y
+		}
+		cols[s.Name] = m
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	fmt.Fprintf(&b, "%-14s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-14g", x)
+		for _, s := range t.Series {
+			if y, ok := cols[s.Name][x]; ok {
+				fmt.Fprintf(&b, " %14.4g", y)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LogSpace returns n values logarithmically spaced over [lo, hi]
+// inclusive.  It panics on invalid ranges.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi < lo || n < 1 {
+		panic(fmt.Sprintf("stats: invalid LogSpace(%g, %g, %d)", lo, hi, n))
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := math.Log(hi / lo)
+	for i := range out {
+		out[i] = lo * math.Exp(ratio*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// LogSpaceInt returns distinct int64 values logarithmically spaced over
+// [lo, hi] with about perDecade points per decade.
+func LogSpaceInt(lo, hi int64, perDecade int) []int64 {
+	if lo < 1 || hi < lo || perDecade < 1 {
+		panic(fmt.Sprintf("stats: invalid LogSpaceInt(%d, %d, %d)", lo, hi, perDecade))
+	}
+	decades := math.Log10(float64(hi) / float64(lo))
+	n := int(decades*float64(perDecade)) + 1
+	if n < 2 {
+		n = 2
+	}
+	raw := LogSpace(float64(lo), float64(hi), n)
+	var out []int64
+	var last int64 = -1
+	for _, v := range raw {
+		iv := int64(math.Round(v))
+		if iv != last {
+			out = append(out, iv)
+			last = iv
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogSpaceEndpoints(t *testing.T) {
+	v := LogSpace(10, 1000, 3)
+	if len(v) != 3 || v[0] != 10 || math.Abs(v[1]-100) > 1e-9 || math.Abs(v[2]-1000) > 1e-6 {
+		t.Fatalf("LogSpace(10,1000,3) = %v", v)
+	}
+	if got := LogSpace(5, 50, 1); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("n=1 should return [lo], got %v", got)
+	}
+}
+
+func TestLogSpaceInvalidPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { LogSpace(0, 10, 3) },
+		func() { LogSpace(10, 5, 3) },
+		func() { LogSpace(1, 10, 0) },
+		func() { LogSpaceInt(0, 10, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: LogSpace output is sorted, within bounds, and has ~constant
+// ratio between consecutive points.
+func TestPropertyLogSpaceMonotonic(t *testing.T) {
+	f := func(a, b uint16, nn uint8) bool {
+		lo := float64(a%1000) + 1
+		hi := lo * (float64(b%100) + 2)
+		n := int(nn%20) + 2
+		v := LogSpace(lo, hi, n)
+		if len(v) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if v[i] <= v[i-1] {
+				return false
+			}
+		}
+		return v[0] >= lo*0.999 && v[n-1] <= hi*1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogSpaceIntDistinct(t *testing.T) {
+	v := LogSpaceInt(10, 100_000_000, 2)
+	for i := 1; i < len(v); i++ {
+		if v[i] <= v[i-1] {
+			t.Fatalf("not strictly increasing: %v", v)
+		}
+	}
+	if v[0] != 10 || v[len(v)-1] != 100_000_000 {
+		t.Fatalf("endpoints wrong: %v", v)
+	}
+	if len(v) < 10 {
+		t.Fatalf("too few points: %v", v)
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	var s Series
+	s.Add(3, 30)
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.SortByX()
+	if s.Points[0].X != 1 || s.Points[2].X != 3 {
+		t.Fatalf("SortByX failed: %v", s.Points)
+	}
+	lo, hi := s.YRange()
+	if lo != 10 || hi != 30 {
+		t.Fatalf("YRange = %v, %v", lo, hi)
+	}
+	var empty Series
+	if lo, hi := empty.YRange(); lo != 0 || hi != 0 {
+		t.Fatal("empty YRange should be 0,0")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{
+		XLabel: "x,axis", // exercises quoting
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 2}, {3, 4}}},
+			{Name: "b", Points: []Point{{1, 5}}},
+		},
+	}
+	csv := tbl.CSV()
+	want := "series,\"x,axis\",y\na,1,2\na,3,4\nb,1,5\n"
+	if csv != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", csv, want)
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 2}, {3, 4}}},
+			{Name: "b", Points: []Point{{3, 9}}},
+		},
+	}
+	txt := tbl.Text()
+	if !strings.Contains(txt, "# demo") || !strings.Contains(txt, "a") {
+		t.Fatalf("Text missing pieces:\n%s", txt)
+	}
+	// x=1 has no b value: rendered as "-".
+	if !strings.Contains(txt, "-") {
+		t.Fatalf("missing cell not dashed:\n%s", txt)
+	}
+}

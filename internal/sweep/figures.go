@@ -1,0 +1,315 @@
+package sweep
+
+import (
+	"fmt"
+
+	"comb/internal/core"
+	"comb/internal/stats"
+)
+
+// Figure regenerates one of the paper's evaluation figures.
+type Figure struct {
+	// ID is the paper's figure number, "4" through "17".
+	ID string
+	// Title matches the paper's caption.
+	Title string
+	// Expect describes the shape the paper reports, for EXPERIMENTS.md.
+	Expect string
+	// Run performs the sweep and shapes the data.
+	Run func(opt Options) (*stats.Table, error)
+}
+
+// Figures returns every reproducible evaluation figure, in paper order.
+func Figures() []Figure {
+	return []Figure{
+		{
+			ID:     "4",
+			Title:  "Polling Method: CPU Availability (Portals)",
+			Expect: "low plateau while polls are frequent, then a steep climb",
+			Run: func(o Options) (*stats.Table, error) {
+				return pollingVsInterval(o, []string{"portals"}, o.sizes(), availY)
+			},
+		},
+		{
+			ID:     "5",
+			Title:  "Polling Method: Bandwidth (Portals)",
+			Expect: "~50 MB/s plateau, steep decline at large poll intervals",
+			Run: func(o Options) (*stats.Table, error) {
+				return pollingVsInterval(o, []string{"portals"}, o.sizes(), bwY)
+			},
+		},
+		{
+			ID:     "6",
+			Title:  "PWW Method: CPU Availability (Portals)",
+			Expect: "no initial plateau; availability rises with the work interval",
+			Run: func(o Options) (*stats.Table, error) {
+				return pwwVsInterval(o, []string{"portals"}, o.sizes(), false, pwwAvailY)
+			},
+		},
+		{
+			ID:     "7",
+			Title:  "PWW Method: Bandwidth (Portals)",
+			Expect: "more gradual bandwidth decline than the polling method",
+			Run: func(o Options) (*stats.Table, error) {
+				return pwwVsInterval(o, []string{"portals"}, o.sizes(), false, pwwBwY)
+			},
+		},
+		{
+			ID:     "8",
+			Title:  "Polling Method: Bandwidth for GM and Portals",
+			Expect: "GM ~88 MB/s, Portals ~50 MB/s on identical hardware",
+			Run: func(o Options) (*stats.Table, error) {
+				return pollingVsInterval(o, []string{"gm", "portals"}, []int{100_000}, bwY)
+			},
+		},
+		{
+			ID:     "9",
+			Title:  "PWW Method: Bandwidth for GM and Portals",
+			Expect: "GM significantly better than Portals at small work intervals",
+			Run: func(o Options) (*stats.Table, error) {
+				return pwwVsInterval(o, []string{"gm", "portals"}, []int{100_000}, false, pwwBwY)
+			},
+		},
+		{
+			ID:     "10",
+			Title:  "PWW Method: Average Post Time (100 KB)",
+			Expect: "Portals posts cost far more than GM's user-level posts",
+			Run: func(o Options) (*stats.Table, error) {
+				return pwwVsInterval(o, []string{"portals", "gm"}, []int{100_000}, false,
+					yFunc{"Time to Post (us)", func(r *core.PWWResult) float64 { return r.AvgPostRecv.Seconds() * 1e6 }})
+			},
+		},
+		{
+			ID:     "11",
+			Title:  "PWW Method: Average Wait Time (100 KB)",
+			Expect: "with enough work, Portals completes messaging (wait -> 0) while GM does not",
+			Run: func(o Options) (*stats.Table, error) {
+				return pwwVsInterval(o, []string{"gm", "portals"}, []int{100_000}, false,
+					yFunc{"Time Per Message (us)", func(r *core.PWWResult) float64 { return r.AvgWait.Seconds() * 1e6 }})
+			},
+		},
+		{
+			ID:     "12",
+			Title:  "PWW Method: CPU Overhead for Portals",
+			Expect: "work with message handling takes longer than work alone (interrupt overhead)",
+			Run:    func(o Options) (*stats.Table, error) { return workOverhead(o, "portals") },
+		},
+		{
+			ID:     "13",
+			Title:  "PWW Method: CPU Overhead for GM",
+			Expect: "no gap: work takes the same time with and without messaging",
+			Run:    func(o Options) (*stats.Table, error) { return workOverhead(o, "gm") },
+		},
+		{
+			ID:     "14",
+			Title:  "Polling Method: Bandwidth Versus CPU Availability for GM",
+			Expect: "max bandwidth at ~full availability, except the 10 KB eager curve",
+			Run:    func(o Options) (*stats.Table, error) { return bwVsAvail(o, "gm", o.sizes()) },
+		},
+		{
+			ID:     "15",
+			Title:  "Polling Method: Bandwidth Versus CPU Availability for Portals",
+			Expect: "max bandwidth restricted to the low range of CPU availability",
+			Run:    func(o Options) (*stats.Table, error) { return bwVsAvail(o, "portals", o.sizes()) },
+		},
+		{
+			ID:     "16",
+			Title:  "Polling and PWW Method: Bandwidth for GM",
+			Expect: "polling sustains peak bandwidth to higher availability than PWW",
+			Run:    func(o Options) (*stats.Table, error) { return methodsVsAvail(o, "gm", false) },
+		},
+		{
+			ID:     "17",
+			Title:  "Polling and Modified PWW Method: Bandwidth for GM",
+			Expect: "one MPI_Test in the work phase extends PWW bandwidth to higher availability",
+			Run:    func(o Options) (*stats.Table, error) { return methodsVsAvail(o, "gm", true) },
+		},
+	}
+}
+
+// Build runs the figure's sweep and returns its table, titled like the
+// paper's caption.
+func (f Figure) Build(opt Options) (*stats.Table, error) {
+	t, err := f.Run(opt)
+	if err != nil {
+		return nil, err
+	}
+	t.Title = fmt.Sprintf("Figure %s: %s", f.ID, f.Title)
+	return t, nil
+}
+
+// ByID looks a figure up by its paper number.
+func ByID(id string) (Figure, error) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("sweep: unknown figure %q (have 4-17)", id)
+}
+
+// yFunc selects and labels the y value extracted from a result.
+type yFunc struct {
+	label string
+	pww   func(*core.PWWResult) float64
+}
+
+var (
+	availY    = pollY{"CPU Availability (fraction to user)", func(r *core.PollingResult) float64 { return r.Availability }}
+	bwY       = pollY{"Bandwidth (MB/s)", func(r *core.PollingResult) float64 { return r.BandwidthMBs }}
+	pwwAvailY = yFunc{"CPU Availability (fraction to user)", func(r *core.PWWResult) float64 { return r.Availability }}
+	pwwBwY    = yFunc{"Bandwidth (MB/s)", func(r *core.PWWResult) float64 { return r.BandwidthMBs }}
+)
+
+type pollY struct {
+	label string
+	poll  func(*core.PollingResult) float64
+}
+
+// seriesName labels a (system, size) curve like the paper's legends.
+func seriesName(system string, size int, multiSystem, multiSize bool) string {
+	switch {
+	case multiSystem && multiSize:
+		return fmt.Sprintf("%s %s", system, sizeLabel(size))
+	case multiSystem:
+		return system
+	default:
+		return sizeLabel(size)
+	}
+}
+
+// pollingVsInterval builds a figure with poll interval on x.
+func pollingVsInterval(o Options, systems []string, sizes []int, y pollY) (*stats.Table, error) {
+	t := &stats.Table{
+		XLabel: "Poll Interval (loop iterations)",
+		YLabel: y.label,
+		LogX:   true,
+	}
+	for _, sys := range systems {
+		for _, size := range sizes {
+			s := stats.Series{Name: seriesName(sys, size, len(systems) > 1, len(sizes) > 1)}
+			for _, poll := range o.pollAxis() {
+				r, err := PollingPoint(sys, size, poll)
+				if err != nil {
+					return nil, err
+				}
+				s.Add(float64(poll), y.poll(r))
+			}
+			t.Series = append(t.Series, s)
+		}
+	}
+	return t, nil
+}
+
+// pwwVsInterval builds a figure with work interval on x.
+func pwwVsInterval(o Options, systems []string, sizes []int, testInWork bool, y yFunc) (*stats.Table, error) {
+	t := &stats.Table{
+		XLabel: "Work Interval (loop iterations)",
+		YLabel: y.label,
+		LogX:   true,
+	}
+	for _, sys := range systems {
+		for _, size := range sizes {
+			s := stats.Series{Name: seriesName(sys, size, len(systems) > 1, len(sizes) > 1)}
+			for _, work := range o.workAxis() {
+				r, err := PWWPoint(sys, size, work, o.reps(), testInWork)
+				if err != nil {
+					return nil, err
+				}
+				s.Add(float64(work), y.pww(r))
+			}
+			t.Series = append(t.Series, s)
+		}
+	}
+	return t, nil
+}
+
+// workOverhead builds Figures 12/13: work-phase duration with and without
+// message handling.
+func workOverhead(o Options, system string) (*stats.Table, error) {
+	t := &stats.Table{
+		XLabel: "Work Interval (loop iterations)",
+		YLabel: "Average Time Per Work Phase (us)",
+		LogX:   true,
+	}
+	with := stats.Series{Name: "Work with MH"}
+	only := stats.Series{Name: "Work Only"}
+	for _, work := range o.workAxis() {
+		r, err := PWWPoint(system, 100_000, work, o.reps(), false)
+		if err != nil {
+			return nil, err
+		}
+		with.Add(float64(work), r.AvgWorkMH.Seconds()*1e6)
+		only.Add(float64(work), r.AvgWorkOnly.Seconds()*1e6)
+	}
+	t.Series = append(t.Series, with, only)
+	return t, nil
+}
+
+// bwVsAvail builds Figures 14/15: the polling sweep re-plotted as
+// bandwidth against availability.
+func bwVsAvail(o Options, system string, sizes []int) (*stats.Table, error) {
+	t := &stats.Table{
+		XLabel: "CPU Available to User (fraction of time)",
+		YLabel: "Bandwidth (MB/s)",
+	}
+	for _, size := range sizes {
+		s := stats.Series{Name: sizeLabel(size)}
+		for _, poll := range o.pollAxis() {
+			r, err := PollingPoint(system, size, poll)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(r.Availability, r.BandwidthMBs)
+		}
+		s.SortByX()
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+// methodsVsAvail builds Figures 16/17: both methods (and optionally the
+// PWW+MPI_Test variant) as bandwidth against availability for one system.
+func methodsVsAvail(o Options, system string, includeTestVariant bool) (*stats.Table, error) {
+	t := &stats.Table{
+		XLabel: "CPU Available to User (fraction of time)",
+		YLabel: "Bandwidth (MB/s)",
+	}
+	poll := stats.Series{Name: "Poll"}
+	for _, p := range o.pollAxis() {
+		r, err := PollingPoint(system, 100_000, p)
+		if err != nil {
+			return nil, err
+		}
+		poll.Add(r.Availability, r.BandwidthMBs)
+	}
+	poll.SortByX()
+
+	pwwSeries := func(testInWork bool, name string) (stats.Series, error) {
+		s := stats.Series{Name: name}
+		for _, w := range o.workAxis() {
+			r, err := PWWPoint(system, 100_000, w, o.reps(), testInWork)
+			if err != nil {
+				return stats.Series{}, err
+			}
+			s.Add(r.Availability, r.BandwidthMBs)
+		}
+		s.SortByX()
+		return s, nil
+	}
+
+	t.Series = append(t.Series, poll)
+	if includeTestVariant {
+		s, err := pwwSeries(true, "PWW + Test")
+		if err != nil {
+			return nil, err
+		}
+		t.Series = append(t.Series, s)
+	}
+	plain, err := pwwSeries(false, "PWW")
+	if err != nil {
+		return nil, err
+	}
+	t.Series = append(t.Series, plain)
+	return t, nil
+}

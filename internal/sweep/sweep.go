@@ -1,0 +1,208 @@
+// Package sweep regenerates every evaluation figure of the COMB paper:
+// it sweeps the poll/work-interval axes for the configured systems, and
+// shapes the results into one stats.Table per paper figure.
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"comb/internal/core"
+	"comb/internal/machine"
+	"comb/internal/platform"
+	"comb/internal/stats"
+)
+
+// Options tunes sweep resolution.
+type Options struct {
+	// Quick shrinks sweeps (fewer points, one message size, shorter runs)
+	// for tests and smoke runs.
+	Quick bool
+}
+
+// paperSizes are the message sizes the paper's multi-size figures use.
+var paperSizes = []int{10_000, 50_000, 100_000, 300_000}
+
+// sizes returns the sweep's message sizes.
+func (o Options) sizes() []int {
+	if o.Quick {
+		return []int{100_000}
+	}
+	return paperSizes
+}
+
+// pollAxis returns the polling-method x axis (loop iterations).
+func (o Options) pollAxis() []int64 {
+	if o.Quick {
+		return stats.LogSpaceInt(1_000, 10_000_000, 1)
+	}
+	return stats.LogSpaceInt(10, 100_000_000, 2)
+}
+
+// workAxis returns the PWW-method x axis (loop iterations).
+func (o Options) workAxis() []int64 {
+	if o.Quick {
+		return stats.LogSpaceInt(10_000, 10_000_000, 1)
+	}
+	return stats.LogSpaceInt(1_000, 100_000_000, 2)
+}
+
+func (o Options) reps() int {
+	if o.Quick {
+		return 8
+	}
+	return 20
+}
+
+// workTotalFor picks the polling method's fixed work so that every point
+// sees enough polls and enough messages for a stable measurement.
+func workTotalFor(poll int64) int64 {
+	wt := 10 * poll
+	const (
+		minWork = 25_000_000    // ~50 ms of work on the reference platform
+		maxWork = 1_500_000_000 // ~3 s
+	)
+	if wt < minWork {
+		return minWork
+	}
+	if wt > maxWork {
+		return maxWork
+	}
+	return wt
+}
+
+// resultCache memoizes sweep points: several figures share the same
+// underlying sweeps (e.g. Figures 4, 5, 14 and 15 all come from the
+// polling sweeps of the two systems).
+type resultCache struct {
+	mu      sync.Mutex
+	polling map[string]*core.PollingResult
+	pww     map[string]*core.PWWResult
+}
+
+var cache = resultCache{
+	polling: make(map[string]*core.PollingResult),
+	pww:     make(map[string]*core.PWWResult),
+}
+
+// ClearCache drops memoized sweep points (used by tests).
+func ClearCache() {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.polling = make(map[string]*core.PollingResult)
+	cache.pww = make(map[string]*core.PWWResult)
+}
+
+// PollingPoint runs (or recalls) one polling-method measurement of the
+// named system.
+func PollingPoint(system string, size int, poll int64) (*core.PollingResult, error) {
+	cfg := core.PollingConfig{
+		Config:       core.Config{MsgSize: size},
+		PollInterval: poll,
+		WorkTotal:    workTotalFor(poll),
+	}
+	key := fmt.Sprintf("%s/%d/%d/%d", system, size, poll, cfg.WorkTotal)
+	cache.mu.Lock()
+	if r, ok := cache.polling[key]; ok {
+		cache.mu.Unlock()
+		return r, nil
+	}
+	cache.mu.Unlock()
+
+	res, err := RunPollingOnce(system, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cache.mu.Lock()
+	cache.polling[key] = res
+	cache.mu.Unlock()
+	return res, nil
+}
+
+// PWWPoint runs (or recalls) one PWW measurement of the named system.
+func PWWPoint(system string, size int, work int64, reps int, testInWork bool) (*core.PWWResult, error) {
+	cfg := core.PWWConfig{
+		Config:       core.Config{MsgSize: size},
+		WorkInterval: work,
+		Reps:         reps,
+		TestInWork:   testInWork,
+	}
+	key := fmt.Sprintf("%s/%d/%d/%d/%v", system, size, work, reps, testInWork)
+	cache.mu.Lock()
+	if r, ok := cache.pww[key]; ok {
+		cache.mu.Unlock()
+		return r, nil
+	}
+	cache.mu.Unlock()
+
+	res, err := RunPWWOnce(system, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cache.mu.Lock()
+	cache.pww[key] = res
+	cache.mu.Unlock()
+	return res, nil
+}
+
+// RunPollingOnce runs a single, uncached polling-method measurement of
+// the named system with exactly the given configuration.
+func RunPollingOnce(system string, cfg core.PollingConfig) (*core.PollingResult, error) {
+	var res *core.PollingResult
+	var ferr error
+	err := machine.Run(platform.Config{Transport: system}, func(m core.Machine) {
+		r, err := core.RunPolling(m, cfg)
+		if err != nil {
+			ferr = err
+			return
+		}
+		if r != nil {
+			res = r
+		}
+	})
+	if err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("sweep: polling produced no worker result")
+	}
+	return res, nil
+}
+
+// RunPWWOnce runs a single, uncached PWW measurement of the named system
+// with exactly the given configuration.
+func RunPWWOnce(system string, cfg core.PWWConfig) (*core.PWWResult, error) {
+	var res *core.PWWResult
+	var ferr error
+	err := machine.Run(platform.Config{Transport: system}, func(m core.Machine) {
+		r, err := core.RunPWW(m, cfg)
+		if err != nil {
+			ferr = err
+			return
+		}
+		if r != nil {
+			res = r
+		}
+	})
+	if err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("sweep: pww produced no worker result")
+	}
+	return res, nil
+}
+
+// sizeLabel renders 10000 as "10 KB" etc., matching the paper's legends.
+func sizeLabel(size int) string {
+	if size%1000 == 0 {
+		return fmt.Sprintf("%d KB", size/1000)
+	}
+	return fmt.Sprintf("%d B", size)
+}

@@ -1,0 +1,125 @@
+// Package trace is a bounded-ring event recorder for simulation runs:
+// packet-level wire activity and any custom annotations, timestamped in
+// virtual time.  It exists for debugging transports and for the CLI's
+// -trace output; recording is off unless a Recorder is attached.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"comb/internal/cluster"
+	"comb/internal/sim"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     sim.Time
+	Cat    string
+	Node   int
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12v node%d %-10s %s", e.At, e.Node, e.Cat, e.Detail)
+}
+
+// Recorder keeps the most recent events in a fixed-size ring.
+type Recorder struct {
+	cap     int
+	events  []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// NewRecorder returns a recorder keeping the last capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		panic(fmt.Sprintf("trace: capacity %d", capacity))
+	}
+	return &Recorder{cap: capacity, events: make([]Event, 0, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (r *Recorder) Record(at sim.Time, cat string, node int, detail string) {
+	e := Event{At: at, Cat: cat, Node: node, Detail: detail}
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.next] = e
+	r.next = (r.next + 1) % r.cap
+	r.wrapped = true
+	r.dropped++
+}
+
+// Recordf is Record with formatting.
+func (r *Recorder) Recordf(at sim.Time, cat string, node int, format string, args ...any) {
+	r.Record(at, cat, node, fmt.Sprintf(format, args...))
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if !r.wrapped {
+		return append([]Event(nil), r.events...)
+	}
+	out := make([]Event, 0, r.cap)
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dropped reports how many events were evicted.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Len reports how many events are retained.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// WriteTo dumps the retained events as text.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	if r.dropped > 0 {
+		k, err := fmt.Fprintf(w, "(%d earlier events dropped)\n", r.dropped)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	for _, e := range r.Events() {
+		k, err := fmt.Fprintln(w, e)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Summary aggregates retained events by category.
+func (r *Recorder) Summary() string {
+	counts := map[string]int{}
+	var cats []string
+	for _, e := range r.Events() {
+		if counts[e.Cat] == 0 {
+			cats = append(cats, e.Cat)
+		}
+		counts[e.Cat]++
+	}
+	var b strings.Builder
+	for _, c := range cats {
+		fmt.Fprintf(&b, "%s=%d ", c, counts[c])
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// AttachFabric wires packet-level tracing into a fabric: every delivery
+// records a "pkt" event at the receiving node.  It must be called before
+// transports attach their sinks.
+func AttachFabric(rec *Recorder, sys *cluster.System) {
+	sys.Fabric.Observe(func(pkt *cluster.Packet, at sim.Time) {
+		rec.Recordf(at, "pkt", pkt.To, "from node%d, %dB", pkt.From, pkt.Size)
+	})
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"comb/internal/mpi"
+	"comb/internal/platform"
+	"comb/internal/sim"
+)
+
+func TestRecorderOrderAndRing(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Record(sim.Time(i), "x", 0, "")
+	}
+	ev := r.Events()
+	if len(ev) != 3 || r.Len() != 3 {
+		t.Fatalf("retained %d, want 3", len(ev))
+	}
+	if ev[0].At != 2 || ev[2].At != 4 {
+		t.Fatalf("ring order wrong: %v", ev)
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", r.Dropped())
+	}
+}
+
+func TestRecorderBelowCapacity(t *testing.T) {
+	r := NewRecorder(10)
+	r.Recordf(5, "cat", 1, "n=%d", 7)
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Detail != "n=7" || ev[0].Node != 1 {
+		t.Fatalf("events = %v", ev)
+	}
+	if r.Dropped() != 0 {
+		t.Fatal("nothing should be dropped below capacity")
+	}
+}
+
+func TestRecorderWriteToAndSummary(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(1, "a", 0, "first")
+	r.Record(2, "b", 1, "second")
+	r.Record(3, "b", 1, "third")
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "dropped") || !strings.Contains(out, "third") {
+		t.Fatalf("WriteTo output:\n%s", out)
+	}
+	if s := r.Summary(); s != "b=2" {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestRecorderInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRecorder(0)
+}
+
+func TestAttachFabricTracesDeliveries(t *testing.T) {
+	in, err := platform.New(platform.Config{Transport: "gm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	rec := NewRecorder(1024)
+	AttachFabric(rec, in.Sys)
+	err = in.Run(func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.Send(p, 1, 1, make([]byte, 10_000))
+		} else {
+			c.Recv(p, 0, 1, make([]byte, 10_000))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Events()
+	if len(evs) < 3 {
+		t.Fatalf("expected several packet events, got %d", len(evs))
+	}
+	// 10 KB on GM goes eager: 3 fragments at the default 4 KB MTU, all to
+	// node 1.
+	toWorkerPeer := 0
+	for _, e := range evs {
+		if e.Cat != "pkt" {
+			t.Fatalf("unexpected category %q", e.Cat)
+		}
+		if e.Node == 1 {
+			toWorkerPeer++
+		}
+	}
+	if toWorkerPeer != 3 {
+		t.Fatalf("fragments to node1 = %d, want 3", toWorkerPeer)
+	}
+	// Chronological order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+	if evs[0].String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestPlatformOwnership(t *testing.T) {
+	// Ensure Fabric.Observe composes with cluster stats.
+	in, err := platform.New(platform.Config{Transport: "ideal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	rec := NewRecorder(16)
+	AttachFabric(rec, in.Sys)
+	err = in.Run(func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.Send(p, 1, 1, []byte("x"))
+		} else {
+			c.Recv(p, 0, 1, make([]byte, 1))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, delivered := in.Sys.Fabric.Stats()
+	if int64(rec.Len()) != delivered {
+		t.Fatalf("recorder saw %d, fabric delivered %d", rec.Len(), delivered)
+	}
+}

@@ -1,0 +1,21 @@
+// Package transport implements the message-movement layers COMB compares:
+//
+//   - [GM]: a user-level, OS-bypass NIC stack modeled on Myricom GM 1.4
+//     with MPICH/GM on a LANai 7.2.  Data moves by NIC DMA with no host
+//     interrupts or kernel copies, but every protocol decision (eager
+//     completion, rendezvous CTS, completion flags) is taken inside MPI
+//     library calls — the system has high bandwidth and near-zero overhead
+//     yet provides NO application offload.
+//
+//   - [Portals]: the kernel-based Portals 3.0 implementation for Myrinet
+//     used in the paper.  The NIC is a dumb packet engine; every arriving
+//     packet interrupts the host, and the kernel matches and memcpy's data
+//     between kernel and user space.  Bandwidth is host-copy-limited and
+//     CPU availability suffers, but the kernel progresses messages without
+//     any MPI calls — the system provides application offload.
+//
+//   - [Ideal]: a zero-host-cost, fully offloaded reference transport used
+//     for tests and ablations (an upper bound no real 2002 system reached).
+//
+// Transports bind rank i to node i of a [cluster.System].
+package transport

@@ -1,0 +1,343 @@
+package transport
+
+import (
+	"fmt"
+
+	"comb/internal/cluster"
+	"comb/internal/mpi"
+	"comb/internal/sim"
+)
+
+// GMConfig parameterizes the GM transport model.  Defaults approximate
+// GM 1.4 + MPICH/GM 1.2..4 on the paper's hardware.
+type GMConfig struct {
+	// EagerThreshold is the message size (bytes) below which the eager
+	// protocol is used.  The paper reports the GM switch near 16 KB.
+	EagerThreshold int
+	// EagerSendCost is the host CPU time of an eager non-blocking send
+	// (the paper measures ~45 us per small message on their system).
+	EagerSendCost sim.Time
+	// RndvPostCost is the host CPU time to post a rendezvous send (~5 us).
+	RndvPostCost sim.Time
+	// RecvPostCost is the host CPU time to post a receive (~5 us).
+	RecvPostCost sim.Time
+	// PollCost is charged per progress poll of the NIC event queue.
+	PollCost sim.Time
+	// EventCost is charged per NIC event handled by the library.
+	EventCost sim.Time
+	// CtsCost is charged to emit a rendezvous clear-to-send.
+	CtsCost sim.Time
+	// CtrlSize is the wire size of RTS/CTS control packets.
+	CtrlSize int
+}
+
+// DefaultGMConfig returns the calibrated GM parameters.
+func DefaultGMConfig() GMConfig {
+	return GMConfig{
+		EagerThreshold: 16 << 10,
+		EagerSendCost:  45 * sim.Microsecond,
+		RndvPostCost:   5 * sim.Microsecond,
+		RecvPostCost:   5 * sim.Microsecond,
+		PollCost:       500 * sim.Nanosecond,
+		EventCost:      2 * sim.Microsecond,
+		CtsCost:        2 * sim.Microsecond,
+		CtrlSize:       64,
+	}
+}
+
+// GM is the OS-bypass, library-progressed transport (MPICH/GM model).
+type GM struct {
+	Config GMConfig
+}
+
+// NewGM returns a GM transport with default configuration.
+func NewGM() *GM { return &GM{Config: DefaultGMConfig()} }
+
+// Name implements Transport.
+func (g *GM) Name() string { return "gm" }
+
+// Offload implements Transport: GM does not provide application offload.
+func (g *GM) Offload() bool { return false }
+
+// Build implements Transport, attaching one endpoint per node.
+func (g *GM) Build(sys *cluster.System) []mpi.Endpoint {
+	eps := make([]mpi.Endpoint, len(sys.Nodes))
+	for i, node := range sys.Nodes {
+		ep := &gmEndpoint{
+			cfg:      g.Config,
+			node:     node,
+			fab:      sys.Fabric,
+			hub:      mpi.NewActivityHub(sys.Env),
+			eagerAcc: make(map[gmMsgID]*gmAccum),
+			dataAcc:  make(map[gmMsgID]*gmAccum),
+			sendReqs: make(map[gmMsgID]*mpi.Request),
+		}
+		sys.Fabric.Attach(node.ID, ep.onPacket)
+		eps[i] = ep
+	}
+	return eps
+}
+
+// gmMsgID uniquely identifies a message across the system.
+type gmMsgID struct {
+	src int
+	seq int64
+}
+
+// gmFragKind is the wire-level packet type.
+type gmFragKind int
+
+const (
+	gmEagerFrag gmFragKind = iota
+	gmRTS
+	gmCTS
+	gmDataFrag
+)
+
+// gmFrag is the payload of one GM wire packet.
+type gmFrag struct {
+	kind gmFragKind
+	id   gmMsgID
+	src  int
+	tag  int
+	size int // total message payload size
+	off  int
+	n    int
+	data []byte
+	last bool
+}
+
+// gmEvtKind is a NIC event-queue entry type, visible only to the library.
+type gmEvtKind int
+
+const (
+	gmEvtMsg      gmEvtKind = iota // complete eager message arrived
+	gmEvtRTS                       // rendezvous announcement arrived
+	gmEvtCTS                       // clear-to-send arrived
+	gmEvtSendDone                  // NIC finished DMAing a send from host
+	gmEvtDataDone                  // rendezvous data fully landed in user buffer
+)
+
+// gmEvent is one NIC event-queue entry.
+type gmEvent struct {
+	kind gmEvtKind
+	in   *mpi.Inbound
+	req  *mpi.Request
+	id   gmMsgID
+}
+
+// gmAccum assembles a fragmented message on the receive side.
+type gmAccum struct {
+	size int
+	got  int
+	data []byte       // eager assembly buffer (GM receive ring)
+	req  *mpi.Request // destination request for rendezvous data
+	src  int
+	tag  int
+}
+
+// gmEndpoint is the per-rank GM library + NIC state.
+//
+// Packet arrival (onPacket) consumes no host CPU: the LANai writes into
+// registered memory and appends tokens to the event queue.  All host-side
+// protocol work happens in Progress, i.e. only inside MPI calls.
+type gmEndpoint struct {
+	cfg  GMConfig
+	node *cluster.Node
+	fab  *cluster.Fabric
+	hub  *mpi.ActivityHub
+	m    mpi.Matcher
+	seq  int64
+
+	nicQ     []gmEvent
+	eagerAcc map[gmMsgID]*gmAccum
+	dataAcc  map[gmMsgID]*gmAccum
+	sendReqs map[gmMsgID]*mpi.Request
+}
+
+func (ep *gmEndpoint) rank() int { return ep.node.ID }
+
+// Activity implements mpi.Endpoint.
+func (ep *gmEndpoint) Activity() *sim.Event { return ep.hub.Activity() }
+
+// MatchState implements mpi.MatchStater, backing MPI_Probe.
+func (ep *gmEndpoint) MatchState() *mpi.Matcher { return &ep.m }
+
+// Offload implements mpi.Endpoint: false — the defining GM property.
+func (ep *gmEndpoint) Offload() bool { return false }
+
+// pushEvent appends a NIC event token and wakes blocked MPI waits.
+func (ep *gmEndpoint) pushEvent(ev gmEvent) {
+	ep.nicQ = append(ep.nicQ, ev)
+	ep.hub.Wake()
+}
+
+// Isend implements mpi.Endpoint.
+func (ep *gmEndpoint) Isend(p *sim.Proc, r *mpi.Request) {
+	n := len(r.Data())
+	id := gmMsgID{src: ep.rank(), seq: ep.seq}
+	ep.seq++
+	if n < ep.cfg.EagerThreshold {
+		// Eager: the library copies the payload into GM send tokens; this
+		// is where GM's measured ~45 us per small message goes.
+		ep.node.CPU.Use(p, ep.cfg.EagerSendCost, cluster.User)
+		data := append([]byte(nil), r.Data()...)
+		sentAt := ep.sendPayload(r.Peer(), id, r.Tag(), gmEagerFrag, data)
+		ep.scheduleAt(sentAt, func() { ep.pushEvent(gmEvent{kind: gmEvtSendDone, req: r}) })
+		return
+	}
+	// Rendezvous: announce with an RTS; data moves only after the peer's
+	// library answers with a CTS — which requires the peer to be inside an
+	// MPI call.
+	ep.node.CPU.Use(p, ep.cfg.RndvPostCost, cluster.User)
+	ep.sendReqs[id] = r
+	ep.fab.Send(&cluster.Packet{
+		From: ep.rank(), To: r.Peer(), Size: ep.cfg.CtrlSize, Urgent: true,
+		Payload: &gmFrag{kind: gmRTS, id: id, src: ep.rank(), tag: r.Tag(), size: n},
+	})
+}
+
+// Irecv implements mpi.Endpoint.
+func (ep *gmEndpoint) Irecv(p *sim.Proc, r *mpi.Request) {
+	ep.node.CPU.Use(p, ep.cfg.RecvPostCost, cluster.User)
+	in := ep.m.PostRecv(r)
+	if in == nil {
+		return
+	}
+	if in.Data != nil {
+		// The message arrived before the receive was posted, so it sits in
+		// a GM unexpected buffer; matching it costs a host copy.
+		ep.node.Memcpy(p, in.Size, cluster.User)
+		ep.deliverEager(r, in)
+		return
+	}
+	ep.sendCTS(p, r, in)
+}
+
+// Progress implements mpi.Endpoint: drain the NIC event queue.  This is
+// the only place the GM model advances protocol state, so communication
+// stalls whenever the application stays out of the MPI library.
+func (ep *gmEndpoint) Progress(p *sim.Proc) {
+	ep.node.CPU.Use(p, ep.cfg.PollCost, cluster.User)
+	for len(ep.nicQ) > 0 {
+		ev := ep.nicQ[0]
+		ep.nicQ = ep.nicQ[1:]
+		ep.node.CPU.Use(p, ep.cfg.EventCost, cluster.User)
+		switch ev.kind {
+		case gmEvtMsg:
+			if r := ep.m.Arrive(ev.in); r != nil {
+				ep.deliverEager(r, ev.in)
+			}
+		case gmEvtRTS:
+			if r := ep.m.Arrive(ev.in); r != nil {
+				ep.sendCTS(p, r, ev.in)
+			}
+		case gmEvtCTS:
+			r, ok := ep.sendReqs[ev.id]
+			if !ok {
+				panic(fmt.Sprintf("transport: gm CTS for unknown send %v", ev.id))
+			}
+			delete(ep.sendReqs, ev.id)
+			data := append([]byte(nil), r.Data()...)
+			sentAt := ep.sendPayload(r.Peer(), ev.id, r.Tag(), gmDataFrag, data)
+			ep.scheduleAt(sentAt, func() { ep.pushEvent(gmEvent{kind: gmEvtSendDone, req: r}) })
+		case gmEvtSendDone:
+			ev.req.Complete(ep.rank(), ev.req.Tag(), len(ev.req.Data()))
+		case gmEvtDataDone:
+			ev.req.Complete(ev.in.Src, ev.in.Tag, ev.in.Size)
+		}
+	}
+}
+
+// deliverEager lands a complete eager message in the posted receive.
+func (ep *gmEndpoint) deliverEager(r *mpi.Request, in *mpi.Inbound) {
+	count := copy(r.Buf(), in.Data)
+	if in.Size == 0 {
+		count = 0
+	}
+	r.Complete(in.Src, in.Tag, count)
+}
+
+// sendCTS registers the receive buffer for incoming rendezvous data and
+// answers the RTS.
+func (ep *gmEndpoint) sendCTS(p *sim.Proc, r *mpi.Request, in *mpi.Inbound) {
+	id := in.Rndv.(gmMsgID)
+	ep.dataAcc[id] = &gmAccum{size: in.Size, req: r, src: in.Src, tag: in.Tag}
+	ep.node.CPU.Use(p, ep.cfg.CtsCost, cluster.User)
+	ep.fab.Send(&cluster.Packet{
+		From: ep.rank(), To: in.Src, Size: ep.cfg.CtrlSize, Urgent: true,
+		Payload: &gmFrag{kind: gmCTS, id: id, src: ep.rank()},
+	})
+}
+
+// sendPayload fragments data onto the wire and returns when the final
+// fragment has left the host (NIC DMA complete).
+func (ep *gmEndpoint) sendPayload(dst int, id gmMsgID, tag int, kind gmFragKind, data []byte) sim.Time {
+	off := 0
+	return ep.fab.SendMessage(ep.rank(), dst, len(data), ep.node.P.PacketHeader,
+		func(i, n int, last bool) any {
+			f := &gmFrag{
+				kind: kind, id: id, src: ep.rank(), tag: tag,
+				size: len(data), off: off, n: n, data: data[off : off+n], last: last,
+			}
+			off += n
+			return f
+		})
+}
+
+// scheduleAt runs fn at absolute virtual time at (>= now).
+func (ep *gmEndpoint) scheduleAt(at sim.Time, fn func()) {
+	d := at - ep.node.Env.Now()
+	if d < 0 {
+		d = 0
+	}
+	ep.node.Env.Schedule(d, fn)
+}
+
+// onPacket is the NIC receive path.  No host CPU is consumed: fragments
+// are DMA'd into GM buffers (eager) or straight into the registered user
+// buffer (rendezvous data), and an event token is queued for the library.
+func (ep *gmEndpoint) onPacket(pkt *cluster.Packet) {
+	f := pkt.Payload.(*gmFrag)
+	switch f.kind {
+	case gmEagerFrag:
+		acc := ep.eagerAcc[f.id]
+		if acc == nil {
+			acc = &gmAccum{size: f.size, data: make([]byte, f.size), src: f.src, tag: f.tag}
+			ep.eagerAcc[f.id] = acc
+		}
+		copy(acc.data[f.off:], f.data)
+		acc.got += f.n
+		if f.last {
+			if acc.got != acc.size {
+				panic("transport: gm eager fragments lost")
+			}
+			delete(ep.eagerAcc, f.id)
+			ep.pushEvent(gmEvent{kind: gmEvtMsg, in: &mpi.Inbound{
+				Src: acc.src, Tag: acc.tag, Size: acc.size, Data: acc.data,
+			}})
+		}
+	case gmRTS:
+		ep.pushEvent(gmEvent{kind: gmEvtRTS, in: &mpi.Inbound{
+			Src: f.src, Tag: f.tag, Size: f.size, Rndv: f.id,
+		}})
+	case gmCTS:
+		ep.pushEvent(gmEvent{kind: gmEvtCTS, id: f.id})
+	case gmDataFrag:
+		acc, ok := ep.dataAcc[f.id]
+		if !ok {
+			panic(fmt.Sprintf("transport: gm data for unregistered rendezvous %v", f.id))
+		}
+		copy(acc.req.Buf()[f.off:], f.data)
+		acc.got += f.n
+		if f.last {
+			if acc.got != acc.size {
+				panic("transport: gm rendezvous fragments lost")
+			}
+			delete(ep.dataAcc, f.id)
+			ep.pushEvent(gmEvent{kind: gmEvtDataDone, req: acc.req, in: &mpi.Inbound{
+				Src: acc.src, Tag: acc.tag, Size: acc.size,
+			}})
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package transport_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"comb/internal/cluster"
+	"comb/internal/mpi"
+	"comb/internal/platform"
+	"comb/internal/sim"
+	"comb/internal/transport"
+)
+
+// lossyTCPPlatform returns a Fast-Ethernet platform with packet loss.
+func lossyTCPPlatform(rate float64, seed uint64) *cluster.Platform {
+	p := cluster.PlatformPIII500()
+	link, hdr := transport.NewTCP().PreferredLink()
+	link.LossRate = rate
+	link.Seed = seed
+	p.Link = link
+	p.PacketHeader = hdr
+	return &p
+}
+
+func TestTCPSurvivesPacketLoss(t *testing.T) {
+	for _, rate := range []float64{0.01, 0.05, 0.2} {
+		rate := rate
+		t.Run(fmt.Sprintf("loss%.0f%%", rate*100), func(t *testing.T) {
+			const n = 100_000
+			want := make([]byte, n)
+			for i := range want {
+				want[i] = byte(i * 13)
+			}
+			got := make([]byte, n)
+			in, err := platform.New(platform.Config{
+				Transport: "tcp",
+				Platform:  lossyTCPPlatform(rate, 42),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer in.Close()
+			const msgs = 5 // enough segments that every rate drops some
+			err = in.Run(func(p *sim.Proc, c *mpi.Comm) {
+				if c.Rank() == 0 {
+					for i := 0; i < msgs; i++ {
+						c.Send(p, 1, 1, want)
+					}
+				} else {
+					for i := 0; i < msgs; i++ {
+						c.Recv(p, 0, 1, got)
+						if !bytes.Equal(got, want) {
+							t.Errorf("message %d corrupted under loss", i)
+						}
+						for j := range got {
+							got[j] = 0
+						}
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if in.Sys.Fabric.Lost() == 0 {
+				t.Fatal("loss injection never fired (test vacuous)")
+			}
+		})
+	}
+}
+
+func TestTCPBidirectionalUnderLoss(t *testing.T) {
+	// The full COMB-style exchange pattern with retransmissions active in
+	// both directions.
+	const n = 30_000
+	const rounds = 8
+	in, err := platform.New(platform.Config{
+		Transport: "tcp",
+		Platform:  lossyTCPPlatform(0.05, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	var received [2]int
+	err = in.Run(func(p *sim.Proc, c *mpi.Comm) {
+		peer := 1 - c.Rank()
+		for i := 0; i < rounds; i++ {
+			buf := make([]byte, n)
+			rr := c.Irecv(p, peer, 1, buf)
+			sr := c.Isend(p, peer, 1, make([]byte, n))
+			c.Waitall(p, []*mpi.Request{rr, sr})
+			received[c.Rank()] += rr.Bytes()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if received[0] != rounds*n || received[1] != rounds*n {
+		t.Fatalf("received %v, want %d each", received, rounds*n)
+	}
+}
+
+func TestTCPLossCostsBandwidth(t *testing.T) {
+	measure := func(rate float64) float64 {
+		in, err := platform.New(platform.Config{
+			Transport: "tcp",
+			Platform:  lossyTCPPlatform(rate, 3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer in.Close()
+		var elapsed sim.Time
+		const n, msgs = 100_000, 10
+		err = in.Run(func(p *sim.Proc, c *mpi.Comm) {
+			if c.Rank() == 0 {
+				for i := 0; i < msgs; i++ {
+					c.Send(p, 1, 1, make([]byte, n))
+				}
+			} else {
+				t0 := p.Now()
+				for i := 0; i < msgs; i++ {
+					c.Recv(p, 0, 1, make([]byte, n))
+				}
+				elapsed = p.Now() - t0
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(n*msgs) / elapsed.Seconds() / cluster.MB
+	}
+	clean := measure(0)
+	lossy := measure(0.1)
+	if lossy >= clean {
+		t.Fatalf("10%% loss should cost throughput: %.2f vs %.2f MB/s", lossy, clean)
+	}
+	if lossy < clean/20 {
+		t.Fatalf("throughput collapsed too far under 10%% loss: %.2f vs %.2f", lossy, clean)
+	}
+}
+
+func TestLosslessTransportsUnaffectedByDefault(t *testing.T) {
+	// The default platform has LossRate 0; the OS-bypass transports rely
+	// on that (Myrinet-style link-level reliability).
+	in, err := platform.New(platform.Config{Transport: "gm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	err = in.Run(func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.Send(p, 1, 1, make([]byte, 100_000))
+		} else {
+			c.Recv(p, 0, 1, make([]byte, 100_000))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Sys.Fabric.Lost() != 0 {
+		t.Fatal("default fabric must be lossless")
+	}
+}

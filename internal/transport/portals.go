@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"fmt"
+
+	"comb/internal/cluster"
+	"comb/internal/mpi"
+	"comb/internal/sim"
+)
+
+// PortalsConfig parameterizes the kernel-based Portals 3.0 model.
+type PortalsConfig struct {
+	// TrapCost is the kernel entry/exit cost of one syscall.
+	TrapCost sim.Time
+	// DescCost is the kernel cost to install or retire one descriptor
+	// (match entry / send setup) inside a syscall.
+	DescCost sim.Time
+	// InterruptCost is the host cost of taking one NIC interrupt.
+	InterruptCost sim.Time
+	// RxKernelCost is the per-packet kernel protocol processing on receive
+	// (reliability/flow-control module + Portals module dispatch).
+	RxKernelCost sim.Time
+	// TxKernelCost is the per-packet host processing on transmit.  It is
+	// charged at interrupt priority: the MCP raises a transmit-done
+	// interrupt per packet and the handler feeds the next descriptor, so
+	// this work preempts in-progress syscall copies rather than queueing
+	// behind them.
+	TxKernelCost sim.Time
+	// MatchCost is the kernel matching cost on a message's first packet.
+	MatchCost sim.Time
+	// TestCost is the user-level cost of MPI_Test/Wait checking the
+	// completion flag the kernel maintains (no syscall needed).
+	TestCost sim.Time
+}
+
+// DefaultPortalsConfig returns the calibrated Portals parameters.
+func DefaultPortalsConfig() PortalsConfig {
+	return PortalsConfig{
+		TrapCost:      3 * sim.Microsecond,
+		DescCost:      2 * sim.Microsecond,
+		InterruptCost: 7 * sim.Microsecond,
+		RxKernelCost:  2 * sim.Microsecond,
+		TxKernelCost:  2 * sim.Microsecond,
+		MatchCost:     1500 * sim.Nanosecond,
+		TestCost:      500 * sim.Nanosecond,
+	}
+}
+
+// Portals is the kernel-based, interrupt-driven, application-offload
+// transport (Portals 3.0 on Myrinet, as in the paper).
+type Portals struct {
+	Config PortalsConfig
+}
+
+// NewPortals returns a Portals transport with default configuration.
+func NewPortals() *Portals { return &Portals{Config: DefaultPortalsConfig()} }
+
+// Name implements Transport.
+func (t *Portals) Name() string { return "portals" }
+
+// Offload implements Transport: Portals provides application offload.
+func (t *Portals) Offload() bool { return true }
+
+// Build implements Transport, attaching one endpoint per node and spawning
+// its kernel transmit driver.
+func (t *Portals) Build(sys *cluster.System) []mpi.Endpoint {
+	eps := make([]mpi.Endpoint, len(sys.Nodes))
+	for i, node := range sys.Nodes {
+		ep := &portalsEndpoint{
+			cfg:      t.Config,
+			node:     node,
+			fab:      sys.Fabric,
+			hub:      mpi.NewActivityHub(sys.Env),
+			txKick:   mpi.NewActivityHub(sys.Env),
+			inflight: make(map[ptlMsgID]*ptlInbound),
+		}
+		sys.Fabric.Attach(node.ID, ep.onPacket)
+		sys.Env.Spawn(fmt.Sprintf("ptl-tx-%d", node.ID), ep.txDriver)
+		eps[i] = ep
+	}
+	return eps
+}
+
+// ptlMsgID uniquely identifies a message across the system.
+type ptlMsgID struct {
+	src int
+	seq int64
+}
+
+// ptlFrag is the payload of one Portals wire packet.
+type ptlFrag struct {
+	id    ptlMsgID
+	src   int
+	tag   int
+	size  int
+	off   int
+	n     int
+	data  []byte
+	first bool
+	last  bool
+}
+
+// ptlTx is one message queued for the kernel transmit driver.
+type ptlTx struct {
+	id   ptlMsgID
+	dst  int
+	tag  int
+	data []byte
+}
+
+// ptlInbound is kernel-side state for one arriving message.
+type ptlInbound struct {
+	id        ptlMsgID
+	src, tag  int
+	size      int
+	req       *mpi.Request // nil until matched
+	kbuf      []byte       // kernel buffering for the unexpected path
+	buffered  int          // bytes parked in kbuf awaiting a late match
+	delivered int          // bytes landed in the user buffer
+}
+
+// portalsEndpoint models the MPI library half (thin), the kernel Portals
+// module, and the packet-engine NIC for one rank.
+//
+// Receive path per packet: interrupt (Interrupt priority) -> kernel
+// protocol processing + matching (Kernel priority) -> memcpy to user or
+// kernel buffer (Kernel priority, host copy bandwidth).  All of this
+// happens with no MPI calls: application offload.
+type portalsEndpoint struct {
+	cfg    PortalsConfig
+	node   *cluster.Node
+	fab    *cluster.Fabric
+	hub    *mpi.ActivityHub
+	txKick *mpi.ActivityHub
+	m      mpi.Matcher
+	seq    int64
+
+	inflight map[ptlMsgID]*ptlInbound
+	txq      []*ptlTx
+}
+
+func (ep *portalsEndpoint) rank() int { return ep.node.ID }
+
+// Activity implements mpi.Endpoint.
+func (ep *portalsEndpoint) Activity() *sim.Event { return ep.hub.Activity() }
+
+// Offload implements mpi.Endpoint: true — the defining Portals property.
+func (ep *portalsEndpoint) Offload() bool { return true }
+
+// MatchState implements mpi.MatchStater, backing MPI_Probe.
+func (ep *portalsEndpoint) MatchState() *mpi.Matcher { return &ep.m }
+
+// Progress implements mpi.Endpoint.  The kernel progresses communication
+// by itself; MPI_Test/Wait merely read a completion flag in user memory.
+func (ep *portalsEndpoint) Progress(p *sim.Proc) {
+	ep.node.CPU.Use(p, ep.cfg.TestCost, cluster.User)
+}
+
+// Isend implements mpi.Endpoint: a syscall that copies the payload into
+// kernel buffers and enqueues it for the transmit driver.  The request is
+// complete (buffer reusable) when the syscall returns.
+func (ep *portalsEndpoint) Isend(p *sim.Proc, r *mpi.Request) {
+	n := len(r.Data())
+	ep.node.CPU.Use(p, ep.cfg.TrapCost+ep.cfg.DescCost, cluster.Kernel)
+	ep.node.Memcpy(p, n, cluster.Kernel)
+	id := ptlMsgID{src: ep.rank(), seq: ep.seq}
+	ep.seq++
+	ep.txq = append(ep.txq, &ptlTx{
+		id: id, dst: r.Peer(), tag: r.Tag(),
+		data: append([]byte(nil), r.Data()...),
+	})
+	ep.txKick.Wake()
+	r.Complete(ep.rank(), r.Tag(), n)
+}
+
+// Irecv implements mpi.Endpoint: a syscall installing a kernel match
+// entry.  If the message (or its head) already arrived, the syscall also
+// performs the catch-up copy out of kernel buffers.
+func (ep *portalsEndpoint) Irecv(p *sim.Proc, r *mpi.Request) {
+	ep.node.CPU.Use(p, ep.cfg.TrapCost+ep.cfg.DescCost, cluster.Kernel)
+	in := ep.m.PostRecv(r)
+	if in == nil {
+		return
+	}
+	inb := in.Rndv.(*ptlInbound)
+	inb.req = r
+	if inb.buffered > 0 {
+		ep.node.Memcpy(p, inb.buffered, cluster.Kernel)
+		copy(r.Buf(), inb.kbuf[:inb.buffered])
+		inb.delivered += inb.buffered
+		inb.buffered = 0
+		inb.kbuf = nil
+	}
+	ep.maybeComplete(inb)
+}
+
+// maybeComplete retires a fully-delivered inbound message.
+func (ep *portalsEndpoint) maybeComplete(inb *ptlInbound) {
+	if inb.req == nil || inb.delivered != inb.size {
+		return
+	}
+	delete(ep.inflight, inb.id)
+	count := inb.size
+	if count > len(inb.req.Buf()) {
+		count = len(inb.req.Buf())
+	}
+	inb.req.Complete(inb.src, inb.tag, count)
+	ep.hub.Wake()
+}
+
+// txDriver is the kernel transmit process: it charges per-packet kernel
+// CPU, hands fragments to the packet engine, and paces itself to the wire.
+func (ep *portalsEndpoint) txDriver(p *sim.Proc) {
+	for {
+		for len(ep.txq) == 0 {
+			p.Await(ep.txKick.Activity())
+		}
+		msg := ep.txq[0]
+		ep.txq = ep.txq[1:]
+		off := 0
+		rem := len(msg.data)
+		first := true
+		for {
+			n := rem
+			if n > ep.fab.Config().MTU {
+				n = ep.fab.Config().MTU
+			}
+			rem -= n
+			last := rem == 0
+			ep.node.CPU.Use(p, ep.cfg.TxKernelCost, cluster.Interrupt)
+			sentAt := ep.fab.Send(&cluster.Packet{
+				From: ep.rank(), To: msg.dst, Size: n + ep.node.P.PacketHeader,
+				Payload: &ptlFrag{
+					id: msg.id, src: ep.rank(), tag: msg.tag, size: len(msg.data),
+					off: off, n: n, data: msg.data[off : off+n], first: first, last: last,
+				},
+			})
+			off += n
+			first = false
+			// Pace to the wire so kernel TX work tracks actual transmission.
+			if sentAt > p.Now() {
+				p.Sleep(sentAt - p.Now())
+			}
+			if last {
+				break
+			}
+		}
+	}
+}
+
+// onPacket is the NIC receive path: raise an interrupt, then run kernel
+// protocol processing and the copy to its final destination, all stealing
+// host CPU from the application.
+func (ep *portalsEndpoint) onPacket(pkt *cluster.Packet) {
+	f := pkt.Payload.(*ptlFrag)
+	cpu := ep.node.CPU
+	cpu.Submit(ep.cfg.InterruptCost, cluster.Interrupt).OnFire(func(any) {
+		kcost := ep.cfg.RxKernelCost
+		if f.first {
+			kcost += ep.cfg.MatchCost
+		}
+		cpu.Submit(kcost, cluster.Kernel).OnFire(func(any) {
+			inb := ep.inflight[f.id]
+			if inb == nil {
+				inb = &ptlInbound{id: f.id, src: f.src, tag: f.tag, size: f.size}
+				ep.inflight[f.id] = inb
+				if r := ep.m.Arrive(&mpi.Inbound{Src: f.src, Tag: f.tag, Size: f.size, Rndv: inb}); r != nil {
+					inb.req = r
+				} else {
+					inb.kbuf = make([]byte, f.size)
+					// The envelope is now visible to probes.
+					ep.hub.Wake()
+				}
+			}
+			cpu.Submit(ep.node.P.CopyTime(f.n), cluster.Kernel).OnFire(func(any) {
+				if inb.req != nil {
+					buf := inb.req.Buf()
+					if f.off < len(buf) {
+						copy(buf[f.off:], f.data)
+					}
+					inb.delivered += f.n
+				} else {
+					copy(inb.kbuf[f.off:], f.data)
+					inb.buffered += f.n
+				}
+				ep.maybeComplete(inb)
+			})
+		})
+	})
+}

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+
+	"comb/internal/cluster"
+	"comb/internal/mpi"
+)
+
+// Transport builds MPI endpoints over a simulated cluster.  Rank i is
+// bound to node i.
+type Transport interface {
+	// Name is the transport's registry key (e.g. "gm").
+	Name() string
+	// Offload reports whether the transport provides application offload.
+	Offload() bool
+	// Build attaches one endpoint per node and returns them rank-ordered.
+	// It must be called at most once per System (fabric ports are
+	// exclusive).
+	Build(sys *cluster.System) []mpi.Endpoint
+}
+
+// LinkPreferencer is an optional Transport extension for transports whose
+// interconnect differs from the platform default (Myrinet): the platform
+// builder swaps in the preferred wire before attaching endpoints.
+type LinkPreferencer interface {
+	// PreferredLink returns the link configuration and per-packet wire
+	// header the transport was designed for.
+	PreferredLink() (cluster.LinkConfig, int)
+}
+
+// factories maps registry names to constructors returning a transport
+// with default configuration.
+var factories = map[string]func() Transport{
+	"gm":      func() Transport { return NewGM() },
+	"portals": func() Transport { return NewPortals() },
+	"ideal":   func() Transport { return NewIdeal() },
+	"tcp":     func() Transport { return NewTCP() },
+	"emp":     func() Transport { return NewEMP() },
+}
+
+// ByName returns a freshly-configured transport for name.
+func ByName(name string) (Transport, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown transport %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists registered transports in sorted order.
+func Names() []string {
+	var ns []string
+	for n := range factories {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}

@@ -1,0 +1,375 @@
+package transport
+
+import (
+	"fmt"
+
+	"comb/internal/cluster"
+	"comb/internal/mpi"
+	"comb/internal/sim"
+)
+
+// TCPConfig parameterizes the kernel TCP/IP-over-Fast-Ethernet model — the
+// environment netperf was designed for (paper §5) and the commodity
+// baseline the OS-bypass interconnects of the era were displacing.
+type TCPConfig struct {
+	// TrapCost is the kernel entry/exit cost of one socket syscall.
+	TrapCost sim.Time
+	// InterruptCost is the host cost of one NIC interrupt (data segment
+	// or ACK).
+	InterruptCost sim.Time
+	// SegKernelCost is per-segment TCP/IP protocol processing (header
+	// parsing, ACK clocking) on either side.  On transmit it is charged
+	// at interrupt priority: continuation runs from TX-done interrupts
+	// and softirq context, preempting in-progress syscall copies.
+	SegKernelCost sim.Time
+	// ChecksumBandwidth is the software checksum rate in bytes/sec,
+	// charged on top of the socket copies (no checksum offload in 2002
+	// commodity NICs).
+	ChecksumBandwidth float64
+	// AckEvery is the delayed-ACK ratio: one ACK per this many data
+	// segments.
+	AckEvery int
+	// AckSize is the ACK wire size in bytes.
+	AckSize int
+	// RTO is the retransmission timeout: a message unacknowledged this
+	// long after its last segment left is resent in full (go-back-N at
+	// message granularity).  Era stacks used 200 ms minimum; the default
+	// here is compressed to keep simulations short.
+	RTO sim.Time
+	// LibCopyCost reflects the MPI-library-side matching cost per message
+	// when draining the socket (user priority).
+	LibCopyCost sim.Time
+	// PollCost is charged per library progress poll.
+	PollCost sim.Time
+}
+
+// DefaultTCPConfig returns parameters for a 2002 commodity stack
+// (Linux 2.2/2.4 class).
+func DefaultTCPConfig() TCPConfig {
+	return TCPConfig{
+		TrapCost:          3 * sim.Microsecond,
+		InterruptCost:     8 * sim.Microsecond,
+		SegKernelCost:     10 * sim.Microsecond,
+		ChecksumBandwidth: 300 * cluster.MB,
+		AckEvery:          2,
+		AckSize:           64,
+		RTO:               20 * sim.Millisecond,
+		LibCopyCost:       2 * sim.Microsecond,
+		PollCost:          500 * sim.Nanosecond,
+	}
+}
+
+// TCP models an MPI implementation over kernel TCP/IP sockets on switched
+// 100 Mb/s Ethernet (the MPICH/p4 environment).  The kernel delivers
+// bytes into socket buffers autonomously (interrupt-driven, with copies
+// and software checksums), but MPI matching and the socket→user copy
+// happen only inside library calls, so message completion is
+// library-driven: a hybrid of the paper's two progress disciplines.
+type TCP struct {
+	Config TCPConfig
+}
+
+// NewTCP returns a TCP transport with default configuration.
+func NewTCP() *TCP { return &TCP{Config: DefaultTCPConfig()} }
+
+// Name implements Transport.
+func (t *TCP) Name() string { return "tcp" }
+
+// Offload implements Transport: byte delivery is offloaded to the kernel
+// but MPI-level completion is not, and COMB's PWW method charges the
+// socket-drain copies to the wait phase — no application offload.
+func (t *TCP) Offload() bool { return false }
+
+// PreferredLink implements LinkPreferencer: switched Fast Ethernet.
+func (t *TCP) PreferredLink() (cluster.LinkConfig, int) {
+	return cluster.LinkConfig{
+		Bandwidth: 12.5 * cluster.MB, // 100 Mb/s
+		Latency:   20 * sim.Microsecond,
+		PerPacket: 0, // store-and-forward cost folded into latency
+		MTU:       1460,
+	}, 58 // Ethernet + IP + TCP headers
+}
+
+// Build implements Transport.
+func (t *TCP) Build(sys *cluster.System) []mpi.Endpoint {
+	eps := make([]mpi.Endpoint, len(sys.Nodes))
+	for i, node := range sys.Nodes {
+		ep := &tcpEndpoint{
+			cfg:       t.Config,
+			node:      node,
+			fab:       sys.Fabric,
+			hub:       mpi.NewActivityHub(sys.Env),
+			txKick:    mpi.NewActivityHub(sys.Env),
+			inflight:  make(map[tcpMsgID]*tcpInbound),
+			unacked:   make(map[tcpMsgID]*tcpTx),
+			completed: make(map[tcpMsgID]bool),
+		}
+		sys.Fabric.Attach(node.ID, ep.onPacket)
+		sys.Env.Spawn(fmt.Sprintf("tcp-tx-%d", node.ID), ep.txDriver)
+		eps[i] = ep
+	}
+	return eps
+}
+
+// tcpMsgID identifies one MPI message in the byte stream.
+type tcpMsgID struct {
+	src int
+	seq int64
+}
+
+// tcpSeg is one TCP segment (or ACK) on the wire.
+type tcpSeg struct {
+	id    tcpMsgID
+	src   int
+	tag   int
+	size  int
+	off   int
+	n     int
+	data  []byte
+	last  bool
+	isAck bool
+	// ackDone marks a message-complete acknowledgement for id: the
+	// receiver's reliability layer telling the sender to stop
+	// retransmitting.
+	ackDone bool
+}
+
+// tcpTx is a message queued on the send socket.
+type tcpTx struct {
+	id   tcpMsgID
+	dst  int
+	tag  int
+	data []byte
+}
+
+// tcpInbound is kernel socket-buffer state for one arriving message.
+type tcpInbound struct {
+	id       tcpMsgID
+	src, tag int
+	size     int
+	got      int          // unique bytes landed in the socket buffer
+	data     []byte       // socket buffer contents
+	rcvd     map[int]bool // segment offsets seen (dedup under retransmission)
+}
+
+// tcpEndpoint models the socket API, the kernel TCP/IP stack and the MPI
+// library half for one rank.
+type tcpEndpoint struct {
+	cfg    TCPConfig
+	node   *cluster.Node
+	fab    *cluster.Fabric
+	hub    *mpi.ActivityHub
+	txKick *mpi.ActivityHub
+	m      mpi.Matcher
+	seq    int64
+
+	inflight  map[tcpMsgID]*tcpInbound
+	ready     []*tcpInbound // fully-buffered messages awaiting the library
+	txq       []*tcpTx
+	rxSegs    int64               // delayed-ACK counter
+	unacked   map[tcpMsgID]*tcpTx // sent, awaiting a message-complete ack
+	completed map[tcpMsgID]bool   // messages already delivered (re-ack dups)
+}
+
+func (ep *tcpEndpoint) rank() int { return ep.node.ID }
+
+// Activity implements mpi.Endpoint.
+func (ep *tcpEndpoint) Activity() *sim.Event { return ep.hub.Activity() }
+
+// Offload implements mpi.Endpoint.
+func (ep *tcpEndpoint) Offload() bool { return false }
+
+// MatchState implements mpi.MatchStater, backing MPI_Probe.
+func (ep *tcpEndpoint) MatchState() *mpi.Matcher { return &ep.m }
+
+// hostByteCost returns the kernel CPU time to copy+checksum n bytes.
+func (ep *tcpEndpoint) hostByteCost(n int) sim.Time {
+	return ep.node.P.CopyTime(n) + sim.PerByte(int64(n), ep.cfg.ChecksumBandwidth)
+}
+
+// Isend implements mpi.Endpoint: a write() — trap plus copy+checksum into
+// the socket buffer; the kernel transmits asynchronously.  The request
+// completes when the syscall returns (buffered send).
+func (ep *tcpEndpoint) Isend(p *sim.Proc, r *mpi.Request) {
+	n := len(r.Data())
+	ep.node.CPU.Use(p, ep.cfg.TrapCost, cluster.Kernel)
+	ep.node.CPU.Use(p, ep.hostByteCost(n), cluster.Kernel)
+	id := tcpMsgID{src: ep.rank(), seq: ep.seq}
+	ep.seq++
+	ep.txq = append(ep.txq, &tcpTx{
+		id: id, dst: r.Peer(), tag: r.Tag(),
+		data: append([]byte(nil), r.Data()...),
+	})
+	ep.txKick.Wake()
+	r.Complete(ep.rank(), r.Tag(), n)
+}
+
+// Irecv implements mpi.Endpoint: posting is a library-level operation
+// (sockets have no matching); it drains any already-buffered messages.
+func (ep *tcpEndpoint) Irecv(p *sim.Proc, r *mpi.Request) {
+	if in := ep.m.PostRecv(r); in != nil {
+		ep.deliver(p, r, in)
+	}
+}
+
+// Progress implements mpi.Endpoint: drain fully-buffered socket messages
+// into the MPI matching engine, copying matched payloads to user buffers
+// at user priority (the library does this copy, not the kernel).
+func (ep *tcpEndpoint) Progress(p *sim.Proc) {
+	ep.node.CPU.Use(p, ep.cfg.PollCost, cluster.User)
+	for len(ep.ready) > 0 {
+		inb := ep.ready[0]
+		ep.ready = ep.ready[1:]
+		in := &mpi.Inbound{Src: inb.src, Tag: inb.tag, Size: inb.size, Data: inb.data}
+		if r := ep.m.Arrive(in); r != nil {
+			ep.deliver(p, r, in)
+		}
+	}
+}
+
+// deliver copies a buffered message into the user buffer and completes
+// the receive.
+func (ep *tcpEndpoint) deliver(p *sim.Proc, r *mpi.Request, in *mpi.Inbound) {
+	ep.node.CPU.Use(p, ep.cfg.LibCopyCost, cluster.User)
+	ep.node.Memcpy(p, in.Size, cluster.User)
+	count := copy(r.Buf(), in.Data)
+	if in.Size == 0 {
+		count = 0
+	}
+	r.Complete(in.Src, in.Tag, count)
+}
+
+// txDriver is the kernel transmit half: per-segment protocol processing,
+// paced to the wire.
+func (ep *tcpEndpoint) txDriver(p *sim.Proc) {
+	mtu := ep.fab.Config().MTU
+	hdr := ep.node.P.PacketHeader
+	for {
+		for len(ep.txq) == 0 {
+			p.Await(ep.txKick.Activity())
+		}
+		msg := ep.txq[0]
+		ep.txq = ep.txq[1:]
+		off, rem := 0, len(msg.data)
+		for {
+			n := rem
+			if n > mtu {
+				n = mtu
+			}
+			rem -= n
+			last := rem == 0
+			ep.node.CPU.Use(p, ep.cfg.SegKernelCost, cluster.Interrupt)
+			sentAt := ep.fab.Send(&cluster.Packet{
+				From: ep.rank(), To: msg.dst, Size: n + hdr,
+				Payload: &tcpSeg{
+					id: msg.id, src: ep.rank(), tag: msg.tag, size: len(msg.data),
+					off: off, n: n, data: msg.data[off : off+n], last: last,
+				},
+			})
+			off += n
+			if sentAt > p.Now() {
+				p.Sleep(sentAt - p.Now())
+			}
+			if last {
+				break
+			}
+		}
+		ep.armRetransmit(msg)
+	}
+}
+
+// armRetransmit registers msg as awaiting its message-complete ack and
+// schedules the timeout that re-enqueues it.
+func (ep *tcpEndpoint) armRetransmit(msg *tcpTx) {
+	if ep.cfg.RTO <= 0 {
+		return
+	}
+	ep.unacked[msg.id] = msg
+	ep.node.Env.Schedule(ep.cfg.RTO, func() {
+		if _, waiting := ep.unacked[msg.id]; !waiting {
+			return
+		}
+		// Timed out: the whole message goes back on the send queue
+		// (go-back-N at message granularity, like an era stack after a
+		// coarse RTO).
+		delete(ep.unacked, msg.id)
+		ep.txq = append(ep.txq, msg)
+		ep.txKick.Wake()
+	})
+}
+
+// onPacket is the receive path: interrupt, protocol processing, and the
+// copy+checksum into the socket buffer — all kernel work independent of
+// MPI calls.  ACKs cost an interrupt and protocol processing only.
+func (ep *tcpEndpoint) onPacket(pkt *cluster.Packet) {
+	seg := pkt.Payload.(*tcpSeg)
+	cpu := ep.node.CPU
+	cpu.Submit(ep.cfg.InterruptCost, cluster.Interrupt).OnFire(func(any) {
+		cpu.Submit(ep.cfg.SegKernelCost, cluster.Kernel).OnFire(func(any) {
+			if seg.isAck {
+				if seg.ackDone {
+					delete(ep.unacked, seg.id)
+				}
+				return
+			}
+			cpu.Submit(ep.hostByteCost(seg.n), cluster.Kernel).OnFire(func(any) {
+				ep.acceptSegment(seg)
+			})
+		})
+	})
+}
+
+// acceptSegment lands a data segment in the socket buffer (deduplicating
+// retransmissions), emits delayed ACKs, and hands completed messages to
+// the library with a message-complete ack back to the sender.
+func (ep *tcpEndpoint) acceptSegment(seg *tcpSeg) {
+	// Delayed ACK: one per AckEvery data segments, duplicates included.
+	ep.rxSegs++
+	if ep.cfg.AckEvery > 0 && ep.rxSegs%int64(ep.cfg.AckEvery) == 0 {
+		ep.fab.Send(&cluster.Packet{
+			From: ep.rank(), To: seg.src, Size: ep.cfg.AckSize,
+			Payload: &tcpSeg{isAck: true, src: ep.rank()},
+		})
+	}
+
+	if ep.completed[seg.id] {
+		// A retransmission of something already delivered: the original
+		// complete-ack must have been lost.  Re-ack, discard the data.
+		ep.sendDoneAck(seg)
+		return
+	}
+
+	inb := ep.inflight[seg.id]
+	if inb == nil {
+		inb = &tcpInbound{
+			id: seg.id, src: seg.src, tag: seg.tag, size: seg.size,
+			data: make([]byte, seg.size),
+			rcvd: make(map[int]bool),
+		}
+		ep.inflight[seg.id] = inb
+	}
+	if !inb.rcvd[seg.off] {
+		inb.rcvd[seg.off] = true
+		copy(inb.data[seg.off:], seg.data)
+		inb.got += seg.n
+	}
+
+	if inb.got == inb.size {
+		delete(ep.inflight, seg.id)
+		ep.completed[seg.id] = true
+		ep.sendDoneAck(seg)
+		ep.ready = append(ep.ready, inb)
+		ep.hub.Wake()
+	}
+}
+
+// sendDoneAck tells seg's sender the whole message arrived.
+func (ep *tcpEndpoint) sendDoneAck(seg *tcpSeg) {
+	if ep.cfg.RTO <= 0 {
+		return
+	}
+	ep.fab.Send(&cluster.Packet{
+		From: ep.rank(), To: seg.src, Size: ep.cfg.AckSize,
+		Payload: &tcpSeg{isAck: true, ackDone: true, id: seg.id, src: ep.rank()},
+	})
+}

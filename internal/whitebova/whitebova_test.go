@@ -1,0 +1,69 @@
+package whitebova
+
+import "testing"
+
+func TestBooleanProbeCannotSeparateGMFromPortals(t *testing.T) {
+	// The reason COMB exists: a time-saved overlap probe lumps the two
+	// systems together.  GM saves nothing because communication makes no
+	// progress during work; Portals saves (almost) nothing because its
+	// progress is offloaded but its CPU cost is not — the host pays for
+	// every byte either way.  COMB's wait-time and work-overhead
+	// decomposition (Figures 11-13) is what tells them apart.
+	gm, err := Classify("gm", 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptl, err := Classify("portals", 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Overlaps || ptl.Overlaps {
+		t.Errorf("boolean probe unexpectedly separated the systems: gm=%v ptl=%v", gm, ptl)
+	}
+}
+
+func TestClassifyGMLacksOverlap(t *testing.T) {
+	// Rendezvous-size messages on GM cannot progress during the work
+	// phase, so White & Bova's probe finds (almost) no overlap.
+	r, err := Classify("gm", 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Overlaps {
+		t.Errorf("GM rendezvous should classify as non-overlapping: %v", r)
+	}
+}
+
+func TestClassifyIdealFullOverlap(t *testing.T) {
+	r, err := Classify("ideal", 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverlapFraction < 0.9 {
+		t.Errorf("ideal overlap fraction %.2f, want ~1", r.OverlapFraction)
+	}
+}
+
+func TestSurveyDefaults(t *testing.T) {
+	rs, err := Survey("portals", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("survey returned %d results, want 4 paper sizes", len(rs))
+	}
+	for _, r := range rs {
+		if r.CommOnly <= 0 || r.WorkOnly <= 0 || r.Combined <= 0 {
+			t.Errorf("degenerate timing: %v", r)
+		}
+		if r.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+func TestSurveyUnknownSystem(t *testing.T) {
+	if _, err := Survey("nosuch", []int{1000}); err == nil {
+		t.Fatal("unknown system must fail")
+	}
+}
