@@ -8,19 +8,28 @@
 //	comb pww [flags]                  # one post-work-wait measurement
 //	comb figure <n|all> [flags]       # regenerate paper figure(s) 4-17
 //	comb compare [flags]              # side-by-side system summary
-//	comb assess <system|all>          # full diagnostic report
+//	comb assess <system|all> [flags]  # full diagnostic report
 //	comb sweep [flags]                # custom sweep over systems/sizes/metric
+//	comb cache <clear|stat> [flags]   # manage the on-disk result cache
 //	comb pingpong [flags]             # the pre-COMB microbenchmark view
 //	comb selfcheck                    # verify calibration and headline claims
 //	comb report [flags]               # auto-generated markdown report
+//
+// Sweep-shaped subcommands (figure, sweep, compare, assess, report) run
+// their points on a shared parallel engine: -j bounds the worker count,
+// and results persist in an on-disk cache (results/cache/ by default;
+// -no-cache skips it, `comb cache clear` empties it).  Ctrl-C cancels a
+// running sweep mid-point.
 //
 // Run `comb <subcommand> -h` for flags.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -31,6 +40,7 @@ import (
 	"comb/internal/assess"
 	"comb/internal/pingpong"
 	"comb/internal/report"
+	"comb/internal/runner"
 	"comb/internal/selfcheck"
 	"comb/internal/stats"
 	"comb/internal/sweep"
@@ -41,28 +51,32 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "list":
 		err = cmdList()
 	case "polling":
-		err = cmdPolling(os.Args[2:])
+		err = cmdPolling(ctx, os.Args[2:])
 	case "pww":
-		err = cmdPWW(os.Args[2:])
+		err = cmdPWW(ctx, os.Args[2:])
 	case "figure":
-		err = cmdFigure(os.Args[2:])
+		err = cmdFigure(ctx, os.Args[2:])
 	case "compare":
-		err = cmdCompare(os.Args[2:])
+		err = cmdCompare(ctx, os.Args[2:])
 	case "assess":
-		err = cmdAssess(os.Args[2:])
+		err = cmdAssess(ctx, os.Args[2:])
 	case "sweep":
-		err = cmdSweep(os.Args[2:])
+		err = cmdSweep(ctx, os.Args[2:])
+	case "cache":
+		err = cmdCache(os.Args[2:])
 	case "pingpong":
 		err = cmdPingpong(os.Args[2:])
 	case "selfcheck":
 		err = cmdSelfcheck()
 	case "report":
-		err = cmdReport(os.Args[2:])
+		err = cmdReport(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -87,9 +101,81 @@ subcommands:
   compare   quick side-by-side summary of all systems
   assess    full COMB characterization of one system (or 'all')
   sweep     custom parameter sweep over any systems/sizes/metric
+  cache     manage the on-disk result cache (clear|stat)
   pingpong  classic latency/bandwidth microbenchmark (the pre-COMB view)
   selfcheck verify the reproduction's calibration and headline claims
-  report    write the full reproduction report as markdown`)
+  report    write the full reproduction report as markdown
+
+sweep-shaped subcommands accept -j N (parallel simulations) and cache
+results under results/cache/ (-no-cache to skip, 'comb cache clear' to
+empty)`)
+}
+
+// engineOpts are the execution flags shared by every sweep-shaped
+// subcommand (figure, sweep, compare, assess, report).
+type engineOpts struct {
+	jobs    *int
+	noCache *bool
+	dir     *string
+	retries *int
+}
+
+func addEngineFlags(fs *flag.FlagSet) *engineOpts {
+	return &engineOpts{
+		jobs:    fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS)"),
+		noCache: fs.Bool("no-cache", false, "skip the on-disk result cache"),
+		dir:     fs.String("cache-dir", runner.DefaultCacheDir, "on-disk result cache directory"),
+		retries: fs.Int("retries", 0, "extra attempts for a failed point"),
+	}
+}
+
+// install builds the command's engine, wires the live progress meter, and
+// makes it the sweep default so every path in this process shares one
+// cache.
+func (o *engineOpts) install() *progressMeter {
+	m := &progressMeter{}
+	cfg := runner.Config{
+		Workers:    *o.jobs,
+		Retries:    *o.retries,
+		OnProgress: m.update,
+	}
+	if !*o.noCache {
+		cfg.Disk = runner.Open(*o.dir)
+	}
+	eng := runner.New(cfg)
+	m.eng = eng
+	sweep.DefaultEngine = eng
+	return m
+}
+
+// progressMeter renders a live point counter on stderr while a sweep
+// batch executes.
+type progressMeter struct {
+	eng     *runner.Engine
+	printed bool
+	muted   bool
+}
+
+// update is the engine's progress callback (the engine serializes calls).
+func (m *progressMeter) update(p runner.Progress) {
+	if m.muted || p.Total == 0 {
+		return
+	}
+	st := m.eng.Stats()
+	fmt.Fprintf(os.Stderr, "\r%4d/%d points (ran %d, cache hits %d)",
+		p.Done, p.Total, st.Runs, st.MemHits+st.DiskHits)
+	m.printed = true
+}
+
+// finish terminates the meter line and silences later batches (the
+// shaping pass re-reads every point from the memo, which would otherwise
+// redraw the meter between output tables).
+func (m *progressMeter) finish() {
+	if m.printed {
+		fmt.Fprintln(os.Stderr)
+		m.printed = false
+	}
+	m.muted = true
 }
 
 func cmdList() error {
@@ -104,7 +190,7 @@ func cmdList() error {
 	return nil
 }
 
-func cmdPolling(args []string) error {
+func cmdPolling(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("polling", flag.ExitOnError)
 	system := fs.String("system", "gm", "system to benchmark (gm|portals|ideal)")
 	size := fs.Int("size", 100_000, "message size in bytes")
@@ -117,15 +203,22 @@ func cmdPolling(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, stats, rec, err := comb.RunPollingTraced(*system, *cpus, *traceN, comb.PollingConfig{
-		Config:       comb.Config{MsgSize: *size},
-		PollInterval: *poll,
-		WorkTotal:    *work,
-		QueueDepth:   *queue,
+	out, err := comb.Run(ctx, comb.RunSpec{
+		Method:   comb.MethodPolling,
+		System:   *system,
+		CPUs:     *cpus,
+		TraceCap: *traceN,
+		Polling: &comb.PollingConfig{
+			Config:       comb.Config{MsgSize: *size},
+			PollInterval: *poll,
+			WorkTotal:    *work,
+			QueueDepth:   *queue,
+		},
 	})
 	if err != nil {
 		return err
 	}
+	res := out.Polling
 	fmt.Printf("system          %s\n", *system)
 	fmt.Printf("message size    %d B\n", res.MsgSize)
 	fmt.Printf("poll interval   %d iterations\n", res.PollInterval)
@@ -140,11 +233,11 @@ func cmdPolling(args []string) error {
 		fmt.Printf("system avail    %.3f (node-wide, SMP-safe)\n", res.SystemAvailability)
 	}
 	if *showStats {
-		printStats(stats)
+		printStats(out.Stats)
 	}
-	if rec != nil {
-		fmt.Printf("--- last %d packet deliveries (%s) ---\n", rec.Len(), rec.Summary())
-		if _, err := rec.WriteTo(os.Stdout); err != nil {
+	if out.Trace != nil {
+		fmt.Printf("--- last %d packet deliveries (%s) ---\n", out.Trace.Len(), out.Trace.Summary())
+		if _, err := out.Trace.WriteTo(os.Stdout); err != nil {
 			return err
 		}
 	}
@@ -162,7 +255,7 @@ func printStats(st *comb.RunStats) {
 	}
 }
 
-func cmdPWW(args []string) error {
+func cmdPWW(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("pww", flag.ExitOnError)
 	system := fs.String("system", "gm", "system to benchmark (gm|portals|ideal)")
 	size := fs.Int("size", 100_000, "message size in bytes")
@@ -175,17 +268,23 @@ func cmdPWW(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := comb.RunPWWOn(*system, *cpus, comb.PWWConfig{
-		Config:       comb.Config{MsgSize: *size},
-		WorkInterval: *work,
-		Reps:         *reps,
-		BatchSize:    *batch,
-		TestInWork:   *test,
-		Interleave:   *interleave,
+	out, err := comb.Run(ctx, comb.RunSpec{
+		Method: comb.MethodPWW,
+		System: *system,
+		CPUs:   *cpus,
+		PWW: &comb.PWWConfig{
+			Config:       comb.Config{MsgSize: *size},
+			WorkInterval: *work,
+			Reps:         *reps,
+			BatchSize:    *batch,
+			TestInWork:   *test,
+			Interleave:   *interleave,
+		},
 	})
 	if err != nil {
 		return err
 	}
+	res := out.PWW
 	fmt.Printf("system          %s\n", *system)
 	fmt.Printf("message size    %d B\n", res.MsgSize)
 	fmt.Printf("work interval   %d iterations\n", res.WorkInterval)
@@ -203,12 +302,13 @@ func cmdPWW(args []string) error {
 	return nil
 }
 
-func cmdFigure(args []string) error {
+func cmdFigure(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("figure", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced sweep (one size, fewer points)")
 	chart := fs.Bool("chart", true, "render an ASCII chart")
 	table := fs.Bool("table", false, "print the aligned numeric table")
 	csvDir := fs.String("csv", "", "directory to write figNN.csv files into")
+	eo := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -223,13 +323,33 @@ func cmdFigure(args []string) error {
 	} else {
 		ids = fs.Args()
 	}
+	meter := eo.install()
+	opt := sweep.Options{Quick: *quick, Context: ctx}
+
+	// Expand every requested figure up front and execute the union of
+	// their point lists in one batch: `figure all -j N` parallelizes
+	// across figures, and shared sweeps run exactly once.
+	var figs []sweep.Figure
+	var pts []runner.Point
 	for _, id := range ids {
 		f, err := sweep.ByID(id)
 		if err != nil {
 			return err
 		}
+		figs = append(figs, f)
+		if f.Points != nil {
+			pts = append(pts, f.Points(opt)...)
+		}
+	}
+	err := sweep.DefaultEngine.RunAll(ctx, pts)
+	meter.finish()
+	if err != nil {
+		return err
+	}
+
+	for _, f := range figs {
 		fmt.Fprintf(os.Stderr, "building figure %s (%s)...\n", f.ID, f.Title)
-		tbl, err := f.Build(sweep.Options{Quick: *quick})
+		tbl, err := f.Build(opt)
 		if err != nil {
 			return err
 		}
@@ -261,49 +381,78 @@ func writeCSV(dir, id string, tbl *stats.Table) error {
 	return nil
 }
 
-func cmdAssess(args []string) error {
-	if len(args) < 1 {
+func cmdAssess(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("assess", flag.ExitOnError)
+	eo := addEngineFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
 		return fmt.Errorf("assess: need a system name (%v) or 'all'", comb.Systems())
 	}
-	systems := args
-	if args[0] == "all" {
+	systems := fs.Args()
+	if systems[0] == "all" {
 		systems = comb.Systems()
 	}
+	meter := eo.install()
 	for _, sys := range systems {
-		r, err := assess.Run(sys)
+		r, err := assess.RunContext(ctx, sweep.DefaultEngine, sys)
 		if err != nil {
+			meter.finish()
 			return err
 		}
+		meter.finish()
 		fmt.Println(r)
 	}
 	return nil
 }
 
-func cmdCompare(args []string) error {
+func cmdCompare(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	size := fs.Int("size", 100_000, "message size in bytes")
+	eo := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fmt.Printf("%-10s %14s %14s %14s %14s %10s\n",
-		"system", "poll BW MB/s", "poll avail", "pww wait/msg", "pww overhead", "offload?")
-	for _, sys := range comb.Systems() {
-		p, err := comb.RunPolling(sys, comb.PollingConfig{
+	meter := eo.install()
+	eng := sweep.DefaultEngine
+
+	pollSpec := func(sys string) runner.Point {
+		return runner.Point{System: sys, Polling: &comb.PollingConfig{
 			Config:       comb.Config{MsgSize: *size},
 			PollInterval: 100_000,
 			WorkTotal:    25_000_000,
-		})
-		if err != nil {
-			return err
-		}
-		w, err := comb.RunPWW(sys, comb.PWWConfig{
+		}}
+	}
+	pwwSpec := func(sys string) runner.Point {
+		return runner.Point{System: sys, PWW: &comb.PWWConfig{
 			Config:       comb.Config{MsgSize: *size},
 			WorkInterval: 20_000_000,
 			Reps:         10,
-		})
+		}}
+	}
+	var pts []runner.Point
+	for _, sys := range comb.Systems() {
+		pts = append(pts, pollSpec(sys), pwwSpec(sys))
+	}
+	err := eng.RunAll(ctx, pts)
+	meter.finish()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-10s %14s %14s %14s %14s %10s\n",
+		"system", "poll BW MB/s", "poll avail", "pww wait/msg", "pww overhead", "offload?")
+	for _, sys := range comb.Systems() {
+		pr, err := eng.Run(ctx, pollSpec(sys))
 		if err != nil {
 			return err
 		}
+		wr, err := eng.Run(ctx, pwwSpec(sys))
+		if err != nil {
+			return err
+		}
+		p, w := pr.Polling, wr.PWW
 		// COMB's operational offload test (§4.1): does messaging complete
 		// during a long work phase, leaving (almost) nothing to wait for?
 		offload := "no"
@@ -317,7 +466,7 @@ func cmdCompare(args []string) error {
 }
 
 // cmdSweep runs a custom sweep: any method, systems, sizes and metric.
-func cmdSweep(args []string) error {
+func cmdSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	method := fs.String("method", "polling", "benchmark method (polling|pww)")
 	systems := fs.String("systems", "gm,portals", "comma-separated system list")
@@ -330,6 +479,7 @@ func cmdSweep(args []string) error {
 	chart := fs.Bool("chart", true, "render an ASCII chart")
 	table := fs.Bool("table", false, "print the aligned numeric table")
 	csvOut := fs.Bool("csv", false, "print CSV to stdout")
+	eo := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -357,6 +507,24 @@ func cmdSweep(args []string) error {
 		tbl.XLabel = "Work Interval (loop iterations)"
 	default:
 		return fmt.Errorf("sweep: unknown method %q", *method)
+	}
+
+	meter := eo.install()
+	// Warm the whole grid through the worker pool, then shape serially
+	// off the memo.
+	var pts []runner.Point
+	for _, sys := range sysList {
+		sys = strings.TrimSpace(sys)
+		for _, size := range sizeList {
+			for _, x := range axis {
+				pts = append(pts, sweepPointSpec(*method, sys, size, x))
+			}
+		}
+	}
+	err := sweep.DefaultEngine.RunAll(ctx, pts)
+	meter.finish()
+	if err != nil {
+		return err
 	}
 
 	for _, sys := range sysList {
@@ -388,6 +556,23 @@ func cmdSweep(args []string) error {
 		fmt.Print(tbl.CSV())
 	}
 	return nil
+}
+
+// sweepPointSpec mirrors sweepPoint's configs as runner points for the
+// parallel prewarm.
+func sweepPointSpec(method, sys string, size int, x int64) runner.Point {
+	if method == "pww" {
+		return runner.Point{System: sys, PWW: &comb.PWWConfig{
+			Config:       comb.Config{MsgSize: size},
+			WorkInterval: x,
+			Reps:         20,
+		}}
+	}
+	return runner.Point{System: sys, Polling: &comb.PollingConfig{
+		Config:       comb.Config{MsgSize: size},
+		PollInterval: x,
+		WorkTotal:    sweep.WorkTotalFor(x),
+	}}
 }
 
 // sweepPoint measures one (method, system, size, x) point and extracts
@@ -429,15 +614,52 @@ func sweepPoint(method, metric, sys string, size int, x int64) (float64, error) 
 	return 0, fmt.Errorf("sweep: unknown method %q", method)
 }
 
+// cmdCache manages the persistent on-disk result cache.
+func cmdCache(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("cache: need a subcommand (clear|stat)")
+	}
+	fs := flag.NewFlagSet("cache", flag.ExitOnError)
+	dir := fs.String("dir", runner.DefaultCacheDir, "cache directory")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	c := runner.Open(*dir)
+	switch args[0] {
+	case "clear":
+		n, err := c.Clear()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("removed %d cache entr%s from %s\n", n, plural(n, "y", "ies"), c.Dir())
+		return nil
+	case "stat":
+		fmt.Printf("%s: %d entr%s (schema v%d)\n", c.Dir(), c.Len(), plural(c.Len(), "y", "ies"), runner.SchemaVersion)
+		return nil
+	default:
+		return fmt.Errorf("cache: unknown subcommand %q (clear|stat)", args[0])
+	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
 // cmdReport writes the auto-generated reproduction report.
-func cmdReport(args []string) error {
+func cmdReport(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced figure sweeps")
 	out := fs.String("o", "", "output file (default stdout)")
 	rows := fs.Int("rows", 0, "max data rows per figure (0 = all)")
+	eo := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	meter := eo.install()
+	defer meter.finish()
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -447,7 +669,7 @@ func cmdReport(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	return report.Write(w, report.Options{Quick: *quick, MaxRowsPerFigure: *rows})
+	return report.Write(w, report.Options{Quick: *quick, MaxRowsPerFigure: *rows, Context: ctx})
 }
 
 // cmdSelfcheck verifies the reproduction's headline claims.

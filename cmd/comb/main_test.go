@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -64,36 +65,54 @@ func TestWriteCSV(t *testing.T) {
 }
 
 func TestCommandFunctions(t *testing.T) {
-	// The plumbing-level command handlers, driven directly.
+	// The plumbing-level command handlers, driven directly.  -no-cache
+	// keeps test runs from writing results/cache/ into the repo.
+	ctx := context.Background()
 	if err := cmdList(); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdPolling([]string{"-system", "ideal", "-work", "5000000"}); err != nil {
+	if err := cmdPolling(ctx, []string{"-system", "ideal", "-work", "5000000"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdPWW([]string{"-system", "ideal", "-reps", "3"}); err != nil {
+	if err := cmdPWW(ctx, []string{"-system", "ideal", "-reps", "3"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdFigure([]string{}); err == nil {
+	if err := cmdFigure(ctx, []string{"-no-cache"}); err == nil {
 		t.Fatal("figure without args must fail")
 	}
-	if err := cmdFigure([]string{"-quick", "-chart=false", "13"}); err != nil {
+	if err := cmdFigure(ctx, []string{"-quick", "-chart=false", "-no-cache", "13"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdAssess(nil); err == nil {
+	if err := cmdAssess(ctx, []string{"-no-cache"}); err == nil {
 		t.Fatal("assess without args must fail")
 	}
-	if err := cmdSweep([]string{"-systems", "ideal", "-from", "100000", "-to", "1000000",
-		"-points", "1", "-chart=false"}); err != nil {
+	if err := cmdSweep(ctx, []string{"-systems", "ideal", "-from", "100000", "-to", "1000000",
+		"-points", "1", "-chart=false", "-no-cache"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdSweep([]string{"-sizes", "abc"}); err == nil {
+	if err := cmdSweep(ctx, []string{"-sizes", "abc", "-no-cache"}); err == nil {
 		t.Fatal("bad sizes must fail")
 	}
-	if err := cmdSweep([]string{"-method", "bogus"}); err == nil {
+	if err := cmdSweep(ctx, []string{"-method", "bogus", "-no-cache"}); err == nil {
 		t.Fatal("bad method must fail")
 	}
 	if err := cmdPingpong([]string{"-systems", "ideal", "-reps", "3"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCacheCommand(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdCache([]string{"stat", "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCache([]string{"clear", "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCache(nil); err == nil {
+		t.Fatal("cache without args must fail")
+	}
+	if err := cmdCache([]string{"bogus"}); err == nil {
+		t.Fatal("unknown cache subcommand must fail")
 	}
 }

@@ -1,6 +1,8 @@
 package comb
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"comb/internal/cluster"
@@ -34,49 +36,82 @@ type (
 	Table = stats.Table
 	// FigureSpec describes one reproducible paper figure.
 	FigureSpec = sweep.Figure
+	// Trace is a packet-level recording of the last fabric deliveries.
+	Trace = trace.Recorder
 )
 
 // Systems lists the available simulated messaging systems ("gm",
 // "portals", "ideal").
 func Systems() []string { return transport.Names() }
 
-// RunPolling runs one polling-method measurement of the named system on a
-// freshly built two-node simulation and returns the worker's result.
-func RunPolling(system string, cfg PollingConfig) (*PollingResult, error) {
-	return sweep.RunPollingOnce(system, cfg)
+// Method selects which COMB method a RunSpec executes.
+type Method string
+
+const (
+	// MethodPolling is the paper's §2.1 polling method.
+	MethodPolling Method = "polling"
+	// MethodPWW is the paper's §2.2 post-work-wait method.
+	MethodPWW Method = "pww"
+)
+
+// RunSpec describes one measurement for Run: the method, the simulated
+// system, and the method's configuration.
+//
+// The method configs are pointers so that "unset" is distinguishable from
+// a zero-valued config: a nil pointer for the selected method is an
+// error (the primary experiment variable has no default), while zero
+// fields inside a supplied config follow the documented zero-means-default
+// convention (see Config).
+type RunSpec struct {
+	// Method picks the benchmark method.  Empty infers it from whichever
+	// config pointer is set.
+	Method Method
+	// System is the simulated messaging system ("gm", "portals", ...).
+	System string
+	// CPUs is the processors-per-node override; 0 or 1 reproduces the
+	// paper's uniprocessor testbed.  Multi-processor nodes implement the
+	// paper's §7 future work: compare the result's Availability (the
+	// classic single-process metric, which SMP inflates) with
+	// SystemAvailability (the node-wide metric, which SMP does not fool).
+	CPUs int
+	// TraceCap, when > 0, records the last TraceCap packet-level fabric
+	// deliveries into RunResult.Trace.
+	TraceCap int
+	// Polling configures MethodPolling; it must be non-nil for that
+	// method.
+	Polling *PollingConfig
+	// PWW configures MethodPWW; it must be non-nil for that method.
+	PWW *PWWConfig
 }
 
-// RunPWW runs one post-work-wait measurement of the named system and
-// returns the worker's result.
-func RunPWW(system string, cfg PWWConfig) (*PWWResult, error) {
-	return sweep.RunPWWOnce(system, cfg)
-}
-
-// RunPollingOn is RunPolling with a processors-per-node override (cpus 0
-// or 1 reproduces the paper's uniprocessor testbed).  Multi-processor
-// nodes implement the paper's §7 future work: compare the result's
-// Availability (the classic single-process metric, which SMP inflates)
-// with SystemAvailability (the node-wide metric, which SMP does not fool).
-func RunPollingOn(system string, cpus int, cfg PollingConfig) (*PollingResult, error) {
-	var res *PollingResult
-	var ferr error
-	err := machine.Run(platform.Config{Transport: system, CPUs: cpus}, func(m Machine) {
-		r, err := core.RunPolling(m, cfg)
-		if err != nil {
-			ferr = err
-			return
+// method resolves the spec's method, inferring it from the config
+// pointers when unset.
+func (s RunSpec) method() (Method, error) {
+	switch s.Method {
+	case MethodPolling:
+		if s.Polling == nil {
+			return "", fmt.Errorf("comb: %s run needs a non-nil Polling config (PollInterval has no default)", s.Method)
 		}
-		if r != nil {
-			res = r
+		return s.Method, nil
+	case MethodPWW:
+		if s.PWW == nil {
+			return "", fmt.Errorf("comb: %s run needs a non-nil PWW config (WorkInterval has no default)", s.Method)
 		}
-	})
-	if err == nil {
-		err = ferr
+		return s.Method, nil
+	case "":
+		switch {
+		case s.Polling != nil && s.PWW != nil:
+			return "", fmt.Errorf("comb: RunSpec sets both Polling and PWW configs; set Method to disambiguate")
+		case s.Polling != nil:
+			return MethodPolling, nil
+		case s.PWW != nil:
+			return MethodPWW, nil
+		default:
+			return "", fmt.Errorf("comb: RunSpec needs a method config (Polling or PWW)")
+		}
+	default:
+		return "", fmt.Errorf("comb: unknown method %q (have %q, %q)", s.Method, MethodPolling, MethodPWW)
 	}
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
 }
 
 // NodeCPU is one node's CPU-time breakdown over a whole run.
@@ -98,44 +133,78 @@ type RunStats struct {
 	CPUs []NodeCPU
 }
 
-// RunPollingStats is RunPollingOn plus the hardware counters.
-func RunPollingStats(system string, cpus int, cfg PollingConfig) (*PollingResult, *RunStats, error) {
-	res, st, _, err := RunPollingTraced(system, cpus, 0, cfg)
-	return res, st, err
+// RunResult bundles everything one Run produced: the method result
+// (exactly one of Polling/PWW is set, matching the spec), the hardware
+// counters, and the optional packet trace.
+type RunResult struct {
+	// Polling is set for MethodPolling runs.
+	Polling *PollingResult
+	// PWW is set for MethodPWW runs.
+	PWW *PWWResult
+	// Stats holds the run's hardware counters (always present).
+	Stats *RunStats
+	// Trace holds the last RunSpec.TraceCap packet deliveries, or nil
+	// when tracing was off.
+	Trace *Trace
 }
 
-// RunPollingTraced is RunPollingStats plus a packet-level trace of the
-// last traceCap fabric deliveries (nil recorder when traceCap is 0).
-func RunPollingTraced(system string, cpus, traceCap int, cfg PollingConfig) (*PollingResult, *RunStats, *trace.Recorder, error) {
-	var res *PollingResult
-	var ferr error
-	in, err := platform.New(platform.Config{Transport: system, CPUs: cpus})
+// Run executes one COMB measurement described by spec on a freshly built
+// simulation and returns the worker's result plus hardware counters.  It
+// is the single entry point behind the deprecated RunPolling*/RunPWW*
+// helpers.  A cancelled ctx tears the simulation down mid-run and returns
+// ctx.Err().
+func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	m, err := spec.method()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
+	}
+	in, err := platform.New(platform.Config{Transport: spec.System, CPUs: spec.CPUs})
+	if err != nil {
+		return nil, err
 	}
 	defer in.Close()
 	var rec *trace.Recorder
-	if traceCap > 0 {
-		rec = trace.NewRecorder(traceCap)
+	if spec.TraceCap > 0 {
+		rec = trace.NewRecorder(spec.TraceCap)
 		trace.AttachFabric(rec, in.Sys)
 	}
-	err = in.Run(func(p *sim.Proc, c *mpi.Comm) {
-		r, err := core.RunPolling(machine.NewSim(p, c, in.Sys.Nodes[c.Rank()]), cfg)
-		if err != nil {
-			ferr = err
-			return
-		}
-		if r != nil {
-			res = r
+	out := &RunResult{}
+	var ferr error
+	err = in.RunContext(ctx, func(p *sim.Proc, c *mpi.Comm) {
+		mach := machine.NewSim(p, c, in.Sys.Nodes[c.Rank()])
+		switch m {
+		case MethodPolling:
+			r, err := core.RunPolling(mach, *spec.Polling)
+			if err != nil {
+				ferr = err
+				return
+			}
+			if r != nil {
+				out.Polling = r
+			}
+		case MethodPWW:
+			r, err := core.RunPWW(mach, *spec.PWW)
+			if err != nil {
+				ferr = err
+				return
+			}
+			if r != nil {
+				out.PWW = r
+			}
 		}
 	})
 	if err == nil {
 		err = ferr
 	}
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	return res, snapshot(in), rec, nil
+	if out.Polling == nil && out.PWW == nil {
+		return nil, fmt.Errorf("comb: %s run produced no worker result", m)
+	}
+	out.Stats = snapshot(in)
+	out.Trace = rec
+	return out, nil
 }
 
 // snapshot collects hardware counters from a finished instance.
@@ -154,38 +223,95 @@ func snapshot(in *platform.Instance) *RunStats {
 	return st
 }
 
-// RunPWWOn is RunPWW with a processors-per-node override; see RunPollingOn.
-func RunPWWOn(system string, cpus int, cfg PWWConfig) (*PWWResult, error) {
-	var res *PWWResult
-	var ferr error
-	err := machine.Run(platform.Config{Transport: system, CPUs: cpus}, func(m Machine) {
-		r, err := core.RunPWW(m, cfg)
-		if err != nil {
-			ferr = err
-			return
-		}
-		if r != nil {
-			res = r
-		}
-	})
-	if err == nil {
-		err = ferr
-	}
+// RunPolling runs one polling-method measurement of the named system on a
+// freshly built two-node simulation and returns the worker's result.
+//
+// Deprecated: use Run with a RunSpec{Method: MethodPolling}.
+func RunPolling(system string, cfg PollingConfig) (*PollingResult, error) {
+	res, err := Run(context.Background(), RunSpec{Method: MethodPolling, System: system, Polling: &cfg})
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return res.Polling, nil
+}
+
+// RunPollingOn is RunPolling with a processors-per-node override.
+//
+// Deprecated: use Run with a RunSpec{Method: MethodPolling, CPUs: cpus}.
+func RunPollingOn(system string, cpus int, cfg PollingConfig) (*PollingResult, error) {
+	res, err := Run(context.Background(), RunSpec{Method: MethodPolling, System: system, CPUs: cpus, Polling: &cfg})
+	if err != nil {
+		return nil, err
+	}
+	return res.Polling, nil
+}
+
+// RunPollingStats is RunPollingOn plus the hardware counters.
+//
+// Deprecated: use Run; RunResult.Stats is always populated.
+func RunPollingStats(system string, cpus int, cfg PollingConfig) (*PollingResult, *RunStats, error) {
+	res, err := Run(context.Background(), RunSpec{Method: MethodPolling, System: system, CPUs: cpus, Polling: &cfg})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Polling, res.Stats, nil
+}
+
+// RunPollingTraced is RunPollingStats plus a packet-level trace of the
+// last traceCap fabric deliveries (nil recorder when traceCap is 0).
+//
+// Deprecated: use Run with RunSpec.TraceCap.
+func RunPollingTraced(system string, cpus, traceCap int, cfg PollingConfig) (*PollingResult, *RunStats, *trace.Recorder, error) {
+	res, err := Run(context.Background(), RunSpec{
+		Method: MethodPolling, System: system, CPUs: cpus, TraceCap: traceCap, Polling: &cfg,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res.Polling, res.Stats, res.Trace, nil
+}
+
+// RunPWW runs one post-work-wait measurement of the named system and
+// returns the worker's result.
+//
+// Deprecated: use Run with a RunSpec{Method: MethodPWW}.
+func RunPWW(system string, cfg PWWConfig) (*PWWResult, error) {
+	res, err := Run(context.Background(), RunSpec{Method: MethodPWW, System: system, PWW: &cfg})
+	if err != nil {
+		return nil, err
+	}
+	return res.PWW, nil
+}
+
+// RunPWWOn is RunPWW with a processors-per-node override; see
+// RunSpec.CPUs.
+//
+// Deprecated: use Run with a RunSpec{Method: MethodPWW, CPUs: cpus}.
+func RunPWWOn(system string, cpus int, cfg PWWConfig) (*PWWResult, error) {
+	res, err := Run(context.Background(), RunSpec{Method: MethodPWW, System: system, CPUs: cpus, PWW: &cfg})
+	if err != nil {
+		return nil, err
+	}
+	return res.PWW, nil
 }
 
 // Figures lists every reproducible evaluation figure (paper Figures 4-17).
 func Figures() []FigureSpec { return sweep.Figures() }
 
 // BuildFigure regenerates the paper figure with the given number.  Quick
-// mode shrinks the sweep for fast smoke runs.
+// mode shrinks the sweep for fast smoke runs.  Points execute in parallel
+// on the sweep package's default engine; use BuildFigureContext for
+// cancellation or a custom engine.
 func BuildFigure(id string, quick bool) (*Table, error) {
+	return BuildFigureContext(context.Background(), id, quick)
+}
+
+// BuildFigureContext is BuildFigure under a context: a cancelled ctx
+// stops the sweep between (and inside) points.
+func BuildFigureContext(ctx context.Context, id string, quick bool) (*Table, error) {
 	f, err := sweep.ByID(id)
 	if err != nil {
 		return nil, err
 	}
-	return f.Build(sweep.Options{Quick: quick})
+	return f.Build(sweep.Options{Quick: quick, Context: ctx})
 }

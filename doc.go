@@ -12,19 +12,37 @@
 // application offload).  See DESIGN.md for the full inventory and
 // EXPERIMENTS.md for paper-versus-measured results.
 //
-// Quick use:
+// Quick use — one measurement goes through Run, the single context-aware
+// entry point:
 //
-//	res, err := comb.RunPolling("gm", comb.PollingConfig{
-//		Config:       comb.Config{MsgSize: 100_000},
-//		PollInterval: 100_000,
-//		WorkTotal:    25_000_000,
+//	res, err := comb.Run(ctx, comb.RunSpec{
+//		Method: comb.MethodPolling,
+//		System: "gm",
+//		Polling: &comb.PollingConfig{
+//			Config:       comb.Config{MsgSize: 100_000},
+//			PollInterval: 100_000,
+//			WorkTotal:    25_000_000,
+//		},
 //	})
-//	fmt.Println(res) // bandwidth + CPU availability
+//	fmt.Println(res.Polling) // bandwidth + CPU availability
 //
-// or regenerate a paper figure:
+// RunSpec selects the method (inferred when exactly one config pointer is
+// set), system, processors per node, and optional packet tracing;
+// RunResult bundles the method result, hardware counters, and trace.  A
+// cancelled ctx tears the simulation down mid-run.  The older
+// RunPolling*/RunPWW* helpers remain as deprecated wrappers over Run.
+//
+// Regenerating a paper figure:
 //
 //	tbl, err := comb.BuildFigure("11", false)
 //	fmt.Print(tbl.Text())
 //
-// The cmd/comb command wraps all of this for the terminal.
+// Figure sweeps execute on internal/runner's parallel engine (bounded
+// worker pool, in-memory memo plus optional on-disk cache); the
+// simulation's determinism makes parallel builds byte-identical to serial
+// ones.  BuildFigureContext is the cancellable variant.
+//
+// The cmd/comb command wraps all of this for the terminal, adding -j
+// (parallelism), a persistent results/cache/ tier, and `comb cache`
+// management.
 package comb

@@ -8,11 +8,13 @@
 package assess
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"comb/internal/core"
+	"comb/internal/runner"
 	"comb/internal/sweep"
 )
 
@@ -54,90 +56,104 @@ const (
 	sizeSmall = 10_000
 	sizeLarge = 100_000
 
-	pollAtPeak  = 10_000
-	pollAtIdle  = 100_000_000
-	workShort   = 100_000
-	workLong    = 20_000_000
-	assessReps  = 10
-	assessWorkT = 25_000_000
+	pollAtPeak   = 10_000
+	pollAtIdle   = 100_000_000
+	workShort    = 100_000
+	workLong     = 20_000_000
+	progressWork = 5_000_000 // work interval for the §4.3 MPI_Test probe
+	assessReps   = 10
+	assessWorkT  = 25_000_000
 )
 
-// Run characterizes the named system.
+// battery is the fixed measurement plan Run executes: seven points that
+// together answer the paper's §4 questions.
+func battery(system string) []runner.Point {
+	poll := func(size int, interval, workTotal int64) runner.Point {
+		return runner.Point{System: system, Polling: &core.PollingConfig{
+			Config:       core.Config{MsgSize: size},
+			PollInterval: interval,
+			WorkTotal:    workTotal,
+		}}
+	}
+	pww := func(work int64, testInWork bool) runner.Point {
+		return runner.Point{System: system, PWW: &core.PWWConfig{
+			Config:       core.Config{MsgSize: sizeLarge},
+			WorkInterval: work,
+			Reps:         assessReps,
+			TestInWork:   testInWork,
+		}}
+	}
+	return []runner.Point{
+		poll(sizeLarge, pollAtPeak, assessWorkT),   // peak operating point
+		poll(sizeLarge, pollAtIdle, 10*pollAtIdle), // idle availability
+		poll(sizeSmall, pollAtPeak, assessWorkT),   // eager-size signature
+		pww(workLong, false),                       // offload probe
+		pww(workShort, false),                      // short-work wait baseline
+		pww(progressWork, true),                    // §4.3 MPI_Test probe
+		pww(progressWork, false),                   // ... and its control
+	}
+}
+
+// Run characterizes the named system on the sweep package's default
+// engine.
 func Run(system string) (*Report, error) {
+	return RunContext(context.Background(), sweep.DefaultEngine, system)
+}
+
+// RunContext characterizes the named system: the COMB battery executes
+// across eng's worker pool (and cache tiers), then the report is read off
+// the cached points.
+func RunContext(ctx context.Context, eng *runner.Engine, system string) (*Report, error) {
+	pts := battery(system)
+	if err := eng.RunAll(ctx, pts); err != nil {
+		return nil, err
+	}
+	get := func(i int) (*runner.Result, error) { return eng.Run(ctx, pts[i]) }
+
 	r := &Report{System: system}
+	peak, err := get(0)
+	if err != nil {
+		return nil, err
+	}
+	r.PeakBandwidth = peak.Polling.BandwidthMBs
+	r.AvailabilityAtPeak = peak.Polling.Availability
+	r.LargeMsgAvailability = peak.Polling.Availability
 
-	peak, err := sweep.RunPollingOnce(system, core.PollingConfig{
-		Config:       core.Config{MsgSize: sizeLarge},
-		PollInterval: pollAtPeak,
-		WorkTotal:    assessWorkT,
-	})
+	idle, err := get(1)
 	if err != nil {
 		return nil, err
 	}
-	r.PeakBandwidth = peak.BandwidthMBs
-	r.AvailabilityAtPeak = peak.Availability
-	r.LargeMsgAvailability = peak.Availability
+	r.BestAvailability = idle.Polling.Availability
 
-	idle, err := sweep.RunPollingOnce(system, core.PollingConfig{
-		Config:       core.Config{MsgSize: sizeLarge},
-		PollInterval: pollAtIdle,
-		WorkTotal:    10 * pollAtIdle,
-	})
+	small, err := get(2)
 	if err != nil {
 		return nil, err
 	}
-	r.BestAvailability = idle.Availability
+	r.SmallMsgAvailability = small.Polling.Availability
 
-	small, err := sweep.RunPollingOnce(system, core.PollingConfig{
-		Config:       core.Config{MsgSize: sizeSmall},
-		PollInterval: pollAtPeak,
-		WorkTotal:    assessWorkT,
-	})
+	long, err := get(3)
 	if err != nil {
 		return nil, err
 	}
-	r.SmallMsgAvailability = small.Availability
+	short, err := get(4)
+	if err != nil {
+		return nil, err
+	}
+	r.LongWait = long.PWW.AvgWait
+	r.ShortWait = short.PWW.AvgWait
+	r.Offload = long.PWW.AvgWait < long.PWW.AvgWorkOnly/100
+	r.WorkOverhead = long.PWW.WorkOverhead
 
-	long, err := sweep.RunPWWOnce(system, core.PWWConfig{
-		Config:       core.Config{MsgSize: sizeLarge},
-		WorkInterval: workLong,
-		Reps:         assessReps,
-	})
+	tiw, err := get(5)
 	if err != nil {
 		return nil, err
 	}
-	short, err := sweep.RunPWWOnce(system, core.PWWConfig{
-		Config:       core.Config{MsgSize: sizeLarge},
-		WorkInterval: workShort,
-		Reps:         assessReps,
-	})
+	plain, err := get(6)
 	if err != nil {
 		return nil, err
 	}
-	r.LongWait = long.AvgWait
-	r.ShortWait = short.AvgWait
-	r.Offload = long.AvgWait < long.AvgWorkOnly/100
-	r.WorkOverhead = long.WorkOverhead
-
-	tiw, err := sweep.RunPWWOnce(system, core.PWWConfig{
-		Config:       core.Config{MsgSize: sizeLarge},
-		WorkInterval: 5_000_000,
-		Reps:         assessReps,
-		TestInWork:   true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	plain, err := sweep.RunPWWOnce(system, core.PWWConfig{
-		Config:       core.Config{MsgSize: sizeLarge},
-		WorkInterval: 5_000_000,
-		Reps:         assessReps,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if plain.BandwidthMBs > 0 {
-		r.TestGain = tiw.BandwidthMBs/plain.BandwidthMBs - 1
+	if plain.PWW.BandwidthMBs > 0 {
+		r.TestGain = tiw.PWW.BandwidthMBs/plain.PWW.BandwidthMBs - 1
 	}
 	return r, nil
 }

@@ -18,15 +18,28 @@ const (
 )
 
 // Config holds the parameters shared by both COMB methods.
+//
+// Zero-value convention: on every field of Config, PollingConfig and
+// PWWConfig a zero value means "unset — use the documented default";
+// SetDefaults rewrites it.  A zero value never survives into a run, so a
+// field can not request a literal zero (e.g. an empty message): Validate
+// rejects zero and negative values symmetrically, after defaulting.
+// Fields whose default is "the primary experiment variable" (PollInterval,
+// WorkInterval) have no default and must be set explicitly.
 type Config struct {
-	// MsgSize is the payload size in bytes.
+	// MsgSize is the payload size in bytes.  Zero means unset and selects
+	// DefaultMsgSize; negative values are rejected.  A literal zero-byte
+	// message cannot be requested.
 	MsgSize int
 	// Tag is the MPI tag for benchmark data messages.  Tag+1 and Tag+2
-	// are reserved for the polling method's termination handshake.
+	// are reserved for the polling method's termination handshake.  Zero
+	// means unset and selects DefaultTag; values < 1 after defaulting are
+	// rejected.
 	Tag int
 }
 
-func (c *Config) setDefaults() {
+// SetDefaults rewrites unset (zero) fields to their documented defaults.
+func (c *Config) SetDefaults() {
 	if c.MsgSize == 0 {
 		c.MsgSize = DefaultMsgSize
 	}
@@ -35,12 +48,15 @@ func (c *Config) setDefaults() {
 	}
 }
 
-func (c *Config) validate() error {
-	if c.MsgSize < 0 {
-		return fmt.Errorf("core: negative message size %d", c.MsgSize)
+// Validate checks the configuration after defaulting.  Zero and negative
+// values are rejected symmetrically on every field: zero means "unset"
+// (call SetDefaults first), it never means a literal zero parameter.
+func (c *Config) Validate() error {
+	if c.MsgSize < 1 {
+		return fmt.Errorf("core: message size %d must be >= 1 (zero means unset; see Config.SetDefaults)", c.MsgSize)
 	}
 	if c.Tag < 1 {
-		return fmt.Errorf("core: tag %d must be >= 1", c.Tag)
+		return fmt.Errorf("core: tag %d must be >= 1 (zero means unset; see Config.SetDefaults)", c.Tag)
 	}
 	return nil
 }
@@ -49,18 +65,22 @@ func (c *Config) validate() error {
 type PollingConfig struct {
 	Config
 	// PollInterval is the number of empty-loop iterations between
-	// completion polls — the method's primary variable.
+	// completion polls — the method's primary variable.  It has no
+	// default: it must be >= 1.
 	PollInterval int64
 	// WorkTotal is the fixed amount of work (iterations) performed over
-	// the whole measurement, with and without messaging.
+	// the whole measurement, with and without messaging.  Zero selects
+	// DefaultWorkTotal.
 	WorkTotal int64
 	// QueueDepth is the number of messages kept in flight in each
 	// direction.  Depth 1 degenerates to a standard ping-pong (§2.1).
+	// Zero selects DefaultQueueDepth.
 	QueueDepth int
 }
 
-func (c *PollingConfig) setDefaults() {
-	c.Config.setDefaults()
+// SetDefaults rewrites unset (zero) fields to their documented defaults.
+func (c *PollingConfig) SetDefaults() {
+	c.Config.SetDefaults()
 	if c.WorkTotal == 0 {
 		c.WorkTotal = DefaultWorkTotal
 	}
@@ -69,18 +89,20 @@ func (c *PollingConfig) setDefaults() {
 	}
 }
 
-func (c *PollingConfig) validate() error {
-	if err := c.Config.validate(); err != nil {
+// Validate checks the configuration after defaulting; see Config.Validate
+// for the zero-value convention.
+func (c *PollingConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
 		return err
 	}
 	if c.PollInterval < 1 {
-		return fmt.Errorf("core: poll interval %d must be >= 1", c.PollInterval)
+		return fmt.Errorf("core: poll interval %d must be >= 1 (it has no default)", c.PollInterval)
 	}
 	if c.WorkTotal < 1 {
-		return fmt.Errorf("core: work total %d must be >= 1", c.WorkTotal)
+		return fmt.Errorf("core: work total %d must be >= 1 (zero means unset)", c.WorkTotal)
 	}
 	if c.QueueDepth < 1 {
-		return fmt.Errorf("core: queue depth %d must be >= 1", c.QueueDepth)
+		return fmt.Errorf("core: queue depth %d must be >= 1 (zero means unset)", c.QueueDepth)
 	}
 	return nil
 }
@@ -89,13 +111,15 @@ func (c *PollingConfig) validate() error {
 type PWWConfig struct {
 	Config
 	// WorkInterval is the number of iterations in each work phase — the
-	// method's primary variable.
+	// method's primary variable.  It has no default: it must be >= 1.
 	WorkInterval int64
-	// Reps is the number of post-work-wait cycles measured.
+	// Reps is the number of post-work-wait cycles measured.  Zero selects
+	// DefaultReps.
 	Reps int
 	// BatchSize is the number of messages posted per cycle in each
 	// direction.  (Earlier versions of the benchmark interleaved 3-4
 	// batches; one pipelined batch is equivalent and simpler, §4.3.)
+	// Zero selects DefaultBatchSize.
 	BatchSize int
 	// TestInWork plants a single MPI_Test early in the work phase — the
 	// paper's §4.3 experiment showing that one library call restores
@@ -105,15 +129,16 @@ type PWWConfig struct {
 	// paper's earlier PWW versions ("interleaved three and four batches
 	// of messages such that after completion of one batch the
 	// communication pipeline was still occupied with a following
-	// batch").  1 (the default) is the published method; larger values
+	// batch").  Zero selects 1, the published method; larger values
 	// intersperse the MPI calls of neighbouring batches inside the timed
 	// cycle, which §4.3 notes makes the results redundant with the
 	// polling method.
 	Interleave int
 }
 
-func (c *PWWConfig) setDefaults() {
-	c.Config.setDefaults()
+// SetDefaults rewrites unset (zero) fields to their documented defaults.
+func (c *PWWConfig) SetDefaults() {
+	c.Config.SetDefaults()
 	if c.Reps == 0 {
 		c.Reps = DefaultReps
 	}
@@ -125,21 +150,23 @@ func (c *PWWConfig) setDefaults() {
 	}
 }
 
-func (c *PWWConfig) validate() error {
-	if err := c.Config.validate(); err != nil {
+// Validate checks the configuration after defaulting; see Config.Validate
+// for the zero-value convention.
+func (c *PWWConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
 		return err
 	}
 	if c.WorkInterval < 1 {
-		return fmt.Errorf("core: work interval %d must be >= 1", c.WorkInterval)
+		return fmt.Errorf("core: work interval %d must be >= 1 (it has no default)", c.WorkInterval)
 	}
 	if c.Reps < 1 {
-		return fmt.Errorf("core: reps %d must be >= 1", c.Reps)
+		return fmt.Errorf("core: reps %d must be >= 1 (zero means unset)", c.Reps)
 	}
 	if c.BatchSize < 1 {
-		return fmt.Errorf("core: batch size %d must be >= 1", c.BatchSize)
+		return fmt.Errorf("core: batch size %d must be >= 1 (zero means unset)", c.BatchSize)
 	}
 	if c.Interleave < 1 {
-		return fmt.Errorf("core: interleave %d must be >= 1", c.Interleave)
+		return fmt.Errorf("core: interleave %d must be >= 1 (zero means unset)", c.Interleave)
 	}
 	if c.Interleave > c.Reps {
 		return fmt.Errorf("core: interleave %d exceeds reps %d", c.Interleave, c.Reps)

@@ -15,8 +15,8 @@ import (
 //
 // The worker returns the measurement; every other rank returns nil.
 func RunPolling(m Machine, cfg PollingConfig) (*PollingResult, error) {
-	cfg.setDefaults()
-	if err := cfg.validate(); err != nil {
+	cfg.SetDefaults()
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if m.Size() < 2 {

@@ -14,8 +14,8 @@ import (
 //
 // The worker returns the measurement; every other rank returns nil.
 func RunPWW(m Machine, cfg PWWConfig) (*PWWResult, error) {
-	cfg.setDefaults()
-	if err := cfg.validate(); err != nil {
+	cfg.SetDefaults()
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if m.Size() < 2 {

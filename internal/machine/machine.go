@@ -5,6 +5,7 @@
 package machine
 
 import (
+	"context"
 	"time"
 
 	"comb/internal/cluster"
@@ -131,12 +132,19 @@ func (v PairView) Barrier() { v.M.Barrier() }
 // Run builds the platform described by cfg and executes fn once per rank
 // on a bound Sim machine, driving the simulation to completion.
 func Run(cfg platform.Config, fn func(m core.Machine)) error {
+	return RunContext(context.Background(), cfg, fn)
+}
+
+// RunContext is Run with cancellation: a cancelled ctx tears the
+// simulation down (see platform.Instance.RunContext) and returns ctx.Err()
+// instead of running the point to completion.
+func RunContext(ctx context.Context, cfg platform.Config, fn func(m core.Machine)) error {
 	in, err := platform.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer in.Close()
-	return in.Run(func(p *sim.Proc, c *mpi.Comm) {
+	return in.RunContext(ctx, func(p *sim.Proc, c *mpi.Comm) {
 		fn(NewSim(p, c, in.Sys.Nodes[c.Rank()]))
 	})
 }

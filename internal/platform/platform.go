@@ -4,6 +4,7 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 
 	"comb/internal/cluster"
@@ -83,6 +84,23 @@ func New(cfg Config) (*Instance, error) {
 // queue drains.  It returns an error if any rank failed to finish (a
 // communication deadlock).
 func (in *Instance) Run(fn func(p *sim.Proc, c *mpi.Comm)) error {
+	return in.RunContext(context.Background(), fn)
+}
+
+// cancelCheckEvery is the virtual-time spacing of the cancellation watcher
+// events RunContext plants when its context is cancellable.  The watcher
+// only reads state, so it cannot perturb the simulation: results are
+// identical with and without it.
+const cancelCheckEvery = sim.Millisecond
+
+// RunContext is Run with cancellation: when ctx is cancelled the event
+// loop stops at the next watcher check and RunContext returns ctx.Err()
+// instead of driving the point to completion.  A non-cancellable context
+// (e.g. context.Background()) adds no watcher and no overhead.
+func (in *Instance) RunContext(ctx context.Context, fn func(p *sim.Proc, c *mpi.Comm)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	procs := make([]*sim.Proc, len(in.Comms))
 	for i, c := range in.Comms {
 		c := c
@@ -90,7 +108,35 @@ func (in *Instance) Run(fn func(p *sim.Proc, c *mpi.Comm)) error {
 			fn(p, c)
 		})
 	}
+	if ctx.Done() != nil {
+		allDone := func() bool {
+			for _, p := range procs {
+				if !p.Done() {
+					return false
+				}
+			}
+			return true
+		}
+		var watch func()
+		watch = func() {
+			if ctx.Err() != nil {
+				in.Sys.Env.Stop()
+				return
+			}
+			// Stop watching once every rank finished (remaining events are
+			// just drain work) or when nothing but the watcher itself is
+			// left queued (a deadlock: rescheduling would livelock).
+			if allDone() || in.Sys.Env.Pending() == 0 {
+				return
+			}
+			in.Sys.Env.Schedule(cancelCheckEvery, watch)
+		}
+		in.Sys.Env.Schedule(cancelCheckEvery, watch)
+	}
 	in.Sys.Env.Run()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for i, p := range procs {
 		if !p.Done() {
 			return fmt.Errorf("platform: rank %d did not finish (deadlock at t=%v)", i, in.Sys.Env.Now())

@@ -1,0 +1,425 @@
+// Package runner is COMB's experiment scheduler: it executes sweep points
+// across a bounded worker pool with two cache tiers in front of the
+// simulator.  Every point is an independent two-node simulation, so a
+// figure sweep parallelizes perfectly; the engine adds context
+// cancellation, a per-point timeout, bounded retry of failed points, and a
+// progress callback on top.
+//
+// Cache tiers, checked in order:
+//
+//  1. an in-memory memo (the same memoization internal/sweep always had),
+//  2. an optional on-disk JSON cache (see Cache), so repeated figure
+//     builds across processes hit disk instead of re-simulating.
+//
+// The simulation is deterministic, so a cached result is byte-identical
+// to a fresh run with the same key.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"comb/internal/core"
+	"comb/internal/machine"
+	"comb/internal/platform"
+)
+
+// Point is one schedulable measurement: a system plus exactly one method
+// configuration.  The zero CPUs means the platform's own processor count
+// (uniprocessor on the reference platform, as in the paper).
+type Point struct {
+	// System is the transport registry name ("gm", "portals", ...).
+	System string
+	// CPUs overrides processors per node; 0 or 1 is the paper's testbed.
+	CPUs int
+	// Exactly one of Polling and PWW must be non-nil.
+	Polling *core.PollingConfig
+	PWW     *core.PWWConfig
+}
+
+// normalized returns a copy of p with method-config defaults applied, so
+// that equivalent points (explicit defaults vs. zero fields) share a key.
+func (p Point) normalized() (Point, error) {
+	switch {
+	case p.Polling != nil && p.PWW != nil:
+		return p, fmt.Errorf("runner: point sets both polling and pww configs")
+	case p.Polling != nil:
+		cfg := *p.Polling
+		cfg.SetDefaults()
+		if err := cfg.Validate(); err != nil {
+			return p, err
+		}
+		p.Polling = &cfg
+	case p.PWW != nil:
+		cfg := *p.PWW
+		cfg.SetDefaults()
+		if err := cfg.Validate(); err != nil {
+			return p, err
+		}
+		p.PWW = &cfg
+	default:
+		return p, fmt.Errorf("runner: point has no method config")
+	}
+	if p.CPUs < 0 {
+		return p, fmt.Errorf("runner: invalid CPU count %d", p.CPUs)
+	}
+	return p, nil
+}
+
+// Key returns the point's cache key.  For default queue/batch/tag/CPU
+// settings it is exactly the string internal/sweep memoized by before the
+// runner existed ("system/size/poll/workTotal" for polling,
+// "system/size/work/reps/testInWork" for PWW); non-default extras append
+// "/name=value" suffixes so they can never collide with the classic keys.
+func (p Point) Key() string {
+	n, err := p.normalized()
+	if err != nil {
+		// An invalid point never reaches the caches; give it a unique-ish
+		// key so callers can still log it.
+		return fmt.Sprintf("invalid/%+v", p)
+	}
+	var k string
+	switch {
+	case n.Polling != nil:
+		c := n.Polling
+		k = fmt.Sprintf("%s/%d/%d/%d", n.System, c.MsgSize, c.PollInterval, c.WorkTotal)
+		if c.QueueDepth != core.DefaultQueueDepth {
+			k += fmt.Sprintf("/q=%d", c.QueueDepth)
+		}
+		if c.Tag != core.DefaultTag {
+			k += fmt.Sprintf("/tag=%d", c.Tag)
+		}
+	default:
+		c := n.PWW
+		k = fmt.Sprintf("%s/%d/%d/%d/%v", n.System, c.MsgSize, c.WorkInterval, c.Reps, c.TestInWork)
+		if c.BatchSize != core.DefaultBatchSize {
+			k += fmt.Sprintf("/b=%d", c.BatchSize)
+		}
+		if c.Interleave != 1 {
+			k += fmt.Sprintf("/il=%d", c.Interleave)
+		}
+		if c.Tag != core.DefaultTag {
+			k += fmt.Sprintf("/tag=%d", c.Tag)
+		}
+	}
+	if n.CPUs > 1 {
+		k += fmt.Sprintf("/cpus=%d", n.CPUs)
+	}
+	return k
+}
+
+// Result is the measurement a point produced; exactly one field is set,
+// matching the point's method.
+type Result struct {
+	Polling *core.PollingResult `json:"polling,omitempty"`
+	PWW     *core.PWWResult     `json:"pww,omitempty"`
+}
+
+// Source says where a finished point's result came from.
+type Source string
+
+const (
+	FromMemory Source = "memory" // in-memory memo hit
+	FromDisk   Source = "disk"   // on-disk cache hit
+	FromRun    Source = "run"    // freshly simulated
+)
+
+// Progress is one progress-callback notification.  Done counts completed
+// points of the current RunAll batch (it is 0 and Total is 0 for single
+// Run calls outside a batch).
+type Progress struct {
+	Done, Total int
+	Key         string
+	Source      Source
+}
+
+// Stats are the engine's lifetime cache counters.
+type Stats struct {
+	MemHits  int64 // points answered by the in-memory memo
+	DiskHits int64 // points answered by the on-disk cache
+	Runs     int64 // points actually simulated
+	Retries  int64 // extra attempts after a failed simulation
+}
+
+// Config parameterizes a new Engine.  The zero value is a serial,
+// memory-memoized engine — exactly the pre-runner behaviour.
+type Config struct {
+	// Workers bounds concurrent simulations in RunAll.  Zero means
+	// GOMAXPROCS; 1 forces the serial order.
+	Workers int
+	// Timeout bounds each point's wall-clock simulation time (not cache
+	// lookups).  Zero means no per-point timeout.
+	Timeout time.Duration
+	// Retries is how many extra attempts a failed simulation gets before
+	// its error is reported.  Cancellation is never retried.
+	Retries int
+	// OnProgress, when non-nil, is invoked after every finished point.
+	// Calls are serialized by the engine; the callback must not call back
+	// into the engine.
+	OnProgress func(Progress)
+	// Disk, when non-nil, is the second cache tier.
+	Disk *Cache
+}
+
+// Engine schedules points.  It is safe for concurrent use.
+type Engine struct {
+	workers    int
+	timeout    time.Duration
+	retries    int
+	onProgress func(Progress)
+	disk       *Cache
+
+	mu    sync.Mutex
+	memo  map[string]*Result
+	stats Stats
+
+	progMu sync.Mutex
+}
+
+// New builds an engine from cfg.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers:    w,
+		timeout:    cfg.Timeout,
+		retries:    cfg.Retries,
+		onProgress: cfg.OnProgress,
+		disk:       cfg.Disk,
+		memo:       make(map[string]*Result),
+	}
+}
+
+// Workers reports the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Disk returns the on-disk cache tier, or nil.
+func (e *Engine) Disk() *Cache { return e.disk }
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ClearMemo drops the in-memory tier (the disk tier is untouched).
+func (e *Engine) ClearMemo() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.memo = make(map[string]*Result)
+}
+
+// Run resolves one point through the cache tiers, simulating it if needed.
+// Concurrent Runs for the same key may both simulate (last write wins);
+// RunAll dedupes keys up front, so sweeps never do duplicate work.
+func (e *Engine) Run(ctx context.Context, pt Point) (*Result, error) {
+	n, err := pt.normalized()
+	if err != nil {
+		return nil, err
+	}
+	res, src, err := e.resolve(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	e.notify(Progress{Key: n.Key(), Source: src})
+	return res, nil
+}
+
+// resolve answers one normalized point through the cache tiers.
+func (e *Engine) resolve(ctx context.Context, n Point) (*Result, Source, error) {
+	key := n.Key()
+
+	e.mu.Lock()
+	if r, ok := e.memo[key]; ok {
+		e.stats.MemHits++
+		e.mu.Unlock()
+		return r, FromMemory, nil
+	}
+	e.mu.Unlock()
+
+	if e.disk != nil {
+		if r, ok := e.disk.Load(key); ok {
+			e.mu.Lock()
+			e.memo[key] = r
+			e.stats.DiskHits++
+			e.mu.Unlock()
+			return r, FromDisk, nil
+		}
+	}
+
+	r, err := e.execute(ctx, n)
+	if err != nil {
+		return nil, FromRun, err
+	}
+	e.mu.Lock()
+	e.memo[key] = r
+	e.stats.Runs++
+	e.mu.Unlock()
+	if e.disk != nil {
+		// A failed write only costs future cache hits; the result stands.
+		_ = e.disk.Store(key, r)
+	}
+	return r, FromRun, nil
+}
+
+// execute simulates one normalized point, with timeout and bounded retry.
+func (e *Engine) execute(ctx context.Context, n Point) (*Result, error) {
+	var lastErr error
+	for attempt := 0; attempt <= e.retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			e.mu.Lock()
+			e.stats.Retries++
+			e.mu.Unlock()
+		}
+		r, err := e.simulate(ctx, n)
+		if err == nil {
+			return r, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+	}
+	if e.retries > 0 {
+		return nil, fmt.Errorf("runner: point %s failed after %d attempts: %w", n.Key(), e.retries+1, lastErr)
+	}
+	return nil, lastErr
+}
+
+func (e *Engine) simulate(ctx context.Context, n Point) (*Result, error) {
+	if e.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.timeout)
+		defer cancel()
+	}
+	cfg := platform.Config{Transport: n.System, CPUs: n.CPUs}
+	var res Result
+	var ferr error
+	err := machine.RunContext(ctx, cfg, func(m core.Machine) {
+		if n.Polling != nil {
+			r, err := core.RunPolling(m, *n.Polling)
+			if err != nil {
+				ferr = err
+				return
+			}
+			if r != nil {
+				res.Polling = r
+			}
+		} else {
+			r, err := core.RunPWW(m, *n.PWW)
+			if err != nil {
+				ferr = err
+				return
+			}
+			if r != nil {
+				res.PWW = r
+			}
+		}
+	})
+	if err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res.Polling == nil && res.PWW == nil {
+		return nil, fmt.Errorf("runner: point %s produced no worker result", n.Key())
+	}
+	return &res, nil
+}
+
+func (e *Engine) notify(prog Progress) {
+	if e.onProgress == nil {
+		return
+	}
+	e.progMu.Lock()
+	e.onProgress(prog)
+	e.progMu.Unlock()
+}
+
+// RunAll resolves every point, dispatching cache misses across the worker
+// pool.  Duplicate keys are collapsed before scheduling.  The first error
+// cancels the remaining points and is returned; results land in the cache
+// tiers, where subsequent Run calls find them.
+func (e *Engine) RunAll(ctx context.Context, pts []Point) error {
+	seen := make(map[string]bool, len(pts))
+	var todo []Point
+	for _, pt := range pts {
+		n, err := pt.normalized()
+		if err != nil {
+			return err
+		}
+		if k := n.Key(); !seen[k] {
+			seen[k] = true
+			todo = append(todo, n)
+		}
+	}
+	total := len(todo)
+	if total == 0 {
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg      sync.WaitGroup
+		done    int
+		doneMu  sync.Mutex
+		firstMu sync.Mutex
+		first   error
+	)
+	work := make(chan Point)
+	workers := e.workers
+	if workers > total {
+		workers = total
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pt := range work {
+				_, src, err := e.resolve(ctx, pt)
+				if err != nil {
+					firstMu.Lock()
+					if first == nil {
+						first = err
+					}
+					firstMu.Unlock()
+					cancel()
+					return
+				}
+				doneMu.Lock()
+				done++
+				d := done
+				doneMu.Unlock()
+				e.notify(Progress{Done: d, Total: total, Key: pt.Key(), Source: src})
+			}
+		}()
+	}
+feed:
+	for _, pt := range todo {
+		select {
+		case work <- pt:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	firstMu.Lock()
+	defer firstMu.Unlock()
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}

@@ -11,12 +11,13 @@ import (
 // that calls Run (directly, or transitively from a process the event loop
 // has dispatched).  Env is not safe for concurrent use.
 type Env struct {
-	now   Time
-	queue eventQueue
-	seq   uint64
-	procs []*Proc
-	cur   *Proc
-	steps uint64
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	procs   []*Proc
+	cur     *Proc
+	steps   uint64
+	stopped bool
 
 	// MaxSteps, when non-zero, bounds the number of executed events.  It is
 	// a safety valve against accidental livelock (for example a process
@@ -38,6 +39,19 @@ func (e *Env) Steps() uint64 { return e.steps }
 // Cur returns the process currently being executed, or nil when the event
 // loop itself is running a plain callback.
 func (e *Env) Cur() *Proc { return e.cur }
+
+// Pending reports how many events are queued but not yet executed.
+func (e *Env) Pending() int { return e.queue.Len() }
+
+// Stop makes the event loop return before dispatching the next event.
+// Queued events stay queued and parked processes stay parked; Close still
+// tears everything down.  Stop is the cancellation hook for callers that
+// drive Run under a context: it may be called from within an executing
+// event.  A stopped environment stays stopped.
+func (e *Env) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Env) Stopped() bool { return e.stopped }
 
 // Schedule arranges for fn to run at Now()+delay.  A negative delay panics.
 // The returned Timer may be used to cancel the callback before it fires.
@@ -65,7 +79,7 @@ func (e *Env) RunUntil(deadline Time) {
 }
 
 func (e *Env) run(deadline Time) {
-	for e.queue.Len() > 0 {
+	for e.queue.Len() > 0 && !e.stopped {
 		top := e.queue.items[0]
 		if deadline >= 0 && top.at > deadline {
 			return

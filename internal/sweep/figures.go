@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"comb/internal/core"
+	"comb/internal/runner"
 	"comb/internal/stats"
 )
 
@@ -17,6 +18,10 @@ type Figure struct {
 	Expect string
 	// Run performs the sweep and shapes the data.
 	Run func(opt Options) (*stats.Table, error)
+	// Points expands the sweep into its deterministic point list, so
+	// Build (or a caller batching several figures) can execute it across
+	// the engine's worker pool before Run shapes the cached results.
+	Points func(opt Options) []runner.Point
 }
 
 // Figures returns every reproducible evaluation figure, in paper order.
@@ -29,6 +34,7 @@ func Figures() []Figure {
 			Run: func(o Options) (*stats.Table, error) {
 				return pollingVsInterval(o, []string{"portals"}, o.sizes(), availY)
 			},
+			Points: func(o Options) []runner.Point { return o.pollingPoints([]string{"portals"}, o.sizes()) },
 		},
 		{
 			ID:     "5",
@@ -37,6 +43,7 @@ func Figures() []Figure {
 			Run: func(o Options) (*stats.Table, error) {
 				return pollingVsInterval(o, []string{"portals"}, o.sizes(), bwY)
 			},
+			Points: func(o Options) []runner.Point { return o.pollingPoints([]string{"portals"}, o.sizes()) },
 		},
 		{
 			ID:     "6",
@@ -45,6 +52,7 @@ func Figures() []Figure {
 			Run: func(o Options) (*stats.Table, error) {
 				return pwwVsInterval(o, []string{"portals"}, o.sizes(), false, pwwAvailY)
 			},
+			Points: func(o Options) []runner.Point { return o.pwwPoints([]string{"portals"}, o.sizes(), false) },
 		},
 		{
 			ID:     "7",
@@ -53,6 +61,7 @@ func Figures() []Figure {
 			Run: func(o Options) (*stats.Table, error) {
 				return pwwVsInterval(o, []string{"portals"}, o.sizes(), false, pwwBwY)
 			},
+			Points: func(o Options) []runner.Point { return o.pwwPoints([]string{"portals"}, o.sizes(), false) },
 		},
 		{
 			ID:     "8",
@@ -61,6 +70,9 @@ func Figures() []Figure {
 			Run: func(o Options) (*stats.Table, error) {
 				return pollingVsInterval(o, []string{"gm", "portals"}, []int{100_000}, bwY)
 			},
+			Points: func(o Options) []runner.Point {
+				return o.pollingPoints([]string{"gm", "portals"}, []int{100_000})
+			},
 		},
 		{
 			ID:     "9",
@@ -68,6 +80,9 @@ func Figures() []Figure {
 			Expect: "GM significantly better than Portals at small work intervals",
 			Run: func(o Options) (*stats.Table, error) {
 				return pwwVsInterval(o, []string{"gm", "portals"}, []int{100_000}, false, pwwBwY)
+			},
+			Points: func(o Options) []runner.Point {
+				return o.pwwPoints([]string{"gm", "portals"}, []int{100_000}, false)
 			},
 		},
 		{
@@ -78,6 +93,9 @@ func Figures() []Figure {
 				return pwwVsInterval(o, []string{"portals", "gm"}, []int{100_000}, false,
 					yFunc{"Time to Post (us)", func(r *core.PWWResult) float64 { return r.AvgPostRecv.Seconds() * 1e6 }})
 			},
+			Points: func(o Options) []runner.Point {
+				return o.pwwPoints([]string{"portals", "gm"}, []int{100_000}, false)
+			},
 		},
 		{
 			ID:     "11",
@@ -87,49 +105,103 @@ func Figures() []Figure {
 				return pwwVsInterval(o, []string{"gm", "portals"}, []int{100_000}, false,
 					yFunc{"Time Per Message (us)", func(r *core.PWWResult) float64 { return r.AvgWait.Seconds() * 1e6 }})
 			},
+			Points: func(o Options) []runner.Point {
+				return o.pwwPoints([]string{"gm", "portals"}, []int{100_000}, false)
+			},
 		},
 		{
 			ID:     "12",
 			Title:  "PWW Method: CPU Overhead for Portals",
 			Expect: "work with message handling takes longer than work alone (interrupt overhead)",
 			Run:    func(o Options) (*stats.Table, error) { return workOverhead(o, "portals") },
+			Points: func(o Options) []runner.Point {
+				return o.pwwPoints([]string{"portals"}, []int{100_000}, false)
+			},
 		},
 		{
 			ID:     "13",
 			Title:  "PWW Method: CPU Overhead for GM",
 			Expect: "no gap: work takes the same time with and without messaging",
 			Run:    func(o Options) (*stats.Table, error) { return workOverhead(o, "gm") },
+			Points: func(o Options) []runner.Point {
+				return o.pwwPoints([]string{"gm"}, []int{100_000}, false)
+			},
 		},
 		{
 			ID:     "14",
 			Title:  "Polling Method: Bandwidth Versus CPU Availability for GM",
 			Expect: "max bandwidth at ~full availability, except the 10 KB eager curve",
 			Run:    func(o Options) (*stats.Table, error) { return bwVsAvail(o, "gm", o.sizes()) },
+			Points: func(o Options) []runner.Point { return o.pollingPoints([]string{"gm"}, o.sizes()) },
 		},
 		{
 			ID:     "15",
 			Title:  "Polling Method: Bandwidth Versus CPU Availability for Portals",
 			Expect: "max bandwidth restricted to the low range of CPU availability",
 			Run:    func(o Options) (*stats.Table, error) { return bwVsAvail(o, "portals", o.sizes()) },
+			Points: func(o Options) []runner.Point { return o.pollingPoints([]string{"portals"}, o.sizes()) },
 		},
 		{
 			ID:     "16",
 			Title:  "Polling and PWW Method: Bandwidth for GM",
 			Expect: "polling sustains peak bandwidth to higher availability than PWW",
 			Run:    func(o Options) (*stats.Table, error) { return methodsVsAvail(o, "gm", false) },
+			Points: func(o Options) []runner.Point {
+				return append(o.pollingPoints([]string{"gm"}, []int{100_000}),
+					o.pwwPoints([]string{"gm"}, []int{100_000}, false)...)
+			},
 		},
 		{
 			ID:     "17",
 			Title:  "Polling and Modified PWW Method: Bandwidth for GM",
 			Expect: "one MPI_Test in the work phase extends PWW bandwidth to higher availability",
 			Run:    func(o Options) (*stats.Table, error) { return methodsVsAvail(o, "gm", true) },
+			Points: func(o Options) []runner.Point {
+				pts := o.pollingPoints([]string{"gm"}, []int{100_000})
+				pts = append(pts, o.pwwPoints([]string{"gm"}, []int{100_000}, true)...)
+				return append(pts, o.pwwPoints([]string{"gm"}, []int{100_000}, false)...)
+			},
 		},
 	}
 }
 
-// Build runs the figure's sweep and returns its table, titled like the
-// paper's caption.
+// pollingPoints expands a polling sweep (systems × sizes × poll axis)
+// into its point list.
+func (o Options) pollingPoints(systems []string, sizes []int) []runner.Point {
+	var pts []runner.Point
+	for _, sys := range systems {
+		for _, size := range sizes {
+			for _, poll := range o.pollAxis() {
+				pts = append(pts, pollingPointSpec(sys, size, poll))
+			}
+		}
+	}
+	return pts
+}
+
+// pwwPoints expands a PWW sweep (systems × sizes × work axis).
+func (o Options) pwwPoints(systems []string, sizes []int, testInWork bool) []runner.Point {
+	var pts []runner.Point
+	for _, sys := range systems {
+		for _, size := range sizes {
+			for _, work := range o.workAxis() {
+				pts = append(pts, pwwPointSpec(sys, size, work, o.reps(), testInWork))
+			}
+		}
+	}
+	return pts
+}
+
+// Build executes the figure's sweep and returns its table, titled like
+// the paper's caption.  The point list is warmed through the engine's
+// worker pool first; the shaping pass then runs serially over cache hits,
+// so the table is identical whatever the worker count.
 func (f Figure) Build(opt Options) (*stats.Table, error) {
+	if f.Points != nil {
+		if err := opt.engine().RunAll(opt.ctx(), f.Points(opt)); err != nil {
+			return nil, err
+		}
+	}
 	t, err := f.Run(opt)
 	if err != nil {
 		return nil, err
@@ -189,7 +261,7 @@ func pollingVsInterval(o Options, systems []string, sizes []int, y pollY) (*stat
 		for _, size := range sizes {
 			s := stats.Series{Name: seriesName(sys, size, len(systems) > 1, len(sizes) > 1)}
 			for _, poll := range o.pollAxis() {
-				r, err := PollingPoint(sys, size, poll)
+				r, err := pollingPoint(o.ctx(), o.engine(), sys, size, poll)
 				if err != nil {
 					return nil, err
 				}
@@ -212,7 +284,7 @@ func pwwVsInterval(o Options, systems []string, sizes []int, testInWork bool, y 
 		for _, size := range sizes {
 			s := stats.Series{Name: seriesName(sys, size, len(systems) > 1, len(sizes) > 1)}
 			for _, work := range o.workAxis() {
-				r, err := PWWPoint(sys, size, work, o.reps(), testInWork)
+				r, err := pwwPoint(o.ctx(), o.engine(), sys, size, work, o.reps(), testInWork)
 				if err != nil {
 					return nil, err
 				}
@@ -235,7 +307,7 @@ func workOverhead(o Options, system string) (*stats.Table, error) {
 	with := stats.Series{Name: "Work with MH"}
 	only := stats.Series{Name: "Work Only"}
 	for _, work := range o.workAxis() {
-		r, err := PWWPoint(system, 100_000, work, o.reps(), false)
+		r, err := pwwPoint(o.ctx(), o.engine(), system, 100_000, work, o.reps(), false)
 		if err != nil {
 			return nil, err
 		}
@@ -256,7 +328,7 @@ func bwVsAvail(o Options, system string, sizes []int) (*stats.Table, error) {
 	for _, size := range sizes {
 		s := stats.Series{Name: sizeLabel(size)}
 		for _, poll := range o.pollAxis() {
-			r, err := PollingPoint(system, size, poll)
+			r, err := pollingPoint(o.ctx(), o.engine(), system, size, poll)
 			if err != nil {
 				return nil, err
 			}
@@ -277,7 +349,7 @@ func methodsVsAvail(o Options, system string, includeTestVariant bool) (*stats.T
 	}
 	poll := stats.Series{Name: "Poll"}
 	for _, p := range o.pollAxis() {
-		r, err := PollingPoint(system, 100_000, p)
+		r, err := pollingPoint(o.ctx(), o.engine(), system, 100_000, p)
 		if err != nil {
 			return nil, err
 		}
@@ -288,7 +360,7 @@ func methodsVsAvail(o Options, system string, includeTestVariant bool) (*stats.T
 	pwwSeries := func(testInWork bool, name string) (stats.Series, error) {
 		s := stats.Series{Name: name}
 		for _, w := range o.workAxis() {
-			r, err := PWWPoint(system, 100_000, w, o.reps(), testInWork)
+			r, err := pwwPoint(o.ctx(), o.engine(), system, 100_000, w, o.reps(), testInWork)
 			if err != nil {
 				return stats.Series{}, err
 			}

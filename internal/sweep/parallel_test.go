@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"comb/internal/runner"
+)
+
+// buildFig8 builds the quick Figure 8 sweep on a dedicated engine.
+func buildFig8(t *testing.T, eng *runner.Engine) string {
+	t.Helper()
+	f, err := ByID("8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := f.Build(Options{Quick: true, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl.CSV()
+}
+
+// TestParallelBuildMatchesSerial is the golden determinism check: a
+// figure built on four workers must be byte-identical to the serial
+// build.  Under `go test -race` this doubles as the engine's race test.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	serial := buildFig8(t, runner.New(runner.Config{Workers: 1}))
+	parallel := buildFig8(t, runner.New(runner.Config{Workers: 4}))
+	if serial != parallel {
+		t.Errorf("parallel build diverged from serial:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestRebuildHitsDiskCache proves a repeated figure build is answered
+// from the persistent cache: a fresh engine over the same directory must
+// rebuild the identical table with zero simulations.
+func TestRebuildHitsDiskCache(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := runner.New(runner.Config{Workers: 4, Disk: runner.Open(dir)})
+	first := buildFig8(t, cold)
+	if st := cold.Stats(); st.Runs == 0 {
+		t.Fatalf("cold build simulated nothing: %+v", st)
+	}
+
+	warm := runner.New(runner.Config{Workers: 4, Disk: runner.Open(dir)})
+	second := buildFig8(t, warm)
+	st := warm.Stats()
+	if st.DiskHits == 0 {
+		t.Errorf("warm rebuild had no disk hits: %+v", st)
+	}
+	if st.Runs != 0 {
+		t.Errorf("warm rebuild re-simulated %d points: %+v", st.Runs, st)
+	}
+	if first != second {
+		t.Errorf("cached rebuild diverged:\ncold:\n%s\nwarm:\n%s", first, second)
+	}
+}
+
+// TestBuildCancellation: a cancelled context must abort the sweep.
+func TestBuildCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f, err := ByID("8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := runner.New(runner.Config{Workers: 4})
+	if _, err := f.Build(Options{Quick: true, Engine: eng, Context: ctx}); err != context.Canceled {
+		t.Errorf("cancelled build = %v, want context.Canceled", err)
+	}
+}
+
+// TestFigurePointsCoverBuild: every figure's Points enumerator must
+// pre-warm everything its builder reads — after RunAll, the shaping pass
+// must be pure cache hits.  (Quick mode keeps this affordable; figure 8
+// is covered above, 13 is the cheapest multi-method one.)
+func TestFigurePointsCoverBuild(t *testing.T) {
+	for _, id := range []string{"13"} {
+		f, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Points == nil {
+			t.Fatalf("figure %s has no Points enumerator", id)
+		}
+		eng := runner.New(runner.Config{Workers: 4})
+		opt := Options{Quick: true, Engine: eng}
+		if err := eng.RunAll(context.Background(), f.Points(opt)); err != nil {
+			t.Fatal(err)
+		}
+		runs := eng.Stats().Runs
+		if _, err := f.Build(opt); err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.Stats().Runs; got != runs {
+			t.Errorf("figure %s: build simulated %d points missed by Points()", id, got-runs)
+		}
+	}
+}

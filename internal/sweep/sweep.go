@@ -1,23 +1,55 @@
 // Package sweep regenerates every evaluation figure of the COMB paper:
 // it sweeps the poll/work-interval axes for the configured systems, and
 // shapes the results into one stats.Table per paper figure.
+//
+// Point execution goes through a runner.Engine: Figure.Build first
+// expands the figure into its deterministic point list and warms the
+// engine's caches across a worker pool, then shapes the table serially —
+// so a parallel build is byte-identical to a serial one.
 package sweep
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"comb/internal/core"
 	"comb/internal/machine"
 	"comb/internal/platform"
+	"comb/internal/runner"
 	"comb/internal/stats"
 )
 
-// Options tunes sweep resolution.
+// DefaultEngine executes and memoizes sweep points when Options does not
+// supply an engine.  The zero-config engine is parallel (GOMAXPROCS
+// workers) with no disk tier; cmd/comb replaces it at startup to honour
+// -j and the persistent cache.
+var DefaultEngine = runner.New(runner.Config{})
+
+// Options tunes sweep resolution and execution.
 type Options struct {
 	// Quick shrinks sweeps (fewer points, one message size, shorter runs)
 	// for tests and smoke runs.
 	Quick bool
+	// Engine overrides DefaultEngine (worker count, caching, progress).
+	Engine *runner.Engine
+	// Context cancels point execution; nil means context.Background().
+	Context context.Context
+}
+
+// engine returns the engine builds run on.
+func (o Options) engine() *runner.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return DefaultEngine
+}
+
+// ctx returns the build's context.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // paperSizes are the message sizes the paper's multi-size figures use.
@@ -71,78 +103,66 @@ func workTotalFor(poll int64) int64 {
 	return wt
 }
 
-// resultCache memoizes sweep points: several figures share the same
-// underlying sweeps (e.g. Figures 4, 5, 14 and 15 all come from the
-// polling sweeps of the two systems).
-type resultCache struct {
-	mu      sync.Mutex
-	polling map[string]*core.PollingResult
-	pww     map[string]*core.PWWResult
+// WorkTotalFor exposes the polling sweep's work-total rule so callers
+// building their own point lists (cmd/comb's custom sweep) hit the same
+// cache keys as PollingPoint.
+func WorkTotalFor(poll int64) int64 { return workTotalFor(poll) }
+
+// ClearCache drops DefaultEngine's in-memory memo (used by tests).  Disk
+// cache entries, if configured, survive.
+func ClearCache() { DefaultEngine.ClearMemo() }
+
+// pollingPointSpec is the canonical point for one polling sweep sample.
+func pollingPointSpec(system string, size int, poll int64) runner.Point {
+	return runner.Point{
+		System: system,
+		Polling: &core.PollingConfig{
+			Config:       core.Config{MsgSize: size},
+			PollInterval: poll,
+			WorkTotal:    workTotalFor(poll),
+		},
+	}
 }
 
-var cache = resultCache{
-	polling: make(map[string]*core.PollingResult),
-	pww:     make(map[string]*core.PWWResult),
-}
-
-// ClearCache drops memoized sweep points (used by tests).
-func ClearCache() {
-	cache.mu.Lock()
-	defer cache.mu.Unlock()
-	cache.polling = make(map[string]*core.PollingResult)
-	cache.pww = make(map[string]*core.PWWResult)
+// pwwPointSpec is the canonical point for one PWW sweep sample.
+func pwwPointSpec(system string, size int, work int64, reps int, testInWork bool) runner.Point {
+	return runner.Point{
+		System: system,
+		PWW: &core.PWWConfig{
+			Config:       core.Config{MsgSize: size},
+			WorkInterval: work,
+			Reps:         reps,
+			TestInWork:   testInWork,
+		},
+	}
 }
 
 // PollingPoint runs (or recalls) one polling-method measurement of the
-// named system.
+// named system on the default engine.
 func PollingPoint(system string, size int, poll int64) (*core.PollingResult, error) {
-	cfg := core.PollingConfig{
-		Config:       core.Config{MsgSize: size},
-		PollInterval: poll,
-		WorkTotal:    workTotalFor(poll),
-	}
-	key := fmt.Sprintf("%s/%d/%d/%d", system, size, poll, cfg.WorkTotal)
-	cache.mu.Lock()
-	if r, ok := cache.polling[key]; ok {
-		cache.mu.Unlock()
-		return r, nil
-	}
-	cache.mu.Unlock()
-
-	res, err := RunPollingOnce(system, cfg)
-	if err != nil {
-		return nil, err
-	}
-	cache.mu.Lock()
-	cache.polling[key] = res
-	cache.mu.Unlock()
-	return res, nil
+	return pollingPoint(context.Background(), DefaultEngine, system, size, poll)
 }
 
-// PWWPoint runs (or recalls) one PWW measurement of the named system.
-func PWWPoint(system string, size int, work int64, reps int, testInWork bool) (*core.PWWResult, error) {
-	cfg := core.PWWConfig{
-		Config:       core.Config{MsgSize: size},
-		WorkInterval: work,
-		Reps:         reps,
-		TestInWork:   testInWork,
-	}
-	key := fmt.Sprintf("%s/%d/%d/%d/%v", system, size, work, reps, testInWork)
-	cache.mu.Lock()
-	if r, ok := cache.pww[key]; ok {
-		cache.mu.Unlock()
-		return r, nil
-	}
-	cache.mu.Unlock()
-
-	res, err := RunPWWOnce(system, cfg)
+func pollingPoint(ctx context.Context, eng *runner.Engine, system string, size int, poll int64) (*core.PollingResult, error) {
+	res, err := eng.Run(ctx, pollingPointSpec(system, size, poll))
 	if err != nil {
 		return nil, err
 	}
-	cache.mu.Lock()
-	cache.pww[key] = res
-	cache.mu.Unlock()
-	return res, nil
+	return res.Polling, nil
+}
+
+// PWWPoint runs (or recalls) one PWW measurement of the named system on
+// the default engine.
+func PWWPoint(system string, size int, work int64, reps int, testInWork bool) (*core.PWWResult, error) {
+	return pwwPoint(context.Background(), DefaultEngine, system, size, work, reps, testInWork)
+}
+
+func pwwPoint(ctx context.Context, eng *runner.Engine, system string, size int, work int64, reps int, testInWork bool) (*core.PWWResult, error) {
+	res, err := eng.Run(ctx, pwwPointSpec(system, size, work, reps, testInWork))
+	if err != nil {
+		return nil, err
+	}
+	return res.PWW, nil
 }
 
 // RunPollingOnce runs a single, uncached polling-method measurement of

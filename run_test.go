@@ -1,0 +1,147 @@
+package comb
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func pollingSpec() RunSpec {
+	return RunSpec{
+		Method: MethodPolling,
+		System: "ideal",
+		Polling: &PollingConfig{
+			Config:       Config{MsgSize: 100_000},
+			PollInterval: 100_000,
+			WorkTotal:    5_000_000,
+		},
+	}
+}
+
+func TestRunPollingSpec(t *testing.T) {
+	out, err := Run(context.Background(), pollingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Polling == nil {
+		t.Fatal("no polling result")
+	}
+	if out.PWW != nil {
+		t.Error("polling run must not set PWW")
+	}
+	if out.Polling.BandwidthMBs <= 0 {
+		t.Errorf("bandwidth = %v", out.Polling.BandwidthMBs)
+	}
+	if out.Stats == nil || out.Stats.Packets <= 0 {
+		t.Errorf("stats missing or empty: %+v", out.Stats)
+	}
+	if out.Trace != nil {
+		t.Error("trace must be nil when TraceCap is 0")
+	}
+}
+
+func TestRunPWWSpecWithTrace(t *testing.T) {
+	out, err := Run(context.Background(), RunSpec{
+		Method:   MethodPWW,
+		System:   "gm",
+		TraceCap: 16,
+		PWW: &PWWConfig{
+			Config:       Config{MsgSize: 10_000},
+			WorkInterval: 100_000,
+			Reps:         3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PWW == nil {
+		t.Fatal("no pww result")
+	}
+	if out.Trace == nil || out.Trace.Len() == 0 {
+		t.Error("TraceCap > 0 must record packet deliveries")
+	}
+}
+
+func TestRunMethodInference(t *testing.T) {
+	// Method can be left empty when exactly one config is set.
+	spec := pollingSpec()
+	spec.Method = ""
+	out, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Polling == nil {
+		t.Error("inferred polling run produced no polling result")
+	}
+}
+
+func TestRunSpecValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		spec RunSpec
+		want string
+	}{
+		{"no config", RunSpec{System: "gm"}, "needs a method config"},
+		{"both configs no method", RunSpec{System: "gm",
+			Polling: &PollingConfig{PollInterval: 1, WorkTotal: 1},
+			PWW:     &PWWConfig{WorkInterval: 1},
+		}, "set Method to disambiguate"},
+		{"polling method, nil config", RunSpec{Method: MethodPolling, System: "gm"}, "non-nil Polling"},
+		{"pww method, nil config", RunSpec{Method: MethodPWW, System: "gm"}, "non-nil PWW"},
+		{"unknown method", RunSpec{Method: "bogus", System: "gm"}, "unknown method"},
+	}
+	for _, c := range cases {
+		_, err := Run(ctx, c.spec)
+		if err == nil {
+			t.Errorf("%s: must fail", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, pollingSpec()); err != context.Canceled {
+		t.Errorf("cancelled Run = %v, want context.Canceled", err)
+	}
+}
+
+// TestDeprecatedWrappersDelegate: the old facade entry points must
+// produce the same measurements as Run with the equivalent spec (the
+// simulation is deterministic, so equality is exact).
+func TestDeprecatedWrappersDelegate(t *testing.T) {
+	spec := pollingSpec()
+	want, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := RunPolling(spec.System, *spec.Polling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.BandwidthMBs != want.Polling.BandwidthMBs || old.Availability != want.Polling.Availability {
+		t.Errorf("RunPolling diverged from Run: %+v vs %+v", old, want.Polling)
+	}
+
+	pcfg := PWWConfig{
+		Config:       Config{MsgSize: 10_000},
+		WorkInterval: 100_000,
+		Reps:         3,
+	}
+	wantPWW, err := Run(context.Background(), RunSpec{Method: MethodPWW, System: "ideal", PWW: &pcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldPWW, err := RunPWW("ideal", pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldPWW.AvgWait != wantPWW.PWW.AvgWait || oldPWW.BandwidthMBs != wantPWW.PWW.BandwidthMBs {
+		t.Errorf("RunPWW diverged from Run: %+v vs %+v", oldPWW, wantPWW.PWW)
+	}
+}

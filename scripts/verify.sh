@@ -1,0 +1,20 @@
+#!/bin/sh
+# Full verification recipe: tier-1 (build + test) plus vet and the race
+# detector.  Make-free on purpose — this is everything CI or a reviewer
+# needs to run.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
