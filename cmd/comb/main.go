@@ -44,6 +44,7 @@ import (
 	"comb/internal/selfcheck"
 	"comb/internal/stats"
 	"comb/internal/sweep"
+	"comb/internal/transport"
 )
 
 func main() {
@@ -74,7 +75,7 @@ func main() {
 	case "pingpong":
 		err = cmdPingpong(os.Args[2:])
 	case "selfcheck":
-		err = cmdSelfcheck()
+		err = cmdSelfcheck(ctx, os.Args[2:])
 	case "report":
 		err = cmdReport(ctx, os.Args[2:])
 	case "-h", "--help", "help":
@@ -104,11 +105,13 @@ subcommands:
   cache     manage the on-disk result cache (clear|stat)
   pingpong  classic latency/bandwidth microbenchmark (the pre-COMB view)
   selfcheck verify the reproduction's calibration and headline claims
+            (-fuzz N adds N deterministic fault-injected runs)
   report    write the full reproduction report as markdown
 
 sweep-shaped subcommands accept -j N (parallel simulations) and cache
 results under results/cache/ (-no-cache to skip, 'comb cache clear' to
-empty)`)
+empty); polling and pww accept -seed and -faults '<spec>' for
+deterministic degraded runs (e.g. -faults 'drop=0.01,delay=0.2:50us')`)
 }
 
 // engineOpts are the execution flags shared by every sweep-shaped
@@ -200,14 +203,23 @@ func cmdPolling(ctx context.Context, args []string) error {
 	cpus := fs.Int("cpus", 1, "processors per node (SMP extension, paper s7)")
 	showStats := fs.Bool("stats", false, "print hardware counters (packets, CPU breakdown)")
 	traceN := fs.Int("trace", 0, "print the last N packet deliveries")
+	seed := fs.Uint64("seed", 0, "wire/fault RNG seed (0 = platform default)")
+	faults := fs.String("faults", "", "fault injection spec, e.g. 'drop=0.01,delay=0.2:50us,jitter=0.1:200us'")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	fspec, err := parseFaults(*faults)
+	if err != nil {
+		return err
+	}
+	warnMaskedFaults(*system, fspec)
 	out, err := comb.Run(ctx, comb.RunSpec{
 		Method:   comb.MethodPolling,
 		System:   *system,
 		CPUs:     *cpus,
 		TraceCap: *traceN,
+		Seed:     *seed,
+		Faults:   fspec,
 		Polling: &comb.PollingConfig{
 			Config:       comb.Config{MsgSize: *size},
 			PollInterval: *poll,
@@ -265,13 +277,22 @@ func cmdPWW(ctx context.Context, args []string) error {
 	test := fs.Bool("test", false, "plant one MPI_Test early in the work phase (paper §4.3)")
 	interleave := fs.Int("interleave", 1, "batches kept in flight (paper §4.3's earlier variant)")
 	cpus := fs.Int("cpus", 1, "processors per node (SMP extension, paper s7)")
+	seed := fs.Uint64("seed", 0, "wire/fault RNG seed (0 = platform default)")
+	faults := fs.String("faults", "", "fault injection spec, e.g. 'drop=0.01,delay=0.2:50us,jitter=0.1:200us'")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	fspec, err := parseFaults(*faults)
+	if err != nil {
+		return err
+	}
+	warnMaskedFaults(*system, fspec)
 	out, err := comb.Run(ctx, comb.RunSpec{
 		Method: comb.MethodPWW,
 		System: *system,
 		CPUs:   *cpus,
+		Seed:   *seed,
+		Faults: fspec,
 		PWW: &comb.PWWConfig{
 			Config:       comb.Config{MsgSize: *size},
 			WorkInterval: *work,
@@ -672,17 +693,59 @@ func cmdReport(ctx context.Context, args []string) error {
 	return report.Write(w, report.Options{Quick: *quick, MaxRowsPerFigure: *rows, Context: ctx})
 }
 
-// cmdSelfcheck verifies the reproduction's headline claims.
-func cmdSelfcheck() error {
+// cmdSelfcheck verifies the reproduction's headline claims and,
+// with -fuzz N, sweeps N deterministic fault-injected runs through the
+// invariant checker.
+func cmdSelfcheck(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("selfcheck", flag.ExitOnError)
+	fuzzN := fs.Int("fuzz", 0, "also run N deterministic fault-injected measurements across all transports")
+	seed := fs.Uint64("seed", 1, "fuzz sweep seed (each failure logs its own replayable case seed)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	r, err := selfcheck.Run()
 	if err != nil {
 		return err
 	}
 	fmt.Print(r)
-	if !r.Passed() {
+	failed := !r.Passed()
+	if *fuzzN > 0 {
+		fr := selfcheck.Fuzz(ctx, *fuzzN, *seed)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fmt.Print(fr)
+		failed = failed || !fr.Passed()
+	}
+	if failed {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// parseFaults turns a -faults flag value into a RunSpec fault spec (nil
+// when empty).
+func parseFaults(s string) (*comb.FaultSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	fspec, err := comb.ParseFaults(s)
+	if err != nil {
+		return nil, err
+	}
+	return &fspec, nil
+}
+
+// warnMaskedFaults tells the user which requested faults the chosen
+// transport cannot survive (the run silently masks them off).
+func warnMaskedFaults(system string, fspec *comb.FaultSpec) {
+	if fspec == nil {
+		return
+	}
+	if _, masked := fspec.Masked(transport.ToleranceOf(system)); len(masked) > 0 {
+		fmt.Fprintf(os.Stderr, "comb: transport %s cannot survive %s faults; ignoring them\n",
+			system, strings.Join(masked, "/"))
+	}
 }
 
 // cmdPingpong runs the classic microbenchmark across sizes — the

@@ -7,6 +7,8 @@ import (
 
 	"comb/internal/cluster"
 	"comb/internal/core"
+	"comb/internal/faultinject"
+	"comb/internal/invariant"
 	"comb/internal/machine"
 	"comb/internal/mpi"
 	"comb/internal/platform"
@@ -38,7 +40,17 @@ type (
 	FigureSpec = sweep.Figure
 	// Trace is a packet-level recording of the last fabric deliveries.
 	Trace = trace.Recorder
+	// FaultSpec configures deterministic wire/CPU fault injection; see
+	// internal/faultinject.
+	FaultSpec = faultinject.Spec
+	// Violation is one broken simulation invariant; see
+	// internal/invariant.
+	Violation = invariant.Violation
 )
+
+// ParseFaults reads a -faults command-line spec, e.g.
+// "drop=0.01,delay=0.2:50us,seed=7".
+func ParseFaults(s string) (FaultSpec, error) { return faultinject.Parse(s) }
 
 // Systems lists the available simulated messaging systems ("gm",
 // "portals", "ideal").
@@ -77,6 +89,16 @@ type RunSpec struct {
 	// TraceCap, when > 0, records the last TraceCap packet-level fabric
 	// deliveries into RunResult.Trace.
 	TraceCap int
+	// Seed overrides the wire's jitter/loss RNG seed (0 keeps the
+	// platform default) and, when Faults is set without its own seed,
+	// seeds the fault injector too — one knob makes a degraded run
+	// replayable.
+	Seed uint64
+	// Faults, when non-nil and non-zero, wraps the transport with
+	// deterministic fault injection (packet drop/dup/delay/reorder and
+	// CPU jitter bursts).  Faults a transport cannot survive are masked;
+	// see internal/faultinject.
+	Faults *FaultSpec
 	// Polling configures MethodPolling; it must be non-nil for that
 	// method.
 	Polling *PollingConfig
@@ -158,7 +180,22 @@ func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	in, err := platform.New(platform.Config{Transport: spec.System, CPUs: spec.CPUs})
+	cfg := platform.Config{Transport: spec.System, CPUs: spec.CPUs, Seed: spec.Seed}
+	if spec.Faults != nil && !spec.Faults.Zero() {
+		fs := *spec.Faults
+		if fs.Seed == 0 {
+			fs.Seed = spec.Seed
+		}
+		if err := fs.Validate(); err != nil {
+			return nil, err
+		}
+		inner, err := transport.ByName(spec.System)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Custom = faultinject.Wrap(inner, fs)
+	}
+	in, err := platform.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +205,7 @@ func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 		rec = trace.NewRecorder(spec.TraceCap)
 		trace.AttachFabric(rec, in.Sys)
 	}
+	chk := invariant.Attach(in.Sys, in.Comms, invariant.Options{Trace: rec})
 	out := &RunResult{}
 	var ferr error
 	err = in.RunContext(ctx, func(p *sim.Proc, c *mpi.Comm) {
@@ -201,6 +239,17 @@ func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	}
 	if out.Polling == nil && out.PWW == nil {
 		return nil, fmt.Errorf("comb: %s run produced no worker result", m)
+	}
+	chk.Finish()
+	chk.CheckPolling(out.Polling)
+	chk.CheckPWW(out.PWW)
+	if verr := chk.Err(); verr != nil {
+		replay := fmt.Sprintf("-seed %d", spec.Seed)
+		if spec.Faults != nil && !spec.Faults.Zero() {
+			replay += fmt.Sprintf(" -faults %q", spec.Faults.String())
+		}
+		return nil, fmt.Errorf("comb: %s/%s run broke the simulator (replay with %s): %w",
+			m, spec.System, replay, verr)
 	}
 	out.Stats = snapshot(in)
 	out.Trace = rec

@@ -1,0 +1,150 @@
+package comb_test
+
+import (
+	"context"
+	"testing"
+
+	"comb"
+	"comb/internal/selfcheck"
+)
+
+// FuzzRun is the native fuzz entry point: each input seed deterministically
+// derives one degraded benchmark configuration per transport (fault mix the
+// transport claims to survive, small message sizes, a handful of reps) and
+// runs it with the invariant checker attached.  Any violation fails with
+// the case's replay seed.  `go test -fuzz=FuzzRun` explores seeds beyond
+// the corpus; plain `go test` replays the corpus below.
+func FuzzRun(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 2, 3, 42, 0xdeadbeef, 0xffffffffffffffff} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		ctx := context.Background()
+		for _, sys := range selfcheck.FuzzSystems {
+			spec := selfcheck.FuzzCase(sys, seed)
+			if _, err := comb.Run(ctx, spec); err != nil {
+				t.Fatalf("system %s, seed %d (replay: comb %s -system %s -seed %d -faults '%s'): %v",
+					sys, seed, spec.Method, sys, seed, spec.Faults.String(), err)
+			}
+		}
+	})
+}
+
+// TestFuzzSweeps runs the selfcheck fuzz driver the same way
+// `comb selfcheck -fuzz N` does, across a few sweep seeds.
+func TestFuzzSweeps(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	for _, seed := range []uint64{1, 2, 0xc0ffee} {
+		res := selfcheck.Fuzz(context.Background(), n, seed)
+		if res.Cases != n {
+			t.Fatalf("seed %d: ran %d of %d cases", seed, res.Cases, n)
+		}
+		if !res.Passed() {
+			t.Errorf("seed %d:\n%s", seed, res)
+		}
+	}
+}
+
+// TestFuzzIsDeterministic pins the replayability contract: the same sweep
+// seed must produce byte-identical case specs.
+func TestFuzzIsDeterministic(t *testing.T) {
+	for _, sys := range selfcheck.FuzzSystems {
+		a := selfcheck.FuzzCase(sys, 12345)
+		b := selfcheck.FuzzCase(sys, 12345)
+		if a.Faults.String() != b.Faults.String() {
+			t.Errorf("%s: same case seed, different faults: %s vs %s", sys, a.Faults, b.Faults)
+		}
+		if a.Method != b.Method {
+			t.Errorf("%s: same case seed, different methods", sys)
+		}
+	}
+}
+
+// TestTCPSurvivesHeavyFaults drives the one transport that tolerates every
+// fault class through a hostile wire and checks the run still completes
+// with a plausible (checker-approved) result.
+func TestTCPSurvivesHeavyFaults(t *testing.T) {
+	fs, err := comb.ParseFaults("drop=0.05,dup=0.05,reorder=0.1,delay=0.3:20µs,jitter=0.1:100µs,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := comb.Run(context.Background(), comb.RunSpec{
+		System: "tcp",
+		Seed:   11,
+		Faults: &fs,
+		Polling: &comb.PollingConfig{
+			Config:       comb.Config{MsgSize: 8 << 10},
+			PollInterval: 10_000,
+			WorkTotal:    2_000_000,
+			QueueDepth:   2,
+		},
+	})
+	if err != nil {
+		t.Fatalf("tcp under heavy faults: %v", err)
+	}
+	r := res.Polling
+	if r.Availability <= 0 || r.Availability > 1 {
+		t.Errorf("availability %v outside (0,1]", r.Availability)
+	}
+	if r.MsgsReceived == 0 {
+		t.Error("no messages survived the faulty wire")
+	}
+}
+
+// TestGMSurvivesOrderedFaults checks that delay and jitter — the only
+// faults GM's eager protocol tolerates — do not panic its fragment
+// reassembly (the injector must preserve per-pair FIFO).
+func TestGMSurvivesOrderedFaults(t *testing.T) {
+	fs, err := comb.ParseFaults("delay=0.5:30µs,jitter=0.2:100µs,seed=21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := comb.Run(context.Background(), comb.RunSpec{
+		System: "gm",
+		Seed:   21,
+		Faults: &fs,
+		PWW: &comb.PWWConfig{
+			Config:       comb.Config{MsgSize: 64 << 10}, // rendezvous path too
+			WorkInterval: 100_000,
+			Reps:         5,
+		},
+	})
+	if err != nil {
+		t.Fatalf("gm under delay+jitter: %v", err)
+	}
+	if res.PWW.Availability <= 0 || res.PWW.Availability > 1 {
+		t.Errorf("availability %v outside (0,1]", res.PWW.Availability)
+	}
+}
+
+// TestFaultsDegradeButDoNotCorrupt compares a clean and a faulty run of
+// the same workload: the faulty one may only be slower (lower or equal
+// availability is not guaranteed case by case, but elapsed time must not
+// shrink), and both must clear the invariant checker.
+func TestFaultsDegradeButDoNotCorrupt(t *testing.T) {
+	cfg := &comb.PollingConfig{
+		Config:       comb.Config{MsgSize: 16 << 10},
+		PollInterval: 20_000,
+		WorkTotal:    200_000,
+		QueueDepth:   2,
+	}
+	clean, err := comb.Run(context.Background(), comb.RunSpec{System: "tcp", Seed: 5, Polling: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := comb.ParseFaults("drop=0.1,delay=0.4:50µs,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := comb.Run(context.Background(), comb.RunSpec{System: "tcp", Seed: 5, Faults: &fs, Polling: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Polling.Elapsed < clean.Polling.Elapsed {
+		t.Errorf("faulty wire finished faster than clean: %v < %v",
+			faulty.Polling.Elapsed, clean.Polling.Elapsed)
+	}
+}

@@ -1,0 +1,76 @@
+package comb_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"comb/internal/runner"
+	"comb/internal/sweep"
+)
+
+// TestGoldenFigures regenerates every committed results/figNN.csv from
+// scratch and demands byte identity: the simulator is deterministic, so
+// any diff is a behaviour change that must be reviewed (and, if
+// intended, committed via `comb figure all -csv results`).
+//
+// A full regeneration is minutes of CPU, so the test only runs when
+// COMB_GOLDEN=1 is set (CI runs it as its own step).  The committed
+// results/cache is copied to a scratch directory first — cache hits keep
+// the common case fast without the test ever writing to the repo.
+func TestGoldenFigures(t *testing.T) {
+	if os.Getenv("COMB_GOLDEN") != "1" {
+		t.Skip("set COMB_GOLDEN=1 to regenerate and diff the committed figure CSVs")
+	}
+	if testing.Short() {
+		t.Skip("golden regeneration is not short")
+	}
+
+	goldens, err := filepath.Glob("results/fig*.csv")
+	if err != nil || len(goldens) == 0 {
+		t.Fatalf("no committed figure CSVs found: %v", err)
+	}
+
+	scratch := filepath.Join(t.TempDir(), "cache")
+	if err := os.MkdirAll(scratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seeds, _ := filepath.Glob(filepath.Join(runner.DefaultCacheDir, "*.json"))
+	for _, s := range seeds {
+		b, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(scratch, filepath.Base(s)), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := runner.New(runner.Config{Disk: runner.Open(scratch)})
+	opt := sweep.Options{Engine: eng}
+
+	for _, golden := range goldens {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(golden), "fig%d.csv", &n); err != nil {
+			t.Fatalf("unparseable golden name %q: %v", golden, err)
+		}
+		t.Run(filepath.Base(golden), func(t *testing.T) {
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := sweep.ByID(fmt.Sprint(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := f.Build(opt)
+			if err != nil {
+				t.Fatalf("rebuilding figure %d: %v", n, err)
+			}
+			if got := tbl.CSV(); got != string(want) {
+				t.Errorf("figure %d CSV drifted from committed golden %s\ngot %d bytes, want %d; regenerate with `comb figure all -csv results` and review the diff",
+					n, golden, len(got), len(want))
+			}
+		})
+	}
+}

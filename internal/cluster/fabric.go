@@ -80,14 +80,37 @@ type Fabric struct {
 	bytes     int64
 	delivered int64
 	lost      int64
+	injDrop   int64 // packets swallowed by the fault injector
+	injDup    int64 // extra deliveries created by the fault injector
 
-	// observer, when set, is called on every delivery (tracing).
-	observer func(*Packet, sim.Time)
+	// observers are called on every delivery (tracing, invariants,
+	// fault-injection jitter).
+	observers []func(*Packet, sim.Time)
+
+	// injector, when set, vets every port-to-port packet's delivery.
+	injector Injector
 }
 
-// Observe registers a delivery observer (at most one; later calls
-// replace earlier ones).  Used by the trace package.
-func (f *Fabric) Observe(fn func(pkt *Packet, at sim.Time)) { f.observer = fn }
+// Observe registers a delivery observer.  Observers run in registration
+// order on every delivery and must not send packets of their own.  Used
+// by the trace package, the invariant checker and the fault injector.
+func (f *Fabric) Observe(fn func(pkt *Packet, at sim.Time)) {
+	f.observers = append(f.observers, fn)
+}
+
+// Injector decides the fate of packets on a fault-injected wire.  Given a
+// packet and its natural delivery time, Deliver returns the set of times
+// (each >= the natural time) at which a copy of the packet reaches the
+// receiver: an empty set drops it, one entry delivers it (possibly late),
+// and extra entries duplicate it.  The fabric accounts drops and
+// duplicates so conservation checks stay exact.
+type Injector interface {
+	Deliver(pkt *Packet, at sim.Time) []sim.Time
+}
+
+// SetInjector installs the fault injector (at most one; later calls
+// replace earlier ones).  It must be called before traffic flows.
+func (f *Fabric) SetInjector(inj Injector) { f.injector = inj }
 
 // NewFabric returns a fabric with n ports.
 func NewFabric(env *sim.Env, n int, cfg LinkConfig) *Fabric {
@@ -127,7 +150,9 @@ func (f *Fabric) Attach(node int, sink func(*Packet)) {
 func (f *Fabric) Send(pkt *Packet) sim.Time {
 	if pkt.From == pkt.To {
 		// Loopback: deliver after a nominal latency without using ports.
-		f.env.Schedule(f.cfg.Latency, func() { f.deliver(pkt) })
+		f.packets++
+		f.bytes += int64(pkt.Size)
+		f.scheduleDelivery(pkt, f.env.Now()+f.cfg.Latency)
 		return f.env.Now()
 	}
 	occ := f.cfg.Occupancy(pkt.Size)
@@ -175,14 +200,37 @@ func (f *Fabric) Send(pkt *Packet) sim.Time {
 
 	f.packets++
 	f.bytes += int64(pkt.Size)
-	f.env.Schedule(done-now, func() { f.deliver(pkt) })
+	f.scheduleDelivery(pkt, done)
 	return sent
+}
+
+// scheduleDelivery arranges for pkt to reach its sink at the natural
+// delivery time at, letting the fault injector (if any) drop, delay, or
+// duplicate it first.
+func (f *Fabric) scheduleDelivery(pkt *Packet, at sim.Time) {
+	now := f.env.Now()
+	if f.injector == nil {
+		f.env.Schedule(at-now, func() { f.deliver(pkt) })
+		return
+	}
+	whens := f.injector.Deliver(pkt, at)
+	if len(whens) == 0 {
+		f.injDrop++
+		return
+	}
+	f.injDup += int64(len(whens) - 1)
+	for _, w := range whens {
+		if w < at {
+			panic(fmt.Sprintf("cluster: injector delivery at %v before natural time %v", w, at))
+		}
+		f.env.Schedule(w-now, func() { f.deliver(pkt) })
+	}
 }
 
 func (f *Fabric) deliver(pkt *Packet) {
 	f.delivered++
-	if f.observer != nil {
-		f.observer(pkt, f.env.Now())
+	for _, obs := range f.observers {
+		obs(pkt, f.env.Now())
 	}
 	sink := f.sinks[pkt.To]
 	if sink == nil {
@@ -225,3 +273,10 @@ func (f *Fabric) Stats() (packets, bytes, delivered int64) {
 
 // Lost returns the number of packets dropped by loss injection.
 func (f *Fabric) Lost() int64 { return f.lost }
+
+// InjectStats returns the fault injector's accounting: packets it
+// swallowed and extra deliveries it created.  Both are zero when no
+// injector is installed.
+func (f *Fabric) InjectStats() (dropped, duplicated int64) {
+	return f.injDrop, f.injDup
+}

@@ -1,0 +1,243 @@
+// Package invariant verifies simulation-wide correctness properties on
+// every run it is attached to: conservation of posted/completed
+// messages and of wire packets, non-decreasing virtual time, bounded
+// event-queue depth, and physically-plausible results (availability is a
+// fraction, bandwidth fits the wire).  It is the backstop that keeps the
+// simulator honest under fault injection, hostile configs, and future
+// optimization work: any benchmark number produced while an invariant is
+// broken is noise.
+//
+// Usage: Attach before the run starts, Finish after the event queue
+// drains, Check* on each produced result, then Err.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+
+	"comb/internal/cluster"
+	"comb/internal/core"
+	"comb/internal/mpi"
+	"comb/internal/sim"
+	"comb/internal/trace"
+)
+
+// DefaultMaxPending bounds the event queue when Options.MaxPending is
+// zero.  It is a livelock tripwire, not a tight capacity model: a
+// healthy two-node run keeps thousands of events pending at peak, a
+// runaway self-rescheduling process grows without bound.
+const DefaultMaxPending = 1 << 20
+
+// availEps absorbs float rounding in availability ratios.
+const availEps = 1e-6
+
+// bwSlack tolerates the goodput-vs-wire-rate comparison's unit rounding
+// (results are decimal MB/s computed from time.Duration).
+const bwSlack = 1.01
+
+// Violation is one broken invariant.
+type Violation struct {
+	At     sim.Time // virtual time of detection (end of run for Finish checks)
+	Rule   string   // stable rule identifier, e.g. "conservation/packets"
+	Detail string
+}
+
+// String renders "rule: detail (t=…)".
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s (t=%v)", v.Rule, v.Detail, v.At)
+}
+
+// Options configures a Checker.
+type Options struct {
+	// MaxPending bounds the event queue depth; 0 means
+	// DefaultMaxPending.
+	MaxPending int
+	// Trace, when non-nil, receives every violation as a "violation"
+	// event in the ring.
+	Trace *trace.Recorder
+}
+
+// Checker watches one simulated system for invariant violations.
+type Checker struct {
+	sys   *cluster.System
+	comms []*mpi.Comm
+	meter *mpi.Meter
+	opts  Options
+
+	lastAt      sim.Time
+	peakPending int
+	queueTrip   bool // queue-bound violation reported (once)
+	violations  []Violation
+}
+
+// Attach wires a checker into sys: a message meter on every
+// communicator and a per-event observer on the environment.  It must be
+// called before the run starts.
+func Attach(sys *cluster.System, comms []*mpi.Comm, opts Options) *Checker {
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = DefaultMaxPending
+	}
+	c := &Checker{sys: sys, comms: comms, meter: &mpi.Meter{}, opts: opts}
+	for _, cm := range comms {
+		cm.SetMeter(c.meter)
+	}
+	sys.Env.OnStep(c.step)
+	return c
+}
+
+// Meter exposes the attached message meter (for tests and reporting).
+func (c *Checker) Meter() *mpi.Meter { return c.meter }
+
+// PeakPending reports the deepest event queue observed.
+func (c *Checker) PeakPending() int { return c.peakPending }
+
+// step runs once per executed event.
+func (c *Checker) step(at sim.Time) {
+	if at < c.lastAt {
+		c.add(at, "time/monotonic", fmt.Sprintf("clock went backwards: %v after %v", at, c.lastAt))
+	}
+	c.lastAt = at
+	if p := c.sys.Env.Pending(); p > c.peakPending {
+		c.peakPending = p
+		if p > c.opts.MaxPending && !c.queueTrip {
+			c.queueTrip = true
+			c.add(at, "queue/bound", fmt.Sprintf("event queue depth %d exceeds bound %d (livelock?)", p, c.opts.MaxPending))
+		}
+	}
+}
+
+// Finish runs the end-of-run conservation checks.  Call it only after
+// the event queue drained normally (a deadlocked or cancelled run
+// legitimately strands state).
+func (c *Checker) Finish() {
+	now := c.sys.Env.Now()
+
+	// Wire conservation: every packet sent is delivered, lost to the
+	// wire, or swallowed by the fault injector — and duplicates are the
+	// injector's doing, exactly counted.
+	packets, _, delivered := c.sys.Fabric.Stats()
+	lost := c.sys.Fabric.Lost()
+	injDrop, injDup := c.sys.Fabric.InjectStats()
+	if want := packets - lost - injDrop + injDup; delivered != want {
+		c.add(now, "conservation/packets",
+			fmt.Sprintf("delivered %d, want sent %d - lost %d - injected-drops %d + injected-dups %d = %d",
+				delivered, packets, lost, injDrop, injDup, want))
+	}
+
+	// Message conservation: every posted send completes (benchmarks wait
+	// on all of them), and completed sends pair one-to-one with
+	// completed receives, byte for byte.  Posted receives may outnumber
+	// completed ones (the polling worker keeps a full receive queue
+	// posted at shutdown), never the reverse.
+	m := c.meter
+	if m.DoneSends != m.PostedSends {
+		c.add(now, "conservation/sends",
+			fmt.Sprintf("%d sends posted but %d completed", m.PostedSends, m.DoneSends))
+	}
+	if m.DoneRecvs > m.PostedRecvs {
+		c.add(now, "conservation/recvs",
+			fmt.Sprintf("%d receives completed but only %d posted", m.DoneRecvs, m.PostedRecvs))
+	}
+	if m.DoneSends != m.DoneRecvs {
+		c.add(now, "conservation/messages",
+			fmt.Sprintf("%d sends completed vs %d receives", m.DoneSends, m.DoneRecvs))
+	}
+	if m.SentBytes != m.RecvBytes {
+		c.add(now, "conservation/bytes",
+			fmt.Sprintf("%d bytes sent vs %d received", m.SentBytes, m.RecvBytes))
+	}
+
+	// No rank may end the run with unexpected messages still queued: the
+	// benchmarks' drain handshakes consume everything in flight.
+	for _, cm := range c.comms {
+		ms, ok := cm.Endpoint().(mpi.MatchStater)
+		if !ok {
+			continue
+		}
+		if n := ms.MatchState().UnexpectedLen(); n != 0 {
+			c.add(now, "conservation/unexpected",
+				fmt.Sprintf("rank %d ends with %d unexpected messages queued", cm.Rank(), n))
+		}
+	}
+}
+
+// CheckPolling asserts physical plausibility of a polling result.
+func (c *Checker) CheckPolling(r *core.PollingResult) {
+	if r == nil {
+		return
+	}
+	now := c.sys.Env.Now()
+	if r.DryTime <= 0 || r.Elapsed <= 0 {
+		c.add(now, "result/time", fmt.Sprintf("non-positive durations: dry %v, elapsed %v", r.DryTime, r.Elapsed))
+	}
+	c.checkAvail(r.Availability, r.SystemAvailability)
+	c.checkBandwidth(r.BandwidthMBs)
+	if r.MsgsReceived > 0 && r.BytesReceived != r.MsgsReceived*int64(r.MsgSize) {
+		c.add(now, "result/bytes",
+			fmt.Sprintf("%d messages of %dB but %d bytes received", r.MsgsReceived, r.MsgSize, r.BytesReceived))
+	}
+}
+
+// CheckPWW asserts physical plausibility of a post-work-wait result.
+func (c *Checker) CheckPWW(r *core.PWWResult) {
+	if r == nil {
+		return
+	}
+	now := c.sys.Env.Now()
+	if r.WorkOnly <= 0 || r.Elapsed <= 0 {
+		c.add(now, "result/time", fmt.Sprintf("non-positive durations: work-only %v, elapsed %v", r.WorkOnly, r.Elapsed))
+	}
+	if r.Elapsed < r.WorkTotal {
+		c.add(now, "result/time", fmt.Sprintf("elapsed %v shorter than its own work total %v", r.Elapsed, r.WorkTotal))
+	}
+	c.checkAvail(r.Availability, r.SystemAvailability)
+	c.checkBandwidth(r.BandwidthMBs)
+	if r.BytesReceived < 0 {
+		c.add(now, "result/bytes", fmt.Sprintf("negative bytes received: %d", r.BytesReceived))
+	}
+}
+
+// checkAvail asserts availability ∈ (0, 1] and system availability ∈
+// [0, 1], both with float tolerance.
+func (c *Checker) checkAvail(avail, sysAvail float64) {
+	now := c.sys.Env.Now()
+	if avail <= 0 || avail > 1+availEps {
+		c.add(now, "result/availability", fmt.Sprintf("availability %v outside (0, 1]", avail))
+	}
+	if sysAvail < 0 || sysAvail > 1+availEps {
+		c.add(now, "result/availability", fmt.Sprintf("system availability %v outside [0, 1]", sysAvail))
+	}
+}
+
+// checkBandwidth asserts goodput does not beat the wire.
+func (c *Checker) checkBandwidth(mbs float64) {
+	limit := c.sys.P.Link.Bandwidth / 1e6 * bwSlack
+	if mbs < 0 || mbs > limit {
+		c.add(c.sys.Env.Now(), "result/bandwidth",
+			fmt.Sprintf("%.2f MB/s outside [0, %.2f] (wire rate %.0f B/s)", mbs, limit, c.sys.P.Link.Bandwidth))
+	}
+}
+
+func (c *Checker) add(at sim.Time, rule, detail string) {
+	c.violations = append(c.violations, Violation{At: at, Rule: rule, Detail: detail})
+	if c.opts.Trace != nil {
+		c.opts.Trace.Recordf(at, "violation", 0, "%s: %s", rule, detail)
+	}
+}
+
+// Violations returns everything found so far.
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Err returns nil when no invariant broke, else one error summarizing
+// every violation.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d invariant violation(s):", len(c.violations))
+	for _, v := range c.violations {
+		fmt.Fprintf(&b, "\n  %v", v)
+	}
+	return fmt.Errorf("%s", b.String())
+}

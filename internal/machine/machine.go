@@ -10,6 +10,7 @@ import (
 
 	"comb/internal/cluster"
 	"comb/internal/core"
+	"comb/internal/invariant"
 	"comb/internal/mpi"
 	"comb/internal/platform"
 	"comb/internal/sim"
@@ -139,12 +140,31 @@ func Run(cfg platform.Config, fn func(m core.Machine)) error {
 // simulation down (see platform.Instance.RunContext) and returns ctx.Err()
 // instead of running the point to completion.
 func RunContext(ctx context.Context, cfg platform.Config, fn func(m core.Machine)) error {
+	return RunChecked(ctx, cfg, fn, nil)
+}
+
+// RunChecked is RunContext with the invariant checker attached: the
+// simulation's conservation laws are verified after the run and any
+// violation comes back as the error.  The optional post hook runs after
+// the conservation checks and before the verdict, so callers can feed
+// produced results to the checker's plausibility checks
+// (CheckPolling/CheckPWW).
+func RunChecked(ctx context.Context, cfg platform.Config, fn func(m core.Machine), post func(*invariant.Checker)) error {
 	in, err := platform.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer in.Close()
-	return in.RunContext(ctx, func(p *sim.Proc, c *mpi.Comm) {
+	chk := invariant.Attach(in.Sys, in.Comms, invariant.Options{})
+	err = in.RunContext(ctx, func(p *sim.Proc, c *mpi.Comm) {
 		fn(NewSim(p, c, in.Sys.Nodes[c.Rank()]))
 	})
+	if err != nil {
+		return err
+	}
+	chk.Finish()
+	if post != nil {
+		post(chk)
+	}
+	return chk.Err()
 }

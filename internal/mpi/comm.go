@@ -19,6 +19,10 @@ type Comm struct {
 
 	barrierSeq int
 	collSeq    int
+
+	// meter, when set, counts every posted and completed request on this
+	// rank (the invariant checker's conservation bookkeeping).
+	meter *Meter
 }
 
 // NewComm binds a communicator for rank (of size) to an endpoint.
@@ -50,6 +54,9 @@ func (c *Comm) Isend(p *sim.Proc, dst, tag int, data []byte) *Request {
 		ev:       c.env.NewEvent(),
 		postedAt: c.env.Now(),
 	}
+	if c.meter != nil {
+		c.meter.posted(KindSend)
+	}
 	c.ep.Isend(p, r)
 	return r
 }
@@ -71,6 +78,9 @@ func (c *Comm) Irecv(p *sim.Proc, src, tag int, buf []byte) *Request {
 		buf:      buf,
 		ev:       c.env.NewEvent(),
 		postedAt: c.env.Now(),
+	}
+	if c.meter != nil {
+		c.meter.posted(KindRecv)
 	}
 	c.ep.Irecv(p, r)
 	return r
@@ -209,6 +219,9 @@ func (c *Comm) Barrier(p *sim.Proc) {
 func (c *Comm) sendInternal(p *sim.Proc, dst, tag int, data []byte) {
 	r := &Request{kind: KindSend, comm: c, peer: dst, tag: tag, data: data,
 		ev: c.env.NewEvent(), postedAt: c.env.Now()}
+	if c.meter != nil {
+		c.meter.posted(KindSend)
+	}
 	c.ep.Isend(p, r)
 	c.Wait(p, r)
 }
@@ -216,6 +229,9 @@ func (c *Comm) sendInternal(p *sim.Proc, dst, tag int, data []byte) {
 func (c *Comm) recvInternal(p *sim.Proc, src, tag int, buf []byte) {
 	r := &Request{kind: KindRecv, comm: c, peer: src, tag: tag, buf: buf,
 		ev: c.env.NewEvent(), postedAt: c.env.Now()}
+	if c.meter != nil {
+		c.meter.posted(KindRecv)
+	}
 	c.ep.Irecv(p, r)
 	c.Wait(p, r)
 }

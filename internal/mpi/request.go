@@ -109,6 +109,9 @@ func (r *Request) Complete(src, tag, count int) {
 	}
 	r.done = true
 	r.status = Status{Source: src, Tag: tag, Count: count}
+	if r.comm != nil && r.comm.meter != nil {
+		r.comm.meter.completed(r)
+	}
 	r.ev.Fire(r)
 }
 

@@ -30,6 +30,11 @@ type Config struct {
 	// (0 keeps the platform's own value; the reference platform is
 	// uniprocessor, like the paper's testbed).
 	CPUs int
+	// Seed overrides the wire's jitter/loss RNG seed (0 keeps the
+	// platform's own, so runs stay byte-reproducible by default).  It is
+	// applied after any transport link preference, so seeded runs are
+	// replayable on every transport.
+	Seed uint64
 }
 
 // Instance is a ready-to-run simulated system.
@@ -70,6 +75,9 @@ func New(cfg Config) (*Instance, error) {
 	// Myrinet) bring their own wire, unless the caller pinned a platform.
 	if lp, ok := tr.(transport.LinkPreferencer); ok && cfg.Platform == nil {
 		p.Link, p.PacketHeader = lp.PreferredLink()
+	}
+	if cfg.Seed != 0 {
+		p.Link.Seed = cfg.Seed
 	}
 	sys := cluster.NewSystem(n, p)
 	eps := tr.Build(sys)

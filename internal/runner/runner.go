@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"comb/internal/core"
+	"comb/internal/invariant"
 	"comb/internal/machine"
 	"comb/internal/platform"
 )
@@ -304,7 +305,7 @@ func (e *Engine) simulate(ctx context.Context, n Point) (*Result, error) {
 	cfg := platform.Config{Transport: n.System, CPUs: n.CPUs}
 	var res Result
 	var ferr error
-	err := machine.RunContext(ctx, cfg, func(m core.Machine) {
+	err := machine.RunChecked(ctx, cfg, func(m core.Machine) {
 		if n.Polling != nil {
 			r, err := core.RunPolling(m, *n.Polling)
 			if err != nil {
@@ -324,6 +325,9 @@ func (e *Engine) simulate(ctx context.Context, n Point) (*Result, error) {
 				res.PWW = r
 			}
 		}
+	}, func(chk *invariant.Checker) {
+		chk.CheckPolling(res.Polling)
+		chk.CheckPWW(res.PWW)
 	})
 	if err == nil {
 		err = ferr

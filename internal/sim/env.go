@@ -23,6 +23,11 @@ type Env struct {
 	// a safety valve against accidental livelock (for example a process
 	// that re-schedules itself at zero delay forever); exceeding it panics.
 	MaxSteps uint64
+
+	// onStep observers run after the clock advances to each executed
+	// event's timestamp, before the event body.  They must only read
+	// state (the invariant checker hooks here).
+	onStep []func(at Time)
 }
 
 // NewEnv returns an empty environment at virtual time zero.
@@ -52,6 +57,13 @@ func (e *Env) Stop() { e.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (e *Env) Stopped() bool { return e.stopped }
+
+// OnStep registers an observer called once per executed event with the
+// event's timestamp, after the clock has advanced to it and before the
+// event body runs.  Observers must not schedule, spawn, or otherwise
+// mutate the simulation: they exist for passive monitoring (the
+// invariant checker).  Multiple observers run in registration order.
+func (e *Env) OnStep(fn func(at Time)) { e.onStep = append(e.onStep, fn) }
 
 // Schedule arranges for fn to run at Now()+delay.  A negative delay panics.
 // The returned Timer may be used to cancel the callback before it fires.
@@ -98,6 +110,9 @@ func (e *Env) run(deadline Time) {
 		}
 		if top.timer != nil {
 			top.timer.fired = true
+		}
+		for _, obs := range e.onStep {
+			obs(top.at)
 		}
 		top.fn()
 	}

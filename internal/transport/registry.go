@@ -30,6 +30,37 @@ type LinkPreferencer interface {
 	PreferredLink() (cluster.LinkConfig, int)
 }
 
+// Tolerance declares which wire faults a transport survives without
+// deadlock or panic.  The fault injector masks its fault menu against
+// this before wrapping a transport, so fuzz sweeps only inject faults a
+// transport's real-world counterpart claims to handle.
+type Tolerance struct {
+	// Loss: dropped packets are retransmitted (a reliability layer).
+	Loss bool
+	// Duplication: redelivered packets are detected and discarded.
+	Duplication bool
+	// Reorder: out-of-order fragment arrival reassembles correctly.
+	Reorder bool
+}
+
+// tolerances records what each registered transport survives.  TCP
+// carries full SAR + retransmission + dedup, so anything goes.  Portals
+// and EMP complete messages on received-byte counts, which is
+// order-independent, but a dropped or duplicated fragment skews the
+// count forever (deadlock / overrun).  GM's eager protocol assumes the
+// Myrinet wire is exactly-once in-order; any violation is fatal.
+var tolerances = map[string]Tolerance{
+	"gm":      {},
+	"portals": {Reorder: true},
+	"emp":     {Reorder: true},
+	"tcp":     {Loss: true, Duplication: true, Reorder: true},
+	"ideal":   {},
+}
+
+// ToleranceOf returns the declared fault tolerance for a transport name.
+// Unknown names tolerate nothing.
+func ToleranceOf(name string) Tolerance { return tolerances[name] }
+
 // factories maps registry names to constructors returning a transport
 // with default configuration.
 var factories = map[string]func() Transport{

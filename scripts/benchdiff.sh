@@ -1,0 +1,104 @@
+#!/bin/sh
+# Benchmark regression guard.
+#
+#   scripts/benchdiff.sh record   # rewrite BENCH_baseline.json from a fresh run
+#   scripts/benchdiff.sh          # run the same benchmarks, flag slowdowns
+#
+# A benchmark more than BENCH_TOLERANCE (default 20%) slower than its
+# committed baseline fails the check.  Faster results and new benchmarks
+# are reported but never fail; run `record` on a quiet machine to refresh
+# the baseline after intentional performance changes.
+#
+# The comparison is sec/op only — wall-clock noise on shared runners is
+# real, so treat a failure as "look here", not proof.  BENCH_FILTER
+# narrows the benchmark regex (default: the per-figure set, which covers
+# the whole sweep->runner->sim stack).
+set -e
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_baseline.json
+TOLERANCE="${BENCH_TOLERANCE:-20}"
+FILTER="${BENCH_FILTER:-^BenchmarkFig}"
+BENCHTIME="${BENCH_TIME:-1x}"
+COUNT="${BENCH_COUNT:-5}"
+
+run_benches() {
+    go test -run '^$' -bench "$FILTER" -benchtime "$BENCHTIME" -count "$COUNT" . 2>&1
+}
+
+# bench_to_json <raw go test -bench output> -> {"name": min_ns_op, ...}
+# The minimum over -count runs is the standard noise-robust estimator:
+# scheduler or neighbour interference only ever slows a run down.
+bench_to_json() {
+    awk '
+        /^Benchmark/ && $4 == "ns/op" {
+            name = $1
+            sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
+            if (!(name in ns) || $3 + 0 < ns[name]) ns[name] = $3
+            if (!(name in seen)) { seen[name] = 1; order[n++] = name }
+        }
+        END {
+            printf "{\n"
+            for (i = 0; i < n; i++) {
+                printf "  \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "")
+            }
+            printf "}\n"
+        }'
+}
+
+case "${1:-check}" in
+record)
+    echo "==> recording baseline ($FILTER, benchtime $BENCHTIME)" >&2
+    run_benches | tee /dev/stderr | bench_to_json > "$BASELINE"
+    echo "==> wrote $BASELINE" >&2
+    ;;
+check)
+    [ -f "$BASELINE" ] || { echo "benchdiff: no $BASELINE; run '$0 record' first" >&2; exit 2; }
+    echo "==> running benchmarks ($FILTER, benchtime $BENCHTIME)" >&2
+    run_benches | bench_to_json > /tmp/bench_current.$$
+    awk -v tol="$TOLERANCE" '
+        FNR == NR {
+            if (match($0, /"[^"]+": [0-9.]+/)) {
+                split(substr($0, RSTART, RLENGTH), kv, /": /)
+                gsub(/"/, "", kv[1])
+                base[kv[1]] = kv[2]
+            }
+            next
+        }
+        {
+            if (match($0, /"[^"]+": [0-9.]+/)) {
+                split(substr($0, RSTART, RLENGTH), kv, /": /)
+                gsub(/"/, "", kv[1])
+                cur[kv[1]] = kv[2]
+            }
+        }
+        END {
+            bad = 0
+            for (name in cur) {
+                if (!(name in base)) {
+                    printf "NEW      %-50s %12.0f ns/op (no baseline)\n", name, cur[name]
+                    continue
+                }
+                delta = (cur[name] - base[name]) / base[name] * 100
+                status = "ok"
+                if (delta > tol) { status = "SLOWER"; bad++ }
+                else if (delta < -tol) status = "faster"
+                printf "%-8s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n", status, name, base[name], cur[name], delta
+            }
+            for (name in base)
+                if (!(name in cur))
+                    printf "GONE     %-50s (in baseline, not run)\n", name
+            if (bad) {
+                printf "\nbenchdiff: %d benchmark(s) regressed more than %d%%\n", bad, tol
+                exit 1
+            }
+            print "\nbenchdiff: OK"
+        }' "$BASELINE" /tmp/bench_current.$$ || rc=$?
+    rm -f /tmp/bench_current.$$
+    exit "${rc:-0}"
+    ;;
+*)
+    echo "usage: $0 [record|check]" >&2
+    exit 2
+    ;;
+esac
