@@ -4,8 +4,12 @@
 // Usage:
 //
 //	comb list                         # figures and systems
+//	comb run -spec <polling|pww>      # one measurement (unified entry)
 //	comb polling [flags]              # one polling-method measurement
 //	comb pww [flags]                  # one post-work-wait measurement
+//	comb trace export [flags]         # export the last run's span timeline
+//	comb metrics [flags]              # print the last run's metrics
+//	comb replay -manifest <file>      # re-run a manifest, verify the hash
 //	comb figure <n|all> [flags]       # regenerate paper figure(s) 4-17
 //	comb compare [flags]              # side-by-side system summary
 //	comb assess <system|all> [flags]  # full diagnostic report
@@ -21,13 +25,21 @@
 // -no-cache skips it, `comb cache clear` empties it).  Ctrl-C cancels a
 // running sweep mid-point.
 //
+// Single measurements (run, polling, pww) write their observability
+// artifacts — span capture, metrics, and provenance manifest — into
+// -obs-dir (results/last by default; empty disables).  `comb trace
+// export -format=chrome` turns the capture into Chrome trace-event JSON
+// loadable in chrome://tracing or https://ui.perfetto.dev.
+//
 // Run `comb <subcommand> -h` for flags.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -38,6 +50,7 @@ import (
 	"comb"
 	"comb/internal/asciichart"
 	"comb/internal/assess"
+	"comb/internal/obs"
 	"comb/internal/pingpong"
 	"comb/internal/report"
 	"comb/internal/runner"
@@ -58,10 +71,18 @@ func main() {
 	switch os.Args[1] {
 	case "list":
 		err = cmdList()
+	case "run":
+		err = cmdRun(ctx, os.Args[2:])
 	case "polling":
 		err = cmdPolling(ctx, os.Args[2:])
 	case "pww":
 		err = cmdPWW(ctx, os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
+	case "replay":
+		err = cmdReplay(ctx, os.Args[2:])
 	case "figure":
 		err = cmdFigure(ctx, os.Args[2:])
 	case "compare":
@@ -96,8 +117,12 @@ func usage() {
 
 subcommands:
   list      list reproducible figures and simulated systems
+  run       run one measurement (-spec polling|pww, then method flags)
   polling   run one polling-method measurement
   pww       run one post-work-wait measurement
+  trace     export the last run's span timeline (trace export -format=chrome|text)
+  metrics   print the last run's metrics (-format prom|json)
+  replay    re-run a saved manifest and verify its result hash
   figure    regenerate paper figure <n|all> (Figures 4-17)
   compare   quick side-by-side summary of all systems
   assess    full COMB characterization of one system (or 'all')
@@ -111,7 +136,9 @@ subcommands:
 sweep-shaped subcommands accept -j N (parallel simulations) and cache
 results under results/cache/ (-no-cache to skip, 'comb cache clear' to
 empty); polling and pww accept -seed and -faults '<spec>' for
-deterministic degraded runs (e.g. -faults 'drop=0.01,delay=0.2:50us')`)
+deterministic degraded runs (e.g. -faults 'drop=0.01,delay=0.2:50us')
+and write trace/metrics/manifest artifacts into -obs-dir (results/last
+by default) for 'comb trace export', 'comb metrics' and 'comb replay'`)
 }
 
 // engineOpts are the execution flags shared by every sweep-shaped
@@ -136,11 +163,12 @@ func addEngineFlags(fs *flag.FlagSet) *engineOpts {
 // makes it the sweep default so every path in this process shares one
 // cache.
 func (o *engineOpts) install() *progressMeter {
-	m := &progressMeter{}
+	m := &progressMeter{reg: obs.NewRegistry()}
 	cfg := runner.Config{
 		Workers:    *o.jobs,
 		Retries:    *o.retries,
 		OnProgress: m.update,
+		Obs:        m.reg,
 	}
 	if !*o.noCache {
 		cfg.Disk = runner.Open(*o.dir)
@@ -155,6 +183,7 @@ func (o *engineOpts) install() *progressMeter {
 // batch executes.
 type progressMeter struct {
 	eng     *runner.Engine
+	reg     *obs.Registry // the engine's metrics, snapshotted into figure manifests
 	printed bool
 	muted   bool
 }
@@ -205,6 +234,7 @@ func cmdPolling(ctx context.Context, args []string) error {
 	traceN := fs.Int("trace", 0, "print the last N packet deliveries")
 	seed := fs.Uint64("seed", 0, "wire/fault RNG seed (0 = platform default)")
 	faults := fs.String("faults", "", "fault injection spec, e.g. 'drop=0.01,delay=0.2:50us,jitter=0.1:200us'")
+	obsDir := fs.String("obs-dir", obs.DefaultRunDir, "directory for trace/metrics/manifest artifacts ('' disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -218,6 +248,7 @@ func cmdPolling(ctx context.Context, args []string) error {
 		System:   *system,
 		CPUs:     *cpus,
 		TraceCap: *traceN,
+		ObsCap:   obsCapFor(*obsDir),
 		Seed:     *seed,
 		Faults:   fspec,
 		Polling: &comb.PollingConfig{
@@ -228,6 +259,9 @@ func cmdPolling(ctx context.Context, args []string) error {
 		},
 	})
 	if err != nil {
+		return err
+	}
+	if err := writeObs(*obsDir, out); err != nil {
 		return err
 	}
 	res := out.Polling
@@ -279,6 +313,7 @@ func cmdPWW(ctx context.Context, args []string) error {
 	cpus := fs.Int("cpus", 1, "processors per node (SMP extension, paper s7)")
 	seed := fs.Uint64("seed", 0, "wire/fault RNG seed (0 = platform default)")
 	faults := fs.String("faults", "", "fault injection spec, e.g. 'drop=0.01,delay=0.2:50us,jitter=0.1:200us'")
+	obsDir := fs.String("obs-dir", obs.DefaultRunDir, "directory for trace/metrics/manifest artifacts ('' disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -291,6 +326,7 @@ func cmdPWW(ctx context.Context, args []string) error {
 		Method: comb.MethodPWW,
 		System: *system,
 		CPUs:   *cpus,
+		ObsCap: obsCapFor(*obsDir),
 		Seed:   *seed,
 		Faults: fspec,
 		PWW: &comb.PWWConfig{
@@ -303,6 +339,9 @@ func cmdPWW(ctx context.Context, args []string) error {
 		},
 	})
 	if err != nil {
+		return err
+	}
+	if err := writeObs(*obsDir, out); err != nil {
 		return err
 	}
 	res := out.PWW
@@ -320,6 +359,196 @@ func cmdPWW(ctx context.Context, args []string) error {
 	if res.SystemAvailability > 0 {
 		fmt.Printf("system avail    %.3f (node-wide, SMP-safe)\n", res.SystemAvailability)
 	}
+	return nil
+}
+
+// cmdRun is the unified single-measurement entry: -spec picks the
+// method, every other flag is forwarded to the method's own flag set.
+func cmdRun(ctx context.Context, args []string) error {
+	var spec string
+	rest := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-spec" || a == "--spec":
+			if i+1 >= len(args) {
+				return fmt.Errorf("run: -spec needs a value (polling|pww)")
+			}
+			i++
+			spec = args[i]
+		case strings.HasPrefix(a, "-spec="):
+			spec = strings.TrimPrefix(a, "-spec=")
+		case strings.HasPrefix(a, "--spec="):
+			spec = strings.TrimPrefix(a, "--spec=")
+		default:
+			rest = append(rest, a)
+		}
+	}
+	switch spec {
+	case "polling":
+		return cmdPolling(ctx, rest)
+	case "pww":
+		return cmdPWW(ctx, rest)
+	case "":
+		return fmt.Errorf("run: need -spec polling|pww")
+	default:
+		return fmt.Errorf("run: unknown spec %q (polling|pww)", spec)
+	}
+}
+
+// obsCapFor maps an -obs-dir value to a RunSpec.ObsCap: default span
+// capacity when artifacts are wanted, off when the dir is empty.
+func obsCapFor(dir string) int {
+	if dir == "" {
+		return 0
+	}
+	return -1
+}
+
+// writeObs persists a finished run's observability artifacts into dir:
+// the span capture, the metrics in both formats, and the provenance
+// manifest.
+func writeObs(dir string, out *comb.RunResult) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if out.Obs != nil {
+		if err := out.Obs.Save(filepath.Join(dir, obs.TraceFile)); err != nil {
+			return err
+		}
+	}
+	var prom strings.Builder
+	if err := out.Metrics.WritePrometheus(&prom); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, obs.MetricsPromFile), []byte(prom.String()), 0o644); err != nil {
+		return err
+	}
+	snap, err := json.MarshalIndent(out.Metrics.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, obs.MetricsJSONFile), append(snap, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := out.Manifest.Save(filepath.Join(dir, obs.ManifestFile)); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote run artifacts to %s/ (%s, %s, %s, %s)\n",
+		dir, obs.TraceFile, obs.MetricsPromFile, obs.MetricsJSONFile, obs.ManifestFile)
+	return nil
+}
+
+// cmdTrace exports a recorded span capture.
+func cmdTrace(args []string) error {
+	if len(args) < 1 || args[0] != "export" {
+		return fmt.Errorf("trace: need the 'export' subcommand, e.g. `comb trace export -format=chrome`")
+	}
+	fs := flag.NewFlagSet("trace export", flag.ExitOnError)
+	format := fs.String("format", "chrome", "output format (chrome|text)")
+	runDir := fs.String("run", obs.DefaultRunDir, "run directory holding "+obs.TraceFile)
+	outPath := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	cp, err := obs.LoadCapture(filepath.Join(*runDir, obs.TraceFile))
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "chrome":
+		return obs.WriteChromeTrace(w, cp)
+	case "text":
+		return writeTraceText(w, cp)
+	default:
+		return fmt.Errorf("trace export: unknown format %q (chrome|text)", *format)
+	}
+}
+
+// writeTraceText renders a capture as aligned log lines: spans first
+// (start, duration, node, category, name, args), then instants.
+func writeTraceText(w io.Writer, c *obs.Capture) error {
+	if c.DroppedSpans > 0 {
+		if _, err := fmt.Fprintf(w, "(%d earlier spans dropped)\n", c.DroppedSpans); err != nil {
+			return err
+		}
+	}
+	for _, s := range c.Spans {
+		if _, err := fmt.Fprintf(w, "%14v %14v node%d %-7s %s", s.Start, s.Dur, s.Node, s.Cat, s.Name); err != nil {
+			return err
+		}
+		for _, kv := range s.Args {
+			if _, err := fmt.Fprintf(w, " %s=%s", kv.K, kv.V); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, in := range c.Instants {
+		if _, err := fmt.Fprintf(w, "%14v %14s node%d %-7s %s\n", in.At, "-", in.Node, in.Cat, in.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cmdMetrics prints a saved metrics file from a run directory.
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	runDir := fs.String("run", obs.DefaultRunDir, "run directory holding the metrics files")
+	format := fs.String("format", "prom", "output format (prom|json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var name string
+	switch *format {
+	case "prom":
+		name = obs.MetricsPromFile
+	case "json":
+		name = obs.MetricsJSONFile
+	default:
+		return fmt.Errorf("metrics: unknown format %q (prom|json)", *format)
+	}
+	b, err := os.ReadFile(filepath.Join(*runDir, name))
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(b)
+	return err
+}
+
+// cmdReplay re-executes a saved manifest and verifies the result hash;
+// a divergence is an error (nonzero exit).
+func cmdReplay(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	path := fs.String("manifest", filepath.Join(obs.DefaultRunDir, obs.ManifestFile), "manifest file to replay")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mf, err := obs.LoadManifest(*path)
+	if err != nil {
+		return err
+	}
+	res, err := comb.Replay(ctx, mf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay of %s/%s reproduced the recorded result\n", mf.Method, mf.System)
+	fmt.Printf("result hash     %s\n", res.Manifest.ResultHash)
 	return nil
 }
 
@@ -381,7 +610,11 @@ func cmdFigure(ctx context.Context, args []string) error {
 			fmt.Println(tbl.Text())
 		}
 		if *csvDir != "" {
-			if err := writeCSV(*csvDir, f.ID, tbl); err != nil {
+			np := 0
+			if f.Points != nil {
+				np = len(f.Points(opt))
+			}
+			if err := writeCSV(*csvDir, f, tbl, *quick, np, meter.reg); err != nil {
 				return err
 			}
 		}
@@ -390,15 +623,38 @@ func cmdFigure(ctx context.Context, args []string) error {
 	return nil
 }
 
-func writeCSV(dir, id string, tbl *stats.Table) error {
+// writeCSV writes a figure's data file plus its provenance manifest
+// (figNN.manifest.json): the regenerating command, sweep size, engine
+// metrics snapshot, and a hash of the CSV bytes.
+func writeCSV(dir string, f sweep.Figure, tbl *stats.Table, quick bool, points int, reg *obs.Registry) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	path := filepath.Join(dir, fmt.Sprintf("fig%02s.csv", id))
-	if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+	csv := tbl.CSV()
+	path := filepath.Join(dir, fmt.Sprintf("fig%02s.csv", f.ID))
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+
+	mf := obs.NewFigureManifest()
+	mf.Figure = f.ID
+	mf.Title = f.Title
+	mf.Quick = quick
+	mf.Command = fmt.Sprintf("comb figure %s -csv %s", f.ID, dir)
+	if quick {
+		mf.Command += " -quick"
+	}
+	mf.Points = points
+	if reg != nil {
+		mf.Engine = reg.Snapshot()
+	}
+	mf.CSVSHA256 = obs.HashBytes([]byte(csv))
+	mpath := filepath.Join(dir, fmt.Sprintf("fig%02s.manifest.json", f.ID))
+	if err := mf.Save(mpath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", mpath)
 	return nil
 }
 

@@ -2,12 +2,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"comb/internal/obs"
 	"comb/internal/stats"
+	"comb/internal/sweep"
 )
 
 func TestSweepPointMetrics(t *testing.T) {
@@ -52,7 +55,8 @@ func TestWriteCSV(t *testing.T) {
 		XLabel: "x", YLabel: "y",
 		Series: []stats.Series{{Name: "s", Points: []stats.Point{{X: 1, Y: 2}}}},
 	}
-	if err := writeCSV(dir, "7", tbl); err != nil {
+	f := sweep.Figure{ID: "7", Title: "test figure"}
+	if err := writeCSV(dir, f, tbl, true, 3, obs.NewRegistry()); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(filepath.Join(dir, "fig07.csv"))
@@ -62,19 +66,35 @@ func TestWriteCSV(t *testing.T) {
 	if !strings.HasPrefix(string(b), "series,x,y") {
 		t.Fatalf("csv content: %q", b)
 	}
+	mb, err := os.ReadFile(filepath.Join(dir, "fig07.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mf obs.FigureManifest
+	if err := json.Unmarshal(mb, &mf); err != nil {
+		t.Fatal(err)
+	}
+	if mf.Figure != "7" || !mf.Quick || mf.Points != 3 {
+		t.Fatalf("manifest fields: %+v", mf)
+	}
+	if mf.CSVSHA256 != obs.HashBytes(b) {
+		t.Fatalf("csv hash mismatch: manifest %s, file %s", mf.CSVSHA256, obs.HashBytes(b))
+	}
 }
 
 func TestCommandFunctions(t *testing.T) {
-	// The plumbing-level command handlers, driven directly.  -no-cache
-	// keeps test runs from writing results/cache/ into the repo.
+	// The plumbing-level command handlers, driven directly.  -no-cache and
+	// -obs-dir keep test runs from writing results/ into the repo.
 	ctx := context.Background()
 	if err := cmdList(); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdPolling(ctx, []string{"-system", "ideal", "-work", "5000000"}); err != nil {
+	if err := cmdPolling(ctx, []string{"-system", "ideal", "-work", "5000000",
+		"-obs-dir", t.TempDir()}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdPWW(ctx, []string{"-system", "ideal", "-reps", "3"}); err != nil {
+	if err := cmdPWW(ctx, []string{"-system", "ideal", "-reps", "3",
+		"-obs-dir", t.TempDir()}); err != nil {
 		t.Fatal(err)
 	}
 	if err := cmdFigure(ctx, []string{"-no-cache"}); err == nil {
@@ -98,6 +118,71 @@ func TestCommandFunctions(t *testing.T) {
 	}
 	if err := cmdPingpong([]string{"-systems", "ideal", "-reps", "3"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestObsLifecycle drives the full observability loop through the CLI:
+// run → artifacts on disk → trace export (chrome + text) → metrics →
+// replay with hash verification.
+func TestObsLifecycle(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	if err := cmdRun(ctx, []string{"-spec", "pww", "-system", "ideal", "-reps", "3",
+		"-obs-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{obs.TraceFile, obs.MetricsPromFile, obs.MetricsJSONFile, obs.ManifestFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing artifact: %v", err)
+		}
+	}
+
+	chromePath := filepath.Join(dir, "chrome.json")
+	if err := cmdTrace([]string{"export", "-format=chrome", "-run", dir, "-o", chromePath}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no trace events")
+	}
+	if err := cmdTrace([]string{"export", "-format=text", "-run", dir, "-o", filepath.Join(dir, "trace.txt")}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cmdMetrics([]string{"-run", dir, "-format", "prom"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMetrics([]string{"-run", dir, "-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMetrics([]string{"-run", dir, "-format", "bogus"}); err == nil {
+		t.Fatal("bogus metrics format must fail")
+	}
+
+	if err := cmdReplay(ctx, []string{"-manifest", filepath.Join(dir, obs.ManifestFile)}); err != nil {
+		t.Fatalf("replay must reproduce the recorded hash: %v", err)
+	}
+
+	if err := cmdRun(ctx, nil); err == nil {
+		t.Fatal("run without -spec must fail")
+	}
+	if err := cmdRun(ctx, []string{"-spec", "bogus"}); err == nil {
+		t.Fatal("unknown -spec must fail")
+	}
+	if err := cmdTrace(nil); err == nil {
+		t.Fatal("trace without subcommand must fail")
+	}
+	if err := cmdTrace([]string{"export", "-run", t.TempDir()}); err == nil {
+		t.Fatal("trace export without a capture must fail")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"comb/internal/invariant"
 	"comb/internal/machine"
 	"comb/internal/mpi"
+	"comb/internal/obs"
 	"comb/internal/platform"
 	"comb/internal/sim"
 	"comb/internal/stats"
@@ -46,6 +47,15 @@ type (
 	// Violation is one broken simulation invariant; see
 	// internal/invariant.
 	Violation = invariant.Violation
+	// Capture is the structured span timeline of one observed run; see
+	// internal/obs.
+	Capture = obs.Capture
+	// Metrics is a run's metric registry (counters, gauges, histograms)
+	// renderable as Prometheus text or a JSON snapshot; see internal/obs.
+	Metrics = obs.Registry
+	// Manifest is the provenance record of one run: the spec, toolchain
+	// versions, and a hash of the result; see internal/obs.
+	Manifest = obs.Manifest
 )
 
 // ParseFaults reads a -faults command-line spec, e.g.
@@ -89,6 +99,12 @@ type RunSpec struct {
 	// TraceCap, when > 0, records the last TraceCap packet-level fabric
 	// deliveries into RunResult.Trace.
 	TraceCap int
+	// ObsCap, when non-zero, collects the structured phase timeline —
+	// engine phase spans (dry/post/work/wait/poll/drain) and per-message
+	// MPI spans — into RunResult.Obs, keeping the last ObsCap spans
+	// (obs.DefaultSpanCap when negative).  Zero leaves span collection
+	// off; the engines then skip all span bookkeeping.
+	ObsCap int
 	// Seed overrides the wire's jitter/loss RNG seed (0 keeps the
 	// platform default) and, when Faults is set without its own seed,
 	// seeds the fault injector too — one knob makes a degraded run
@@ -168,6 +184,16 @@ type RunResult struct {
 	// Trace holds the last RunSpec.TraceCap packet deliveries, or nil
 	// when tracing was off.
 	Trace *Trace
+	// Obs holds the span timeline (plus packet instants when TraceCap
+	// was also set), or nil when RunSpec.ObsCap was zero.  Export it
+	// with obs.WriteChromeTrace or Capture.Save.
+	Obs *Capture
+	// Metrics is the run's metric registry: message/packet/byte
+	// counters and phase-duration histograms (always present).
+	Metrics *Metrics
+	// Manifest records the run's full provenance, including a hash over
+	// Polling/PWW/Stats that Replay verifies (always present).
+	Manifest *Manifest
 }
 
 // Run executes one COMB measurement described by spec on a freshly built
@@ -205,11 +231,23 @@ func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 		rec = trace.NewRecorder(spec.TraceCap)
 		trace.AttachFabric(rec, in.Sys)
 	}
-	chk := invariant.Attach(in.Sys, in.Comms, invariant.Options{Trace: rec})
+	reg := obs.NewRegistry()
+	var col *obs.Collector
+	if spec.ObsCap != 0 {
+		capacity := spec.ObsCap
+		if capacity < 0 {
+			capacity = 0 // NewCollector's default
+		}
+		col = obs.NewCollector(capacity, reg)
+	}
+	chk := invariant.Attach(in.Sys, in.Comms, invariant.Options{Trace: rec, Spans: col})
 	out := &RunResult{}
 	var ferr error
 	err = in.RunContext(ctx, func(p *sim.Proc, c *mpi.Comm) {
 		mach := machine.NewSim(p, c, in.Sys.Nodes[c.Rank()])
+		if col != nil {
+			mach.Observe(col)
+		}
 		switch m {
 		case MethodPolling:
 			r, err := core.RunPolling(mach, *spec.Polling)
@@ -253,7 +291,145 @@ func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	}
 	out.Stats = snapshot(in)
 	out.Trace = rec
+	fillMetrics(reg, in, chk.Meter())
+	out.Metrics = reg
+	if col != nil {
+		out.Obs = col.Capture()
+		if rec != nil {
+			for _, e := range rec.Events() {
+				out.Obs.Instants = append(out.Obs.Instants, obs.Instant{
+					At: time.Duration(e.At), Cat: string(e.Cat), Node: e.Node, Detail: e.Detail,
+				})
+			}
+		}
+	}
+	out.Manifest, err = buildManifest(spec, m, out)
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// fillMetrics loads the end-of-run hardware and message counters into
+// the registry (phase histograms accrue live via the span collector).
+func fillMetrics(reg *obs.Registry, in *platform.Instance, meter *mpi.Meter) {
+	msgHelp := "MPI messages, by kind."
+	reg.Counter(`comb_messages_posted_total{kind="send"}`, msgHelp).Add(meter.PostedSends)
+	reg.Counter(`comb_messages_posted_total{kind="recv"}`, msgHelp).Add(meter.PostedRecvs)
+	reg.Counter(`comb_messages_completed_total{kind="send"}`, msgHelp).Add(meter.DoneSends)
+	reg.Counter(`comb_messages_completed_total{kind="recv"}`, msgHelp).Add(meter.DoneRecvs)
+	byteHelp := "Payload bytes of completed messages, by kind."
+	reg.Counter(`comb_message_bytes_total{kind="send"}`, byteHelp).Add(meter.SentBytes)
+	reg.Counter(`comb_message_bytes_total{kind="recv"}`, byteHelp).Add(meter.RecvBytes)
+
+	pktHelp := "Fabric packets, by fate."
+	packets, wireBytes, delivered := in.Sys.Fabric.Stats()
+	injDrop, injDup := in.Sys.Fabric.InjectStats()
+	reg.Counter(`comb_packets_total{fate="sent"}`, pktHelp).Add(packets)
+	reg.Counter(`comb_packets_total{fate="delivered"}`, pktHelp).Add(delivered)
+	reg.Counter(`comb_packets_total{fate="lost"}`, pktHelp).Add(in.Sys.Fabric.Lost())
+	reg.Counter(`comb_packets_total{fate="injected_drop"}`, pktHelp).Add(injDrop)
+	reg.Counter(`comb_packets_total{fate="injected_dup"}`, pktHelp).Add(injDup)
+	reg.Counter("comb_wire_bytes_total", "Bytes put on the wire, headers included.").Add(wireBytes)
+}
+
+// hashedResult is the canonical serialization ResultHash covers: the
+// method result plus the hardware counters, nothing host-dependent.
+type hashedResult struct {
+	Polling *PollingResult `json:"polling,omitempty"`
+	PWW     *PWWResult     `json:"pww,omitempty"`
+	Stats   *RunStats      `json:"stats"`
+}
+
+// buildManifest assembles the provenance record for a finished run.
+func buildManifest(spec RunSpec, m Method, out *RunResult) (*Manifest, error) {
+	mf := obs.NewManifest()
+	mf.Method = string(m)
+	mf.System = spec.System
+	mf.CPUs = spec.CPUs
+	mf.Seed = spec.Seed
+	if spec.Faults != nil && !spec.Faults.Zero() {
+		fs := *spec.Faults
+		if fs.Seed == 0 {
+			fs.Seed = spec.Seed
+		}
+		mf.Faults = fs.String()
+		_, mf.MaskedFaults = fs.Masked(transport.ToleranceOf(spec.System))
+	}
+	mf.Tolerance = toleranceNames(transport.ToleranceOf(spec.System))
+	if spec.Polling != nil {
+		c := *spec.Polling
+		c.SetDefaults()
+		mf.Polling = &c
+	}
+	if spec.PWW != nil {
+		c := *spec.PWW
+		c.SetDefaults()
+		mf.PWW = &c
+	}
+	var err error
+	mf.ResultHash, err = obs.HashResult(hashedResult{Polling: out.Polling, PWW: out.PWW, Stats: out.Stats})
+	return mf, err
+}
+
+// toleranceNames renders a transport tolerance as the manifest's sorted
+// fault-name list.
+func toleranceNames(t transport.Tolerance) []string {
+	var out []string
+	if t.Duplication {
+		out = append(out, "dup")
+	}
+	if t.Loss {
+		out = append(out, "loss")
+	}
+	if t.Reorder {
+		out = append(out, "reorder")
+	}
+	return out
+}
+
+// SpecFromManifest reconstructs the RunSpec a manifest records, ready
+// for Run.
+func SpecFromManifest(mf *Manifest) (RunSpec, error) {
+	spec := RunSpec{
+		Method:  Method(mf.Method),
+		System:  mf.System,
+		CPUs:    mf.CPUs,
+		Seed:    mf.Seed,
+		Polling: mf.Polling,
+		PWW:     mf.PWW,
+	}
+	if mf.Faults != "" {
+		fs, err := faultinject.Parse(mf.Faults)
+		if err != nil {
+			return RunSpec{}, fmt.Errorf("comb: manifest faults: %w", err)
+		}
+		spec.Faults = &fs
+	}
+	if _, err := spec.method(); err != nil {
+		return RunSpec{}, err
+	}
+	return spec, nil
+}
+
+// Replay re-executes the measurement a manifest records and verifies
+// that the fresh result hashes to the manifest's ResultHash.  The fresh
+// result is returned even on hash mismatch (alongside the error) so
+// callers can diff the two runs.
+func Replay(ctx context.Context, mf *Manifest) (*RunResult, error) {
+	spec, err := SpecFromManifest(mf)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if mf.ResultHash != "" && res.Manifest.ResultHash != mf.ResultHash {
+		return res, fmt.Errorf("comb: replay diverged: manifest result hash %s, this run %s",
+			mf.ResultHash, res.Manifest.ResultHash)
+	}
+	return res, nil
 }
 
 // snapshot collects hardware counters from a finished instance.

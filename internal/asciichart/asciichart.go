@@ -1,5 +1,3 @@
-// Package asciichart renders stats tables as terminal line charts so
-// `comb figure N` output can be eyeballed against the paper's plots.
 package asciichart
 
 import (

@@ -1,0 +1,8 @@
+// Package assess turns the paper's analysis methodology (§4) into an
+// automated diagnostic: given a system, it runs the COMB battery and
+// produces the characterization a cluster architect would want — peak
+// bandwidth, the availability it costs, whether the system provides
+// application offload, where host cycles go, and whether the MPI progress
+// rule is honoured.  Section 6 of the paper describes exactly this use:
+// other researchers ran COMB to assess their messaging systems.
+package assess

@@ -49,6 +49,33 @@ type Machine interface {
 	Barrier()
 }
 
+// SpanRecorder is an optional Machine extension receiving the benchmark
+// engines' phase timeline: one span per timed phase (dry, post, work,
+// wait, poll, drain) on this rank's clock.  The methods emit spans only
+// when the machine implements it, so plain machines and fakes pay
+// nothing; the simulator binding forwards spans to the observability
+// layer (internal/obs).  Recording must not perturb the machine's clock.
+type SpanRecorder interface {
+	// RecordSpan records one timed phase: category, phase name, and the
+	// [start, end) interval on this machine's clock.  kv lists
+	// alternating argument keys and values (e.g. "rep", "3").
+	RecordSpan(cat, name string, start, end time.Duration, kv ...string)
+	// SpansEnabled reports whether spans are being collected.  The
+	// engines check it once and skip all span bookkeeping (including the
+	// extra clock reads that delimit each phase) when it is false, so an
+	// unobserved run pays nothing on the hot path.
+	SpansEnabled() bool
+}
+
+// spanRecorderOf returns m's span recorder when spans are enabled, else
+// nil.
+func spanRecorderOf(m Machine) SpanRecorder {
+	if rec, ok := m.(SpanRecorder); ok && rec.SpansEnabled() {
+		return rec
+	}
+	return nil
+}
+
 // SystemMeter is an optional Machine extension exposing node-wide CPU
 // accounting.  The paper (§7) notes that COMB's availability metric —
 // dilation of a single process's work loop — breaks on multi-processor

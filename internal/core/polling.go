@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -51,11 +52,15 @@ func decodeCount(b []byte) int64 {
 func pollingWorker(m Machine, cfg PollingConfig) *PollingResult {
 	const peer = 1
 	q := cfg.QueueDepth
+	rec := spanRecorderOf(m)
 
 	// Dry run: the predetermined amount of work with no communication.
 	dryStart := m.Now()
 	m.Work(cfg.WorkTotal)
 	dry := m.Now() - dryStart
+	if rec != nil {
+		rec.RecordSpan("phase", "dry", dryStart, dryStart+dry)
+	}
 
 	m.Barrier()
 
@@ -89,13 +94,23 @@ func pollingWorker(m Machine, cfg PollingConfig) *PollingResult {
 	}
 
 	executed := int64(0)
+	chunkNo := 0
+	var spanT0 time.Duration
 	for executed < cfg.WorkTotal {
 		chunk := cfg.PollInterval
 		if rest := cfg.WorkTotal - executed; chunk > rest {
 			chunk = rest
 		}
+		if rec != nil {
+			spanT0 = m.Now()
+		}
 		m.Work(chunk)
 		executed += chunk
+		if rec != nil {
+			t1 := m.Now()
+			rec.RecordSpan("phase", "work", spanT0, t1, "chunk", strconv.Itoa(chunkNo))
+			spanT0 = t1
+		}
 
 		// One library call per poll interval (Fig 1's completion test);
 		// it gives the library its progress opportunity, after which every
@@ -115,11 +130,17 @@ func pollingWorker(m Machine, cfg PollingConfig) *PollingResult {
 			bytes += int64(recvs[i].Bytes())
 			recvs[i] = m.Irecv(peer, cfg.Tag, bufs[i])
 		}
+		serviced := replies
 		for ; replies > 0; replies-- {
 			sends = append(sends, m.Isend(peer, cfg.Tag, payload))
 			sent++
 		}
 		sends = pruneDone(sends)
+		if rec != nil {
+			rec.RecordSpan("phase", "poll", spanT0, m.Now(),
+				"chunk", strconv.Itoa(chunkNo), "serviced", strconv.Itoa(serviced))
+		}
+		chunkNo++
 	}
 	elapsed := m.Now() - start
 	sysAvail := 0.0
@@ -130,6 +151,7 @@ func pollingWorker(m Machine, cfg PollingConfig) *PollingResult {
 
 	// Termination handshake: tell the support process how many data
 	// messages we sent, learn how many it sent, and drain the difference.
+	drainT0 := m.Now()
 	finSend := m.Isend(peer, cfg.Tag+finTagOff, encodeCount(sent))
 	m.Wait(finAck)
 	supportSent := decodeCount(finAckBuf)
@@ -140,6 +162,9 @@ func pollingWorker(m Machine, cfg PollingConfig) *PollingResult {
 	}
 	m.Wait(finSend)
 	m.Waitall(sends)
+	if rec != nil {
+		rec.RecordSpan("phase", "drain", drainT0, m.Now())
+	}
 
 	m.Barrier()
 

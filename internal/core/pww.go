@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -58,11 +59,15 @@ func newPWWBatch(b int, msgSize int) *pwwBatch {
 func pwwWorker(m Machine, cfg PWWConfig) *PWWResult {
 	const peer = 1
 	b := cfg.BatchSize
+	rec := spanRecorderOf(m)
 
 	// Dry run: one work phase with no communication anywhere in flight.
 	dryStart := m.Now()
 	m.Work(cfg.WorkInterval)
 	workOnly := m.Now() - dryStart
+	if rec != nil {
+		rec.RecordSpan("phase", "dry", dryStart, dryStart+workOnly)
+	}
 
 	m.Barrier()
 
@@ -95,13 +100,17 @@ func pwwWorker(m Machine, cfg PWWConfig) *PWWResult {
 			postSend += m.Now() - t0
 		}
 	}
-	wait := func(pb *pwwBatch) {
+	wait := func(pb *pwwBatch, rep int) {
 		t0 := m.Now()
 		pb.all = pb.all[:0]
 		pb.all = append(pb.all, pb.recvs...)
 		pb.all = append(pb.all, pb.sends...)
 		m.Waitall(pb.all)
-		waitT += m.Now() - t0
+		t1 := m.Now()
+		waitT += t1 - t0
+		if rec != nil {
+			rec.RecordSpan("phase", "wait", t0, t1, "rep", strconv.Itoa(rep))
+		}
 		for i := 0; i < b; i++ {
 			bytes += int64(pb.recvs[i].Bytes())
 		}
@@ -109,7 +118,11 @@ func pwwWorker(m Machine, cfg PWWConfig) *PWWResult {
 
 	start := m.Now()
 	for rep := 0; rep < cfg.Reps; rep++ {
+		p0 := m.Now()
 		post(window[rep%cfg.Interleave])
+		if rec != nil {
+			rec.RecordSpan("phase", "post", p0, m.Now(), "rep", strconv.Itoa(rep))
+		}
 
 		// Work phase: no MPI calls (except the §4.3 variant's single
 		// MPI_Test planted early in the phase).
@@ -122,16 +135,20 @@ func pwwWorker(m Machine, cfg PWWConfig) *PWWResult {
 		} else {
 			m.Work(cfg.WorkInterval)
 		}
-		workT += m.Now() - t0
+		t1 := m.Now()
+		workT += t1 - t0
+		if rec != nil {
+			rec.RecordSpan("phase", "work", t0, t1, "rep", strconv.Itoa(rep))
+		}
 
 		if lag := rep - (cfg.Interleave - 1); lag >= 0 {
-			wait(window[lag%cfg.Interleave])
+			wait(window[lag%cfg.Interleave], lag)
 		}
 	}
 	// Pipeline epilogue: drain the still-outstanding batches.
 	for lag := cfg.Reps - (cfg.Interleave - 1); lag < cfg.Reps; lag++ {
 		if lag >= 0 {
-			wait(window[lag%cfg.Interleave])
+			wait(window[lag%cfg.Interleave], lag)
 		}
 	}
 	elapsed := m.Now() - start

@@ -1,0 +1,12 @@
+// Package faultinject wraps a transport with deterministic wire and CPU
+// fault injection: packet drop, duplication, delay, reordering, and CPU
+// jitter bursts, all drawn from a seeded generator so every degraded run
+// is replayable from its spec string.
+//
+// Faults a transport cannot survive (per transport.ToleranceOf) are
+// masked off at wrap time: GM's eager protocol panics on reordered
+// fragments and the byte-count transports (Portals, EMP) deadlock on
+// loss or duplication, and a fault harness that can only report
+// "simulator hung" teaches nothing.  The mask is reported so callers can
+// tell the user which knobs were ignored.
+package faultinject

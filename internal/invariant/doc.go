@@ -1,0 +1,12 @@
+// Package invariant verifies simulation-wide correctness properties on
+// every run it is attached to: conservation of posted/completed
+// messages and of wire packets, non-decreasing virtual time, bounded
+// event-queue depth, and physically-plausible results (availability is a
+// fraction, bandwidth fits the wire).  It is the backstop that keeps the
+// simulator honest under fault injection, hostile configs, and future
+// optimization work: any benchmark number produced while an invariant is
+// broken is noise.
+//
+// Usage: Attach before the run starts, Finish after the event queue
+// drains, Check* on each produced result, then Err.
+package invariant

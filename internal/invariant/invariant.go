@@ -1,14 +1,3 @@
-// Package invariant verifies simulation-wide correctness properties on
-// every run it is attached to: conservation of posted/completed
-// messages and of wire packets, non-decreasing virtual time, bounded
-// event-queue depth, and physically-plausible results (availability is a
-// fraction, bandwidth fits the wire).  It is the backstop that keeps the
-// simulator honest under fault injection, hostile configs, and future
-// optimization work: any benchmark number produced while an invariant is
-// broken is noise.
-//
-// Usage: Attach before the run starts, Finish after the event queue
-// drains, Check* on each produced result, then Err.
 package invariant
 
 import (
@@ -18,6 +7,7 @@ import (
 	"comb/internal/cluster"
 	"comb/internal/core"
 	"comb/internal/mpi"
+	"comb/internal/obs"
 	"comb/internal/sim"
 	"comb/internal/trace"
 )
@@ -55,6 +45,10 @@ type Options struct {
 	// Trace, when non-nil, receives every violation as a "violation"
 	// event in the ring.
 	Trace *trace.Recorder
+	// Spans, when non-nil, is handed to the message meter so every
+	// completed send and receive records a per-message span (see
+	// mpi.Meter.Spans).
+	Spans *obs.Collector
 }
 
 // Checker watches one simulated system for invariant violations.
@@ -77,7 +71,7 @@ func Attach(sys *cluster.System, comms []*mpi.Comm, opts Options) *Checker {
 	if opts.MaxPending <= 0 {
 		opts.MaxPending = DefaultMaxPending
 	}
-	c := &Checker{sys: sys, comms: comms, meter: &mpi.Meter{}, opts: opts}
+	c := &Checker{sys: sys, comms: comms, meter: &mpi.Meter{Spans: opts.Spans}, opts: opts}
 	for _, cm := range comms {
 		cm.SetMeter(c.meter)
 	}
@@ -221,7 +215,7 @@ func (c *Checker) checkBandwidth(mbs float64) {
 func (c *Checker) add(at sim.Time, rule, detail string) {
 	c.violations = append(c.violations, Violation{At: at, Rule: rule, Detail: detail})
 	if c.opts.Trace != nil {
-		c.opts.Trace.Recordf(at, "violation", 0, "%s: %s", rule, detail)
+		c.opts.Trace.Recordf(at, trace.CatViolation, 0, "%s: %s", rule, detail)
 	}
 }
 

@@ -160,12 +160,12 @@ func TestResultPlausibilityChecks(t *testing.T) {
 	chk := invariant.Attach(in.Sys, in.Comms, invariant.Options{})
 
 	bogus := &core.PollingResult{
-		MsgSize:      1000,
-		DryTime:      1,
-		Elapsed:      1,
-		Availability: 1.7,    // > 1: impossible
-		BandwidthMBs: 9999,   // beats the wire
-		MsgsReceived: 10,
+		MsgSize:       1000,
+		DryTime:       1,
+		Elapsed:       1,
+		Availability:  1.7,  // > 1: impossible
+		BandwidthMBs:  9999, // beats the wire
+		MsgsReceived:  10,
 		BytesReceived: 1, // 10 × 1000 ≠ 1
 	}
 	chk.CheckPolling(bogus)

@@ -1,0 +1,5 @@
+// Package machine binds the COMB benchmark's abstract core.Machine
+// interface to the simulated cluster: virtual time becomes the wall clock,
+// the calibrated work loop becomes user-priority CPU demand, and the MPI
+// verbs go to the rank's mpi.Comm.
+package machine

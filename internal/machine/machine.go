@@ -1,7 +1,3 @@
-// Package machine binds the COMB benchmark's abstract core.Machine
-// interface to the simulated cluster: virtual time becomes the wall clock,
-// the calibrated work loop becomes user-priority CPU demand, and the MPI
-// verbs go to the rank's mpi.Comm.
 package machine
 
 import (
@@ -12,6 +8,7 @@ import (
 	"comb/internal/core"
 	"comb/internal/invariant"
 	"comb/internal/mpi"
+	"comb/internal/obs"
 	"comb/internal/platform"
 	"comb/internal/sim"
 )
@@ -21,6 +18,7 @@ type Sim struct {
 	p    *sim.Proc
 	c    *mpi.Comm
 	node *cluster.Node
+	obs  *obs.Collector
 }
 
 // NewSim binds a machine for the process p running rank c on node.
@@ -68,6 +66,23 @@ func (m *Sim) Waitall(rs []core.Request) { m.c.Waitall(m.p, unwrap(rs)) }
 
 // Barrier implements core.Machine.
 func (m *Sim) Barrier() { m.c.Barrier(m.p) }
+
+// Observe attaches an observability collector: the benchmark engines'
+// phase spans land in col on this rank's virtual timeline.  Pass nil to
+// detach.
+func (m *Sim) Observe(col *obs.Collector) { m.obs = col }
+
+// SpansEnabled implements core.SpanRecorder.
+func (m *Sim) SpansEnabled() bool { return m.obs != nil }
+
+// RecordSpan implements core.SpanRecorder, forwarding the phase to the
+// attached collector.
+func (m *Sim) RecordSpan(cat, name string, start, end time.Duration, kv ...string) {
+	if m.obs == nil {
+		return
+	}
+	m.obs.Span(cat, name, m.c.Rank(), start, end, kv...)
+}
 
 // CPUAccount implements core.SystemMeter with the node's CPU counters.
 func (m *Sim) CPUAccount() (time.Duration, int) {
@@ -129,6 +144,22 @@ func (v PairView) Waitall(rs []core.Request) { v.M.Waitall(rs) }
 
 // Barrier implements core.Machine (global across all pairs).
 func (v PairView) Barrier() { v.M.Barrier() }
+
+// SpansEnabled implements core.SpanRecorder when the underlying machine
+// does.
+func (v PairView) SpansEnabled() bool {
+	rec, ok := v.M.(core.SpanRecorder)
+	return ok && rec.SpansEnabled()
+}
+
+// RecordSpan implements core.SpanRecorder, forwarding to the underlying
+// machine (spans keep the global rank, so each pair's worker lands on
+// its own exported timeline).
+func (v PairView) RecordSpan(cat, name string, start, end time.Duration, kv ...string) {
+	if rec, ok := v.M.(core.SpanRecorder); ok {
+		rec.RecordSpan(cat, name, start, end, kv...)
+	}
+}
 
 // Run builds the platform described by cfg and executes fn once per rank
 // on a bound Sim machine, driving the simulation to completion.

@@ -1,5 +1,12 @@
 package mpi
 
+import (
+	"strconv"
+	"time"
+
+	"comb/internal/obs"
+)
+
 // Meter aggregates message accounting across every communicator it is
 // attached to.  The invariant checker attaches one meter to all ranks of
 // a system and asserts conservation laws over the totals after the run
@@ -15,6 +22,11 @@ type Meter struct {
 	DoneRecvs   int64 // receive requests completed
 	SentBytes   int64 // payload bytes of completed sends
 	RecvBytes   int64 // payload bytes of completed receives
+
+	// Spans, when non-nil, receives one CatMPI span per completed
+	// request: post time to completion time on the owning rank's
+	// timeline, with the payload size as the "bytes" argument.
+	Spans *obs.Collector
 }
 
 // SetMeter attaches m to the communicator.  All subsequent posts and
@@ -36,5 +48,10 @@ func (m *Meter) completed(r *Request) {
 	} else {
 		m.DoneRecvs++
 		m.RecvBytes += int64(r.status.Count)
+	}
+	if m.Spans != nil && r.comm != nil {
+		m.Spans.Span(obs.CatMPI, r.kind.String(), r.comm.rank,
+			time.Duration(r.postedAt), time.Duration(r.comm.env.Now()),
+			"bytes", strconv.Itoa(r.Bytes()))
 	}
 }

@@ -1,0 +1,16 @@
+// Package netperf reproduces the netperf-style CPU-availability
+// measurement the paper contrasts COMB against (§5): a delay-loop process
+// and a communication-driving process run as two processes on the SAME
+// node, and the reported availability is the delay loop's slowdown.
+//
+// The paper identifies two problems with this approach for MPI systems,
+// both reproducible here:
+//
+//  1. MPI environments assume one process per node, so the measurement
+//     perturbs the thing it measures; and
+//  2. netperf assumes the communication process relinquishes the CPU
+//     while waiting (a select call).  OS-bypass MPI implementations
+//     busy-wait instead, so the communication process soaks up ~half the
+//     CPU and netperf reports ~50% availability even on a system (like
+//     GM) that truly leaves the host idle during transfers.
+package netperf

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Track layout of the Chrome export: simulation spans use pid = node
+// (one process per rank) with one thread per category; runner spans
+// (wall clock) are segregated onto their own process so virtual and
+// wall timestamps never share an axis.
+const (
+	runnerPID = 1000 // process id for CatRunner spans (Span.Node < 0)
+
+	tidPhase = 0 // benchmark phases
+	tidMPI   = 1 // per-message spans
+	tidWire  = 2 // packet-trace instants
+)
+
+// tidOf maps a span/instant category to its thread id.
+func tidOf(cat string) int {
+	switch cat {
+	case CatPhase, CatRunner:
+		return tidPhase
+	case CatMPI:
+		return tidMPI
+	default:
+		return tidWire
+	}
+}
+
+// pidOf maps a node to its process id.
+func pidOf(node int) int {
+	if node < 0 {
+		return runnerPID
+	}
+	return node
+}
+
+// usec renders a duration as Chrome's microsecond timestamps with
+// nanosecond precision, deterministically.
+func usec(d time.Duration) string {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// jstr JSON-quotes a string.
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// WriteChromeTrace exports a capture as Chrome trace-event JSON (the
+// "JSON Object Format" with a traceEvents array of complete "X" events
+// and instant "i" events), loadable in chrome://tracing and Perfetto.
+// Output is deterministic for a deterministic capture: object keys are
+// emitted in fixed order and events in the capture's stable order.
+func WriteChromeTrace(w io.Writer, c *Capture) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := io.WriteString(w, line)
+		return err
+	}
+
+	// Metadata: name every process and thread that appears, in sorted
+	// track order, so the viewer labels rows meaningfully.
+	type track struct{ pid, tid int }
+	tracks := map[track]bool{}
+	for _, s := range c.Spans {
+		tracks[track{pidOf(s.Node), tidOf(s.Cat)}] = true
+	}
+	for _, e := range c.Instants {
+		tracks[track{pidOf(e.Node), tidOf(e.Cat)}] = true
+	}
+	order := make([]track, 0, len(tracks))
+	for t := range tracks {
+		order = append(order, t)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].pid != order[j].pid {
+			return order[i].pid < order[j].pid
+		}
+		return order[i].tid < order[j].tid
+	})
+	seenPID := map[int]bool{}
+	for _, t := range order {
+		if !seenPID[t.pid] {
+			seenPID[t.pid] = true
+			name := fmt.Sprintf("rank%d", t.pid)
+			if t.pid == runnerPID {
+				name = "runner (wall clock)"
+			}
+			if err := emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+				t.pid, jstr(name))); err != nil {
+				return err
+			}
+		}
+		tname := map[int]string{tidPhase: "phases", tidMPI: "messages", tidWire: "wire"}[t.tid]
+		if t.pid == runnerPID {
+			tname = "points"
+		}
+		if err := emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			t.pid, t.tid, jstr(tname))); err != nil {
+			return err
+		}
+	}
+
+	args := func(kv []KV) string {
+		out := "{"
+		for i, a := range kv {
+			if i > 0 {
+				out += ","
+			}
+			out += jstr(a.K) + ":" + jstr(a.V)
+		}
+		return out + "}"
+	}
+	for _, s := range c.Spans {
+		if err := emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"cat":%s,"name":%s,"ts":%s,"dur":%s,"args":%s}`,
+			pidOf(s.Node), tidOf(s.Cat), jstr(s.Cat), jstr(s.Name), usec(s.Start), usec(s.Dur), args(s.Args))); err != nil {
+			return err
+		}
+	}
+	for _, e := range c.Instants {
+		if err := emit(fmt.Sprintf(`{"ph":"i","s":"t","pid":%d,"tid":%d,"cat":%s,"name":%s,"ts":%s,"args":{"detail":%s}}`,
+			pidOf(e.Node), tidOf(e.Cat), jstr(e.Cat), jstr(e.Cat), usec(e.At), jstr(e.Detail))); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}

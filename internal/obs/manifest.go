@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+
+	"comb/internal/core"
+)
+
+// ManifestSchemaVersion versions the serialized manifest layout.
+const ManifestSchemaVersion = 1
+
+// DefaultRunDir is where the CLI writes a single run's observability
+// artifacts unless -obs-dir says otherwise; `comb trace export`,
+// `comb metrics` and `comb replay` read from it by default.
+const DefaultRunDir = "results/last"
+
+// Artifact file names inside a run directory.
+const (
+	TraceFile       = "trace.json"    // span capture (Capture JSON)
+	MetricsPromFile = "metrics.prom"  // Prometheus text exposition
+	MetricsJSONFile = "metrics.json"  // metrics Snapshot JSON
+	ManifestFile    = "manifest.json" // provenance Manifest JSON
+)
+
+// Manifest is the full experimental record of one run: everything
+// needed to re-execute it bit-for-bit, plus toolchain provenance and a
+// hash of the result it produced.  `comb replay -manifest <file>`
+// re-runs the spec and verifies ResultHash.
+type Manifest struct {
+	Schema      int    `json:"schema"`
+	Tool        string `json:"tool"`
+	GoVersion   string `json:"go_version"`
+	GitRevision string `json:"git_revision,omitempty"`
+
+	Method string `json:"method"`
+	System string `json:"system"`
+	CPUs   int    `json:"cpus,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	// Faults is the requested fault spec in its replayable string form;
+	// MaskedFaults lists the knobs the transport's declared tolerance
+	// masked off, and Tolerance the faults it survives.
+	Faults       string   `json:"faults,omitempty"`
+	MaskedFaults []string `json:"masked_faults,omitempty"`
+	Tolerance    []string `json:"tolerance,omitempty"`
+
+	Polling *core.PollingConfig `json:"polling,omitempty"`
+	PWW     *core.PWWConfig     `json:"pww,omitempty"`
+
+	// ResultHash is HashResult over the run's canonical result (method
+	// result plus hardware counters).
+	ResultHash string `json:"result_hash"`
+}
+
+// FigureManifest is the provenance record written next to every figure
+// CSV: the command that regenerates the file, the sweep's size, the
+// engine's metrics snapshot, and a hash of the CSV bytes.
+type FigureManifest struct {
+	Schema      int    `json:"schema"`
+	Tool        string `json:"tool"`
+	GoVersion   string `json:"go_version"`
+	GitRevision string `json:"git_revision,omitempty"`
+
+	Figure  string `json:"figure"`
+	Title   string `json:"title"`
+	Quick   bool   `json:"quick"`
+	Command string `json:"command"`
+	Points  int    `json:"points"`
+
+	Engine *Snapshot `json:"engine,omitempty"`
+
+	CSVSHA256 string `json:"csv_sha256"`
+}
+
+// NewManifest returns a manifest stamped with this build's toolchain
+// provenance.
+func NewManifest() *Manifest {
+	return &Manifest{
+		Schema:      ManifestSchemaVersion,
+		Tool:        "comb",
+		GoVersion:   runtime.Version(),
+		GitRevision: GitRevision(),
+	}
+}
+
+// NewFigureManifest returns a figure manifest stamped with toolchain
+// provenance.
+func NewFigureManifest() *FigureManifest {
+	return &FigureManifest{
+		Schema:      ManifestSchemaVersion,
+		Tool:        "comb",
+		GoVersion:   runtime.Version(),
+		GitRevision: GitRevision(),
+	}
+}
+
+// GitRevision reports the VCS revision baked into the build ("-dirty"
+// suffixed when the tree was modified), or "" when the binary was built
+// without VCS stamping (go test, go run from a non-repo).
+func GitRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" && dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// HashResult returns "sha256:<hex>" over the canonical JSON encoding of
+// v.  v must marshal deterministically (structs and slices, no maps).
+func HashResult(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(b)), nil
+}
+
+// HashBytes returns "sha256:<hex>" over b.
+func HashBytes(b []byte) string {
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(b))
+}
+
+// Save writes the manifest as indented JSON, creating the directory if
+// needed.
+func (m *Manifest) Save(path string) error { return saveJSON(path, m) }
+
+// Save writes the figure manifest as indented JSON.
+func (m *FigureManifest) Save(path string) error { return saveJSON(path, m) }
+
+func saveJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadManifest reads a manifest written by Save, rejecting unknown
+// schema versions.
+func LoadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("obs: %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchemaVersion {
+		return nil, fmt.Errorf("obs: %s: manifest schema v%d, this build reads v%d", path, m.Schema, ManifestSchemaVersion)
+	}
+	return &m, nil
+}

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// PhaseBuckets are the comb_phase_seconds histogram bounds: exponential
+// decades from 1µs to 10s, bracketing everything from a single poll to
+// a full figure point.
+var PhaseBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// Counter is a monotonically increasing metric; Add is one atomic op.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable metric (also supporting a running maximum, for
+// peak-occupancy style readings).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax raises the gauge to v if v is larger.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current reading.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution.  Observe takes one short
+// mutex-protected pass.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending; +Inf implicit
+	counts  []int64   // per-bucket (non-cumulative), len(bounds)+1
+	sum     float64
+	samples int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Registry holds named metrics.  Metric names follow the Prometheus
+// convention with the label set baked into the name, e.g.
+// `comb_messages_posted_total{kind="send"}`; series sharing a base name
+// render as one metric family.
+type Registry struct {
+	mu     sync.Mutex
+	order  []string // registration order of base names
+	help   map[string]string
+	mtype  map[string]string // base name -> "counter"|"gauge"|"histogram"
+	count  map[string]*Counter
+	gauge  map[string]*Gauge
+	hist   map[string]*Histogram
+	series map[string][]string // base name -> full series names
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		help:   make(map[string]string),
+		mtype:  make(map[string]string),
+		count:  make(map[string]*Counter),
+		gauge:  make(map[string]*Gauge),
+		hist:   make(map[string]*Histogram),
+		series: make(map[string][]string),
+	}
+}
+
+// baseOf strips the {label} suffix from a series name.
+func baseOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// register books a series under its base family; first help wins.
+func (r *Registry) register(name, help, typ string) {
+	base := baseOf(name)
+	if _, ok := r.mtype[base]; !ok {
+		r.order = append(r.order, base)
+		r.mtype[base] = typ
+		r.help[base] = help
+	} else if r.mtype[base] != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", base, r.mtype[base], typ))
+	}
+	r.series[base] = append(r.series[base], name)
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.count[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.count[name] = c
+	r.register(name, help, "counter")
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauge[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauge[name] = g
+	r.register(name, help, "gauge")
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram with
+// the given ascending upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hist[name]; ok {
+		return h
+	}
+	h := &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+	r.hist[name] = h
+	r.register(name, help, "histogram")
+	return h
+}
+
+// withLabel merges an extra label into a series name:
+// base{a="b"} + le="x" -> base_bucket{a="b",le="x"}.
+func withLabel(name, suffix, label string) string {
+	base, rest := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base = name[:i]
+		rest = strings.TrimSuffix(name[i+1:], "}")
+	}
+	if label == "" {
+		if rest == "" {
+			return base + suffix
+		}
+		return base + suffix + "{" + rest + "}"
+	}
+	if rest == "" {
+		return base + suffix + "{" + label + "}"
+	}
+	return base + suffix + "{" + rest + "," + label + "}"
+}
+
+// formatFloat renders a float the way Prometheus clients do.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format.  Output is deterministic: families in registration order,
+// series sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, base := range r.order {
+		names := append([]string(nil), r.series[base]...)
+		sort.Strings(names)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", base, r.help[base], base, r.mtype[base]); err != nil {
+			return err
+		}
+		for _, name := range names {
+			switch r.mtype[base] {
+			case "counter":
+				if _, err := fmt.Fprintf(w, "%s %d\n", name, r.count[name].Value()); err != nil {
+					return err
+				}
+			case "gauge":
+				if _, err := fmt.Fprintf(w, "%s %d\n", name, r.gauge[name].Value()); err != nil {
+					return err
+				}
+			case "histogram":
+				if err := writePromHistogram(w, name, r.hist[name]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		le := fmt.Sprintf("le=%q", formatFloat(b))
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(name, "_bucket", le), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)]
+	if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(name, "_bucket", `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", withLabel(name, "_sum", ""), formatFloat(h.sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", withLabel(name, "_count", ""), h.samples)
+	return err
+}
+
+// MetricValue is one scalar series in a Snapshot.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketValue is one histogram bucket in a Snapshot (non-cumulative).
+type BucketValue struct {
+	LE    string `json:"le"` // upper bound as rendered in exposition format
+	Count int64  `json:"count"`
+}
+
+// HistogramValue is one histogram series in a Snapshot.
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketValue `json:"buckets"`
+}
+
+// Snapshot is a point-in-time, JSON-serializable reading of every
+// registered metric, sorted by name.
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters"`
+	Gauges     []MetricValue    `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current values.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{Counters: []MetricValue{}}
+	for name, c := range r.count {
+		s.Counters = append(s.Counters, MetricValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauge {
+		s.Gauges = append(s.Gauges, MetricValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hist {
+		h.mu.Lock()
+		hv := HistogramValue{Name: name, Count: h.samples, Sum: h.sum}
+		for i, b := range h.bounds {
+			hv.Buckets = append(hv.Buckets, BucketValue{LE: formatFloat(b), Count: h.counts[i]})
+		}
+		hv.Buckets = append(hv.Buckets, BucketValue{LE: "+Inf", Count: h.counts[len(h.bounds)]})
+		h.mu.Unlock()
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

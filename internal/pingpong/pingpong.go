@@ -1,8 +1,3 @@
-// Package pingpong implements the classic latency/bandwidth microbenchmark
-// — what "most MPI microbenchmarks" measure, per the paper's introduction.
-// It exists as the baseline COMB improves on: ping-pong numbers say nothing
-// about overlap or host CPU cost, which is exactly the blind spot COMB's
-// two methods illuminate.
 package pingpong
 
 import (

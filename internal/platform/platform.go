@@ -1,6 +1,3 @@
-// Package platform assembles complete simulated systems: a cluster, a
-// transport, and per-rank MPI communicators, plus a launcher that runs one
-// function per rank to completion — the moral equivalent of mpirun.
 package platform
 
 import (

@@ -1,0 +1,6 @@
+// Package report generates the reproduction report as markdown: one
+// section per paper figure with the regenerated data, headline
+// measurements for every modeled system, and the related-work
+// comparisons.  `comb report` writes it; EXPERIMENTS.md is the curated
+// version of the same material.
+package report

@@ -1,20 +1,3 @@
-// Package rtm is a real-time implementation of the COMB Machine: ranks
-// are goroutines, the clock is the wall clock, the work loop is an actual
-// spin loop, and messages move through shared memory.  It exists to make
-// the paper's portability claim concrete — the very same internal/core
-// benchmark code that runs on the simulated cluster runs here against the
-// Go runtime — and to let COMB measure a real system: this process.
-//
-// The transfer discipline is selectable, mirroring the paper's dichotomy:
-//
-//   - [Offload]: a per-rank progress goroutine matches and copies
-//     incoming messages as they arrive, independent of MPI calls (what a
-//     kernel or smart NIC does).
-//   - [Library]: incoming messages sit in a staging queue until the
-//     receiving rank enters an MPI call (what MPICH/GM does).
-//
-// Real-time measurements are inherently noisy; tests assert structure and
-// gross ordering only.
 package rtm
 
 import (

@@ -1,18 +1,3 @@
-// Package runner is COMB's experiment scheduler: it executes sweep points
-// across a bounded worker pool with two cache tiers in front of the
-// simulator.  Every point is an independent two-node simulation, so a
-// figure sweep parallelizes perfectly; the engine adds context
-// cancellation, a per-point timeout, bounded retry of failed points, and a
-// progress callback on top.
-//
-// Cache tiers, checked in order:
-//
-//  1. an in-memory memo (the same memoization internal/sweep always had),
-//  2. an optional on-disk JSON cache (see Cache), so repeated figure
-//     builds across processes hit disk instead of re-simulating.
-//
-// The simulation is deterministic, so a cached result is byte-identical
-// to a fresh run with the same key.
 package runner
 
 import (
@@ -20,11 +5,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"comb/internal/core"
 	"comb/internal/invariant"
 	"comb/internal/machine"
+	"comb/internal/obs"
 	"comb/internal/platform"
 )
 
@@ -163,6 +150,15 @@ type Config struct {
 	OnProgress func(Progress)
 	// Disk, when non-nil, is the second cache tier.
 	Disk *Cache
+	// Obs, when non-nil, receives the engine's metrics:
+	// comb_runner_points_total{source}, comb_runner_retries_total, and
+	// the comb_runner_workers / comb_runner_inflight_peak gauges.
+	Obs *obs.Registry
+	// Spans, when non-nil, receives one CatRunner span per finished
+	// point — wall-clock offsets from engine construction, on the
+	// runner's own export track (node -1) — with the point key, result
+	// source, and attempt count as arguments.
+	Spans *obs.Collector
 }
 
 // Engine schedules points.  It is safe for concurrent use.
@@ -172,6 +168,11 @@ type Engine struct {
 	retries    int
 	onProgress func(Progress)
 	disk       *Cache
+
+	obsReg   *obs.Registry
+	spans    *obs.Collector
+	start    time.Time
+	inflight atomic.Int64
 
 	mu    sync.Mutex
 	memo  map[string]*Result
@@ -186,13 +187,33 @@ func New(cfg Config) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		workers:    w,
 		timeout:    cfg.Timeout,
 		retries:    cfg.Retries,
 		onProgress: cfg.OnProgress,
 		disk:       cfg.Disk,
+		obsReg:     cfg.Obs,
+		spans:      cfg.Spans,
+		start:      time.Now(),
 		memo:       make(map[string]*Result),
+	}
+	if e.obsReg != nil {
+		e.obsReg.Gauge("comb_runner_workers", "Concurrency bound of the sweep engine's worker pool.").Set(int64(w))
+	}
+	return e
+}
+
+// observe bumps the per-point metrics and records the point's
+// wall-clock span on the runner track.
+func (e *Engine) observe(key string, src Source, attempts int, t0 time.Duration) {
+	if e.obsReg != nil {
+		e.obsReg.Counter(fmt.Sprintf("comb_runner_points_total{source=%q}", src),
+			"Finished sweep points, by result source.").Inc()
+	}
+	if e.spans != nil {
+		e.spans.Span(obs.CatRunner, "point", -1, t0, time.Since(e.start),
+			"key", key, "source", string(src), "attempts", fmt.Sprint(attempts))
 	}
 }
 
@@ -235,11 +256,13 @@ func (e *Engine) Run(ctx context.Context, pt Point) (*Result, error) {
 // resolve answers one normalized point through the cache tiers.
 func (e *Engine) resolve(ctx context.Context, n Point) (*Result, Source, error) {
 	key := n.Key()
+	t0 := time.Since(e.start)
 
 	e.mu.Lock()
 	if r, ok := e.memo[key]; ok {
 		e.stats.MemHits++
 		e.mu.Unlock()
+		e.observe(key, FromMemory, 0, t0)
 		return r, FromMemory, nil
 	}
 	e.mu.Unlock()
@@ -250,11 +273,12 @@ func (e *Engine) resolve(ctx context.Context, n Point) (*Result, Source, error) 
 			e.memo[key] = r
 			e.stats.DiskHits++
 			e.mu.Unlock()
+			e.observe(key, FromDisk, 0, t0)
 			return r, FromDisk, nil
 		}
 	}
 
-	r, err := e.execute(ctx, n)
+	r, attempts, err := e.execute(ctx, n)
 	if err != nil {
 		return nil, FromRun, err
 	}
@@ -266,34 +290,44 @@ func (e *Engine) resolve(ctx context.Context, n Point) (*Result, Source, error) 
 		// A failed write only costs future cache hits; the result stands.
 		_ = e.disk.Store(key, r)
 	}
+	e.observe(key, FromRun, attempts, t0)
 	return r, FromRun, nil
 }
 
 // execute simulates one normalized point, with timeout and bounded retry.
-func (e *Engine) execute(ctx context.Context, n Point) (*Result, error) {
+// It reports how many attempts the point took.
+func (e *Engine) execute(ctx context.Context, n Point) (*Result, int, error) {
+	cur := e.inflight.Add(1)
+	defer e.inflight.Add(-1)
+	if e.obsReg != nil {
+		e.obsReg.Gauge("comb_runner_inflight_peak", "Deepest simultaneous-simulation count observed.").SetMax(cur)
+	}
 	var lastErr error
 	for attempt := 0; attempt <= e.retries; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, attempt, err
 		}
 		if attempt > 0 {
 			e.mu.Lock()
 			e.stats.Retries++
 			e.mu.Unlock()
+			if e.obsReg != nil {
+				e.obsReg.Counter("comb_runner_retries_total", "Extra attempts after failed simulations.").Inc()
+			}
 		}
 		r, err := e.simulate(ctx, n)
 		if err == nil {
-			return r, nil
+			return r, attempt + 1, nil
 		}
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, attempt + 1, ctx.Err()
 		}
 		lastErr = err
 	}
 	if e.retries > 0 {
-		return nil, fmt.Errorf("runner: point %s failed after %d attempts: %w", n.Key(), e.retries+1, lastErr)
+		return nil, e.retries + 1, fmt.Errorf("runner: point %s failed after %d attempts: %w", n.Key(), e.retries+1, lastErr)
 	}
-	return nil, lastErr
+	return nil, 1, lastErr
 }
 
 func (e *Engine) simulate(ctx context.Context, n Point) (*Result, error) {

@@ -1,0 +1,6 @@
+// Package selfcheck verifies the reproduction's headline claims in one
+// pass: the calibration targets (bandwidth plateaus), the offload and
+// overhead verdicts for each modeled system, and the related-work
+// comparisons.  `comb selfcheck` runs it; CI-style tests assert it stays
+// green.  Each check names the paper figure or section it guards.
+package selfcheck

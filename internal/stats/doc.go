@@ -1,0 +1,4 @@
+// Package stats holds the small numeric plumbing shared by the benchmark
+// harness: (x, y) series, tables that mirror one paper figure each, CSV
+// encoding, and sweep-axis generators.
+package stats

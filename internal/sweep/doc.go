@@ -1,0 +1,9 @@
+// Package sweep regenerates every evaluation figure of the COMB paper:
+// it sweeps the poll/work-interval axes for the configured systems, and
+// shapes the results into one stats.Table per paper figure.
+//
+// Point execution goes through a runner.Engine: Figure.Build first
+// expands the figure into its deterministic point list and warms the
+// engine's caches across a worker pool, then shapes the table serially —
+// so a parallel build is byte-identical to a serial one.
+package sweep

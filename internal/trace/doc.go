@@ -1,0 +1,11 @@
+// Package trace is a bounded-ring event recorder for simulation runs:
+// packet-level wire activity and any custom annotations, timestamped in
+// virtual time.  It exists for debugging transports and for the CLI's
+// -trace output; recording is off unless a Recorder is attached.
+//
+// Events carry a typed Category.  The well-known categories (CatPacket,
+// CatViolation) are what the simulator itself records; callers may mint
+// their own.  For tool-consumable output, a recorder's events convert
+// into the structured observability layer (internal/obs) and export as
+// Chrome trace-event JSON via `comb trace export`.
+package trace

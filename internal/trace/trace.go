@@ -1,7 +1,3 @@
-// Package trace is a bounded-ring event recorder for simulation runs:
-// packet-level wire activity and any custom annotations, timestamped in
-// virtual time.  It exists for debugging transports and for the CLI's
-// -trace output; recording is off unless a Recorder is attached.
 package trace
 
 import (
@@ -13,17 +9,39 @@ import (
 	"comb/internal/sim"
 )
 
+// Category classifies a trace event.
+type Category string
+
+// Categories recorded by the simulator itself.
+const (
+	// CatPacket marks one fabric packet delivery.
+	CatPacket Category = "pkt"
+	// CatViolation marks an invariant violation (see internal/invariant).
+	CatViolation Category = "violation"
+)
+
+// catColumn is the minimum rendered width of the category column; the
+// historical -trace layout used exactly this width.
+const catColumn = 10
+
 // Event is one recorded occurrence.
 type Event struct {
 	At     sim.Time
-	Cat    string
+	Cat    Category
 	Node   int
 	Detail string
 }
 
-// String renders the event as one log line.
-func (e Event) String() string {
-	return fmt.Sprintf("%12v node%d %-10s %s", e.At, e.Node, e.Cat, e.Detail)
+// String renders the event as one log line.  The category column is
+// catColumn wide, growing only when this event's category is longer —
+// byte-compatible with the historical format whenever the category
+// fits.  For stable columns across a whole dump, use Recorder.WriteTo,
+// which pads every line to the longest retained category.
+func (e Event) String() string { return e.render(catColumn) }
+
+// render formats the event with the category padded to at least w.
+func (e Event) render(w int) string {
+	return fmt.Sprintf("%12v node%d %-*s %s", e.At, e.Node, w, string(e.Cat), e.Detail)
 }
 
 // Recorder keeps the most recent events in a fixed-size ring.
@@ -44,7 +62,7 @@ func NewRecorder(capacity int) *Recorder {
 }
 
 // Record appends an event, evicting the oldest when full.
-func (r *Recorder) Record(at sim.Time, cat string, node int, detail string) {
+func (r *Recorder) Record(at sim.Time, cat Category, node int, detail string) {
 	e := Event{At: at, Cat: cat, Node: node, Detail: detail}
 	if len(r.events) < r.cap {
 		r.events = append(r.events, e)
@@ -57,7 +75,7 @@ func (r *Recorder) Record(at sim.Time, cat string, node int, detail string) {
 }
 
 // Recordf is Record with formatting.
-func (r *Recorder) Recordf(at sim.Time, cat string, node int, format string, args ...any) {
+func (r *Recorder) Recordf(at sim.Time, cat Category, node int, format string, args ...any) {
 	r.Record(at, cat, node, fmt.Sprintf(format, args...))
 }
 
@@ -78,7 +96,10 @@ func (r *Recorder) Dropped() int64 { return r.dropped }
 // Len reports how many events are retained.
 func (r *Recorder) Len() int { return len(r.events) }
 
-// WriteTo dumps the retained events as text.
+// WriteTo dumps the retained events as text with stable columns: the
+// category column is padded to the longest retained category (at least
+// the historical 10 characters, so dumps whose categories all fit are
+// byte-identical to the old format).
 func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	if r.dropped > 0 {
@@ -88,8 +109,15 @@ func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
-	for _, e := range r.Events() {
-		k, err := fmt.Fprintln(w, e)
+	events := r.Events()
+	width := catColumn
+	for _, e := range events {
+		if len(e.Cat) > width {
+			width = len(e.Cat)
+		}
+	}
+	for _, e := range events {
+		k, err := fmt.Fprintln(w, e.render(width))
 		n += int64(k)
 		if err != nil {
 			return n, err
@@ -100,8 +128,8 @@ func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 
 // Summary aggregates retained events by category.
 func (r *Recorder) Summary() string {
-	counts := map[string]int{}
-	var cats []string
+	counts := map[Category]int{}
+	var cats []Category
 	for _, e := range r.Events() {
 		if counts[e.Cat] == 0 {
 			cats = append(cats, e.Cat)
@@ -116,10 +144,10 @@ func (r *Recorder) Summary() string {
 }
 
 // AttachFabric wires packet-level tracing into a fabric: every delivery
-// records a "pkt" event at the receiving node.  It must be called before
-// transports attach their sinks.
+// records a CatPacket event at the receiving node.  It must be called
+// before transports attach their sinks.
 func AttachFabric(rec *Recorder, sys *cluster.System) {
 	sys.Fabric.Observe(func(pkt *cluster.Packet, at sim.Time) {
-		rec.Recordf(at, "pkt", pkt.To, "from node%d, %dB", pkt.From, pkt.Size)
+		rec.Recordf(at, CatPacket, pkt.To, "from node%d, %dB", pkt.From, pkt.Size)
 	})
 }

@@ -56,6 +56,45 @@ func TestRecorderWriteToAndSummary(t *testing.T) {
 	}
 }
 
+// TestEventColumnAlignment pins the -trace layout: the category column
+// is 10 characters for the historical short categories (byte-compatible
+// with the pre-typed format), and a whole dump widens uniformly when
+// any retained category is longer, so columns never stagger.
+func TestEventColumnAlignment(t *testing.T) {
+	short := Event{At: 1, Cat: CatPacket, Node: 0, Detail: "d"}
+	if got, want := short.String(), "         1ns node0 pkt        d"; got != want {
+		t.Fatalf("short category rendering:\n got %q\nwant %q", got, want)
+	}
+
+	r := NewRecorder(4)
+	r.Record(1, CatPacket, 0, "first")
+	r.Record(2, "a-rather-long-category", 1, "second")
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %q", lines)
+	}
+	iFirst := strings.Index(lines[0], "first")
+	iSecond := strings.Index(lines[1], "second")
+	if iFirst < 0 || iFirst != iSecond {
+		t.Errorf("detail columns stagger: %d vs %d\n%s", iFirst, iSecond, sb.String())
+	}
+
+	// A dump whose categories all fit stays on the classic 10-char grid.
+	r2 := NewRecorder(2)
+	r2.Record(1, CatPacket, 0, "x")
+	var sb2 strings.Builder
+	if _, err := r2.WriteTo(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.TrimRight(sb2.String(), "\n"), r2.Events()[0].String(); got != want {
+		t.Errorf("WriteTo differs from String for short categories:\n got %q\nwant %q", got, want)
+	}
+}
+
 func TestRecorderInvalidCapacityPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

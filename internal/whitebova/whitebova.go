@@ -1,10 +1,3 @@
-// Package whitebova implements the overlap analysis of White & Bova,
-// "Where's the overlap? An analysis of popular MPI implementations"
-// (MPIDC 1999) — the prior work the paper's §5 says COMB extends.  It
-// classifies a system per message size with a single boolean: can
-// communication overlap computation at all?  COMB's contribution is to
-// replace this boolean with the full bandwidth/availability trade-off
-// curves; keeping the baseline around makes that difference measurable.
 package whitebova
 
 import (

@@ -1,0 +1,195 @@
+package comb_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"comb"
+	"comb/internal/obs"
+)
+
+// obsRunSpec is the small, fully deterministic observed run the golden
+// and round-trip tests share: fixed seed, ideal transport, spans and
+// packet trace on.
+func obsRunSpec() comb.RunSpec {
+	return comb.RunSpec{
+		Method:   comb.MethodPWW,
+		System:   "ideal",
+		Seed:     7,
+		ObsCap:   -1,
+		TraceCap: 64,
+		PWW: &comb.PWWConfig{
+			Config:       comb.Config{MsgSize: 10_000},
+			WorkInterval: 200_000,
+			Reps:         3,
+		},
+	}
+}
+
+// TestChromeExportGolden locks down the Chrome trace-event export
+// byte-for-byte: the simulation is deterministic, so the exported JSON
+// for a fixed spec must never drift.  Regenerate the golden with
+// COMB_GOLDEN=1 after reviewing an intended format change.
+func TestChromeExportGolden(t *testing.T) {
+	run := func() []byte {
+		res, err := comb.Run(context.Background(), obsRunSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Obs == nil {
+			t.Fatal("ObsCap set but RunResult.Obs is nil")
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteChromeTrace(&buf, res.Obs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	got := run()
+	if !bytes.Equal(got, run()) {
+		t.Fatal("two identical runs exported different Chrome traces")
+	}
+
+	golden := filepath.Join("testdata", "pww_ideal_chrome.json")
+	if os.Getenv("COMB_GOLDEN") == "1" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with COMB_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("chrome export drifted from %s (%d bytes got, %d want); regenerate with COMB_GOLDEN=1 if intended",
+			golden, len(got), len(want))
+	}
+}
+
+// TestObservedRunArtifacts sanity-checks what one observed run carries:
+// phase and per-message spans, packet instants, and metrics agreeing
+// with the hardware counters.
+func TestObservedRunArtifacts(t *testing.T) {
+	res, err := comb.Run(context.Background(), obsRunSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := map[string]int{}
+	phases := map[string]int{}
+	for _, s := range res.Obs.Spans {
+		cats[s.Cat]++
+		if s.Cat == obs.CatPhase {
+			phases[s.Name]++
+		}
+	}
+	if cats[obs.CatPhase] == 0 || cats[obs.CatMPI] == 0 {
+		t.Fatalf("span categories: %v", cats)
+	}
+	for _, want := range []string{"dry", "post", "work", "wait"} {
+		if phases[want] == 0 {
+			t.Errorf("no %q phase spans (have %v)", want, phases)
+		}
+	}
+	if len(res.Obs.Instants) == 0 {
+		t.Error("TraceCap set but no packet instants in the capture")
+	}
+
+	var prom strings.Builder
+	if err := res.Metrics.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`comb_messages_completed_total{kind="send"}`,
+		`comb_packets_total{fate="delivered"}`,
+		"comb_wire_bytes_total",
+		"comb_phase_seconds_bucket",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("metrics exposition lacks %s", want)
+		}
+	}
+	snap := res.Metrics.Snapshot()
+	byName := map[string]int64{}
+	for _, c := range snap.Counters {
+		byName[c.Name] = c.Value
+	}
+	if byName[`comb_messages_completed_total{kind="send"}`] != byName[`comb_messages_completed_total{kind="recv"}`] {
+		t.Errorf("completed sends %d != completed recvs %d",
+			byName[`comb_messages_completed_total{kind="send"}`],
+			byName[`comb_messages_completed_total{kind="recv"}`])
+	}
+	if got := byName["comb_wire_bytes_total"]; got != res.Stats.WireBytes {
+		t.Errorf("comb_wire_bytes_total %d != Stats.WireBytes %d", got, res.Stats.WireBytes)
+	}
+}
+
+// TestManifestRoundTrip saves a run's manifest, reloads it, replays it,
+// and demands the identical result hash — the reproducibility contract
+// `comb replay` enforces.
+func TestManifestRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	res, err := comb.Run(ctx, obsRunSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := res.Manifest
+	if mf == nil || mf.ResultHash == "" {
+		t.Fatalf("manifest: %+v", mf)
+	}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := mf.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := obs.LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := comb.Replay(ctx, loaded)
+	if err != nil {
+		t.Fatalf("replay must verify: %v", err)
+	}
+	if replayed.Manifest.ResultHash != mf.ResultHash {
+		t.Errorf("hash drift: %s vs %s", replayed.Manifest.ResultHash, mf.ResultHash)
+	}
+
+	// A corrupted hash must be detected.
+	loaded.ResultHash = "sha256:0000"
+	if _, err := comb.Replay(ctx, loaded); err == nil {
+		t.Error("replay must reject a manifest whose hash does not match")
+	}
+}
+
+// TestManifestRecordsMaskedFaults checks the provenance of a degraded
+// run: the requested fault string survives verbatim, and the faults the
+// transport cannot tolerate are listed as masked.
+func TestManifestRecordsMaskedFaults(t *testing.T) {
+	fs, err := comb.ParseFaults("drop=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := obsRunSpec()
+	spec.System = "gm" // gm has no loss tolerance: drop must be masked
+	spec.Faults = &fs
+	res, err := comb.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := res.Manifest
+	if !strings.Contains(mf.Faults, "drop=0.01") {
+		t.Errorf("manifest faults = %q", mf.Faults)
+	}
+	masked := strings.Join(mf.MaskedFaults, ",")
+	if !strings.Contains(masked, "drop") {
+		t.Errorf("masked faults = %q, want drop listed", masked)
+	}
+}

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Documentation hygiene gate, run by the CI docs job:
+#
+#   1. gofmt -l is empty (formatting is documentation too),
+#   2. every package in the module has a package comment,
+#   3. `go doc` renders every package without error,
+#   4. every relative link in the markdown docs points at a file that
+#      exists.
+#
+# Stdlib + POSIX sh only; exits nonzero on the first failing section.
+set -e
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    fail=1
+fi
+
+echo "==> package comments"
+# Synopsis is empty exactly when the package has no doc comment.
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)
+if [ -n "$missing" ]; then
+    echo "packages without a package comment:"
+    echo "$missing"
+    fail=1
+fi
+
+echo "==> go doc renders"
+for pkg in $(go list ./...); do
+    if ! go doc "$pkg" >/dev/null 2>&1; then
+        echo "go doc $pkg failed"
+        fail=1
+    fi
+done
+
+echo "==> markdown relative links"
+for md in *.md docs/*.md; do
+    [ -f "$md" ] || continue
+    dir=$(dirname "$md")
+    # Inline links only: [text](target). Skip URLs and pure anchors.
+    for target in $(grep -o '](\([^)]*\))' "$md" |
+        sed 's/^](//; s/)$//; s/#.*//' |
+        grep -v '^$' | grep -v '^[a-z+]*://' | sort -u); do
+        if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+            echo "$md: broken relative link: $target"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doccheck: FAIL"
+    exit 1
+fi
+echo "doccheck: OK"
