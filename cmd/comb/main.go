@@ -16,6 +16,7 @@
 //	comb sweep [flags]                # custom sweep over systems/sizes/metric
 //	comb cache <clear|stat> [flags]   # manage the on-disk result cache
 //	comb pingpong [flags]             # the pre-COMB microbenchmark view
+//	comb bench [-profile] [flags]     # time a hot-path workload; pprof output
 //	comb selfcheck                    # verify calibration and headline claims
 //	comb report [flags]               # auto-generated markdown report
 //
@@ -43,6 +44,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -95,6 +98,8 @@ func main() {
 		err = cmdCache(os.Args[2:])
 	case "pingpong":
 		err = cmdPingpong(os.Args[2:])
+	case "bench":
+		err = cmdBench(ctx, os.Args[2:])
 	case "selfcheck":
 		err = cmdSelfcheck(ctx, os.Args[2:])
 	case "report":
@@ -129,6 +134,7 @@ subcommands:
   sweep     custom parameter sweep over any systems/sizes/metric
   cache     manage the on-disk result cache (clear|stat)
   pingpong  classic latency/bandwidth microbenchmark (the pre-COMB view)
+  bench     time a hot-path workload; -profile writes CPU/heap pprof files
   selfcheck verify the reproduction's calibration and headline claims
             (-fuzz N adds N deterministic fault-injected runs)
   report    write the full reproduction report as markdown
@@ -947,6 +953,88 @@ func cmdReport(ctx context.Context, args []string) error {
 		w = f
 	}
 	return report.Write(w, report.Options{Quick: *quick, MaxRowsPerFigure: *rows, Context: ctx})
+}
+
+// cmdBench times a representative hot-path workload — the Figure 4-class
+// polling measurement, simulated -n times back to back with no caching —
+// and, with -profile, wraps the runs in a CPU profile and writes a heap
+// snapshot afterwards.  It is the profiling entry point for the
+// simulation hot path: see docs/PERFORMANCE.md for the workflow, and
+// scripts/benchdiff.sh for the regression gate built on the committed
+// baseline.
+func cmdBench(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	system := fs.String("system", "portals", "system to benchmark (gm|portals|tcp|emp|ideal)")
+	size := fs.Int("size", 100_000, "message size in bytes")
+	poll := fs.Int64("poll", 100_000, "poll interval (loop iterations)")
+	work := fs.Int64("work", 25_000_000, "total work (loop iterations)")
+	n := fs.Int("n", 3, "back-to-back repetitions")
+	profile := fs.Bool("profile", false, "write CPU and heap profiles into -out")
+	out := fs.String("out", "results/profiles", "profile output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := comb.RunSpec{
+		Method: comb.MethodPolling,
+		System: *system,
+		Polling: &comb.PollingConfig{
+			Config:       comb.Config{MsgSize: *size},
+			PollInterval: *poll,
+			WorkTotal:    *work,
+		},
+	}
+	var cpuFile *os.File
+	if *profile {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		var err error
+		cpuFile, err = os.Create(filepath.Join(*out, "cpu.pprof"))
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return err
+		}
+	}
+	var total time.Duration
+	for i := 0; i < *n; i++ {
+		t0 := time.Now()
+		res, err := comb.Run(ctx, spec)
+		if err != nil {
+			if *profile {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return err
+		}
+		wall := time.Since(t0)
+		total += wall
+		fmt.Printf("run %d/%d  %10v wall  (availability %.3f, %.2f MB/s)\n",
+			i+1, *n, wall.Round(time.Millisecond), res.Polling.Availability, res.Polling.BandwidthMBs)
+	}
+	fmt.Printf("mean      %10v wall over %d run(s)\n", (total / time.Duration(*n)).Round(time.Millisecond), *n)
+	if *profile {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the snapshot reflects retained memory
+		heapFile, err := os.Create(filepath.Join(*out, "heap.pprof"))
+		if err != nil {
+			return err
+		}
+		if err := pprof.WriteHeapProfile(heapFile); err != nil {
+			heapFile.Close()
+			return err
+		}
+		if err := heapFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("profiles  %s/cpu.pprof, %s/heap.pprof (inspect with: go tool pprof <file>)\n", *out, *out)
+	}
+	return nil
 }
 
 // cmdSelfcheck verifies the reproduction's headline claims and,

@@ -47,26 +47,75 @@ func (p Priority) String() string {
 // preemption, the model the COMB availability metric relies on; the
 // multi-core case exists to reproduce the paper's §7 observation that the
 // metric breaks on SMP nodes.
+//
+// Grants are pooled: every demand is served by a recycled cpuGrant record
+// and a cancellable pooled timer, so the per-interrupt scheduling cost is
+// allocation-free on the Use and SubmitCall paths.  Submit still mints a
+// fresh Event per call — callers hold fired events indefinitely, which
+// makes Events unpoolable by construction — so hot paths should prefer
+// Use (process-blocking) or SubmitCall (callback).
 type CPU struct {
-	env    *sim.Env
-	name   string
-	queues [numPriorities][]*cpuGrant
-	cores  []coreState
-	usage  [numPriorities]sim.Time
+	env        *sim.Env
+	name       string
+	queues     [numPriorities]grantQueue
+	cores      []coreState
+	usage      [numPriorities]sim.Time
+	free       []*cpuGrant
+	completeFn func(any) // bound once; receives the finished *cpuGrant
 }
 
 // coreState is one core's current assignment.
 type coreState struct {
 	running   *cpuGrant
 	startedAt sim.Time
-	timer     *sim.Timer
+	timer     sim.Timer
 }
 
-// cpuGrant is one outstanding CPU demand.
+// cpuGrant is one outstanding CPU demand.  Exactly one completion channel
+// is set: waiter (Use), done (Submit), or fn/arg (SubmitCall); all may be
+// nil for fire-and-forget demands.
 type cpuGrant struct {
 	prio      Priority
 	remaining sim.Time
+	core      int32 // core index while running, -1 otherwise
+	waiter    *sim.Proc
 	done      *sim.Event
+	fn        func(any)
+	arg       any
+}
+
+// grantQueue is a FIFO of grants with O(1) front operations: popFront
+// advances a head index, and pushFront (preemption requeue) reuses the
+// vacated prefix instead of reallocating the backing slice.
+type grantQueue struct {
+	items []*cpuGrant
+	head  int
+}
+
+func (q *grantQueue) len() int { return len(q.items) - q.head }
+
+func (q *grantQueue) pushBack(g *cpuGrant) { q.items = append(q.items, g) }
+
+func (q *grantQueue) pushFront(g *cpuGrant) {
+	if q.head > 0 {
+		q.head--
+		q.items[q.head] = g
+		return
+	}
+	q.items = append(q.items, nil)
+	copy(q.items[1:], q.items)
+	q.items[0] = g
+}
+
+func (q *grantQueue) popFront() *cpuGrant {
+	g := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return g
 }
 
 // NewCPU returns an idle single-core CPU bound to env.
@@ -77,7 +126,9 @@ func NewSMP(env *sim.Env, name string, cores int) *CPU {
 	if cores < 1 {
 		panic(fmt.Sprintf("cluster: CPU %q needs at least one core, got %d", name, cores))
 	}
-	return &CPU{env: env, name: name, cores: make([]coreState, cores)}
+	c := &CPU{env: env, name: name, cores: make([]coreState, cores)}
+	c.completeFn = c.complete
+	return c
 }
 
 // Cores returns the number of cores.
@@ -90,31 +141,75 @@ func (c *CPU) Use(p *sim.Proc, d sim.Time, prio Priority) {
 	if d <= 0 {
 		return
 	}
-	p.Await(c.Submit(d, prio))
+	g := c.grant(d, prio)
+	g.waiter = p
+	c.enqueue(g)
+	p.Park()
 }
 
 // Submit enqueues a CPU demand without blocking and returns the event that
-// fires when the demand has been fully served.  It is the interface used by
-// interrupt and kernel machinery that is not modeled as a process.
+// fires when the demand has been fully served.  Callers that only need a
+// completion callback should use SubmitCall, which avoids the Event
+// allocation.
 func (c *CPU) Submit(d sim.Time, prio Priority) *sim.Event {
-	g := &cpuGrant{prio: prio, remaining: d, done: c.env.NewEvent()}
+	ev := c.env.NewEvent()
 	if d <= 0 {
-		g.done.Fire(nil)
-		return g.done
+		ev.Fire(nil)
+		return ev
 	}
-	c.queues[prio] = append(c.queues[prio], g)
+	g := c.grant(d, prio)
+	g.done = ev
+	c.enqueue(g)
+	return ev
+}
+
+// SubmitCall enqueues a CPU demand and arranges for fn(arg) to run (in
+// event-loop context, at the completion instant) once it has been fully
+// served.  A nil fn makes the demand fire-and-forget: the CPU time is
+// consumed and accounted but nothing is notified.  It is the
+// allocation-free replacement for Submit(d, prio).OnFire(cb) chains.
+func (c *CPU) SubmitCall(d sim.Time, prio Priority, fn func(any), arg any) {
+	if d <= 0 {
+		if fn != nil {
+			c.env.ScheduleCall(0, fn, arg)
+		}
+		return
+	}
+	g := c.grant(d, prio)
+	g.fn, g.arg = fn, arg
+	c.enqueue(g)
+}
+
+// grant takes a recycled grant record off the freelist.
+func (c *CPU) grant(d sim.Time, prio Priority) *cpuGrant {
+	var g *cpuGrant
+	if n := len(c.free); n > 0 {
+		g = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		g = &cpuGrant{}
+	}
+	g.prio, g.remaining, g.core = prio, d, -1
+	return g
+}
+
+// release recycles a retired grant.
+func (c *CPU) release(g *cpuGrant) {
+	*g = cpuGrant{core: -1}
+	c.free = append(c.free, g)
+}
+
+func (c *CPU) enqueue(g *cpuGrant) {
+	c.queues[g.prio].pushBack(g)
 	c.dispatch()
-	return g.done
 }
 
 // nextWaiting returns (and removes) the highest-priority waiting grant, or
 // nil when every queue is empty.
 func (c *CPU) nextWaiting() *cpuGrant {
 	for prio := numPriorities - 1; prio >= 0; prio-- {
-		if q := c.queues[prio]; len(q) > 0 {
-			g := q[0]
-			c.queues[prio] = q[1:]
-			return g
+		if c.queues[prio].len() > 0 {
+			return c.queues[prio].popFront()
 		}
 	}
 	return nil
@@ -123,7 +218,7 @@ func (c *CPU) nextWaiting() *cpuGrant {
 // highestWaitingPrio returns the priority of the best waiting grant, or -1.
 func (c *CPU) highestWaitingPrio() Priority {
 	for prio := numPriorities - 1; prio >= 0; prio-- {
-		if len(c.queues[prio]) > 0 {
+		if c.queues[prio].len() > 0 {
 			return prio
 		}
 	}
@@ -180,7 +275,8 @@ func (c *CPU) start(i int, g *cpuGrant) {
 	core := &c.cores[i]
 	core.running = g
 	core.startedAt = c.env.Now()
-	core.timer = c.env.Schedule(g.remaining, func() { c.complete(i, g) })
+	g.core = int32(i)
+	core.timer = c.env.ScheduleTimerCall(g.remaining, c.completeFn, g)
 }
 
 // preempt pulls core i's grant off the core and puts it back at the front
@@ -193,18 +289,29 @@ func (c *CPU) preempt(i int) {
 	c.usage[g.prio] += elapsed
 	core.timer.Stop()
 	core.running = nil
-	c.queues[g.prio] = append([]*cpuGrant{g}, c.queues[g.prio]...)
+	g.core = -1
+	c.queues[g.prio].pushFront(g)
 }
 
-// complete retires core i's running grant and dispatches further work.
-func (c *CPU) complete(i int, g *cpuGrant) {
-	core := &c.cores[i]
+// complete retires the finished grant (passed as the timer argument),
+// notifies its completion channel and dispatches further work.
+func (c *CPU) complete(a any) {
+	g := a.(*cpuGrant)
+	core := &c.cores[g.core]
 	if core.running != g {
 		panic("cluster: completion for a grant not running on its core")
 	}
 	c.usage[g.prio] += c.env.Now() - core.startedAt
 	core.running = nil
-	g.done.Fire(nil)
+	switch {
+	case g.waiter != nil:
+		c.env.Ready(g.waiter, nil)
+	case g.done != nil:
+		g.done.Fire(nil)
+	case g.fn != nil:
+		c.env.ScheduleCall(0, g.fn, g.arg)
+	}
+	c.release(g)
 	c.dispatch()
 }
 
@@ -233,4 +340,4 @@ func (c *CPU) Busy() bool {
 }
 
 // QueueLen returns the number of waiting (not running) grants at prio.
-func (c *CPU) QueueLen(prio Priority) int { return len(c.queues[prio]) }
+func (c *CPU) QueueLen(prio Priority) int { return c.queues[prio].len() }

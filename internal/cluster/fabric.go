@@ -20,6 +20,12 @@ type Packet struct {
 	Size     int
 	Urgent   bool
 	Payload  any
+
+	// pooled marks packets borrowed from the fabric freelist (GetPacket);
+	// the fabric reclaims them after sink consumption.  Sinks and
+	// observers must therefore never retain a *Packet beyond their call —
+	// copy the fields (or take the Payload) instead.
+	pooled bool
 }
 
 // LinkConfig describes one network port/wire.
@@ -60,6 +66,16 @@ func (lc LinkConfig) Occupancy(size int) sim.Time {
 	return sim.PerByte(int64(size), lc.Bandwidth) + lc.PerPacket
 }
 
+// occEntry caches the base (jitter-free) port occupancy for one packet
+// size.  Messages fragment into at most two distinct wire sizes (full MTU
+// and the tail), and control packets add a couple more, so a tiny
+// direct-scanned cache removes the per-packet float math from the hot
+// path.
+type occEntry struct {
+	size int
+	occ  sim.Time
+}
+
 // Fabric is a switched network connecting N nodes.  Each node has a
 // full-duplex port: packets serialize on the sender's TX side, cross the
 // switch after Latency, and serialize again on the receiver's RX side.
@@ -74,6 +90,18 @@ type Fabric struct {
 	rxU       []sim.Time // RX busy-until, urgent channel
 	backplane sim.Time   // shared switch capacity busy-until
 	sinks     []func(*Packet)
+
+	occCache [4]occEntry
+	occNext  int
+
+	// Freelists (single-threaded, like the whole fabric): packets are
+	// reclaimed after sink consumption, trains after their last fragment
+	// delivers.  Both stay empty under fault injection, where deliveries
+	// can be duplicated or delayed past any safe reuse point.
+	pktFree   []*Packet
+	trainFree []*train
+	deliverFn func(any) // bound once: delivers a *Packet
+	trainFn   func(any) // bound once: advances a *train
 
 	// stats
 	packets   int64
@@ -92,8 +120,9 @@ type Fabric struct {
 }
 
 // Observe registers a delivery observer.  Observers run in registration
-// order on every delivery and must not send packets of their own.  Used
-// by the trace package, the invariant checker and the fault injector.
+// order on every delivery and must not send packets of their own or
+// retain the packet.  Used by the trace package, the invariant checker
+// and the fault injector.
 func (f *Fabric) Observe(fn func(pkt *Packet, at sim.Time)) {
 	f.observers = append(f.observers, fn)
 }
@@ -109,15 +138,23 @@ type Injector interface {
 }
 
 // SetInjector installs the fault injector (at most one; later calls
-// replace earlier ones).  It must be called before traffic flows.
+// replace earlier ones).  It must be called before traffic flows: packet
+// pooling and train batching are disabled while an injector is present,
+// but packets already in flight on the pooled path would misbehave.
 func (f *Fabric) SetInjector(inj Injector) { f.injector = inj }
+
+// Injected reports whether a fault injector is installed.  Transports use
+// it to switch off their own object pooling: duplicated or delayed
+// deliveries can reference a payload after its natural release point, so
+// under injection every object must be left to the garbage collector.
+func (f *Fabric) Injected() bool { return f.injector != nil }
 
 // NewFabric returns a fabric with n ports.
 func NewFabric(env *sim.Env, n int, cfg LinkConfig) *Fabric {
 	if cfg.MTU <= 0 {
 		panic("cluster: fabric MTU must be positive")
 	}
-	return &Fabric{
+	f := &Fabric{
 		env:   env,
 		cfg:   cfg,
 		rng:   sim.NewRand(cfg.Seed),
@@ -127,6 +164,12 @@ func NewFabric(env *sim.Env, n int, cfg LinkConfig) *Fabric {
 		rxU:   make([]sim.Time, n),
 		sinks: make([]func(*Packet), n),
 	}
+	for i := range f.occCache {
+		f.occCache[i].size = -1
+	}
+	f.deliverFn = func(a any) { f.deliver(a.(*Packet)) }
+	f.trainFn = f.runTrain
+	return f
 }
 
 // Config returns the fabric's link configuration.
@@ -144,22 +187,60 @@ func (f *Fabric) Attach(node int, sink func(*Packet)) {
 	f.sinks[node] = sink
 }
 
-// Send transmits pkt.  It returns the time at which the packet has fully
-// left the sender's port (i.e. when the send-side buffer is reusable).
-// Sends never block; contention shows up purely as queueing delay.
-func (f *Fabric) Send(pkt *Packet) sim.Time {
+// GetPacket returns an empty packet for a subsequent Send.  On the
+// fault-free path it comes from the fabric's freelist and is reclaimed
+// automatically after the receiving sink consumes it (or after a loss
+// drop); under fault injection it is a plain allocation, since duplicated
+// or delayed deliveries outlive any safe reuse point.
+func (f *Fabric) GetPacket() *Packet {
+	if f.injector != nil {
+		return &Packet{}
+	}
+	if n := len(f.pktFree); n > 0 {
+		pkt := f.pktFree[n-1]
+		f.pktFree = f.pktFree[:n-1]
+		return pkt
+	}
+	return &Packet{pooled: true}
+}
+
+// put reclaims a pooled packet; unpooled packets are left to the GC.
+func (f *Fabric) put(pkt *Packet) {
+	if !pkt.pooled {
+		return
+	}
+	*pkt = Packet{pooled: true}
+	f.pktFree = append(f.pktFree, pkt)
+}
+
+// occOf returns the base port occupancy for a packet of size bytes,
+// memoized over the handful of wire sizes a run actually uses.
+func (f *Fabric) occOf(size int) sim.Time {
+	for i := range f.occCache {
+		if f.occCache[i].size == size {
+			return f.occCache[i].occ
+		}
+	}
+	occ := f.cfg.Occupancy(size)
+	f.occCache[f.occNext] = occEntry{size: size, occ: occ}
+	f.occNext = (f.occNext + 1) & (len(f.occCache) - 1)
+	return occ
+}
+
+// transit runs pkt through the port/backplane timing model, advancing the
+// lane clocks and drawing any jitter/loss randomness.  It returns when the
+// packet has fully left the sender's port, when it finishes arriving at
+// the receiver (meaningless if lost), and whether loss ate it.
+func (f *Fabric) transit(pkt *Packet) (sent, done sim.Time, lost bool) {
+	now := f.env.Now()
 	if pkt.From == pkt.To {
 		// Loopback: deliver after a nominal latency without using ports.
-		f.packets++
-		f.bytes += int64(pkt.Size)
-		f.scheduleDelivery(pkt, f.env.Now()+f.cfg.Latency)
-		return f.env.Now()
+		return now, now + f.cfg.Latency, false
 	}
-	occ := f.cfg.Occupancy(pkt.Size)
+	occ := f.occOf(pkt.Size)
 	if f.cfg.Jitter > 0 {
 		occ = f.rng.Jitter(occ, f.cfg.Jitter)
 	}
-	now := f.env.Now()
 
 	txLane, rxLane := f.tx, f.rx
 	if pkt.Urgent {
@@ -170,14 +251,11 @@ func (f *Fabric) Send(pkt *Packet) sim.Time {
 	if start < now {
 		start = now
 	}
-	sent := start + occ
+	sent = start + occ
 	txLane[pkt.From] = sent
 
 	if f.cfg.LossRate > 0 && f.rng.Float64() < f.cfg.LossRate {
-		f.packets++
-		f.bytes += int64(pkt.Size)
-		f.lost++
-		return sent
+		return sent, 0, true
 	}
 
 	arrive := sent + f.cfg.Latency
@@ -195,11 +273,23 @@ func (f *Fabric) Send(pkt *Packet) sim.Time {
 	if rstart < arrive {
 		rstart = arrive
 	}
-	done := rstart + occ
+	done = rstart + occ
 	rxLane[pkt.To] = done
+	return sent, done, false
+}
 
+// Send transmits pkt.  It returns the time at which the packet has fully
+// left the sender's port (i.e. when the send-side buffer is reusable).
+// Sends never block; contention shows up purely as queueing delay.
+func (f *Fabric) Send(pkt *Packet) sim.Time {
+	sent, done, lost := f.transit(pkt)
 	f.packets++
 	f.bytes += int64(pkt.Size)
+	if lost {
+		f.lost++
+		f.put(pkt)
+		return sent
+	}
 	f.scheduleDelivery(pkt, done)
 	return sent
 }
@@ -210,7 +300,7 @@ func (f *Fabric) Send(pkt *Packet) sim.Time {
 func (f *Fabric) scheduleDelivery(pkt *Packet, at sim.Time) {
 	now := f.env.Now()
 	if f.injector == nil {
-		f.env.Schedule(at-now, func() { f.deliver(pkt) })
+		f.env.ScheduleCall(at-now, f.deliverFn, pkt)
 		return
 	}
 	whens := f.injector.Deliver(pkt, at)
@@ -237,6 +327,61 @@ func (f *Fabric) deliver(pkt *Packet) {
 		panic(fmt.Sprintf("cluster: packet for unattached node %d", pkt.To))
 	}
 	sink(pkt)
+	f.put(pkt)
+}
+
+// train is a fragmented message in flight: the fragments' packets and
+// precomputed delivery times (non-decreasing — each fragment serializes
+// behind its predecessor).  One chained delivery event walks the train
+// instead of one queued closure per fragment, keeping the event queue
+// short and allocation-free.
+type train struct {
+	pkts []*Packet
+	ats  []sim.Time
+	next int
+}
+
+func (f *Fabric) getTrain() *train {
+	if n := len(f.trainFree); n > 0 {
+		t := f.trainFree[n-1]
+		f.trainFree = f.trainFree[:n-1]
+		return t
+	}
+	return &train{}
+}
+
+func (f *Fabric) putTrain(t *train) {
+	for i := range t.pkts {
+		t.pkts[i] = nil
+	}
+	t.pkts = t.pkts[:0]
+	t.ats = t.ats[:0]
+	t.next = 0
+	f.trainFree = append(f.trainFree, t)
+}
+
+// runTrain delivers the train's due fragment, plus any further fragments
+// sharing the same delivery instant — delivering the group inside one
+// event firing reproduces exactly the back-to-back order the per-fragment
+// scheme produced — then chains one event to the next strictly-later
+// fragment.
+func (f *Fabric) runTrain(a any) {
+	t := a.(*train)
+	now := f.env.Now()
+	for {
+		pkt := t.pkts[t.next]
+		t.pkts[t.next] = nil
+		t.next++
+		f.deliver(pkt)
+		if t.next == len(t.pkts) {
+			f.putTrain(t)
+			return
+		}
+		if at := t.ats[t.next]; at != now {
+			f.env.ScheduleCall(at-now, f.trainFn, t)
+			return
+		}
+	}
 }
 
 // SendMessage fragments a message of size bytes into MTU-sized packets and
@@ -247,6 +392,56 @@ func (f *Fabric) SendMessage(from, to, size, header int, mk func(i, n int, last 
 	if size < 0 {
 		panic("cluster: negative message size")
 	}
+	if f.injector != nil {
+		return f.sendMessageInjected(from, to, size, header, mk)
+	}
+	t := f.getTrain()
+	var sent sim.Time
+	rem := size
+	i := 0
+	for {
+		n := rem
+		if n > f.cfg.MTU {
+			n = f.cfg.MTU
+		}
+		rem -= n
+		last := rem == 0
+		pkt := f.GetPacket()
+		pkt.From, pkt.To, pkt.Size, pkt.Payload = from, to, n+header, mk(i, n, last)
+		var done sim.Time
+		var lostPkt bool
+		sent, done, lostPkt = f.transit(pkt)
+		f.packets++
+		f.bytes += int64(pkt.Size)
+		if lostPkt {
+			f.lost++
+			f.put(pkt)
+		} else {
+			t.pkts = append(t.pkts, pkt)
+			t.ats = append(t.ats, done)
+		}
+		i++
+		if last {
+			break
+		}
+	}
+	now := f.env.Now()
+	switch len(t.pkts) {
+	case 0: // every fragment lost
+		f.putTrain(t)
+	case 1:
+		f.env.ScheduleCall(t.ats[0]-now, f.deliverFn, t.pkts[0])
+		f.putTrain(t)
+	default:
+		f.env.ScheduleCall(t.ats[0]-now, f.trainFn, t)
+	}
+	return sent
+}
+
+// sendMessageInjected is the fault-injection fragment loop: plain
+// per-fragment sends so the injector can reorder, duplicate or drop each
+// one independently.
+func (f *Fabric) sendMessageInjected(from, to, size, header int, mk func(i, n int, last bool) any) sim.Time {
 	var sent sim.Time
 	rem := size
 	i := 0

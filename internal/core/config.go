@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Default benchmark parameters.
 const (
@@ -76,6 +79,15 @@ type PollingConfig struct {
 	// direction.  Depth 1 degenerates to a standard ping-pong (§2.1).
 	// Zero selects DefaultQueueDepth.
 	QueueDepth int
+	// CalibratedDry, when positive, is the known duration of WorkTotal
+	// uncontended iterations on this platform, measured by an earlier run
+	// with identical work parameters.  The worker then replaces the dry
+	// run's busy-loop with an equivalent idle wait of exactly this length
+	// (when the machine supports it), skipping the redundant simulation.
+	// It is a derived execution hint, not an experiment parameter: sweep
+	// cache keys must ignore it, and results are identical with or
+	// without it.
+	CalibratedDry time.Duration
 }
 
 // SetDefaults rewrites unset (zero) fields to their documented defaults.
@@ -103,6 +115,9 @@ func (c *PollingConfig) Validate() error {
 	}
 	if c.QueueDepth < 1 {
 		return fmt.Errorf("core: queue depth %d must be >= 1 (zero means unset)", c.QueueDepth)
+	}
+	if c.CalibratedDry < 0 {
+		return fmt.Errorf("core: calibrated dry time %v must not be negative", c.CalibratedDry)
 	}
 	return nil
 }
@@ -134,6 +149,9 @@ type PWWConfig struct {
 	// cycle, which §4.3 notes makes the results redundant with the
 	// polling method.
 	Interleave int
+	// CalibratedDry, when positive, is the known duration of WorkInterval
+	// uncontended iterations; see PollingConfig.CalibratedDry.
+	CalibratedDry time.Duration
 }
 
 // SetDefaults rewrites unset (zero) fields to their documented defaults.
@@ -170,6 +188,9 @@ func (c *PWWConfig) Validate() error {
 	}
 	if c.Interleave > c.Reps {
 		return fmt.Errorf("core: interleave %d exceeds reps %d", c.Interleave, c.Reps)
+	}
+	if c.CalibratedDry < 0 {
+		return fmt.Errorf("core: calibrated dry time %v must not be negative", c.CalibratedDry)
 	}
 	return nil
 }

@@ -76,6 +76,31 @@ func spanRecorderOf(m Machine) SpanRecorder {
 	return nil
 }
 
+// Sleeper is an optional Machine extension: an idle wait that consumes
+// wall-clock time without occupying the CPU.  The methods use it to
+// replace a dry run whose duration is already known from an earlier
+// measurement with identical work parameters (see
+// PollingConfig.CalibratedDry); a machine that cannot idle precisely
+// simply omits it and the dry run is executed as real work.
+type Sleeper interface {
+	// Sleep blocks the calling rank for exactly d on the machine's clock.
+	Sleep(d time.Duration)
+}
+
+// runDry executes a dry run of iters iterations: the real busy-loop
+// normally, or — when the engine already measured this exact work amount
+// on this platform and the machine can idle — an equivalent wait of the
+// known duration.  Either way the clock advances identically.
+func runDry(m Machine, iters int64, calibrated time.Duration) {
+	if calibrated > 0 {
+		if s, ok := m.(Sleeper); ok {
+			s.Sleep(calibrated)
+			return
+		}
+	}
+	m.Work(iters)
+}
+
 // SystemMeter is an optional Machine extension exposing node-wide CPU
 // accounting.  The paper (§7) notes that COMB's availability metric —
 // dilation of a single process's work loop — breaks on multi-processor

@@ -56,7 +56,7 @@ func pollingWorker(m Machine, cfg PollingConfig) *PollingResult {
 
 	// Dry run: the predetermined amount of work with no communication.
 	dryStart := m.Now()
-	m.Work(cfg.WorkTotal)
+	runDry(m, cfg.WorkTotal, cfg.CalibratedDry)
 	dry := m.Now() - dryStart
 	if rec != nil {
 		rec.RecordSpan("phase", "dry", dryStart, dryStart+dry)

@@ -63,7 +63,7 @@ func pwwWorker(m Machine, cfg PWWConfig) *PWWResult {
 
 	// Dry run: one work phase with no communication anywhere in flight.
 	dryStart := m.Now()
-	m.Work(cfg.WorkInterval)
+	runDry(m, cfg.WorkInterval, cfg.CalibratedDry)
 	workOnly := m.Now() - dryStart
 	if rec != nil {
 		rec.RecordSpan("phase", "dry", dryStart, dryStart+workOnly)

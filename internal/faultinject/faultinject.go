@@ -128,7 +128,7 @@ func (t *Transport) Build(sys *cluster.System) []mpi.Endpoint {
 				return
 			}
 			stats.JitterBursts++
-			sys.Nodes[pkt.To].CPU.Submit(burst, cluster.Interrupt)
+			sys.Nodes[pkt.To].CPU.SubmitCall(burst, cluster.Interrupt, nil, nil)
 		})
 	}
 	return eps

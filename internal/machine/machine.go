@@ -40,6 +40,10 @@ func (m *Sim) Now() time.Duration { return time.Duration(m.p.Now()) }
 // work dilates.
 func (m *Sim) Work(iters int64) { m.node.Work(m.p, iters) }
 
+// Sleep implements core.Sleeper: an idle wait that advances the clock
+// without occupying a core.
+func (m *Sim) Sleep(d time.Duration) { m.p.Sleep(sim.Time(d)) }
+
 // Isend implements core.Machine.
 func (m *Sim) Isend(dst, tag int, data []byte) core.Request {
 	return m.c.Isend(m.p, dst, tag, data)

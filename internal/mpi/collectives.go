@@ -123,7 +123,7 @@ func (c *Comm) Gather(p *sim.Proc, root int, data, out []byte) {
 			continue
 		}
 		r := &Request{kind: KindRecv, comm: c, peer: src, tag: tag,
-			buf: out[src*n : (src+1)*n], ev: c.env.NewEvent(), postedAt: c.env.Now()}
+			buf: out[src*n : (src+1)*n], postedAt: c.env.Now()}
 		c.ep.Irecv(p, r)
 		reqs = append(reqs, r)
 	}

@@ -51,7 +51,6 @@ func (c *Comm) Isend(p *sim.Proc, dst, tag int, data []byte) *Request {
 		peer:     dst,
 		tag:      tag,
 		data:     data,
-		ev:       c.env.NewEvent(),
 		postedAt: c.env.Now(),
 	}
 	if c.meter != nil {
@@ -76,7 +75,6 @@ func (c *Comm) Irecv(p *sim.Proc, src, tag int, buf []byte) *Request {
 		peer:     src,
 		tag:      tag,
 		buf:      buf,
-		ev:       c.env.NewEvent(),
 		postedAt: c.env.Now(),
 	}
 	if c.meter != nil {
@@ -218,7 +216,7 @@ func (c *Comm) Barrier(p *sim.Proc) {
 // sendInternal / recvInternal bypass tag validation for reserved tags.
 func (c *Comm) sendInternal(p *sim.Proc, dst, tag int, data []byte) {
 	r := &Request{kind: KindSend, comm: c, peer: dst, tag: tag, data: data,
-		ev: c.env.NewEvent(), postedAt: c.env.Now()}
+		postedAt: c.env.Now()}
 	if c.meter != nil {
 		c.meter.posted(KindSend)
 	}
@@ -228,7 +226,7 @@ func (c *Comm) sendInternal(p *sim.Proc, dst, tag int, data []byte) {
 
 func (c *Comm) recvInternal(p *sim.Proc, src, tag int, buf []byte) {
 	r := &Request{kind: KindRecv, comm: c, peer: src, tag: tag, buf: buf,
-		ev: c.env.NewEvent(), postedAt: c.env.Now()}
+		postedAt: c.env.Now()}
 	if c.meter != nil {
 		c.meter.posted(KindRecv)
 	}

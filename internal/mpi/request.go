@@ -91,8 +91,18 @@ func (r *Request) Status() Status { return r.status }
 func (r *Request) PostedAt() sim.Time { return r.postedAt }
 
 // DoneEvent returns the event fired at completion.  Transports and
-// offload-capable waits subscribe to it.
-func (r *Request) DoneEvent() *sim.Event { return r.ev }
+// offload-capable waits subscribe to it.  The event is materialized on
+// first use — most requests are completed and discarded without anyone
+// subscribing, so the common path never allocates one.
+func (r *Request) DoneEvent() *sim.Event {
+	if r.ev == nil {
+		r.ev = r.comm.env.NewEvent()
+		if r.done {
+			r.ev.Fire(r)
+		}
+	}
+	return r.ev
+}
 
 // Priv returns the transport-private state attached to the request.
 func (r *Request) Priv() any { return r.priv }
@@ -112,7 +122,9 @@ func (r *Request) Complete(src, tag, count int) {
 	if r.comm != nil && r.comm.meter != nil {
 		r.comm.meter.completed(r)
 	}
-	r.ev.Fire(r)
+	if r.ev != nil {
+		r.ev.Fire(r)
+	}
 }
 
 // matches reports whether an incoming envelope (src, tag) satisfies this

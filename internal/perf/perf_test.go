@@ -1,0 +1,207 @@
+package perf
+
+import (
+	"testing"
+
+	"comb/internal/cluster"
+	"comb/internal/sim"
+)
+
+// benchLink is a Myrinet-class port: the configuration the reference
+// platform's figures run on, minus jitter and loss so the benchmarks are
+// deterministic and allocation-free.
+func benchLink() cluster.LinkConfig {
+	return cluster.LinkConfig{
+		Bandwidth: 160 * cluster.MB,
+		Latency:   9 * sim.Microsecond,
+		PerPacket: 300 * sim.Nanosecond,
+		MTU:       8192,
+	}
+}
+
+// BenchmarkEnvSchedule measures one delayed Schedule plus its dispatch —
+// the heap path of the event core.
+func BenchmarkEnvSchedule(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEnv()
+	i := 0
+	var fn func()
+	fn = func() {
+		if i < b.N {
+			i++
+			e.Schedule(sim.Time(1+i%13), fn)
+		}
+	}
+	e.Schedule(1, fn)
+	e.Run()
+}
+
+// BenchmarkEnvDispatchRing measures one zero-delay Schedule plus its
+// dispatch — the same-timestamp ring fast path.
+func BenchmarkEnvDispatchRing(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEnv()
+	i := 0
+	var fn func()
+	fn = func() {
+		if i < b.N {
+			i++
+			e.Schedule(0, fn)
+		}
+	}
+	e.Schedule(0, fn)
+	e.Run()
+}
+
+// BenchmarkEnvTimerStop measures the cancellation path: arm a timer,
+// stop it, let an interleaved event drive the clock.
+func BenchmarkEnvTimerStop(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEnv()
+	i := 0
+	idle := func() {}
+	var fn func()
+	fn = func() {
+		if i < b.N {
+			i++
+			t := e.ScheduleTimer(100, idle)
+			t.Stop()
+			e.Schedule(1, fn)
+		}
+	}
+	e.Schedule(1, fn)
+	e.Run()
+}
+
+// BenchmarkCPUSubmit measures one SubmitCall completion round trip
+// through the CPU scheduler.
+func BenchmarkCPUSubmit(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEnv()
+	cpu := cluster.NewSMP(e, "bench", 1)
+	i := 0
+	var fn func(any)
+	fn = func(any) {
+		if i < b.N {
+			i++
+			cpu.SubmitCall(100, cluster.Kernel, fn, nil)
+		}
+	}
+	cpu.SubmitCall(100, cluster.Kernel, fn, nil)
+	e.Run()
+}
+
+// BenchmarkFabricSend measures one single-packet Send: transit
+// computation, delivery scheduling, sink consumption, packet reclaim.
+func BenchmarkFabricSend(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEnv()
+	f := cluster.NewFabric(e, 2, benchLink())
+	f.Attach(0, func(*cluster.Packet) {})
+	f.Attach(1, func(*cluster.Packet) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := f.GetPacket()
+		pkt.From, pkt.To, pkt.Size = 0, 1, 4096
+		f.Send(pkt)
+		e.Run()
+	}
+}
+
+// BenchmarkFabricSendMessage measures a fragmented 64 KB message: one
+// packet train end to end, every fragment consumed by the sink.
+func BenchmarkFabricSendMessage(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEnv()
+	f := cluster.NewFabric(e, 2, benchLink())
+	f.Attach(0, func(*cluster.Packet) {})
+	f.Attach(1, func(*cluster.Packet) {})
+	payload := new(int)
+	mk := func(i, n int, last bool) any { return payload }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SendMessage(0, 1, 65536, 16, mk)
+		e.Run()
+	}
+}
+
+// TestScheduleZeroAllocs pins the event core's allocation guarantee:
+// after arena warm-up, Schedule and dispatch allocate nothing, on both
+// the heap and the ring path.
+func TestScheduleZeroAllocs(t *testing.T) {
+	e := sim.NewEnv()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(sim.Time(i%29), fn)
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(200, func() {
+		e.Schedule(7, fn)
+		e.Schedule(0, fn)
+		e.Run()
+	}); avg != 0 {
+		t.Errorf("Schedule+dispatch allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestScheduleCallZeroAllocs pins the argument-carrying variant: a bound
+// method value plus a pointer argument must not box or capture.
+func TestScheduleCallZeroAllocs(t *testing.T) {
+	e := sim.NewEnv()
+	fn := func(any) {}
+	arg := new(int)
+	for i := 0; i < 1024; i++ {
+		e.ScheduleCall(sim.Time(i%29), fn, arg)
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(200, func() {
+		e.ScheduleCall(7, fn, arg)
+		e.Run()
+	}); avg != 0 {
+		t.Errorf("ScheduleCall+dispatch allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestFabricSendZeroAllocs pins the injector-free fabric guarantee: a
+// pooled packet's full lifecycle — GetPacket, Send, delivery, sink,
+// reclaim — allocates nothing once the freelist is warm.
+func TestFabricSendZeroAllocs(t *testing.T) {
+	e := sim.NewEnv()
+	f := cluster.NewFabric(e, 2, benchLink())
+	f.Attach(0, func(*cluster.Packet) {})
+	f.Attach(1, func(*cluster.Packet) {})
+	send := func() {
+		pkt := f.GetPacket()
+		pkt.From, pkt.To, pkt.Size = 0, 1, 4096
+		f.Send(pkt)
+		e.Run()
+	}
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if avg := testing.AllocsPerRun(200, send); avg != 0 {
+		t.Errorf("Fabric.Send lifecycle allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestSendMessageAllocs bounds the packet-train path: a warmed-up
+// fragmented message reuses its train, packets and slices from the
+// freelists and must stay allocation-free end to end.
+func TestSendMessageAllocs(t *testing.T) {
+	e := sim.NewEnv()
+	f := cluster.NewFabric(e, 2, benchLink())
+	f.Attach(0, func(*cluster.Packet) {})
+	f.Attach(1, func(*cluster.Packet) {})
+	payload := new(int)
+	mk := func(i, n int, last bool) any { return payload }
+	send := func() {
+		f.SendMessage(0, 1, 65536, 16, mk)
+		e.Run()
+	}
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if avg := testing.AllocsPerRun(200, send); avg != 0 {
+		t.Errorf("Fabric.SendMessage lifecycle allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -360,3 +360,41 @@ func TestRetriesWrapError(t *testing.T) {
 		t.Errorf("Retries = %d, want 2", st.Retries)
 	}
 }
+
+func TestCalibrationSharing(t *testing.T) {
+	// Two points that differ only in poll interval share a dry-run
+	// calibration: the second simulation must reuse the first's measured
+	// dry time and still produce exactly the result an uncalibrated
+	// engine produces.
+	mk := func(interval int64) Point {
+		p := quickPoint()
+		p.Polling.PollInterval = interval
+		return p
+	}
+	ctx := context.Background()
+	shared := New(Config{Workers: 1})
+	a1, err := shared.Run(ctx, mk(100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := shared.Run(ctx, mk(200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := shared.Stats(); st.CalibHits != 1 {
+		t.Errorf("stats = %+v, want CalibHits=1", st)
+	}
+	if a1.Polling.DryTime != a2.Polling.DryTime {
+		t.Errorf("dry times differ across shared calibration: %v vs %v",
+			a1.Polling.DryTime, a2.Polling.DryTime)
+	}
+	// A fresh engine simulating the second point cold must agree exactly.
+	cold := New(Config{Workers: 1})
+	b2, err := cold.Run(ctx, mk(200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a2.Polling != *b2.Polling {
+		t.Errorf("calibrated result %+v != cold result %+v", a2.Polling, b2.Polling)
+	}
+}

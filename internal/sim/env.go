@@ -1,19 +1,37 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Env is a single-threaded discrete-event simulation environment.
 //
 // All scheduling and process interaction must happen from the goroutine
 // that calls Run (directly, or transitively from a process the event loop
 // has dispatched).  Env is not safe for concurrent use.
+//
+// The event core is the simulator's inner kernel, so its data structures
+// are built for zero steady-state allocation:
+//
+//   - pending events live in a value-typed 4-ary min-heap (no per-event
+//     box, wide nodes for cache-friendly sift paths);
+//   - zero-delay events — the dominant class: wakeups, event fires,
+//     delivery hand-offs at the current instant — bypass the heap through
+//     a FIFO ring;
+//   - cancellable timers borrow slots from a freelist and are addressed
+//     by generation-checked value handles, so stale handles are inert;
+//   - process wake-ups ride pooled records through ScheduleCall instead
+//     of fresh closures.
+//
+// Event order is identical to the classic heap-of-pointers
+// implementation: earliest timestamp first, FIFO by insertion sequence
+// within a timestamp (TestHeapEquivalence proves this against a
+// container/heap reference).
 type Env struct {
 	now     Time
-	queue   eventQueue
 	seq     uint64
+	heap    []queued // future events, 4-ary min-heap by (at, seq)
+	ring    []queued // zero-delay events at the current instant, FIFO
+	ringPop int      // consumed prefix of ring
+	pending int      // scheduled and not yet executed or cancelled
 	procs   []*Proc
 	cur     *Proc
 	steps   uint64
@@ -28,11 +46,48 @@ type Env struct {
 	// event's timestamp, before the event body.  They must only read
 	// state (the invariant checker hooks here).
 	onStep []func(at Time)
+
+	slots     []timerSlot // cancellable-timer slots, addressed by Timer handles
+	freeSlots []int32
+
+	wakes  []*wakeRec // pooled process wake-up records
+	wakeFn func(any)  // bound once: runs a wakeRec and recycles it
 }
+
+// queued is one pending event-queue entry.  Exactly one of fn and fn1 is
+// set; fn1 receives arg, which lets hot callers schedule a pre-bound
+// method value plus argument instead of allocating a fresh closure per
+// event.  tidx is the entry's timer slot, or -1 for the (common)
+// non-cancellable case.
+type queued struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	fn1  func(any)
+	arg  any
+	tidx int32
+}
+
+// timerSlot backs one live cancellable timer.  gen increments every time
+// the slot is recycled, so Timer handles from earlier lives fail their
+// generation check instead of cancelling an unrelated event.
+type timerSlot struct {
+	gen   uint32
+	where uint8 // qNone, qHeap or qRing
+	pos   int32 // index into heap or ring while queued
+}
+
+const (
+	qNone uint8 = iota
+	qHeap
+	qRing
+)
 
 // NewEnv returns an empty environment at virtual time zero.
 func NewEnv() *Env {
-	return &Env{MaxSteps: 1 << 34}
+	e := &Env{MaxSteps: 1 << 34}
+	e.wakeFn = e.runWake
+	return e
 }
 
 // Now returns the current virtual time.
@@ -45,8 +100,9 @@ func (e *Env) Steps() uint64 { return e.steps }
 // loop itself is running a plain callback.
 func (e *Env) Cur() *Proc { return e.cur }
 
-// Pending reports how many events are queued but not yet executed.
-func (e *Env) Pending() int { return e.queue.Len() }
+// Pending reports how many events are queued but not yet executed or
+// cancelled.
+func (e *Env) Pending() int { return e.pending }
 
 // Stop makes the event loop return before dispatching the next event.
 // Queued events stay queued and parked processes stay parked; Close still
@@ -65,16 +121,177 @@ func (e *Env) Stopped() bool { return e.stopped }
 // invariant checker).  Multiple observers run in registration order.
 func (e *Env) OnStep(fn func(at Time)) { e.onStep = append(e.onStep, fn) }
 
-// Schedule arranges for fn to run at Now()+delay.  A negative delay panics.
-// The returned Timer may be used to cancel the callback before it fires.
-func (e *Env) Schedule(delay Time, fn func()) *Timer {
+// Schedule arranges for fn to run at Now()+delay.  A negative delay
+// panics.  The callback cannot be cancelled; use ScheduleTimer when
+// cancellation is needed.  Schedule performs no allocation.
+func (e *Env) Schedule(delay Time, fn func()) {
+	e.push(delay, fn, nil, nil, -1)
+}
+
+// ScheduleCall arranges for fn(arg) to run at Now()+delay.  It is the
+// allocation-free form for hot paths: the caller passes a pre-bound
+// method value (created once) plus a pooled or pointer-shaped argument,
+// instead of capturing state in a fresh closure per event.
+func (e *Env) ScheduleCall(delay Time, fn func(any), arg any) {
+	e.push(delay, nil, fn, arg, -1)
+}
+
+// ScheduleTimer is Schedule returning a Timer that can cancel the
+// callback before it fires.  The timer's bookkeeping slot comes from a
+// freelist, so steady-state scheduling stays allocation-free.
+func (e *Env) ScheduleTimer(delay Time, fn func()) Timer {
+	idx := e.allocSlot()
+	t := Timer{env: e, idx: idx, gen: e.slots[idx].gen, when: e.now + delay}
+	e.push(delay, fn, nil, nil, idx)
+	return t
+}
+
+// ScheduleTimerCall is ScheduleCall returning a cancellation handle.
+func (e *Env) ScheduleTimerCall(delay Time, fn func(any), arg any) Timer {
+	idx := e.allocSlot()
+	t := Timer{env: e, idx: idx, gen: e.slots[idx].gen, when: e.now + delay}
+	e.push(delay, nil, fn, arg, idx)
+	return t
+}
+
+// push enqueues one event.  Zero-delay events take the ring fast path:
+// they belong to the current instant, and the heap-order invariant
+// (below) guarantees every heap entry sharing that timestamp was
+// scheduled earlier, so FIFO order across both structures falls out of a
+// single timestamp comparison in the run loop.
+func (e *Env) push(delay Time, fn func(), fn1 func(any), arg any, tidx int32) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	t := &Timer{when: e.now + delay}
 	e.seq++
-	heap.Push(&e.queue, &queued{at: t.when, seq: e.seq, fn: fn, timer: t})
-	return t
+	e.pending++
+	q := queued{at: e.now + delay, seq: e.seq, fn: fn, fn1: fn1, arg: arg, tidx: tidx}
+	if delay == 0 {
+		if tidx >= 0 {
+			s := &e.slots[tidx]
+			s.where, s.pos = qRing, int32(len(e.ring))
+		}
+		e.ring = append(e.ring, q)
+		return
+	}
+	e.heap = append(e.heap, q)
+	if tidx >= 0 {
+		s := &e.slots[tidx]
+		s.where, s.pos = qHeap, int32(len(e.heap)-1)
+	}
+	e.siftUp(len(e.heap) - 1)
+}
+
+// allocSlot takes a timer slot off the freelist, growing the arena when
+// empty.
+func (e *Env) allocSlot() int32 {
+	if n := len(e.freeSlots); n > 0 {
+		idx := e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+		return idx
+	}
+	e.slots = append(e.slots, timerSlot{})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot recycles a slot, invalidating all outstanding handles to its
+// current life.
+func (e *Env) freeSlot(idx int32) {
+	s := &e.slots[idx]
+	s.gen++
+	s.where = qNone
+	e.freeSlots = append(e.freeSlots, idx)
+}
+
+// less orders entries by timestamp, FIFO within a timestamp.
+func (a *queued) less(b *queued) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// movedTo records entry i's new heap position in its timer slot, if any.
+func (e *Env) movedTo(i int) {
+	if t := e.heap[i].tidx; t >= 0 {
+		e.slots[t].pos = int32(i)
+	}
+}
+
+// siftUp restores the 4-ary heap property from leaf i upward.
+func (e *Env) siftUp(i int) {
+	h := e.heap
+	q := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !q.less(&h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		e.movedTo(i)
+		i = parent
+	}
+	h[i] = q
+	e.movedTo(i)
+}
+
+// siftDown restores the 4-ary heap property from the root downward.
+func (e *Env) siftDown() {
+	h := e.heap
+	n := len(h)
+	q := h[0]
+	i := 0
+	for {
+		first := i<<2 + 1 // leftmost child
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].less(&h[best]) {
+				best = c
+			}
+		}
+		if !h[best].less(&q) {
+			break
+		}
+		h[i] = h[best]
+		e.movedTo(i)
+		i = best
+	}
+	h[i] = q
+	e.movedTo(i)
+}
+
+// popHeap removes and returns the earliest heap entry.
+func (e *Env) popHeap() queued {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = queued{} // release closure/arg references
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown()
+	}
+	return top
+}
+
+// popRing consumes the ring's oldest entry, compacting the ring once it
+// drains so slot positions stay valid while any entry is live.
+func (e *Env) popRing() queued {
+	q := e.ring[e.ringPop]
+	e.ring[e.ringPop] = queued{}
+	e.ringPop++
+	if e.ringPop == len(e.ring) {
+		e.ring = e.ring[:0]
+		e.ringPop = 0
+	}
+	return q
 }
 
 // Run executes events until the queue drains.  It panics if MaxSteps is
@@ -90,36 +307,65 @@ func (e *Env) RunUntil(deadline Time) {
 	}
 }
 
+// run is the dispatch loop.  Invariant: a heap entry can share the
+// current instant's timestamp only if it was scheduled before the clock
+// reached that instant (a positive delay lands strictly in the future,
+// and zero delays go to the ring) — so such an entry's sequence number is
+// strictly smaller than every ring entry's and it must run first.  The
+// ring otherwise drains completely before the clock may advance.
 func (e *Env) run(deadline Time) {
-	for e.queue.Len() > 0 && !e.stopped {
-		top := e.queue.items[0]
-		if deadline >= 0 && top.at > deadline {
+	for !e.stopped {
+		var q queued
+		if e.ringPop < len(e.ring) {
+			if deadline >= 0 && e.now > deadline {
+				return
+			}
+			if len(e.heap) > 0 && e.heap[0].at == e.now {
+				q = e.popHeap()
+			} else {
+				q = e.popRing()
+			}
+		} else if len(e.heap) > 0 {
+			if deadline >= 0 && e.heap[0].at > deadline {
+				return
+			}
+			q = e.popHeap()
+		} else {
 			return
 		}
-		heap.Pop(&e.queue)
-		if top.timer != nil && top.timer.stopped {
-			continue
+		if q.fn == nil && q.fn1 == nil {
+			continue // cancelled in place by Timer.Stop
 		}
-		if top.at < e.now {
+		if q.tidx >= 0 {
+			e.freeSlot(q.tidx)
+		}
+		if q.at < e.now {
 			panic("sim: event queue went backwards")
 		}
-		e.now = top.at
+		e.now = q.at
 		e.steps++
+		e.pending--
 		if e.MaxSteps != 0 && e.steps > e.MaxSteps {
 			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v (livelock?)", e.MaxSteps, e.now))
 		}
-		if top.timer != nil {
-			top.timer.fired = true
+		if e.onStep != nil {
+			for _, obs := range e.onStep {
+				obs(q.at)
+			}
 		}
-		for _, obs := range e.onStep {
-			obs(top.at)
+		if q.fn != nil {
+			q.fn()
+		} else {
+			q.fn1(q.arg)
 		}
-		top.fn()
 	}
 }
 
-// Close terminates every parked process so their goroutines exit.  The
-// environment must not be used afterwards.  Close is idempotent.
+// Close terminates every parked process so their goroutines exit, then
+// clears the pending event queue so queued callbacks (and everything
+// they capture — packets, buffers, procs) are released immediately
+// rather than retained by a dead environment.  The environment must not
+// be used afterwards.  Close is idempotent.
 func (e *Env) Close() {
 	for _, p := range e.procs {
 		if !p.done {
@@ -127,61 +373,93 @@ func (e *Env) Close() {
 		}
 	}
 	e.procs = nil
+	e.heap = nil
+	e.ring = nil
+	e.ringPop = 0
+	e.pending = 0
+	e.slots = nil
+	e.freeSlots = nil
+	e.wakes = nil
 }
 
-// Timer identifies a scheduled callback and allows cancelling it.
+// wakeRec is a pooled "resume this process with this value" record.
+type wakeRec struct {
+	p *Proc
+	v any
+}
+
+// ready schedules parked process p to resume with v after delay, using a
+// pooled record instead of a fresh closure.
+func (e *Env) ready(delay Time, p *Proc, v any) {
+	var w *wakeRec
+	if n := len(e.wakes); n > 0 {
+		w = e.wakes[n-1]
+		e.wakes = e.wakes[:n-1]
+	} else {
+		w = &wakeRec{}
+	}
+	w.p, w.v = p, v
+	e.ScheduleCall(delay, e.wakeFn, w)
+}
+
+// Ready schedules a zero-delay resumption of parked process p with
+// wake-up value v — the allocation-free building block for engine-level
+// code (CPU scheduler, event fan-out) that would otherwise capture p in
+// a closure per wake.  p must be parked (or about to park) and not
+// already have a pending resumption.
+func (e *Env) Ready(p *Proc, v any) { e.ready(0, p, v) }
+
+// runWake resumes a wake record's process and recycles the record.
+func (e *Env) runWake(a any) {
+	w := a.(*wakeRec)
+	p, v := w.p, w.v
+	w.p, w.v = nil, nil
+	e.wakes = append(e.wakes, w)
+	e.dispatch(p, v)
+}
+
+// Timer identifies a scheduled callback and allows cancelling it.  It is
+// a value handle into the environment's timer-slot arena: the zero Timer
+// is valid and inert, handles may be copied freely, and a handle whose
+// event already fired (or was stopped) safely does nothing.
 type Timer struct {
-	when    Time
-	stopped bool
-	fired   bool
+	env  *Env
+	idx  int32
+	gen  uint32
+	when Time
 }
 
 // When returns the virtual time the timer was scheduled for.
-func (t *Timer) When() Time { return t.when }
+func (t Timer) When() Time { return t.when }
+
+// Active reports whether the callback is still queued: not yet fired and
+// not stopped.
+func (t Timer) Active() bool {
+	return t.env != nil && int(t.idx) < len(t.env.slots) && t.env.slots[t.idx].gen == t.gen
+}
 
 // Stop cancels the callback.  It reports whether the cancellation took
 // effect (false if the callback already ran or was already stopped).
-func (t *Timer) Stop() bool {
-	if t.stopped || t.fired {
+// Stopping drops the callback and its captures immediately — a stopped
+// timer retains nothing until its would-have-been fire time.
+func (t Timer) Stop() bool {
+	e := t.env
+	if e == nil || int(t.idx) >= len(e.slots) {
 		return false
 	}
-	t.stopped = true
-	return true
-}
-
-// queued is one pending event-queue entry.
-type queued struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	timer *Timer
-}
-
-// eventQueue is a stable min-heap: earlier time first, FIFO within a
-// timestamp (by insertion sequence number).
-type eventQueue struct {
-	items []*queued
-}
-
-func (q *eventQueue) Len() int { return len(q.items) }
-
-func (q *eventQueue) Less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
-	if a.at != b.at {
-		return a.at < b.at
+	s := &e.slots[t.idx]
+	if s.gen != t.gen {
+		return false
 	}
-	return a.seq < b.seq
-}
-
-func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-
-func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(*queued)) }
-
-func (q *eventQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	q.items = old[:n-1]
-	return it
+	switch s.where {
+	case qHeap:
+		q := &e.heap[s.pos]
+		q.fn, q.fn1, q.arg, q.tidx = nil, nil, nil, -1
+	case qRing:
+		q := &e.ring[s.pos]
+		q.fn, q.fn1, q.arg, q.tidx = nil, nil, nil, -1
+	}
+	e.pending--
+	e.freeSlot(t.idx)
+	return true
 }

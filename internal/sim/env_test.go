@@ -68,7 +68,7 @@ func TestNestedScheduling(t *testing.T) {
 func TestTimerStop(t *testing.T) {
 	e := NewEnv()
 	fired := false
-	tm := e.Schedule(10, func() { fired = true })
+	tm := e.ScheduleTimer(10, func() { fired = true })
 	if !tm.Stop() {
 		t.Fatal("Stop returned false on pending timer")
 	}
@@ -89,7 +89,7 @@ func TestTimerStop(t *testing.T) {
 
 func TestTimerStopAfterFire(t *testing.T) {
 	e := NewEnv()
-	tm := e.Schedule(1, func() {})
+	tm := e.ScheduleTimer(1, func() {})
 	e.Run()
 	if tm.Stop() {
 		t.Fatal("Stop after fire returned true")
@@ -186,5 +186,60 @@ func TestPropertyMonotonicClock(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTimerStopDropsClosureInPlace(t *testing.T) {
+	// A stopped timer must drop its callback (and everything the closure
+	// captures) at Stop time, not at the would-have-been fire time: the
+	// queue entry is nilled in place while it waits for its turn.
+	e := NewEnv()
+	big := make([]byte, 1<<20)
+	tm := e.ScheduleTimer(1000, func() { _ = big })
+	e.Schedule(0, func() {}) // keep the env runnable
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer must succeed")
+	}
+	found := false
+	for i := range e.heap {
+		if e.heap[i].at == 1000 {
+			found = true
+			if e.heap[i].fn != nil || e.heap[i].fn1 != nil || e.heap[i].arg != nil {
+				t.Error("stopped entry still references its callback")
+			}
+		}
+	}
+	for i := e.ringPop; i < len(e.ring); i++ {
+		if e.ring[i].at == 1000 {
+			t.Error("delayed timer landed on the zero-delay ring")
+		}
+	}
+	if !found {
+		t.Fatal("stopped entry not found in the heap")
+	}
+	e.Run()
+}
+
+func TestCloseAfterStopReleasesQueue(t *testing.T) {
+	// Stopping the loop mid-run leaves events queued; Close must release
+	// them all so a dead environment retains no callbacks or captures.
+	e := NewEnv()
+	for i := 0; i < 100; i++ {
+		e.Schedule(Time(10+i), func() {})
+	}
+	e.Schedule(5, func() {
+		e.Schedule(0, func() {}) // occupy the ring too
+		e.Stop()
+	})
+	e.Run()
+	if e.Pending() == 0 {
+		t.Fatal("test setup: expected events still pending after Stop")
+	}
+	e.Close()
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after Close, want 0", e.Pending())
+	}
+	if e.heap != nil || e.ring != nil || e.slots != nil {
+		t.Error("Close must release the queue arenas")
 	}
 }

@@ -34,12 +34,10 @@ func (ev *Event) Fire(val any) {
 	cbs := ev.cbs
 	ev.cbs = nil
 	for _, w := range waiters {
-		w := w
-		ev.env.Schedule(0, func() { ev.env.dispatch(w, val) })
+		ev.env.ready(0, w, val)
 	}
 	for _, cb := range cbs {
-		cb := cb
-		ev.env.Schedule(0, func() { cb(val) })
+		ev.env.ScheduleCall(0, cb, val)
 	}
 }
 
@@ -47,8 +45,7 @@ func (ev *Event) Fire(val any) {
 // If the event already fired, cb is scheduled immediately.
 func (ev *Event) OnFire(cb func(any)) {
 	if ev.fired {
-		v := ev.val
-		ev.env.Schedule(0, func() { cb(v) })
+		ev.env.ScheduleCall(0, cb, ev.val)
 		return
 	}
 	ev.cbs = append(ev.cbs, cb)

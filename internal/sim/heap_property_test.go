@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+)
+
+// This file checks the event core's 4-ary value heap + same-timestamp
+// ring against an oracle built on the standard library's container/heap —
+// the implementation the core used before the optimization.  The property
+// under test is FIFO-stable dispatch: events fire in timestamp order, and
+// events sharing a timestamp fire in the order they were scheduled, with
+// cancellation (Timer.Stop) removing exactly the stopped events.
+
+// refEvent is one oracle entry: fire time, scheduling sequence, plan id.
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+// refHeap is the reference scheduler's container/heap of pointers.
+type refHeap []*refEvent
+
+func (h refHeap) Len() int      { return len(h) }
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h *refHeap) Push(x any) { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// propPlan is a deterministic, pre-generated workload: each node fires
+// once (unless cancelled) and may schedule children or cancel other nodes
+// at fire time, exercising the in-dispatch scheduling paths (ring
+// fast-path, same-instant heap entries, cancellation of both).
+type propNode struct {
+	delay    Time  // delay relative to the scheduling instant
+	children []int // node ids scheduled when this node fires
+	cancels  []int // node ids whose timers are stopped when this fires
+}
+
+// genPlan builds a random plan of n nodes.  Roots are nodes scheduled up
+// front; the rest are reachable as children (possibly of several parents —
+// the trace only records first scheduling, see runEnvPlan).
+func genPlan(rng *Rand, n int) (nodes []propNode, roots []int) {
+	nodes = make([]propNode, n)
+	for i := range nodes {
+		// Heavy mass on 0 and small delays: collisions and the ring
+		// fast-path are the interesting regime.
+		var d Time
+		switch rng.Intn(4) {
+		case 0:
+			d = 0
+		case 1:
+			d = Time(rng.Intn(3))
+		default:
+			d = Time(rng.Intn(50))
+		}
+		nodes[i].delay = d
+		for c := rng.Intn(3); c > 0; c-- {
+			nodes[i].children = append(nodes[i].children, rng.Intn(n))
+		}
+		if rng.Intn(4) == 0 {
+			nodes[i].cancels = append(nodes[i].cancels, rng.Intn(n))
+		}
+	}
+	for r := 0; r < 1+n/8; r++ {
+		roots = append(roots, rng.Intn(n))
+	}
+	return nodes, roots
+}
+
+// runEnvPlan executes the plan on the real Env and returns the fire
+// trace.  Each node is scheduled at most once (first scheduling wins) so
+// the plan terminates.
+func runEnvPlan(t *testing.T, nodes []propNode, roots []int) []int {
+	t.Helper()
+	e := NewEnv()
+	var trace []int
+	timers := make([]Timer, len(nodes))
+	scheduled := make([]bool, len(nodes))
+	var schedule func(id int)
+	schedule = func(id int) {
+		if scheduled[id] {
+			return
+		}
+		scheduled[id] = true
+		n := &nodes[id]
+		timers[id] = e.ScheduleTimer(n.delay, func() {
+			trace = append(trace, id)
+			for _, c := range n.children {
+				schedule(c)
+			}
+			for _, c := range n.cancels {
+				if scheduled[c] {
+					timers[c].Stop()
+				}
+			}
+		})
+	}
+	for _, r := range roots {
+		schedule(r)
+	}
+	e.Run()
+	return trace
+}
+
+// runRefPlan executes the same plan on the container/heap oracle.
+func runRefPlan(nodes []propNode, roots []int) []int {
+	var (
+		trace     []int
+		h         refHeap
+		now       Time
+		seq       uint64
+		scheduled = make([]bool, len(nodes))
+		cancelled = make([]bool, len(nodes))
+	)
+	schedule := func(id int) {
+		if scheduled[id] {
+			return
+		}
+		scheduled[id] = true
+		heap.Push(&h, &refEvent{at: now + nodes[id].delay, seq: seq, id: id})
+		seq++
+	}
+	for _, r := range roots {
+		schedule(r)
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(*refEvent)
+		if ev.at < now {
+			panic("oracle: time went backwards")
+		}
+		now = ev.at
+		if cancelled[ev.id] {
+			continue
+		}
+		trace = append(trace, ev.id)
+		n := &nodes[ev.id]
+		for _, c := range n.children {
+			schedule(c)
+		}
+		for _, c := range n.cancels {
+			if scheduled[c] {
+				cancelled[c] = true
+			}
+		}
+	}
+	return trace
+}
+
+// TestHeapMatchesReferenceOrdering drives many random plans through both
+// schedulers and requires identical fire traces.
+func TestHeapMatchesReferenceOrdering(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := NewRand(seed * 0x9e3779b97f4a7c15)
+			nodes, roots := genPlan(rng, 40+int(seed)%100)
+			got := runEnvPlan(t, nodes, roots)
+			want := runRefPlan(nodes, roots)
+			if len(got) != len(want) {
+				t.Fatalf("trace lengths differ: env %d vs oracle %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trace diverges at %d: env fired %d, oracle %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestHeapStableFIFOAtSameInstant pins the core invariant directly: many
+// events scheduled for the same timestamp, from a mix of up-front and
+// in-dispatch scheduling, fire in exact scheduling order.
+func TestHeapStableFIFOAtSameInstant(t *testing.T) {
+	e := NewEnv()
+	var got []int
+	id := 0
+	// 10 events at t=5 scheduled at t=0 (heap path)...
+	for i := 0; i < 10; i++ {
+		i := id
+		e.Schedule(5, func() { got = append(got, i) })
+		id++
+	}
+	// ...and an event at t=5 that schedules 10 more zero-delay events
+	// (ring path), which must fire after every heap entry already
+	// scheduled for t=5 but before anything later.
+	first := id
+	id++
+	ringBase := id
+	id += 10
+	e.Schedule(5, func() {
+		got = append(got, first)
+		for i := 0; i < 10; i++ {
+			i := ringBase + i
+			e.Schedule(0, func() { got = append(got, i) })
+		}
+	})
+	last := id
+	e.Schedule(6, func() { got = append(got, last) })
+	e.Run()
+	if len(got) != 22 {
+		t.Fatalf("fired %d events, want 22", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d fired event %d; want strict scheduling order", i, v)
+		}
+	}
+}

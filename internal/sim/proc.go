@@ -51,7 +51,7 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.Schedule(0, func() { e.dispatch(p, nil) })
+	e.ready(0, p, nil)
 	return p
 }
 
@@ -84,6 +84,12 @@ func (p *Proc) park() any {
 	}
 	return v
 }
+
+// Park suspends the calling process until a matching Env.Ready (or other
+// dispatch) resumes it, returning the wake-up value.  It is the low-level
+// primitive for engine code that manages its own wake bookkeeping; most
+// callers want Await or Sleep.
+func (p *Proc) Park() any { return p.park() }
 
 // Env returns the environment the process runs in.
 func (p *Proc) Env() *Env { return p.env }
@@ -123,7 +129,7 @@ func (p *Proc) Now() Time { return p.env.Now() }
 
 // Sleep suspends the process for d of virtual time.
 func (p *Proc) Sleep(d Time) {
-	p.env.Schedule(d, func() { p.env.dispatch(p, nil) })
+	p.env.ready(d, p, nil)
 	p.park()
 }
 

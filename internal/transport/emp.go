@@ -71,6 +71,8 @@ func (t *EMP) Build(sys *cluster.System) []mpi.Endpoint {
 			hub:  mpi.NewActivityHub(sys.Env),
 			acc:  make(map[empMsgID]*empAccum),
 		}
+		ep.sendDoneFn = ep.sendDone
+		ep.matchFn = ep.match
 		sys.Fabric.Attach(node.ID, ep.onPacket)
 		eps[i] = ep
 	}
@@ -82,6 +84,9 @@ type empMsgID struct {
 	seq int64
 }
 
+// empFrag is one wire frame.  buf is the whole send buffer data slices
+// into (recycled once every byte of the message has landed); acc carries
+// the receive accumulator through the deferred firmware-match event.
 type empFrag struct {
 	id   empMsgID
 	src  int
@@ -91,6 +96,8 @@ type empFrag struct {
 	n    int
 	data []byte
 	last bool
+	buf  []byte
+	acc  *empAccum
 }
 
 type empAccum struct {
@@ -113,6 +120,56 @@ type empEndpoint struct {
 	m    mpi.Matcher
 	seq  int64
 	acc  map[empMsgID]*empAccum
+
+	fragFree   []*empFrag
+	bufFree    [][]byte
+	accFree    []*empAccum
+	sendDoneFn func(any) // bound once: completes a finished send
+	matchFn    func(any) // bound once: deferred firmware match
+}
+
+// pooling reports whether object recycling is safe (no fault injector).
+func (ep *empEndpoint) pooling() bool { return !ep.fab.Injected() }
+
+func (ep *empEndpoint) getFrag() *empFrag {
+	if n := len(ep.fragFree); n > 0 && ep.pooling() {
+		f := ep.fragFree[n-1]
+		ep.fragFree = ep.fragFree[:n-1]
+		return f
+	}
+	return &empFrag{}
+}
+
+func (ep *empEndpoint) putFrag(f *empFrag) {
+	if ep.pooling() {
+		*f = empFrag{}
+		ep.fragFree = append(ep.fragFree, f)
+	}
+}
+
+func (ep *empEndpoint) getBuf(n int) []byte {
+	if m := len(ep.bufFree); m > 0 && ep.pooling() {
+		buf := ep.bufFree[m-1]
+		ep.bufFree = ep.bufFree[:m-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func (ep *empEndpoint) getAccum(size int) *empAccum {
+	if n := len(ep.accFree); n > 0 && ep.pooling() {
+		a := ep.accFree[n-1]
+		ep.accFree = ep.accFree[:n-1]
+		if cap(a.data) >= size {
+			a.data = a.data[:size]
+			return a
+		}
+		a.data = make([]byte, size)
+		return a
+	}
+	return &empAccum{data: make([]byte, size)}
 }
 
 func (ep *empEndpoint) rank() int { return ep.node.ID }
@@ -138,12 +195,15 @@ func (ep *empEndpoint) Isend(p *sim.Proc, r *mpi.Request) {
 	ep.node.CPU.Use(p, ep.cfg.PostCost, cluster.User)
 	id := empMsgID{src: ep.rank(), seq: ep.seq}
 	ep.seq++
-	data := append([]byte(nil), r.Data()...)
+	data := ep.getBuf(len(r.Data()))
+	copy(data, r.Data())
 	off := 0
 	sentAt := ep.fab.SendMessage(ep.rank(), r.Peer(), len(data), ep.node.P.PacketHeader,
 		func(i, n int, last bool) any {
-			f := &empFrag{id: id, src: ep.rank(), tag: r.Tag(), size: len(data),
-				off: off, n: n, data: data[off : off+n], last: last}
+			f := ep.getFrag()
+			f.id, f.src, f.tag, f.size = id, ep.rank(), r.Tag(), len(data)
+			f.off, f.n, f.last = off, n, last
+			f.data, f.buf = data[off:off+n], data
 			off += n
 			return f
 		})
@@ -151,10 +211,14 @@ func (ep *empEndpoint) Isend(p *sim.Proc, r *mpi.Request) {
 	if d < 0 {
 		d = 0
 	}
-	ep.node.Env.Schedule(d, func() {
-		r.Complete(ep.rank(), r.Tag(), len(r.Data()))
-		ep.hub.Wake()
-	})
+	ep.node.Env.ScheduleCall(d, ep.sendDoneFn, r)
+}
+
+// sendDone completes a send whose final frame has left the host.
+func (ep *empEndpoint) sendDone(a any) {
+	r := a.(*mpi.Request)
+	r.Complete(ep.rank(), r.Tag(), len(r.Data()))
+	ep.hub.Wake()
 }
 
 // Irecv implements mpi.Endpoint: hand the NIC a match descriptor.
@@ -179,7 +243,13 @@ func (ep *empEndpoint) maybeComplete(a *empAccum) {
 	if a.size == 0 {
 		count = 0
 	}
-	a.req.Complete(a.src, a.tag, count)
+	req, src, tag := a.req, a.src, a.tag
+	if ep.pooling() {
+		data := a.data
+		*a = empAccum{data: data} // keep the assembly buffer for reuse
+		ep.accFree = append(ep.accFree, a)
+	}
+	req.Complete(src, tag, count)
 	ep.hub.Wake()
 }
 
@@ -190,32 +260,46 @@ func (ep *empEndpoint) onPacket(pkt *cluster.Packet) {
 	f := pkt.Payload.(*empFrag)
 	a := ep.acc[f.id]
 	if a == nil {
-		a = &empAccum{size: f.size, data: make([]byte, f.size), src: f.src, tag: f.tag}
+		a = ep.getAccum(f.size)
+		a.size, a.got, a.src, a.tag, a.req = f.size, 0, f.src, f.tag, nil
 		ep.acc[f.id] = a
 		// Firmware matching happens once per message; model its latency
 		// by deferring the first frame's accounting.
-		ep.node.Env.Schedule(ep.cfg.NICMatchCost, func() {
-			in := &mpi.Inbound{Src: f.src, Tag: f.tag, Size: f.size, Rndv: a}
-			if r := ep.m.Arrive(in); r != nil {
-				a.req = r
-			} else {
-				// The envelope is now visible to probes.
-				ep.hub.Wake()
-			}
-			ep.landFrag(a, f)
-		})
+		f.acc = a
+		ep.node.Env.ScheduleCall(ep.cfg.NICMatchCost, ep.matchFn, f)
 		return
 	}
 	ep.landFrag(a, f)
+	ep.putFrag(f)
+}
+
+// match is the deferred firmware-match stage for a message's first frame.
+func (ep *empEndpoint) match(arg any) {
+	f := arg.(*empFrag)
+	a := f.acc
+	in := &mpi.Inbound{Src: f.src, Tag: f.tag, Size: f.size, Rndv: a}
+	if r := ep.m.Arrive(in); r != nil {
+		a.req = r
+	} else {
+		// The envelope is now visible to probes.
+		ep.hub.Wake()
+	}
+	ep.landFrag(a, f)
+	ep.putFrag(f)
 }
 
 // landFrag accounts one frame's payload and completes the message when
-// everything (including the match) has happened.
+// everything (including the match) has happened.  Once every byte has
+// landed, nothing references the sender's buffer any more, so it is
+// recycled here.
 func (ep *empEndpoint) landFrag(a *empAccum, f *empFrag) {
 	copy(a.data[f.off:], f.data)
 	a.got += f.n
 	if a.got == a.size {
 		delete(ep.acc, f.id)
+		if ep.pooling() && f.buf != nil {
+			ep.bufFree = append(ep.bufFree, f.buf)
+		}
 		ep.maybeComplete(a)
 	}
 }

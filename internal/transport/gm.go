@@ -72,6 +72,7 @@ func (g *GM) Build(sys *cluster.System) []mpi.Endpoint {
 			dataAcc:  make(map[gmMsgID]*gmAccum),
 			sendReqs: make(map[gmMsgID]*mpi.Request),
 		}
+		ep.sendDoneFn = ep.sendDone
 		sys.Fabric.Attach(node.ID, ep.onPacket)
 		eps[i] = ep
 	}
@@ -94,7 +95,9 @@ const (
 	gmDataFrag
 )
 
-// gmFrag is the payload of one GM wire packet.
+// gmFrag is the payload of one GM wire packet.  buf is the whole send
+// buffer data slices into; the receiver returns it to the sender's pool
+// once the last fragment has been consumed.
 type gmFrag struct {
 	kind gmFragKind
 	id   gmMsgID
@@ -105,6 +108,7 @@ type gmFrag struct {
 	n    int
 	data []byte
 	last bool
+	buf  []byte
 }
 
 // gmEvtKind is a NIC event-queue entry type, visible only to the library.
@@ -153,6 +157,50 @@ type gmEndpoint struct {
 	eagerAcc map[gmMsgID]*gmAccum
 	dataAcc  map[gmMsgID]*gmAccum
 	sendReqs map[gmMsgID]*mpi.Request
+
+	fragFree   []*gmFrag
+	bufFree    [][]byte
+	accFree    []*gmAccum
+	sendDoneFn func(any) // bound once: queues the send-done NIC event
+}
+
+// pooling reports whether object recycling is safe (no fault injector).
+func (ep *gmEndpoint) pooling() bool { return !ep.fab.Injected() }
+
+func (ep *gmEndpoint) getFrag() *gmFrag {
+	if n := len(ep.fragFree); n > 0 && ep.pooling() {
+		f := ep.fragFree[n-1]
+		ep.fragFree = ep.fragFree[:n-1]
+		return f
+	}
+	return &gmFrag{}
+}
+
+func (ep *gmEndpoint) getBuf(n int) []byte {
+	if m := len(ep.bufFree); m > 0 && ep.pooling() {
+		buf := ep.bufFree[m-1]
+		ep.bufFree = ep.bufFree[:m-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func (ep *gmEndpoint) getAccum() *gmAccum {
+	if n := len(ep.accFree); n > 0 && ep.pooling() {
+		acc := ep.accFree[n-1]
+		ep.accFree = ep.accFree[:n-1]
+		return acc
+	}
+	return &gmAccum{}
+}
+
+func (ep *gmEndpoint) putAccum(acc *gmAccum) {
+	if ep.pooling() {
+		*acc = gmAccum{}
+		ep.accFree = append(ep.accFree, acc)
+	}
 }
 
 func (ep *gmEndpoint) rank() int { return ep.node.ID }
@@ -181,9 +229,10 @@ func (ep *gmEndpoint) Isend(p *sim.Proc, r *mpi.Request) {
 		// Eager: the library copies the payload into GM send tokens; this
 		// is where GM's measured ~45 us per small message goes.
 		ep.node.CPU.Use(p, ep.cfg.EagerSendCost, cluster.User)
-		data := append([]byte(nil), r.Data()...)
+		data := ep.getBuf(n)
+		copy(data, r.Data())
 		sentAt := ep.sendPayload(r.Peer(), id, r.Tag(), gmEagerFrag, data)
-		ep.scheduleAt(sentAt, func() { ep.pushEvent(gmEvent{kind: gmEvtSendDone, req: r}) })
+		ep.scheduleAtCall(sentAt, ep.sendDoneFn, r)
 		return
 	}
 	// Rendezvous: announce with an RTS; data moves only after the peer's
@@ -191,10 +240,22 @@ func (ep *gmEndpoint) Isend(p *sim.Proc, r *mpi.Request) {
 	// MPI call.
 	ep.node.CPU.Use(p, ep.cfg.RndvPostCost, cluster.User)
 	ep.sendReqs[id] = r
-	ep.fab.Send(&cluster.Packet{
-		From: ep.rank(), To: r.Peer(), Size: ep.cfg.CtrlSize, Urgent: true,
-		Payload: &gmFrag{kind: gmRTS, id: id, src: ep.rank(), tag: r.Tag(), size: n},
-	})
+	ep.sendCtrl(r.Peer(), gmRTS, id, r.Tag(), n)
+}
+
+// sendDone queues the NIC's send-completion token for a request.
+func (ep *gmEndpoint) sendDone(a any) {
+	ep.pushEvent(gmEvent{kind: gmEvtSendDone, req: a.(*mpi.Request)})
+}
+
+// sendCtrl emits one urgent control packet (RTS/CTS) from pooled objects.
+func (ep *gmEndpoint) sendCtrl(to int, kind gmFragKind, id gmMsgID, tag, size int) {
+	f := ep.getFrag()
+	f.kind, f.id, f.src, f.tag, f.size = kind, id, ep.rank(), tag, size
+	pkt := ep.fab.GetPacket()
+	pkt.From, pkt.To, pkt.Size, pkt.Urgent = ep.rank(), to, ep.cfg.CtrlSize, true
+	pkt.Payload = f
+	ep.fab.Send(pkt)
 }
 
 // Irecv implements mpi.Endpoint.
@@ -238,9 +299,10 @@ func (ep *gmEndpoint) Progress(p *sim.Proc) {
 				panic(fmt.Sprintf("transport: gm CTS for unknown send %v", ev.id))
 			}
 			delete(ep.sendReqs, ev.id)
-			data := append([]byte(nil), r.Data()...)
+			data := ep.getBuf(len(r.Data()))
+			copy(data, r.Data())
 			sentAt := ep.sendPayload(r.Peer(), ev.id, r.Tag(), gmDataFrag, data)
-			ep.scheduleAt(sentAt, func() { ep.pushEvent(gmEvent{kind: gmEvtSendDone, req: r}) })
+			ep.scheduleAtCall(sentAt, ep.sendDoneFn, r)
 		case gmEvtSendDone:
 			ev.req.Complete(ep.rank(), ev.req.Tag(), len(ev.req.Data()))
 		case gmEvtDataDone:
@@ -262,12 +324,11 @@ func (ep *gmEndpoint) deliverEager(r *mpi.Request, in *mpi.Inbound) {
 // answers the RTS.
 func (ep *gmEndpoint) sendCTS(p *sim.Proc, r *mpi.Request, in *mpi.Inbound) {
 	id := in.Rndv.(gmMsgID)
-	ep.dataAcc[id] = &gmAccum{size: in.Size, req: r, src: in.Src, tag: in.Tag}
+	acc := ep.getAccum()
+	acc.size, acc.req, acc.src, acc.tag = in.Size, r, in.Src, in.Tag
+	ep.dataAcc[id] = acc
 	ep.node.CPU.Use(p, ep.cfg.CtsCost, cluster.User)
-	ep.fab.Send(&cluster.Packet{
-		From: ep.rank(), To: in.Src, Size: ep.cfg.CtrlSize, Urgent: true,
-		Payload: &gmFrag{kind: gmCTS, id: id, src: ep.rank()},
-	})
+	ep.sendCtrl(in.Src, gmCTS, id, 0, 0)
 }
 
 // sendPayload fragments data onto the wire and returns when the final
@@ -276,22 +337,22 @@ func (ep *gmEndpoint) sendPayload(dst int, id gmMsgID, tag int, kind gmFragKind,
 	off := 0
 	return ep.fab.SendMessage(ep.rank(), dst, len(data), ep.node.P.PacketHeader,
 		func(i, n int, last bool) any {
-			f := &gmFrag{
-				kind: kind, id: id, src: ep.rank(), tag: tag,
-				size: len(data), off: off, n: n, data: data[off : off+n], last: last,
-			}
+			f := ep.getFrag()
+			f.kind, f.id, f.src, f.tag = kind, id, ep.rank(), tag
+			f.size, f.off, f.n, f.last = len(data), off, n, last
+			f.data, f.buf = data[off:off+n], data
 			off += n
 			return f
 		})
 }
 
-// scheduleAt runs fn at absolute virtual time at (>= now).
-func (ep *gmEndpoint) scheduleAt(at sim.Time, fn func()) {
+// scheduleAtCall runs fn(arg) at absolute virtual time at (>= now).
+func (ep *gmEndpoint) scheduleAtCall(at sim.Time, fn func(any), arg any) {
 	d := at - ep.node.Env.Now()
 	if d < 0 {
 		d = 0
 	}
-	ep.node.Env.Schedule(d, fn)
+	ep.node.Env.ScheduleCall(d, fn, arg)
 }
 
 // onPacket is the NIC receive path.  No host CPU is consumed: fragments
@@ -303,7 +364,8 @@ func (ep *gmEndpoint) onPacket(pkt *cluster.Packet) {
 	case gmEagerFrag:
 		acc := ep.eagerAcc[f.id]
 		if acc == nil {
-			acc = &gmAccum{size: f.size, data: make([]byte, f.size), src: f.src, tag: f.tag}
+			acc = ep.getAccum()
+			acc.size, acc.data, acc.src, acc.tag = f.size, make([]byte, f.size), f.src, f.tag
 			ep.eagerAcc[f.id] = acc
 		}
 		copy(acc.data[f.off:], f.data)
@@ -316,6 +378,7 @@ func (ep *gmEndpoint) onPacket(pkt *cluster.Packet) {
 			ep.pushEvent(gmEvent{kind: gmEvtMsg, in: &mpi.Inbound{
 				Src: acc.src, Tag: acc.tag, Size: acc.size, Data: acc.data,
 			}})
+			ep.putAccum(acc) // acc.data escaped into the Inbound; the record is done
 		}
 	case gmRTS:
 		ep.pushEvent(gmEvent{kind: gmEvtRTS, in: &mpi.Inbound{
@@ -338,6 +401,17 @@ func (ep *gmEndpoint) onPacket(pkt *cluster.Packet) {
 			ep.pushEvent(gmEvent{kind: gmEvtDataDone, req: acc.req, in: &mpi.Inbound{
 				Src: acc.src, Tag: acc.tag, Size: acc.size,
 			}})
+			ep.putAccum(acc)
 		}
+	}
+	// The fragment (and, after the last one, the whole send buffer it
+	// slices) has been fully consumed: recycle both.  Fabric FIFO per pair
+	// guarantees the last fragment really is consumed last.
+	if ep.pooling() {
+		if f.last && f.buf != nil {
+			ep.bufFree = append(ep.bufFree, f.buf)
+		}
+		*f = gmFrag{}
+		ep.fragFree = append(ep.fragFree, f)
 	}
 }

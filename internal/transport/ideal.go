@@ -32,6 +32,7 @@ func (t *Ideal) Build(sys *cluster.System) []mpi.Endpoint {
 			hub:  mpi.NewActivityHub(sys.Env),
 			acc:  make(map[idealMsgID]*idealAccum),
 		}
+		ep.sendDoneFn = ep.sendDone
 		sys.Fabric.Attach(node.ID, ep.onPacket)
 		eps[i] = ep
 	}
@@ -69,6 +70,8 @@ type idealEndpoint struct {
 	m    mpi.Matcher
 	seq  int64
 	acc  map[idealMsgID]*idealAccum
+
+	sendDoneFn func(any) // bound once: completes a finished send
 }
 
 func (ep *idealEndpoint) rank() int { return ep.node.ID }
@@ -102,10 +105,14 @@ func (ep *idealEndpoint) Isend(p *sim.Proc, r *mpi.Request) {
 	if d < 0 {
 		d = 0
 	}
-	ep.node.Env.Schedule(d, func() {
-		r.Complete(ep.rank(), r.Tag(), len(r.Data()))
-		ep.hub.Wake()
-	})
+	ep.node.Env.ScheduleCall(d, ep.sendDoneFn, r)
+}
+
+// sendDone completes a send whose final frame has left the host.
+func (ep *idealEndpoint) sendDone(a any) {
+	r := a.(*mpi.Request)
+	r.Complete(ep.rank(), r.Tag(), len(r.Data()))
+	ep.hub.Wake()
 }
 
 // Irecv implements mpi.Endpoint.

@@ -74,6 +74,9 @@ func (t *Portals) Build(sys *cluster.System) []mpi.Endpoint {
 			txKick:   mpi.NewActivityHub(sys.Env),
 			inflight: make(map[ptlMsgID]*ptlInbound),
 		}
+		ep.rxKernelFn = ep.rxKernel
+		ep.rxCopyStartFn = ep.rxCopyStart
+		ep.rxCopyDoneFn = ep.rxCopyDone
 		sys.Fabric.Attach(node.ID, ep.onPacket)
 		sys.Env.Spawn(fmt.Sprintf("ptl-tx-%d", node.ID), ep.txDriver)
 		eps[i] = ep
@@ -87,7 +90,10 @@ type ptlMsgID struct {
 	seq int64
 }
 
-// ptlFrag is the payload of one Portals wire packet.
+// ptlFrag is the payload of one Portals wire packet.  msg backs data (its
+// kernel send buffer) and inb is filled in by the receive path once the
+// fragment is matched; both let the copy-completion stage recycle the
+// sender-side objects without any closure captures.
 type ptlFrag struct {
 	id    ptlMsgID
 	src   int
@@ -98,6 +104,9 @@ type ptlFrag struct {
 	data  []byte
 	first bool
 	last  bool
+
+	msg *ptlTx
+	inb *ptlInbound
 }
 
 // ptlTx is one message queued for the kernel transmit driver.
@@ -126,6 +135,15 @@ type ptlInbound struct {
 // protocol processing + matching (Kernel priority) -> memcpy to user or
 // kernel buffer (Kernel priority, host copy bandwidth).  All of this
 // happens with no MPI calls: application offload.
+//
+// The endpoint recycles its per-message and per-fragment records (and the
+// kernel send buffers) on freelists: the last stage of each fragment's
+// receive chain returns the fragment, and — on the final fragment — the
+// message record and its buffer, to the pool.  Per-message FIFO delivery
+// (fabric order plus FIFO kernel queueing) guarantees the final
+// fragment's copy completes last, so nothing can still reference the
+// buffer at release time.  Pooling switches off automatically under
+// fault injection, where duplicated deliveries break that guarantee.
 type portalsEndpoint struct {
 	cfg    PortalsConfig
 	node   *cluster.Node
@@ -137,6 +155,15 @@ type portalsEndpoint struct {
 
 	inflight map[ptlMsgID]*ptlInbound
 	txq      []*ptlTx
+
+	txFree   []*ptlTx
+	fragFree []*ptlFrag
+	bufFree  [][]byte
+	inbFree  []*ptlInbound
+
+	rxKernelFn    func(any) // bound once: kernel protocol + match stage
+	rxCopyStartFn func(any) // bound once: submit the payload copy
+	rxCopyDoneFn  func(any) // bound once: land the payload, recycle
 }
 
 func (ep *portalsEndpoint) rank() int { return ep.node.ID }
@@ -156,6 +183,47 @@ func (ep *portalsEndpoint) Progress(p *sim.Proc) {
 	ep.node.CPU.Use(p, ep.cfg.TestCost, cluster.User)
 }
 
+// pooling reports whether object recycling is safe (no fault injector).
+func (ep *portalsEndpoint) pooling() bool { return !ep.fab.Injected() }
+
+func (ep *portalsEndpoint) getTx() *ptlTx {
+	if n := len(ep.txFree); n > 0 && ep.pooling() {
+		tx := ep.txFree[n-1]
+		ep.txFree = ep.txFree[:n-1]
+		return tx
+	}
+	return &ptlTx{}
+}
+
+func (ep *portalsEndpoint) getFrag() *ptlFrag {
+	if n := len(ep.fragFree); n > 0 && ep.pooling() {
+		f := ep.fragFree[n-1]
+		ep.fragFree = ep.fragFree[:n-1]
+		return f
+	}
+	return &ptlFrag{}
+}
+
+func (ep *portalsEndpoint) getBuf(n int) []byte {
+	if m := len(ep.bufFree); m > 0 && ep.pooling() {
+		buf := ep.bufFree[m-1]
+		ep.bufFree = ep.bufFree[:m-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func (ep *portalsEndpoint) getInbound() *ptlInbound {
+	if n := len(ep.inbFree); n > 0 && ep.pooling() {
+		inb := ep.inbFree[n-1]
+		ep.inbFree = ep.inbFree[:n-1]
+		return inb
+	}
+	return &ptlInbound{}
+}
+
 // Isend implements mpi.Endpoint: a syscall that copies the payload into
 // kernel buffers and enqueues it for the transmit driver.  The request is
 // complete (buffer reusable) when the syscall returns.
@@ -165,10 +233,11 @@ func (ep *portalsEndpoint) Isend(p *sim.Proc, r *mpi.Request) {
 	ep.node.Memcpy(p, n, cluster.Kernel)
 	id := ptlMsgID{src: ep.rank(), seq: ep.seq}
 	ep.seq++
-	ep.txq = append(ep.txq, &ptlTx{
-		id: id, dst: r.Peer(), tag: r.Tag(),
-		data: append([]byte(nil), r.Data()...),
-	})
+	tx := ep.getTx()
+	tx.id, tx.dst, tx.tag = id, r.Peer(), r.Tag()
+	tx.data = ep.getBuf(n)
+	copy(tx.data, r.Data())
+	ep.txq = append(ep.txq, tx)
 	ep.txKick.Wake()
 	r.Complete(ep.rank(), r.Tag(), n)
 }
@@ -204,7 +273,13 @@ func (ep *portalsEndpoint) maybeComplete(inb *ptlInbound) {
 	if count > len(inb.req.Buf()) {
 		count = len(inb.req.Buf())
 	}
-	inb.req.Complete(inb.src, inb.tag, count)
+	req := inb.req
+	src, tag := inb.src, inb.tag
+	if ep.pooling() {
+		*inb = ptlInbound{}
+		ep.inbFree = append(ep.inbFree, inb)
+	}
+	req.Complete(src, tag, count)
 	ep.hub.Wake()
 }
 
@@ -216,6 +291,7 @@ func (ep *portalsEndpoint) txDriver(p *sim.Proc) {
 			p.Await(ep.txKick.Activity())
 		}
 		msg := ep.txq[0]
+		ep.txq[0] = nil
 		ep.txq = ep.txq[1:]
 		off := 0
 		rem := len(msg.data)
@@ -228,13 +304,16 @@ func (ep *portalsEndpoint) txDriver(p *sim.Proc) {
 			rem -= n
 			last := rem == 0
 			ep.node.CPU.Use(p, ep.cfg.TxKernelCost, cluster.Interrupt)
-			sentAt := ep.fab.Send(&cluster.Packet{
-				From: ep.rank(), To: msg.dst, Size: n + ep.node.P.PacketHeader,
-				Payload: &ptlFrag{
-					id: msg.id, src: ep.rank(), tag: msg.tag, size: len(msg.data),
-					off: off, n: n, data: msg.data[off : off+n], first: first, last: last,
-				},
-			})
+			f := ep.getFrag()
+			f.id, f.src, f.tag, f.size = msg.id, ep.rank(), msg.tag, len(msg.data)
+			f.off, f.n, f.data = off, n, msg.data[off:off+n]
+			f.first, f.last = first, last
+			f.msg, f.inb = msg, nil
+			pkt := ep.fab.GetPacket()
+			pkt.From, pkt.To = ep.rank(), msg.dst
+			pkt.Size = n + ep.node.P.PacketHeader
+			pkt.Payload = f
+			sentAt := ep.fab.Send(pkt)
 			off += n
 			first = false
 			// Pace to the wire so kernel TX work tracks actual transmission.
@@ -250,41 +329,71 @@ func (ep *portalsEndpoint) txDriver(p *sim.Proc) {
 
 // onPacket is the NIC receive path: raise an interrupt, then run kernel
 // protocol processing and the copy to its final destination, all stealing
-// host CPU from the application.
+// host CPU from the application.  The chain runs as three pooled
+// SubmitCall stages carrying the fragment itself — no per-packet
+// closures or events.
 func (ep *portalsEndpoint) onPacket(pkt *cluster.Packet) {
 	f := pkt.Payload.(*ptlFrag)
-	cpu := ep.node.CPU
-	cpu.Submit(ep.cfg.InterruptCost, cluster.Interrupt).OnFire(func(any) {
-		kcost := ep.cfg.RxKernelCost
-		if f.first {
-			kcost += ep.cfg.MatchCost
+	ep.node.CPU.SubmitCall(ep.cfg.InterruptCost, cluster.Interrupt, ep.rxKernelFn, f)
+}
+
+// rxKernel is the post-interrupt stage: per-packet protocol processing,
+// plus matching on a message's first fragment.
+func (ep *portalsEndpoint) rxKernel(a any) {
+	f := a.(*ptlFrag)
+	kcost := ep.cfg.RxKernelCost
+	if f.first {
+		kcost += ep.cfg.MatchCost
+	}
+	ep.node.CPU.SubmitCall(kcost, cluster.Kernel, ep.rxCopyStartFn, f)
+}
+
+// rxCopyStart resolves the fragment's inbound message (creating and
+// matching it on first contact) and submits the payload copy.
+func (ep *portalsEndpoint) rxCopyStart(a any) {
+	f := a.(*ptlFrag)
+	inb := ep.inflight[f.id]
+	if inb == nil {
+		inb = ep.getInbound()
+		inb.id, inb.src, inb.tag, inb.size = f.id, f.src, f.tag, f.size
+		ep.inflight[f.id] = inb
+		if r := ep.m.Arrive(&mpi.Inbound{Src: f.src, Tag: f.tag, Size: f.size, Rndv: inb}); r != nil {
+			inb.req = r
+		} else {
+			inb.kbuf = make([]byte, f.size)
+			// The envelope is now visible to probes.
+			ep.hub.Wake()
 		}
-		cpu.Submit(kcost, cluster.Kernel).OnFire(func(any) {
-			inb := ep.inflight[f.id]
-			if inb == nil {
-				inb = &ptlInbound{id: f.id, src: f.src, tag: f.tag, size: f.size}
-				ep.inflight[f.id] = inb
-				if r := ep.m.Arrive(&mpi.Inbound{Src: f.src, Tag: f.tag, Size: f.size, Rndv: inb}); r != nil {
-					inb.req = r
-				} else {
-					inb.kbuf = make([]byte, f.size)
-					// The envelope is now visible to probes.
-					ep.hub.Wake()
-				}
-			}
-			cpu.Submit(ep.node.P.CopyTime(f.n), cluster.Kernel).OnFire(func(any) {
-				if inb.req != nil {
-					buf := inb.req.Buf()
-					if f.off < len(buf) {
-						copy(buf[f.off:], f.data)
-					}
-					inb.delivered += f.n
-				} else {
-					copy(inb.kbuf[f.off:], f.data)
-					inb.buffered += f.n
-				}
-				ep.maybeComplete(inb)
-			})
-		})
-	})
+	}
+	f.inb = inb
+	ep.node.CPU.SubmitCall(ep.node.P.CopyTime(f.n), cluster.Kernel, ep.rxCopyDoneFn, f)
+}
+
+// rxCopyDone lands the fragment in its destination buffer, then recycles
+// the fragment — and, on the last fragment, the sender's message record
+// and kernel buffer, which nothing can reference past this point.
+func (ep *portalsEndpoint) rxCopyDone(a any) {
+	f := a.(*ptlFrag)
+	inb := f.inb
+	if inb.req != nil {
+		buf := inb.req.Buf()
+		if f.off < len(buf) {
+			copy(buf[f.off:], f.data)
+		}
+		inb.delivered += f.n
+	} else {
+		copy(inb.kbuf[f.off:], f.data)
+		inb.buffered += f.n
+	}
+	msg, last := f.msg, f.last
+	if ep.pooling() {
+		*f = ptlFrag{}
+		ep.fragFree = append(ep.fragFree, f)
+		if last {
+			ep.bufFree = append(ep.bufFree, msg.data)
+			*msg = ptlTx{}
+			ep.txFree = append(ep.txFree, msg)
+		}
+	}
+	ep.maybeComplete(inb)
 }

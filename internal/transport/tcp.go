@@ -104,6 +104,10 @@ func (t *TCP) Build(sys *cluster.System) []mpi.Endpoint {
 			unacked:   make(map[tcpMsgID]*tcpTx),
 			completed: make(map[tcpMsgID]bool),
 		}
+		ep.rxKernelFn = ep.rxKernel
+		ep.rxProtoFn = ep.rxProto
+		ep.rxAcceptFn = ep.rxAccept
+		ep.retransmitFn = ep.retransmit
 		sys.Fabric.Attach(node.ID, ep.onPacket)
 		sys.Env.Spawn(fmt.Sprintf("tcp-tx-%d", node.ID), ep.txDriver)
 		eps[i] = ep
@@ -134,12 +138,15 @@ type tcpSeg struct {
 	ackDone bool
 }
 
-// tcpTx is a message queued on the send socket.
+// tcpTx is a message queued on the send socket.  rto is the armed
+// retransmission timer; stopping it on the message-complete ack both
+// cancels the resend and drops the record so it can be recycled.
 type tcpTx struct {
 	id   tcpMsgID
 	dst  int
 	tag  int
 	data []byte
+	rto  sim.Timer
 }
 
 // tcpInbound is kernel socket-buffer state for one arriving message.
@@ -169,6 +176,54 @@ type tcpEndpoint struct {
 	rxSegs    int64               // delayed-ACK counter
 	unacked   map[tcpMsgID]*tcpTx // sent, awaiting a message-complete ack
 	completed map[tcpMsgID]bool   // messages already delivered (re-ack dups)
+
+	txFree  []*tcpTx
+	segFree []*tcpSeg
+	bufFree [][]byte
+
+	rxKernelFn   func(any) // bound once: post-interrupt protocol stage
+	rxProtoFn    func(any) // bound once: ack handling / copy submission
+	rxAcceptFn   func(any) // bound once: land segment in socket buffer
+	retransmitFn func(any) // bound once: RTO expiry for a *tcpTx
+}
+
+// pooling reports whether object recycling is safe (no fault injector).
+func (ep *tcpEndpoint) pooling() bool { return !ep.fab.Injected() }
+
+func (ep *tcpEndpoint) getTx() *tcpTx {
+	if n := len(ep.txFree); n > 0 && ep.pooling() {
+		tx := ep.txFree[n-1]
+		ep.txFree = ep.txFree[:n-1]
+		return tx
+	}
+	return &tcpTx{}
+}
+
+func (ep *tcpEndpoint) getSeg() *tcpSeg {
+	if n := len(ep.segFree); n > 0 && ep.pooling() {
+		s := ep.segFree[n-1]
+		ep.segFree = ep.segFree[:n-1]
+		return s
+	}
+	return &tcpSeg{}
+}
+
+func (ep *tcpEndpoint) putSeg(s *tcpSeg) {
+	if ep.pooling() {
+		*s = tcpSeg{}
+		ep.segFree = append(ep.segFree, s)
+	}
+}
+
+func (ep *tcpEndpoint) getBuf(n int) []byte {
+	if m := len(ep.bufFree); m > 0 && ep.pooling() {
+		buf := ep.bufFree[m-1]
+		ep.bufFree = ep.bufFree[:m-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]byte, n)
 }
 
 func (ep *tcpEndpoint) rank() int { return ep.node.ID }
@@ -196,10 +251,11 @@ func (ep *tcpEndpoint) Isend(p *sim.Proc, r *mpi.Request) {
 	ep.node.CPU.Use(p, ep.hostByteCost(n), cluster.Kernel)
 	id := tcpMsgID{src: ep.rank(), seq: ep.seq}
 	ep.seq++
-	ep.txq = append(ep.txq, &tcpTx{
-		id: id, dst: r.Peer(), tag: r.Tag(),
-		data: append([]byte(nil), r.Data()...),
-	})
+	tx := ep.getTx()
+	tx.id, tx.dst, tx.tag = id, r.Peer(), r.Tag()
+	tx.data = ep.getBuf(n)
+	copy(tx.data, r.Data())
+	ep.txq = append(ep.txq, tx)
 	ep.txKick.Wake()
 	r.Complete(ep.rank(), r.Tag(), n)
 }
@@ -249,6 +305,7 @@ func (ep *tcpEndpoint) txDriver(p *sim.Proc) {
 			p.Await(ep.txKick.Activity())
 		}
 		msg := ep.txq[0]
+		ep.txq[0] = nil
 		ep.txq = ep.txq[1:]
 		off, rem := 0, len(msg.data)
 		for {
@@ -259,13 +316,13 @@ func (ep *tcpEndpoint) txDriver(p *sim.Proc) {
 			rem -= n
 			last := rem == 0
 			ep.node.CPU.Use(p, ep.cfg.SegKernelCost, cluster.Interrupt)
-			sentAt := ep.fab.Send(&cluster.Packet{
-				From: ep.rank(), To: msg.dst, Size: n + hdr,
-				Payload: &tcpSeg{
-					id: msg.id, src: ep.rank(), tag: msg.tag, size: len(msg.data),
-					off: off, n: n, data: msg.data[off : off+n], last: last,
-				},
-			})
+			seg := ep.getSeg()
+			seg.id, seg.src, seg.tag, seg.size = msg.id, ep.rank(), msg.tag, len(msg.data)
+			seg.off, seg.n, seg.data, seg.last = off, n, msg.data[off:off+n], last
+			pkt := ep.fab.GetPacket()
+			pkt.From, pkt.To, pkt.Size = ep.rank(), msg.dst, n+hdr
+			pkt.Payload = seg
+			sentAt := ep.fab.Send(pkt)
 			off += n
 			if sentAt > p.Now() {
 				p.Sleep(sentAt - p.Now())
@@ -279,44 +336,72 @@ func (ep *tcpEndpoint) txDriver(p *sim.Proc) {
 }
 
 // armRetransmit registers msg as awaiting its message-complete ack and
-// schedules the timeout that re-enqueues it.
+// arms the timeout that re-enqueues it.  The timer is cancellable, so an
+// arriving ack releases the message record immediately instead of
+// leaving it captured until the RTO expires.
 func (ep *tcpEndpoint) armRetransmit(msg *tcpTx) {
 	if ep.cfg.RTO <= 0 {
 		return
 	}
 	ep.unacked[msg.id] = msg
-	ep.node.Env.Schedule(ep.cfg.RTO, func() {
-		if _, waiting := ep.unacked[msg.id]; !waiting {
-			return
-		}
-		// Timed out: the whole message goes back on the send queue
-		// (go-back-N at message granularity, like an era stack after a
-		// coarse RTO).
-		delete(ep.unacked, msg.id)
-		ep.txq = append(ep.txq, msg)
-		ep.txKick.Wake()
-	})
+	msg.rto = ep.node.Env.ScheduleTimerCall(ep.cfg.RTO, ep.retransmitFn, msg)
+}
+
+// retransmit handles RTO expiry: the whole message goes back on the send
+// queue (go-back-N at message granularity, like an era stack after a
+// coarse RTO).
+func (ep *tcpEndpoint) retransmit(a any) {
+	msg := a.(*tcpTx)
+	if _, waiting := ep.unacked[msg.id]; !waiting {
+		return
+	}
+	delete(ep.unacked, msg.id)
+	ep.txq = append(ep.txq, msg)
+	ep.txKick.Wake()
 }
 
 // onPacket is the receive path: interrupt, protocol processing, and the
 // copy+checksum into the socket buffer — all kernel work independent of
-// MPI calls.  ACKs cost an interrupt and protocol processing only.
+// MPI calls.  ACKs cost an interrupt and protocol processing only.  The
+// chain runs as pooled SubmitCall stages carrying the segment itself.
 func (ep *tcpEndpoint) onPacket(pkt *cluster.Packet) {
 	seg := pkt.Payload.(*tcpSeg)
-	cpu := ep.node.CPU
-	cpu.Submit(ep.cfg.InterruptCost, cluster.Interrupt).OnFire(func(any) {
-		cpu.Submit(ep.cfg.SegKernelCost, cluster.Kernel).OnFire(func(any) {
-			if seg.isAck {
-				if seg.ackDone {
-					delete(ep.unacked, seg.id)
+	ep.node.CPU.SubmitCall(ep.cfg.InterruptCost, cluster.Interrupt, ep.rxKernelFn, seg)
+}
+
+// rxKernel is the post-interrupt per-segment protocol stage.
+func (ep *tcpEndpoint) rxKernel(a any) {
+	ep.node.CPU.SubmitCall(ep.cfg.SegKernelCost, cluster.Kernel, ep.rxProtoFn, a)
+}
+
+// rxProto consumes ACKs, or submits the data copy+checksum.
+func (ep *tcpEndpoint) rxProto(a any) {
+	seg := a.(*tcpSeg)
+	if seg.isAck {
+		if seg.ackDone {
+			if msg, waiting := ep.unacked[seg.id]; waiting {
+				delete(ep.unacked, seg.id)
+				// The receiver consumed every segment before acking, so
+				// nothing references the send buffer any more: stop the
+				// retransmit timer and recycle the record.
+				if msg.rto.Stop() && ep.pooling() {
+					ep.bufFree = append(ep.bufFree, msg.data)
+					*msg = tcpTx{}
+					ep.txFree = append(ep.txFree, msg)
 				}
-				return
 			}
-			cpu.Submit(ep.hostByteCost(seg.n), cluster.Kernel).OnFire(func(any) {
-				ep.acceptSegment(seg)
-			})
-		})
-	})
+		}
+		ep.putSeg(seg)
+		return
+	}
+	ep.node.CPU.SubmitCall(ep.hostByteCost(seg.n), cluster.Kernel, ep.rxAcceptFn, seg)
+}
+
+// rxAccept lands the segment and recycles it.
+func (ep *tcpEndpoint) rxAccept(a any) {
+	seg := a.(*tcpSeg)
+	ep.acceptSegment(seg)
+	ep.putSeg(seg)
 }
 
 // acceptSegment lands a data segment in the socket buffer (deduplicating
@@ -326,10 +411,12 @@ func (ep *tcpEndpoint) acceptSegment(seg *tcpSeg) {
 	// Delayed ACK: one per AckEvery data segments, duplicates included.
 	ep.rxSegs++
 	if ep.cfg.AckEvery > 0 && ep.rxSegs%int64(ep.cfg.AckEvery) == 0 {
-		ep.fab.Send(&cluster.Packet{
-			From: ep.rank(), To: seg.src, Size: ep.cfg.AckSize,
-			Payload: &tcpSeg{isAck: true, src: ep.rank()},
-		})
+		ack := ep.getSeg()
+		ack.isAck, ack.src = true, ep.rank()
+		pkt := ep.fab.GetPacket()
+		pkt.From, pkt.To, pkt.Size = ep.rank(), seg.src, ep.cfg.AckSize
+		pkt.Payload = ack
+		ep.fab.Send(pkt)
 	}
 
 	if ep.completed[seg.id] {
@@ -368,8 +455,10 @@ func (ep *tcpEndpoint) sendDoneAck(seg *tcpSeg) {
 	if ep.cfg.RTO <= 0 {
 		return
 	}
-	ep.fab.Send(&cluster.Packet{
-		From: ep.rank(), To: seg.src, Size: ep.cfg.AckSize,
-		Payload: &tcpSeg{isAck: true, ackDone: true, id: seg.id, src: ep.rank()},
-	})
+	ack := ep.getSeg()
+	ack.isAck, ack.ackDone, ack.id, ack.src = true, true, seg.id, ep.rank()
+	pkt := ep.fab.GetPacket()
+	pkt.From, pkt.To, pkt.Size = ep.rank(), seg.src, ep.cfg.AckSize
+	pkt.Payload = ack
+	ep.fab.Send(pkt)
 }
