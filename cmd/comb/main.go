@@ -4,7 +4,8 @@
 // Usage:
 //
 //	comb list                         # figures and systems
-//	comb run -spec <polling|pww>      # one measurement (unified entry)
+//	comb methods                      # registered benchmark methods
+//	comb run -method <name> [flags]   # one measurement (unified entry)
 //	comb polling [flags]              # one polling-method measurement
 //	comb pww [flags]                  # one post-work-wait measurement
 //	comb trace export [flags]         # export the last run's span timeline
@@ -53,6 +54,7 @@ import (
 	"comb"
 	"comb/internal/asciichart"
 	"comb/internal/assess"
+	"comb/internal/method"
 	"comb/internal/obs"
 	"comb/internal/pingpong"
 	"comb/internal/report"
@@ -74,6 +76,8 @@ func main() {
 	switch os.Args[1] {
 	case "list":
 		err = cmdList()
+	case "methods":
+		err = cmdMethods()
 	case "run":
 		err = cmdRun(ctx, os.Args[2:])
 	case "polling":
@@ -97,7 +101,7 @@ func main() {
 	case "cache":
 		err = cmdCache(os.Args[2:])
 	case "pingpong":
-		err = cmdPingpong(os.Args[2:])
+		err = cmdPingpong(ctx, os.Args[2:])
 	case "bench":
 		err = cmdBench(ctx, os.Args[2:])
 	case "selfcheck":
@@ -122,7 +126,9 @@ func usage() {
 
 subcommands:
   list      list reproducible figures and simulated systems
-  run       run one measurement (-spec polling|pww, then method flags)
+  methods   list registered benchmark methods and their phases
+  run       run one measurement (-method <name>, then method flags;
+            -spec stays as an alias)
   polling   run one polling-method measurement
   pww       run one post-work-wait measurement
   trace     export the last run's span timeline (trace export -format=chrome|text)
@@ -224,6 +230,20 @@ func cmdList() error {
 	fmt.Println("\nfigures:")
 	for _, f := range comb.Figures() {
 		fmt.Printf("  %-3s %s\n      expect: %s\n", f.ID, f.Title, f.Expect)
+	}
+	return nil
+}
+
+// cmdMethods lists every registered benchmark method: name, one-line
+// description, and the phase spans it records.
+func cmdMethods() error {
+	for _, name := range comb.Methods() {
+		m, err := method.Lookup(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %s\n", name, m.Describe())
+		fmt.Printf("%-10s phases: %s\n", "", strings.Join(m.PhaseTaxonomy(), ", "))
 	}
 	return nil
 }
@@ -368,38 +388,98 @@ func cmdPWW(ctx context.Context, args []string) error {
 	return nil
 }
 
-// cmdRun is the unified single-measurement entry: -spec picks the
-// method, every other flag is forwarded to the method's own flag set.
+// cmdRun is the unified single-measurement entry: -method (or its
+// older alias -spec) picks the registered method, every other flag is
+// forwarded to the method's own flag set.  Polling and PWW keep their
+// dedicated subcommand output; every other registered method runs
+// through the generic registry path.
 func cmdRun(ctx context.Context, args []string) error {
-	var spec string
+	var name string
 	rest := make([]string, 0, len(args))
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		switch {
-		case a == "-spec" || a == "--spec":
+		case a == "-method" || a == "--method" || a == "-spec" || a == "--spec":
 			if i+1 >= len(args) {
-				return fmt.Errorf("run: -spec needs a value (polling|pww)")
+				return fmt.Errorf("run: %s needs a value (%s)", a, strings.Join(comb.Methods(), "|"))
 			}
 			i++
-			spec = args[i]
+			name = args[i]
+		case strings.HasPrefix(a, "-method="):
+			name = strings.TrimPrefix(a, "-method=")
+		case strings.HasPrefix(a, "--method="):
+			name = strings.TrimPrefix(a, "--method=")
 		case strings.HasPrefix(a, "-spec="):
-			spec = strings.TrimPrefix(a, "-spec=")
+			name = strings.TrimPrefix(a, "-spec=")
 		case strings.HasPrefix(a, "--spec="):
-			spec = strings.TrimPrefix(a, "--spec=")
+			name = strings.TrimPrefix(a, "--spec=")
 		default:
 			rest = append(rest, a)
 		}
 	}
-	switch spec {
+	switch name {
 	case "polling":
 		return cmdPolling(ctx, rest)
 	case "pww":
 		return cmdPWW(ctx, rest)
 	case "":
-		return fmt.Errorf("run: need -spec polling|pww")
-	default:
-		return fmt.Errorf("run: unknown spec %q (polling|pww)", spec)
+		return fmt.Errorf("run: need -method %s", strings.Join(comb.Methods(), "|"))
 	}
+	return runMethod(ctx, name, rest)
+}
+
+// runMethod drives any registered method through the facade: the
+// method's own flags (declared via its FlagBinder) plus the shared run
+// flags, the unified Run pipeline, and the observability artifacts.
+func runMethod(ctx context.Context, name string, args []string) error {
+	m, err := method.Lookup(name)
+	if err != nil {
+		return fmt.Errorf("run: unknown method %q (have %s)", name, strings.Join(comb.Methods(), ", "))
+	}
+	fb, ok := m.(method.FlagBinder)
+	if !ok {
+		return fmt.Errorf("run: method %q declares no command-line flags; drive it through the Go API (comb.Run)", name)
+	}
+	fs := flag.NewFlagSet("run -method "+name, flag.ExitOnError)
+	system := fs.String("system", "gm", "system to benchmark (gm|portals|ideal)")
+	cpus := fs.Int("cpus", 1, "processors per node (SMP extension, paper s7)")
+	traceN := fs.Int("trace", 0, "print the last N packet deliveries")
+	seed := fs.Uint64("seed", 0, "wire/fault RNG seed (0 = platform default)")
+	faults := fs.String("faults", "", "fault injection spec, e.g. 'drop=0.01,delay=0.2:50us,jitter=0.1:200us'")
+	obsDir := fs.String("obs-dir", obs.DefaultRunDir, "directory for trace/metrics/manifest artifacts ('' disables)")
+	params := fb.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fspec, err := parseFaults(*faults)
+	if err != nil {
+		return err
+	}
+	warnMaskedFaults(*system, fspec)
+	out, err := comb.Run(ctx, comb.RunSpec{
+		Method:   comb.Method(name),
+		System:   *system,
+		CPUs:     *cpus,
+		TraceCap: *traceN,
+		ObsCap:   obsCapFor(*obsDir),
+		Seed:     *seed,
+		Faults:   fspec,
+		Params:   params(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeObs(*obsDir, out); err != nil {
+		return err
+	}
+	fmt.Println(out.Value.String())
+	if out.Trace != nil {
+		fmt.Printf("--- last %d packet deliveries (%s) ---\n", out.Trace.Len(), out.Trace.Summary())
+		if _, err := out.Trace.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // obsCapFor maps an -obs-dir value to a RunSpec.ObsCap: default span
@@ -701,14 +781,14 @@ func cmdCompare(ctx context.Context, args []string) error {
 	eng := sweep.DefaultEngine
 
 	pollSpec := func(sys string) runner.Point {
-		return runner.Point{System: sys, Polling: &comb.PollingConfig{
+		return runner.Point{Method: "polling", System: sys, Params: comb.PollingConfig{
 			Config:       comb.Config{MsgSize: *size},
 			PollInterval: 100_000,
 			WorkTotal:    25_000_000,
 		}}
 	}
 	pwwSpec := func(sys string) runner.Point {
-		return runner.Point{System: sys, PWW: &comb.PWWConfig{
+		return runner.Point{Method: "pww", System: sys, Params: comb.PWWConfig{
 			Config:       comb.Config{MsgSize: *size},
 			WorkInterval: 20_000_000,
 			Reps:         10,
@@ -735,7 +815,14 @@ func cmdCompare(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		p, w := pr.Polling, wr.PWW
+		p, ok := runner.As[*comb.PollingResult](pr)
+		if !ok {
+			return fmt.Errorf("compare: %s polling point returned a %T result", sys, pr.Value)
+		}
+		w, ok := runner.As[*comb.PWWResult](wr)
+		if !ok {
+			return fmt.Errorf("compare: %s pww point returned a %T result", sys, wr.Value)
+		}
 		// COMB's operational offload test (§4.1): does messaging complete
 		// during a long work phase, leaving (almost) nothing to wait for?
 		offload := "no"
@@ -751,7 +838,7 @@ func cmdCompare(ctx context.Context, args []string) error {
 // cmdSweep runs a custom sweep: any method, systems, sizes and metric.
 func cmdSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	method := fs.String("method", "polling", "benchmark method (polling|pww)")
+	meth := fs.String("method", "polling", "benchmark method (polling|pww)")
 	systems := fs.String("systems", "gm,portals", "comma-separated system list")
 	sizes := fs.String("sizes", "100000", "comma-separated message sizes in bytes")
 	lo := fs.Int64("from", 1000, "axis start (loop iterations)")
@@ -779,17 +866,17 @@ func cmdSweep(ctx context.Context, args []string) error {
 	axis := stats.LogSpaceInt(*lo, *hi, *perDecade)
 
 	tbl := &stats.Table{
-		Title:  fmt.Sprintf("custom sweep: %s %s", *method, *metric),
+		Title:  fmt.Sprintf("custom sweep: %s %s", *meth, *metric),
 		YLabel: *metric,
 		LogX:   true,
 	}
-	switch *method {
+	switch *meth {
 	case "polling":
 		tbl.XLabel = "Poll Interval (loop iterations)"
 	case "pww":
 		tbl.XLabel = "Work Interval (loop iterations)"
 	default:
-		return fmt.Errorf("sweep: unknown method %q", *method)
+		return fmt.Errorf("sweep: unknown method %q", *meth)
 	}
 
 	meter := eo.install()
@@ -800,7 +887,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 		sys = strings.TrimSpace(sys)
 		for _, size := range sizeList {
 			for _, x := range axis {
-				pts = append(pts, sweepPointSpec(*method, sys, size, x))
+				pts = append(pts, sweepPointSpec(*meth, sys, size, x))
 			}
 		}
 	}
@@ -819,7 +906,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 			}
 			series := stats.Series{Name: name}
 			for _, x := range axis {
-				y, err := sweepPoint(*method, *metric, sys, size, x)
+				y, err := sweepPoint(*meth, *metric, sys, size, x)
 				if err != nil {
 					return err
 				}
@@ -843,15 +930,15 @@ func cmdSweep(ctx context.Context, args []string) error {
 
 // sweepPointSpec mirrors sweepPoint's configs as runner points for the
 // parallel prewarm.
-func sweepPointSpec(method, sys string, size int, x int64) runner.Point {
-	if method == "pww" {
-		return runner.Point{System: sys, PWW: &comb.PWWConfig{
+func sweepPointSpec(meth, sys string, size int, x int64) runner.Point {
+	if meth == "pww" {
+		return runner.Point{Method: "pww", System: sys, Params: comb.PWWConfig{
 			Config:       comb.Config{MsgSize: size},
 			WorkInterval: x,
 			Reps:         20,
 		}}
 	}
-	return runner.Point{System: sys, Polling: &comb.PollingConfig{
+	return runner.Point{Method: "polling", System: sys, Params: comb.PollingConfig{
 		Config:       comb.Config{MsgSize: size},
 		PollInterval: x,
 		WorkTotal:    sweep.WorkTotalFor(x),
@@ -860,8 +947,8 @@ func sweepPointSpec(method, sys string, size int, x int64) runner.Point {
 
 // sweepPoint measures one (method, system, size, x) point and extracts
 // the requested metric.
-func sweepPoint(method, metric, sys string, size int, x int64) (float64, error) {
-	switch method {
+func sweepPoint(meth, metric, sys string, size int, x int64) (float64, error) {
+	switch meth {
 	case "polling":
 		r, err := sweep.PollingPoint(sys, size, x)
 		if err != nil {
@@ -894,7 +981,7 @@ func sweepPoint(method, metric, sys string, size int, x int64) (float64, error) 
 		}
 		return 0, fmt.Errorf("sweep: unknown metric %q", metric)
 	}
-	return 0, fmt.Errorf("sweep: unknown method %q", method)
+	return 0, fmt.Errorf("sweep: unknown method %q", meth)
 }
 
 // cmdCache manages the persistent on-disk result cache.
@@ -1094,22 +1181,47 @@ func warnMaskedFaults(system string, fspec *comb.FaultSpec) {
 
 // cmdPingpong runs the classic microbenchmark across sizes — the
 // pre-COMB view of a system that the paper's introduction argues is
-// insufficient.
-func cmdPingpong(args []string) error {
+// insufficient.  Since pingpong is a registered method, its points run
+// through the shared engine: they parallelize across -j workers and
+// persist in the on-disk result cache like any sweep point.
+func cmdPingpong(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("pingpong", flag.ExitOnError)
 	systems := fs.String("systems", "gm,portals", "comma-separated system list")
 	reps := fs.Int("reps", 50, "round trips per point")
+	eo := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	meter := eo.install()
+	eng := sweep.DefaultEngine
 	sizes := []int{8, 1024, 10_000, 100_000, 300_000}
-	fmt.Printf("%-10s %12s %14s %14s\n", "system", "size (B)", "latency", "bandwidth")
-	for _, sys := range strings.Split(*systems, ",") {
+	sysList := strings.Split(*systems, ",")
+	point := func(sys string, size int) runner.Point {
+		return runner.Point{Method: "pingpong", System: sys, Params: pingpong.Params{MsgSize: size, Reps: *reps}}
+	}
+	var pts []runner.Point
+	for _, sys := range sysList {
 		sys = strings.TrimSpace(sys)
 		for _, size := range sizes {
-			r, err := pingpong.Run(sys, size, *reps)
+			pts = append(pts, point(sys, size))
+		}
+	}
+	err := eng.RunAll(ctx, pts)
+	meter.finish()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %12s %14s %14s\n", "system", "size (B)", "latency", "bandwidth")
+	for _, sys := range sysList {
+		sys = strings.TrimSpace(sys)
+		for _, size := range sizes {
+			res, err := eng.Run(ctx, point(sys, size))
 			if err != nil {
 				return err
+			}
+			r, ok := runner.As[*pingpong.Result](res)
+			if !ok {
+				return fmt.Errorf("pingpong: point returned a %T result", res.Value)
 			}
 			fmt.Printf("%-10s %12d %14v %11.2f MB/s\n",
 				sys, size, r.Latency.Round(100*time.Nanosecond), r.BandwidthMBs)

@@ -116,8 +116,28 @@ func TestCommandFunctions(t *testing.T) {
 	if err := cmdSweep(ctx, []string{"-method", "bogus", "-no-cache"}); err == nil {
 		t.Fatal("bad method must fail")
 	}
-	if err := cmdPingpong([]string{"-systems", "ideal", "-reps", "3"}); err != nil {
+	if err := cmdPingpong(ctx, []string{"-systems", "ideal", "-reps", "3", "-no-cache"}); err != nil {
 		t.Fatal(err)
+	}
+	if err := cmdMethods(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMethodDispatch(t *testing.T) {
+	// `run -method <name>` resolves through the registry; every registered
+	// method with flags is drivable, and unknown names fail loudly.
+	ctx := context.Background()
+	if err := cmdRun(ctx, []string{"-method", "pingpong", "-system", "ideal",
+		"-reps", "2", "-obs-dir", t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun(ctx, []string{"-method", "netperf", "-system", "ideal",
+		"-loop", "1000000", "-obs-dir", t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun(ctx, []string{"-method", "nosuchmethod"}); err == nil {
+		t.Fatal("unknown -method must fail")
 	}
 }
 

@@ -2,22 +2,29 @@ package comb
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"comb/internal/cluster"
 	"comb/internal/core"
 	"comb/internal/faultinject"
 	"comb/internal/invariant"
-	"comb/internal/machine"
+	"comb/internal/method"
 	"comb/internal/mpi"
+	"comb/internal/netperf"
 	"comb/internal/obs"
+	"comb/internal/pingpong"
 	"comb/internal/platform"
-	"comb/internal/sim"
 	"comb/internal/stats"
 	"comb/internal/sweep"
 	"comb/internal/trace"
 	"comb/internal/transport"
+
+	// Register the full built-in method catalogue: every facade entry
+	// point resolves methods by name through the registry.
+	_ "comb/internal/method/all"
 )
 
 // Re-exported configuration and result types; see internal/core for the
@@ -33,6 +40,17 @@ type (
 	PollingResult = core.PollingResult
 	// PWWResult is one post-work-wait measurement.
 	PWWResult = core.PWWResult
+	// PingpongConfig parameterizes the ping-pong baseline method.
+	PingpongConfig = pingpong.Params
+	// PingpongResult is one ping-pong measurement.
+	PingpongResult = pingpong.Result
+	// NetperfConfig parameterizes the netperf-style baseline method.
+	NetperfConfig = netperf.Params
+	// NetperfResult is one netperf-style measurement.
+	NetperfResult = netperf.Result
+	// MethodResult is the generic typed result every registered method
+	// returns; see internal/method.
+	MethodResult = method.Result
 	// Machine is the abstract platform COMB runs on.
 	Machine = core.Machine
 	// Table is a figure's data: named series plus axis metadata.
@@ -66,7 +84,8 @@ func ParseFaults(s string) (FaultSpec, error) { return faultinject.Parse(s) }
 // "portals", "ideal").
 func Systems() []string { return transport.Names() }
 
-// Method selects which COMB method a RunSpec executes.
+// Method selects which benchmark method a RunSpec executes.  Any name
+// in Methods() is valid; the constants below name the built-ins.
 type Method string
 
 const (
@@ -74,6 +93,19 @@ const (
 	MethodPolling Method = "polling"
 	// MethodPWW is the paper's §2.2 post-work-wait method.
 	MethodPWW Method = "pww"
+	// MethodPingpong is the blocking round-trip baseline.
+	MethodPingpong Method = "pingpong"
+	// MethodNetperf is the netperf-style availability baseline (§5).
+	MethodNetperf Method = "netperf"
+)
+
+// Methods lists every registered benchmark method name, sorted.
+func Methods() []string { return method.Names() }
+
+// NetperfConfig.Mode values, re-exported for callers of the facade.
+const (
+	NetperfSelect   = netperf.ModeSelect
+	NetperfBusyWait = netperf.ModeBusyWait
 )
 
 // RunSpec describes one measurement for Run: the method, the simulated
@@ -120,36 +152,63 @@ type RunSpec struct {
 	Polling *PollingConfig
 	// PWW configures MethodPWW; it must be non-nil for that method.
 	PWW *PWWConfig
+	// Params configures any other registered method (e.g. a
+	// PingpongConfig for MethodPingpong); Method must name it
+	// explicitly.  For polling and PWW the dedicated pointers above
+	// take precedence.
+	Params any
 }
 
-// method resolves the spec's method, inferring it from the config
-// pointers when unset.
-func (s RunSpec) method() (Method, error) {
-	switch s.Method {
-	case MethodPolling:
-		if s.Polling == nil {
-			return "", fmt.Errorf("comb: %s run needs a non-nil Polling config (PollInterval has no default)", s.Method)
-		}
-		return s.Method, nil
-	case MethodPWW:
-		if s.PWW == nil {
-			return "", fmt.Errorf("comb: %s run needs a non-nil PWW config (WorkInterval has no default)", s.Method)
-		}
-		return s.Method, nil
-	case "":
+// resolve looks the spec's method up in the registry and picks its
+// parameter value, inferring the method from the config pointers when
+// unset.
+func (s RunSpec) resolve() (method.Method, any, error) {
+	name := s.Method
+	if name == "" {
 		switch {
 		case s.Polling != nil && s.PWW != nil:
-			return "", fmt.Errorf("comb: RunSpec sets both Polling and PWW configs; set Method to disambiguate")
+			return nil, nil, fmt.Errorf("comb: RunSpec sets both Polling and PWW configs; set Method to disambiguate")
 		case s.Polling != nil:
-			return MethodPolling, nil
+			name = MethodPolling
 		case s.PWW != nil:
-			return MethodPWW, nil
+			name = MethodPWW
+		case s.Params != nil:
+			return nil, nil, fmt.Errorf("comb: RunSpec.Params needs an explicit Method name (have %s)", strings.Join(Methods(), ", "))
 		default:
-			return "", fmt.Errorf("comb: RunSpec needs a method config (Polling or PWW)")
+			return nil, nil, fmt.Errorf("comb: RunSpec needs a method config (Polling or PWW, or Method plus Params)")
+		}
+	}
+	m, err := method.Lookup(string(name))
+	if err != nil {
+		return nil, nil, fmt.Errorf("comb: unknown method %q (have %s)", name, strings.Join(Methods(), ", "))
+	}
+	var params any
+	switch name {
+	case MethodPolling:
+		switch {
+		case s.Polling != nil:
+			params = *s.Polling
+		case s.Params != nil:
+			params = s.Params
+		default:
+			return nil, nil, fmt.Errorf("comb: %s run needs a non-nil Polling config (PollInterval has no default)", name)
+		}
+	case MethodPWW:
+		switch {
+		case s.PWW != nil:
+			params = *s.PWW
+		case s.Params != nil:
+			params = s.Params
+		default:
+			return nil, nil, fmt.Errorf("comb: %s run needs a non-nil PWW config (WorkInterval has no default)", name)
 		}
 	default:
-		return "", fmt.Errorf("comb: unknown method %q (have %q, %q)", s.Method, MethodPolling, MethodPWW)
+		if s.Params == nil {
+			return nil, nil, fmt.Errorf("comb: %s run needs RunSpec.Params", name)
+		}
+		params = s.Params
 	}
+	return m, params, nil
 }
 
 // NodeCPU is one node's CPU-time breakdown over a whole run.
@@ -171,13 +230,16 @@ type RunStats struct {
 	CPUs []NodeCPU
 }
 
-// RunResult bundles everything one Run produced: the method result
-// (exactly one of Polling/PWW is set, matching the spec), the hardware
-// counters, and the optional packet trace.
+// RunResult bundles everything one Run produced: the method result,
+// the hardware counters, and the optional packet trace.
 type RunResult struct {
-	// Polling is set for MethodPolling runs.
+	// Value is the method's typed result, whatever the method (always
+	// present).  For the built-ins it is a *PollingResult, *PWWResult,
+	// *PingpongResult, or *NetperfResult.
+	Value MethodResult
+	// Polling is set for MethodPolling runs (a typed view of Value).
 	Polling *PollingResult
-	// PWW is set for MethodPWW runs.
+	// PWW is set for MethodPWW runs (a typed view of Value).
 	PWW *PWWResult
 	// Stats holds the run's hardware counters (always present).
 	Stats *RunStats
@@ -199,10 +261,15 @@ type RunResult struct {
 // Run executes one COMB measurement described by spec on a freshly built
 // simulation and returns the worker's result plus hardware counters.  It
 // is the single entry point behind the deprecated RunPolling*/RunPWW*
-// helpers.  A cancelled ctx tears the simulation down mid-run and returns
-// ctx.Err().
+// helpers, and it dispatches every registered method — built-in or
+// added — through the method registry's shared pipeline.  A cancelled
+// ctx tears the simulation down mid-run and returns ctx.Err().
 func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
-	m, err := spec.method()
+	m, params, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
+	params, err = m.Validate(params)
 	if err != nil {
 		return nil, err
 	}
@@ -240,55 +307,26 @@ func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 		}
 		col = obs.NewCollector(capacity, reg)
 	}
-	chk := invariant.Attach(in.Sys, in.Comms, invariant.Options{Trace: rec, Spans: col})
-	out := &RunResult{}
-	var ferr error
-	err = in.RunContext(ctx, func(p *sim.Proc, c *mpi.Comm) {
-		mach := machine.NewSim(p, c, in.Sys.Nodes[c.Rank()])
-		if col != nil {
-			mach.Observe(col)
-		}
-		switch m {
-		case MethodPolling:
-			r, err := core.RunPolling(mach, *spec.Polling)
-			if err != nil {
-				ferr = err
-				return
-			}
-			if r != nil {
-				out.Polling = r
-			}
-		case MethodPWW:
-			r, err := core.RunPWW(mach, *spec.PWW)
-			if err != nil {
-				ferr = err
-				return
-			}
-			if r != nil {
-				out.PWW = r
-			}
-		}
-	})
-	if err == nil {
-		err = ferr
-	}
+	res, chk, err := method.Execute(ctx, m, in, method.Config{
+		System: spec.System,
+		CPUs:   spec.CPUs,
+		Params: params,
+		Spans:  col,
+	}, method.ExecOptions{Trace: rec, Spans: col})
 	if err != nil {
 		return nil, err
 	}
-	if out.Polling == nil && out.PWW == nil {
-		return nil, fmt.Errorf("comb: %s run produced no worker result", m)
-	}
-	chk.Finish()
-	chk.CheckPolling(out.Polling)
-	chk.CheckPWW(out.PWW)
 	if verr := chk.Err(); verr != nil {
 		replay := fmt.Sprintf("-seed %d", spec.Seed)
 		if spec.Faults != nil && !spec.Faults.Zero() {
 			replay += fmt.Sprintf(" -faults %q", spec.Faults.String())
 		}
 		return nil, fmt.Errorf("comb: %s/%s run broke the simulator (replay with %s): %w",
-			m, spec.System, replay, verr)
+			m.Name(), spec.System, replay, verr)
 	}
+	out := &RunResult{Value: res}
+	out.Polling, _ = res.(*PollingResult)
+	out.PWW, _ = res.(*PWWResult)
 	out.Stats = snapshot(in)
 	out.Trace = rec
 	fillMetrics(reg, in, chk.Meter())
@@ -303,7 +341,7 @@ func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 			}
 		}
 	}
-	out.Manifest, err = buildManifest(spec, m, out)
+	out.Manifest, err = buildManifest(spec, m, params, out)
 	if err != nil {
 		return nil, err
 	}
@@ -334,17 +372,19 @@ func fillMetrics(reg *obs.Registry, in *platform.Instance, meter *mpi.Meter) {
 }
 
 // hashedResult is the canonical serialization ResultHash covers: the
-// method result plus the hardware counters, nothing host-dependent.
+// method name, its typed result, and the hardware counters — nothing
+// host-dependent.
 type hashedResult struct {
-	Polling *PollingResult `json:"polling,omitempty"`
-	PWW     *PWWResult     `json:"pww,omitempty"`
-	Stats   *RunStats      `json:"stats"`
+	Method string       `json:"method"`
+	Value  MethodResult `json:"value"`
+	Stats  *RunStats    `json:"stats"`
 }
 
 // buildManifest assembles the provenance record for a finished run.
-func buildManifest(spec RunSpec, m Method, out *RunResult) (*Manifest, error) {
+// params is the method's validated (defaults applied) parameter value.
+func buildManifest(spec RunSpec, m method.Method, params any, out *RunResult) (*Manifest, error) {
 	mf := obs.NewManifest()
-	mf.Method = string(m)
+	mf.Method = m.Name()
 	mf.System = spec.System
 	mf.CPUs = spec.CPUs
 	mf.Seed = spec.Seed
@@ -357,18 +397,24 @@ func buildManifest(spec RunSpec, m Method, out *RunResult) (*Manifest, error) {
 		_, mf.MaskedFaults = fs.Masked(transport.ToleranceOf(spec.System))
 	}
 	mf.Tolerance = toleranceNames(transport.ToleranceOf(spec.System))
-	if spec.Polling != nil {
-		c := *spec.Polling
-		c.SetDefaults()
-		mf.Polling = &c
-	}
-	if spec.PWW != nil {
-		c := *spec.PWW
-		c.SetDefaults()
-		mf.PWW = &c
+	switch c := params.(type) {
+	case core.PollingConfig:
+		// Keep the dedicated manifest fields for the paper's two primary
+		// methods so existing manifests and their consumers keep working.
+		cc := c
+		mf.Polling = &cc
+	case core.PWWConfig:
+		cc := c
+		mf.PWW = &cc
+	default:
+		b, err := json.Marshal(params)
+		if err != nil {
+			return nil, fmt.Errorf("comb: manifest params: %w", err)
+		}
+		mf.Params = b
 	}
 	var err error
-	mf.ResultHash, err = obs.HashResult(hashedResult{Polling: out.Polling, PWW: out.PWW, Stats: out.Stats})
+	mf.ResultHash, err = obs.HashResult(hashedResult{Method: m.Name(), Value: out.Value, Stats: out.Stats})
 	return mf, err
 }
 
@@ -399,6 +445,17 @@ func SpecFromManifest(mf *Manifest) (RunSpec, error) {
 		Polling: mf.Polling,
 		PWW:     mf.PWW,
 	}
+	if len(mf.Params) > 0 {
+		m, err := method.Lookup(mf.Method)
+		if err != nil {
+			return RunSpec{}, fmt.Errorf("comb: unknown method %q (have %s)", mf.Method, strings.Join(Methods(), ", "))
+		}
+		p, err := m.DecodeParams(mf.Params)
+		if err != nil {
+			return RunSpec{}, fmt.Errorf("comb: manifest params: %w", err)
+		}
+		spec.Params = p
+	}
 	if mf.Faults != "" {
 		fs, err := faultinject.Parse(mf.Faults)
 		if err != nil {
@@ -406,7 +463,7 @@ func SpecFromManifest(mf *Manifest) (RunSpec, error) {
 		}
 		spec.Faults = &fs
 	}
-	if _, err := spec.method(); err != nil {
+	if _, _, err := spec.resolve(); err != nil {
 		return RunSpec{}, err
 	}
 	return spec, nil

@@ -62,14 +62,14 @@ const (
 // together answer the paper's §4 questions.
 func battery(system string) []runner.Point {
 	poll := func(size int, interval, workTotal int64) runner.Point {
-		return runner.Point{System: system, Polling: &core.PollingConfig{
+		return runner.Point{Method: "polling", System: system, Params: core.PollingConfig{
 			Config:       core.Config{MsgSize: size},
 			PollInterval: interval,
 			WorkTotal:    workTotal,
 		}}
 	}
 	pww := func(work int64, testInWork bool) runner.Point {
-		return runner.Point{System: system, PWW: &core.PWWConfig{
+		return runner.Point{Method: "pww", System: system, Params: core.PWWConfig{
 			Config:       core.Config{MsgSize: sizeLarge},
 			WorkInterval: work,
 			Reps:         assessReps,
@@ -101,52 +101,73 @@ func RunContext(ctx context.Context, eng *runner.Engine, system string) (*Report
 	if err := eng.RunAll(ctx, pts); err != nil {
 		return nil, err
 	}
-	get := func(i int) (*runner.Result, error) { return eng.Run(ctx, pts[i]) }
+	getPoll := func(i int) (*core.PollingResult, error) {
+		res, err := eng.Run(ctx, pts[i])
+		if err != nil {
+			return nil, err
+		}
+		r, ok := runner.As[*core.PollingResult](res)
+		if !ok {
+			return nil, fmt.Errorf("assess: battery point %d returned a %T result", i, res.Value)
+		}
+		return r, nil
+	}
+	getPWW := func(i int) (*core.PWWResult, error) {
+		res, err := eng.Run(ctx, pts[i])
+		if err != nil {
+			return nil, err
+		}
+		r, ok := runner.As[*core.PWWResult](res)
+		if !ok {
+			return nil, fmt.Errorf("assess: battery point %d returned a %T result", i, res.Value)
+		}
+		return r, nil
+	}
 
 	r := &Report{System: system}
-	peak, err := get(0)
+	peak, err := getPoll(0)
 	if err != nil {
 		return nil, err
 	}
-	r.PeakBandwidth = peak.Polling.BandwidthMBs
-	r.AvailabilityAtPeak = peak.Polling.Availability
-	r.LargeMsgAvailability = peak.Polling.Availability
+	r.PeakBandwidth = peak.BandwidthMBs
+	r.AvailabilityAtPeak = peak.Availability
+	r.LargeMsgAvailability = peak.Availability
 
-	idle, err := get(1)
+	idle, err := getPoll(1)
 	if err != nil {
 		return nil, err
 	}
-	r.BestAvailability = idle.Polling.Availability
+	r.BestAvailability = idle.Availability
 
-	small, err := get(2)
+	small, err := getPoll(2)
 	if err != nil {
 		return nil, err
 	}
-	r.SmallMsgAvailability = small.Polling.Availability
+	r.SmallMsgAvailability = small.Availability
 
-	long, err := get(3)
+	long, err := getPWW(3)
 	if err != nil {
 		return nil, err
 	}
-	short, err := get(4)
+	short, err := getPWW(4)
 	if err != nil {
 		return nil, err
 	}
-	r.LongWait = long.PWW.AvgWait
-	r.ShortWait = short.PWW.AvgWait
-	r.Offload = long.PWW.AvgWait < long.PWW.AvgWorkOnly/100
-	r.WorkOverhead = long.PWW.WorkOverhead
+	r.LongWait = long.AvgWait
+	r.ShortWait = short.AvgWait
+	r.Offload = long.AvgWait < long.AvgWorkOnly/100
+	r.WorkOverhead = long.WorkOverhead
 
-	tiw, err := get(5)
+	tiw, err := getPWW(5)
 	if err != nil {
 		return nil, err
 	}
-	plain, err := get(6)
+	plain, err := getPWW(6)
 	if err != nil {
 		return nil, err
 	}
-	if plain.PWW.BandwidthMBs > 0 {
-		r.TestGain = tiw.PWW.BandwidthMBs/plain.PWW.BandwidthMBs - 1
+	if plain.BandwidthMBs > 0 {
+		r.TestGain = tiw.BandwidthMBs/plain.BandwidthMBs - 1
 	}
 	return r, nil
 }

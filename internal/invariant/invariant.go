@@ -49,6 +49,12 @@ type Options struct {
 	// completed send and receive records a per-message span (see
 	// mpi.Meter.Spans).
 	Spans *obs.Collector
+	// Relax lists rule identifiers (e.g. "conservation/sends") whose
+	// violations are suppressed.  Methods that legitimately strand
+	// in-flight state at shutdown (a netperf-style loop has no drain
+	// handshake) declare their relaxations via method.Relaxer; everything
+	// not listed is still enforced.
+	Relax []string
 }
 
 // Checker watches one simulated system for invariant violations.
@@ -212,7 +218,20 @@ func (c *Checker) checkBandwidth(mbs float64) {
 	}
 }
 
+// CheckAvailability asserts availability ∈ (0, 1] and system
+// availability ∈ [0, 1]; methods without a dedicated Check* helper use
+// it from their CheckResult hook.
+func (c *Checker) CheckAvailability(avail, sysAvail float64) { c.checkAvail(avail, sysAvail) }
+
+// CheckBandwidth asserts goodput does not beat the wire rate.
+func (c *Checker) CheckBandwidth(mbs float64) { c.checkBandwidth(mbs) }
+
 func (c *Checker) add(at sim.Time, rule, detail string) {
+	for _, r := range c.opts.Relax {
+		if r == rule {
+			return
+		}
+	}
 	c.violations = append(c.violations, Violation{At: at, Rule: rule, Detail: detail})
 	if c.opts.Trace != nil {
 		c.opts.Trace.Recordf(at, trace.CatViolation, 0, "%s: %s", rule, detail)

@@ -1,0 +1,20 @@
+// Package method is the plugin layer that turns COMB's benchmark
+// methods into registered, uniformly-dispatched components.  A Method
+// packages one workload — polling (§2.1), post-work-wait (§2.2), or a
+// promoted baseline like ping-pong — behind a small interface the rest
+// of the stack (facade Run, the runner's cache, the CLI, selfcheck
+// fuzzing) drives without knowing the method's name at compile time.
+//
+// The design mirrors transport.Registry: implementations register
+// themselves from an init function, consumers resolve by name with
+// Lookup and enumerate with Names.  Adding a method is a one-package
+// change — see docs/EXTENDING.md for the walkthrough.
+//
+// Beyond the required interface, a method may opt into extra machinery
+// by implementing the optional interfaces in this package: Calibratable
+// (dry-run memoization across a sweep), ResultChecker (result
+// plausibility invariants), Relaxer (suppressing conservation rules the
+// workload legitimately breaks at shutdown), Fuzzer (inclusion in
+// selfcheck fuzz sweeps), and FlagBinder (a `comb run -method=X` flag
+// surface).
+package method

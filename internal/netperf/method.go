@@ -1,0 +1,168 @@
+package netperf
+
+import (
+	"context"
+	"flag"
+	"fmt"
+
+	"comb/internal/core"
+	"comb/internal/invariant"
+	"comb/internal/method"
+	"comb/internal/platform"
+	"comb/internal/sim"
+)
+
+func init() { method.Register(npMethod{}) }
+
+// DefaultLoopIters is the delay-loop length a zero Params.LoopIters
+// selects (~50 ms on the reference platform, several scheduler quanta).
+const DefaultLoopIters = 25_000_000
+
+// Mode names accepted by Params.Mode.
+const (
+	ModeSelect   = "select"
+	ModeBusyWait = "busy-wait"
+)
+
+// Params parameterizes the registered "netperf" method.  Zero values
+// mean "unset — use the default", matching the core config convention.
+type Params struct {
+	// Mode is how the communication process waits: ModeSelect (default)
+	// or ModeBusyWait.
+	Mode string `json:"mode,omitempty"`
+	// MsgSize is the streamed payload size in bytes; zero selects
+	// core.DefaultMsgSize.
+	MsgSize int `json:"msg_size"`
+	// LoopIters is the delay loop's iteration count; zero selects
+	// DefaultLoopIters.
+	LoopIters int64 `json:"loop_iters"`
+}
+
+// waitMode maps the validated mode name to the engine's WaitMode.
+func (p Params) waitMode() WaitMode {
+	if p.Mode == ModeBusyWait {
+		return BusyWait
+	}
+	return SelectWait
+}
+
+// npMethod promotes the netperf-style baseline to a first-class
+// registered method: through the registry it gains the runner's cache,
+// fault injection, the invariant checker, and span/manifest output.
+type npMethod struct{}
+
+func (npMethod) Name() string { return "netperf" }
+
+func (npMethod) Describe() string {
+	return "delay loop sharing a node with a message stream: the availability misreporter (paper §5)"
+}
+
+func (npMethod) PhaseTaxonomy() []string { return []string{"dry", "loop"} }
+
+func (npMethod) Validate(params any) (any, error) {
+	p, err := asParams(params)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Mode {
+	case "":
+		p.Mode = ModeSelect
+	case ModeSelect, ModeBusyWait:
+	case "busy":
+		p.Mode = ModeBusyWait
+	default:
+		return nil, fmt.Errorf("netperf: unknown mode %q (have %s, %s)", p.Mode, ModeSelect, ModeBusyWait)
+	}
+	if p.MsgSize == 0 {
+		p.MsgSize = core.DefaultMsgSize
+	}
+	if p.LoopIters == 0 {
+		p.LoopIters = DefaultLoopIters
+	}
+	if p.MsgSize < 1 {
+		return nil, fmt.Errorf("netperf: message size %d must be >= 1 (zero means unset)", p.MsgSize)
+	}
+	if p.LoopIters < 1 {
+		return nil, fmt.Errorf("netperf: loop iterations %d must be >= 1 (zero means unset)", p.LoopIters)
+	}
+	return p, nil
+}
+
+func (npMethod) Hash(params any) string {
+	p := params.(Params)
+	return fmt.Sprintf("%s/%d/%d", p.Mode, p.MsgSize, p.LoopIters)
+}
+
+func (npMethod) Run(ctx context.Context, in *platform.Instance, cfg method.Config) (method.Result, error) {
+	p, err := asParams(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return measure(ctx, in, cfg.System, p.waitMode(), p.MsgSize, p.LoopIters, cfg.Spans)
+}
+
+func (npMethod) DecodeParams(b []byte) (any, error) {
+	p, err := method.DecodeJSON[Params](b)
+	if err != nil {
+		return nil, err
+	}
+	return *p, nil
+}
+
+func (npMethod) DecodeResult(b []byte) (method.Result, error) {
+	return method.DecodeJSON[Result](b)
+}
+
+// RelaxedInvariants implements method.Relaxer.  The netperf loop has no
+// drain handshake: when the delay loop finishes, the stream and its
+// echo are cut off mid-flight, legitimately stranding posted sends,
+// unmatched messages and their byte counts.  Wire-level packet
+// conservation and all result-plausibility rules stay enforced.
+func (npMethod) RelaxedInvariants() []string {
+	return []string{
+		"conservation/sends",
+		"conservation/messages",
+		"conservation/bytes",
+		"conservation/unexpected",
+	}
+}
+
+// CheckResult implements method.ResultChecker.
+func (npMethod) CheckResult(chk *invariant.Checker, res method.Result) {
+	chk.CheckAvailability(res.(*Result).Availability, 0)
+}
+
+// FuzzParams implements method.Fuzzer with small, checker-clean runs.
+func (npMethod) FuzzParams(crng *sim.Rand) any {
+	mode := ModeSelect
+	if crng.Intn(2) == 1 {
+		mode = ModeBusyWait
+	}
+	return Params{
+		Mode:      mode,
+		MsgSize:   1024 * (1 + crng.Intn(32)), // 1-32 KB: eager and rendezvous paths
+		LoopIters: int64(1_000_000 * (1 + crng.Intn(5))),
+	}
+}
+
+// BindFlags implements method.FlagBinder.
+func (npMethod) BindFlags(fs *flag.FlagSet) func() any {
+	mode := fs.String("mode", ModeSelect, "wait mode: select or busy-wait")
+	size := fs.Int("size", core.DefaultMsgSize, "streamed message size in bytes")
+	loop := fs.Int64("loop", DefaultLoopIters, "delay loop iterations")
+	return func() any {
+		return Params{Mode: *mode, MsgSize: *size, LoopIters: *loop}
+	}
+}
+
+func asParams(params any) (Params, error) {
+	switch p := params.(type) {
+	case Params:
+		return p, nil
+	case *Params:
+		if p != nil {
+			return *p, nil
+		}
+	}
+	return Params{}, fmt.Errorf("netperf: params must be a netperf.Params, got %T", params)
+}

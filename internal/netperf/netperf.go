@@ -1,11 +1,13 @@
 package netperf
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"comb/internal/cluster"
 	"comb/internal/mpi"
+	"comb/internal/obs"
 	"comb/internal/platform"
 	"comb/internal/sim"
 )
@@ -65,7 +67,14 @@ func Run(system string, mode WaitMode, msgSize int, loopIters int64) (*Result, e
 		return nil, err
 	}
 	defer in.Close()
+	return measure(context.Background(), in, system, mode, msgSize, loopIters, nil)
+}
 
+// measure runs the delay-loop experiment on an already-built platform
+// instance — the shared body behind both the legacy Run entry point and
+// the registered method (see method.go).  Cancellation is checked at
+// phase granularity: a deterministic simulation phase always finishes.
+func measure(ctx context.Context, in *platform.Instance, system string, mode WaitMode, msgSize int, loopIters int64, spans *obs.Collector) (*Result, error) {
 	node0 := in.Sys.Nodes[0]
 	env := in.Sys.Env
 
@@ -85,30 +94,41 @@ func Run(system string, mode WaitMode, msgSize int, loopIters int64) (*Result, e
 	demand := node0.P.WorkTime(loopIters)
 
 	// Dry run: the delay loop alone.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var dry sim.Time
+	var dryStart sim.Time
 	dryProc := env.Spawn("netperf-dry", func(p *sim.Proc) {
-		t0 := p.Now()
+		dryStart = p.Now()
 		slicedWork(p, demand)
-		dry = p.Now() - t0
+		dry = p.Now() - dryStart
 	})
 	env.Run()
 	if !dryProc.Done() {
 		return nil, fmt.Errorf("netperf: dry run did not finish")
 	}
+	if spans != nil {
+		spans.Span(obs.CatPhase, "dry", 0, time.Duration(dryStart), time.Duration(dryStart+dry))
+	}
 
 	// Measured run: delay loop and communication driver share node 0.
 	// The loop starts only once the driver's window is in flight, as
 	// netperf measures against an already-running stream.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	stop := false
 	var elapsed sim.Time
+	var loopStart sim.Time
 	commDone := env.NewEvent()
 	streamReady := env.NewEvent()
 
 	loopProc := env.Spawn("netperf-loop", func(p *sim.Proc) {
 		p.Await(streamReady)
-		t0 := p.Now()
+		loopStart = p.Now()
 		slicedWork(p, demand)
-		elapsed = p.Now() - t0
+		elapsed = p.Now() - loopStart
 		stop = true
 	})
 	env.Spawn("netperf-comm", func(p *sim.Proc) {
@@ -175,6 +195,9 @@ func Run(system string, mode WaitMode, msgSize int, loopIters int64) (*Result, e
 	env.Run()
 	if !loopProc.Done() {
 		return nil, fmt.Errorf("netperf: delay loop did not finish")
+	}
+	if spans != nil {
+		spans.Span(obs.CatPhase, "loop", 0, time.Duration(loopStart), time.Duration(loopStart+elapsed))
 	}
 
 	return &Result{

@@ -52,6 +52,11 @@ type Manifest struct {
 	Polling *core.PollingConfig `json:"polling,omitempty"`
 	PWW     *core.PWWConfig     `json:"pww,omitempty"`
 
+	// Params is the validated parameter payload for any method without a
+	// dedicated field above (pingpong, netperf, external plugins); the
+	// method's DecodeParams reverses it on replay.
+	Params json.RawMessage `json:"params,omitempty"`
+
 	// ResultHash is HashResult over the run's canonical result (method
 	// result plus hardware counters).
 	ResultHash string `json:"result_hash"`

@@ -1,0 +1,120 @@
+package pingpong
+
+import (
+	"context"
+	"flag"
+	"fmt"
+
+	"comb/internal/core"
+	"comb/internal/invariant"
+	"comb/internal/method"
+	"comb/internal/platform"
+	"comb/internal/sim"
+)
+
+func init() { method.Register(ppMethod{}) }
+
+// DefaultReps is the rep count a zero Params.Reps selects.
+const DefaultReps = 50
+
+// Params parameterizes the registered "pingpong" method.  Zero values
+// mean "unset — use the default", matching the core config convention.
+type Params struct {
+	// MsgSize is the payload size in bytes; zero selects
+	// core.DefaultMsgSize.
+	MsgSize int `json:"msg_size"`
+	// Reps is the number of timed round trips; zero selects DefaultReps.
+	Reps int `json:"reps"`
+}
+
+// ppMethod promotes the ping-pong baseline to a first-class registered
+// method: through the registry it gains the runner's cache, fault
+// injection, the invariant checker, and span/manifest output.
+type ppMethod struct{}
+
+func (ppMethod) Name() string { return "pingpong" }
+
+func (ppMethod) Describe() string {
+	return "blocking send/recv round trips: the latency and bandwidth baseline"
+}
+
+func (ppMethod) PhaseTaxonomy() []string { return []string{"exchange"} }
+
+func (ppMethod) Validate(params any) (any, error) {
+	p, err := asParams(params)
+	if err != nil {
+		return nil, err
+	}
+	if p.MsgSize == 0 {
+		p.MsgSize = core.DefaultMsgSize
+	}
+	if p.Reps == 0 {
+		p.Reps = DefaultReps
+	}
+	if p.MsgSize < 1 {
+		return nil, fmt.Errorf("pingpong: message size %d must be >= 1 (zero means unset)", p.MsgSize)
+	}
+	if p.Reps < 1 {
+		return nil, fmt.Errorf("pingpong: reps %d must be >= 1 (zero means unset)", p.Reps)
+	}
+	return p, nil
+}
+
+func (ppMethod) Hash(params any) string {
+	p := params.(Params)
+	return fmt.Sprintf("%d/%d", p.MsgSize, p.Reps)
+}
+
+func (ppMethod) Run(ctx context.Context, in *platform.Instance, cfg method.Config) (method.Result, error) {
+	p, err := asParams(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return measure(ctx, in, cfg.System, p.MsgSize, p.Reps, cfg.Spans)
+}
+
+func (ppMethod) DecodeParams(b []byte) (any, error) {
+	p, err := method.DecodeJSON[Params](b)
+	if err != nil {
+		return nil, err
+	}
+	return *p, nil
+}
+
+func (ppMethod) DecodeResult(b []byte) (method.Result, error) {
+	return method.DecodeJSON[Result](b)
+}
+
+// CheckResult implements method.ResultChecker.
+func (ppMethod) CheckResult(chk *invariant.Checker, res method.Result) {
+	chk.CheckBandwidth(res.(*Result).BandwidthMBs)
+}
+
+// FuzzParams implements method.Fuzzer with small, checker-clean runs.
+func (ppMethod) FuzzParams(crng *sim.Rand) any {
+	return Params{
+		MsgSize: 1024 * (1 + crng.Intn(32)), // 1-32 KB: eager and rendezvous paths
+		Reps:    3 + crng.Intn(10),
+	}
+}
+
+// BindFlags implements method.FlagBinder.
+func (ppMethod) BindFlags(fs *flag.FlagSet) func() any {
+	size := fs.Int("size", core.DefaultMsgSize, "message size in bytes")
+	reps := fs.Int("reps", DefaultReps, "timed round trips")
+	return func() any {
+		return Params{MsgSize: *size, Reps: *reps}
+	}
+}
+
+func asParams(params any) (Params, error) {
+	switch p := params.(type) {
+	case Params:
+		return p, nil
+	case *Params:
+		if p != nil {
+			return *p, nil
+		}
+	}
+	return Params{}, fmt.Errorf("pingpong: params must be a pingpong.Params, got %T", params)
+}

@@ -1,10 +1,12 @@
 package pingpong
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"comb/internal/mpi"
+	"comb/internal/obs"
 	"comb/internal/platform"
 	"comb/internal/sim"
 )
@@ -31,13 +33,25 @@ func Run(system string, size, reps int) (*Result, error) {
 	if size < 0 || reps < 1 {
 		return nil, fmt.Errorf("pingpong: invalid size=%d reps=%d", size, reps)
 	}
-	var elapsed sim.Time
-	err := platform.Launch(platform.Config{Transport: system}, func(p *sim.Proc, c *mpi.Comm) {
+	in, err := platform.New(platform.Config{Transport: system})
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return measure(context.Background(), in, system, size, reps, nil)
+}
+
+// measure runs the exchange on an already-built platform instance — the
+// shared body behind both the legacy Run entry point and the registered
+// method (see method.go).
+func measure(ctx context.Context, in *platform.Instance, system string, size, reps int, spans *obs.Collector) (*Result, error) {
+	var start, end sim.Time
+	err := in.RunContext(ctx, func(p *sim.Proc, c *mpi.Comm) {
 		peer := 1 - c.Rank()
 		buf := make([]byte, size)
 		payload := make([]byte, size)
 		c.Barrier(p)
-		start := p.Now()
+		t0 := p.Now()
 		for i := 0; i < reps; i++ {
 			if c.Rank() == 0 {
 				c.Send(p, peer, 1, payload)
@@ -48,12 +62,16 @@ func Run(system string, size, reps int) (*Result, error) {
 			}
 		}
 		if c.Rank() == 0 {
-			elapsed = p.Now() - start
+			start, end = t0, p.Now()
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
+	if spans != nil {
+		spans.Span(obs.CatPhase, "exchange", 0, time.Duration(start), time.Duration(end))
+	}
+	elapsed := end - start
 	rtts := time.Duration(elapsed) / time.Duration(reps)
 	res := &Result{
 		System:  system,

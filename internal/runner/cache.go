@@ -12,7 +12,10 @@ import (
 // SchemaVersion is stamped into every cache file.  Entries written by a
 // different schema are treated as misses (and overwritten on the next
 // store), so result-format changes can never resurrect stale data.
-const SchemaVersion = 1
+// Version 2: the method name enters both the cache key
+// ("method/system/hash") and the result envelope ({"method", "value"});
+// version-1 files carry neither and are rejected outright.
+const SchemaVersion = 2
 
 // DefaultCacheDir is where the CLI keeps its persistent result cache,
 // relative to the working directory.
@@ -68,12 +71,14 @@ func (c *Cache) Load(key string) (*Result, bool) {
 	}
 	var e entry
 	if err := json.Unmarshal(b, &e); err != nil {
+		// Includes pre-schema-2 payloads: the Result envelope refuses
+		// method-less values, so legacy files fail here, not mis-key.
 		return nil, false
 	}
 	if e.Schema != SchemaVersion || e.Key != key {
 		return nil, false
 	}
-	if e.Result.Polling == nil && e.Result.PWW == nil {
+	if e.Result.Method == "" || e.Result.Value == nil {
 		return nil, false
 	}
 	r := e.Result

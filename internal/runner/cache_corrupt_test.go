@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"comb/internal/core"
 )
 
 // corruptions are the ways a cache file can rot on disk: a crashed
@@ -16,12 +18,16 @@ var corruptions = []struct {
 	content string
 }{
 	{"empty", ""},
-	{"truncated", `{"schema":1,"key":"ideal/100000/1`},
+	{"truncated", `{"schema":2,"key":"polling/ideal/100000/1`},
 	{"garbage", "\x00\xff\x7fnot json at all"},
 	{"wrong-type", `[1,2,3]`},
-	{"foreign-schema", `{"schema":999,"key":"KEY","result":{"polling":{}}}`},
-	{"key-mismatch", `{"schema":1,"key":"tcp/1/1/1","result":{"polling":{}}}`},
-	{"no-result", `{"schema":1,"key":"KEY","result":{}}`},
+	{"foreign-schema", `{"schema":999,"key":"KEY","result":{"method":"polling","value":{}}}`},
+	{"key-mismatch", `{"schema":2,"key":"polling/tcp/1/1/1","result":{"method":"polling","value":{}}}`},
+	{"no-result", `{"schema":2,"key":"KEY","result":{}}`},
+	{"unknown-method", `{"schema":2,"key":"KEY","result":{"method":"nosuch","value":{}}}`},
+	// A pre-refactor (schema 1) entry: no method in the key, a bare
+	// method-keyed result instead of the {"method","value"} envelope.
+	{"schema-1-legacy", `{"schema":1,"key":"ideal/100000/100000/5000000","result":{"polling":{"MsgSize":100000}}}`},
 }
 
 // seedCache runs pt once through a disk-backed engine so its cache file
@@ -33,7 +39,7 @@ func seedCache(t *testing.T, pt Point) (*Cache, string) {
 	if _, err := eng.Run(context.Background(), pt); err != nil {
 		t.Fatal(err)
 	}
-	n, err := pt.normalized()
+	n, _, err := pt.normalized()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +52,7 @@ func seedCache(t *testing.T, pt Point) (*Cache, string) {
 
 func TestLoadTreatsCorruptFilesAsMiss(t *testing.T) {
 	pt := quickPoint()
-	n, err := pt.normalized()
+	n, _, err := pt.normalized()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,14 +89,15 @@ func TestEngineRecomputesOverCorruptCache(t *testing.T) {
 			if err != nil {
 				t.Fatalf("corrupt cache file broke the run: %v", err)
 			}
-			if res.Polling == nil || res.Polling.Availability <= 0 {
+			pr, ok := As[*core.PollingResult](res)
+			if !ok || pr.Availability <= 0 {
 				t.Fatalf("recomputed result implausible: %+v", res)
 			}
 			if got := eng.Stats(); got.Runs != 1 || got.DiskHits != 0 {
 				t.Errorf("expected one fresh simulation, got stats %+v", got)
 			}
 			// The rewrite must have healed the entry for the next engine.
-			n, _ := pt.normalized()
+			n, _, _ := pt.normalized()
 			if _, ok := cache.Load(n.Key()); !ok {
 				t.Error("cache entry not rewritten after recompute")
 			}

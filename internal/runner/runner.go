@@ -2,108 +2,152 @@ package runner
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"comb/internal/core"
-	"comb/internal/invariant"
-	"comb/internal/machine"
+	"comb/internal/method"
 	"comb/internal/obs"
 	"comb/internal/platform"
 )
 
-// Point is one schedulable measurement: a system plus exactly one method
-// configuration.  The zero CPUs means the platform's own processor count
-// (uniprocessor on the reference platform, as in the paper).
+// Point is one schedulable measurement: a registered method plus its
+// parameters on a system.  The zero CPUs means the platform's own
+// processor count (uniprocessor on the reference platform, as in the
+// paper).
 type Point struct {
+	// Method is the registered method name ("polling", "pww",
+	// "pingpong", ...); see the method registry's Names.
+	Method string
 	// System is the transport registry name ("gm", "portals", ...).
 	System string
 	// CPUs overrides processors per node; 0 or 1 is the paper's testbed.
 	CPUs int
-	// Exactly one of Polling and PWW must be non-nil.
-	Polling *core.PollingConfig
-	PWW     *core.PWWConfig
+	// Params is the method's parameter value (e.g. a core.PollingConfig
+	// for "polling"); normalization applies the method's defaults and
+	// validation, so equivalent points (explicit defaults vs. zero
+	// fields) share a key.
+	Params any
 }
 
-// normalized returns a copy of p with method-config defaults applied, so
-// that equivalent points (explicit defaults vs. zero fields) share a key.
-func (p Point) normalized() (Point, error) {
-	switch {
-	case p.Polling != nil && p.PWW != nil:
-		return p, fmt.Errorf("runner: point sets both polling and pww configs")
-	case p.Polling != nil:
-		cfg := *p.Polling
-		cfg.SetDefaults()
-		if err := cfg.Validate(); err != nil {
-			return p, err
-		}
-		p.Polling = &cfg
-	case p.PWW != nil:
-		cfg := *p.PWW
-		cfg.SetDefaults()
-		if err := cfg.Validate(); err != nil {
-			return p, err
-		}
-		p.PWW = &cfg
-	default:
-		return p, fmt.Errorf("runner: point has no method config")
+// normalized resolves the point's method and returns a copy of p with
+// the method's parameter defaults applied.
+func (p Point) normalized() (Point, method.Method, error) {
+	if p.Method == "" {
+		return p, nil, fmt.Errorf("runner: point has no method")
 	}
+	m, err := method.Lookup(p.Method)
+	if err != nil {
+		return p, nil, fmt.Errorf("runner: %w", err)
+	}
+	params, err := m.Validate(p.Params)
+	if err != nil {
+		return p, nil, err
+	}
+	p.Params = params
 	if p.CPUs < 0 {
-		return p, fmt.Errorf("runner: invalid CPU count %d", p.CPUs)
+		return p, nil, fmt.Errorf("runner: invalid CPU count %d", p.CPUs)
 	}
-	return p, nil
+	return p, m, nil
 }
 
-// Key returns the point's cache key.  For default queue/batch/tag/CPU
-// settings it is exactly the string internal/sweep memoized by before the
-// runner existed ("system/size/poll/workTotal" for polling,
-// "system/size/work/reps/testInWork" for PWW); non-default extras append
-// "/name=value" suffixes so they can never collide with the classic keys.
+// Key returns the point's cache key: the method name, the system, and
+// the method's own stable parameter hash ("method/system/hash"), plus a
+// "/cpus=N" suffix for multi-processor points.  Method names enter the
+// key, so two methods can never collide however their hashes are built.
 func (p Point) Key() string {
-	n, err := p.normalized()
+	n, m, err := p.normalized()
 	if err != nil {
 		// An invalid point never reaches the caches; give it a unique-ish
 		// key so callers can still log it.
 		return fmt.Sprintf("invalid/%+v", p)
 	}
-	var k string
-	switch {
-	case n.Polling != nil:
-		c := n.Polling
-		k = fmt.Sprintf("%s/%d/%d/%d", n.System, c.MsgSize, c.PollInterval, c.WorkTotal)
-		if c.QueueDepth != core.DefaultQueueDepth {
-			k += fmt.Sprintf("/q=%d", c.QueueDepth)
-		}
-		if c.Tag != core.DefaultTag {
-			k += fmt.Sprintf("/tag=%d", c.Tag)
-		}
-	default:
-		c := n.PWW
-		k = fmt.Sprintf("%s/%d/%d/%d/%v", n.System, c.MsgSize, c.WorkInterval, c.Reps, c.TestInWork)
-		if c.BatchSize != core.DefaultBatchSize {
-			k += fmt.Sprintf("/b=%d", c.BatchSize)
-		}
-		if c.Interleave != 1 {
-			k += fmt.Sprintf("/il=%d", c.Interleave)
-		}
-		if c.Tag != core.DefaultTag {
-			k += fmt.Sprintf("/tag=%d", c.Tag)
-		}
-	}
-	if n.CPUs > 1 {
-		k += fmt.Sprintf("/cpus=%d", n.CPUs)
-	}
-	return k
+	return keyOf(n, m)
 }
 
-// Result is the measurement a point produced; exactly one field is set,
-// matching the point's method.
+// keyOf builds the cache key of an already-normalized point.  The hot
+// sweep path normalizes each point exactly once and threads the key
+// through resolve and the progress callback, so key construction (and
+// the parameter re-validation Key() implies) never repeats per point.
+func keyOf(n Point, m method.Method) string {
+	var b strings.Builder
+	h := m.Hash(n.Params)
+	b.Grow(len(n.Method) + len(n.System) + len(h) + 16)
+	b.WriteString(n.Method)
+	b.WriteByte('/')
+	b.WriteString(n.System)
+	b.WriteByte('/')
+	b.WriteString(h)
+	if n.CPUs > 1 {
+		b.WriteString("/cpus=")
+		b.WriteString(strconv.Itoa(n.CPUs))
+	}
+	return b.String()
+}
+
+// Result is the envelope around one point's typed method result.
 type Result struct {
-	Polling *core.PollingResult `json:"polling,omitempty"`
-	PWW     *core.PWWResult     `json:"pww,omitempty"`
+	// Method is the registered method name that produced Value.
+	Method string
+	// Value is the method's own result type (e.g. *core.PollingResult).
+	Value method.Result
+}
+
+// As extracts a typed method result from an envelope.
+func As[T method.Result](r *Result) (T, bool) {
+	var zero T
+	if r == nil {
+		return zero, false
+	}
+	v, ok := r.Value.(T)
+	return v, ok
+}
+
+// resultJSON is the serialized shape of a Result envelope.
+type resultJSON struct {
+	Method string          `json:"method"`
+	Value  json.RawMessage `json:"value"`
+}
+
+// MarshalJSON writes the {"method": ..., "value": ...} envelope.
+func (r Result) MarshalJSON() ([]byte, error) {
+	if r.Method == "" || r.Value == nil {
+		return nil, fmt.Errorf("runner: cannot serialize empty result envelope")
+	}
+	v, err := json.Marshal(r.Value)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(resultJSON{Method: r.Method, Value: v})
+}
+
+// UnmarshalJSON decodes the envelope, resolving the value's concrete
+// type through the method registry.  Payloads without a method name —
+// including every pre-schema-2 cache file — are rejected, so stale
+// entries can never be silently mis-keyed into a typed result.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var raw resultJSON
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	if raw.Method == "" {
+		return fmt.Errorf("runner: result envelope has no method name (pre-registry schema?)")
+	}
+	m, err := method.Lookup(raw.Method)
+	if err != nil {
+		return err
+	}
+	v, err := m.DecodeResult(raw.Value)
+	if err != nil {
+		return err
+	}
+	r.Method, r.Value = raw.Method, v
+	return nil
 }
 
 // Source says where a finished point's result came from.
@@ -244,21 +288,23 @@ func (e *Engine) ClearMemo() {
 // Concurrent Runs for the same key may both simulate (last write wins);
 // RunAll dedupes keys up front, so sweeps never do duplicate work.
 func (e *Engine) Run(ctx context.Context, pt Point) (*Result, error) {
-	n, err := pt.normalized()
+	n, m, err := pt.normalized()
 	if err != nil {
 		return nil, err
 	}
-	res, src, err := e.resolve(ctx, n)
+	key := keyOf(n, m)
+	res, src, err := e.resolve(ctx, n, key)
 	if err != nil {
 		return nil, err
 	}
-	e.notify(Progress{Key: n.Key(), Source: src})
+	if e.onProgress != nil {
+		e.notify(Progress{Key: key, Source: src})
+	}
 	return res, nil
 }
 
 // resolve answers one normalized point through the cache tiers.
-func (e *Engine) resolve(ctx context.Context, n Point) (*Result, Source, error) {
-	key := n.Key()
+func (e *Engine) resolve(ctx context.Context, n Point, key string) (*Result, Source, error) {
 	t0 := time.Since(e.start)
 
 	e.mu.Lock()
@@ -337,10 +383,11 @@ func (e *Engine) execute(ctx context.Context, n Point) (*Result, int, error) {
 // fixed number of calibrated empty-loop iterations on an otherwise idle
 // node, so its duration depends only on the platform (transport system),
 // the node's processor count, and the iteration count — not on any other
-// sweep parameter.  Every point sharing a key therefore shares the
-// measurement: the first simulation records it, subsequent ones replace
-// their dry run with an equivalent idle wait (core.Sleeper), producing
-// byte-identical results with less simulated work.
+// sweep parameter, nor on which method asked.  Every point sharing a key
+// therefore shares the measurement: the first simulation records it,
+// subsequent ones replace their dry run with an equivalent idle wait
+// (core.Sleeper), producing byte-identical results with less simulated
+// work.  Methods opt in via method.Calibratable.
 type calibKey struct {
 	system string
 	cpus   int
@@ -372,71 +419,49 @@ func (e *Engine) recordCalib(k calibKey, d time.Duration) {
 	e.mu.Unlock()
 }
 
+// simulate runs one normalized point through the shared method pipeline:
+// platform build, invariant checker, the method itself, and the
+// end-of-run conservation and plausibility checks.
 func (e *Engine) simulate(ctx context.Context, n Point) (*Result, error) {
 	if e.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.timeout)
 		defer cancel()
 	}
-	var ck calibKey
-	if n.Polling != nil {
-		c := *n.Polling
-		ck = calibKey{system: n.System, cpus: n.CPUs, iters: c.WorkTotal}
-		if d, ok := e.calibFor(ck); ok {
-			c.CalibratedDry = d
-		}
-		n.Polling = &c
-	} else {
-		c := *n.PWW
-		ck = calibKey{system: n.System, cpus: n.CPUs, iters: c.WorkInterval}
-		if d, ok := e.calibFor(ck); ok {
-			c.CalibratedDry = d
-		}
-		n.PWW = &c
-	}
-	cfg := platform.Config{Transport: n.System, CPUs: n.CPUs}
-	var res Result
-	var ferr error
-	err := machine.RunChecked(ctx, cfg, func(m core.Machine) {
-		if n.Polling != nil {
-			r, err := core.RunPolling(m, *n.Polling)
-			if err != nil {
-				ferr = err
-				return
-			}
-			if r != nil {
-				res.Polling = r
-			}
-		} else {
-			r, err := core.RunPWW(m, *n.PWW)
-			if err != nil {
-				ferr = err
-				return
-			}
-			if r != nil {
-				res.PWW = r
-			}
-		}
-	}, func(chk *invariant.Checker) {
-		chk.CheckPolling(res.Polling)
-		chk.CheckPWW(res.PWW)
-	})
-	if err == nil {
-		err = ferr
-	}
+	m, err := method.Lookup(n.Method)
 	if err != nil {
 		return nil, err
 	}
-	if res.Polling == nil && res.PWW == nil {
-		return nil, fmt.Errorf("runner: point %s produced no worker result", n.Key())
+	params := n.Params
+	var ck calibKey
+	cal, canCal := m.(method.Calibratable)
+	if canCal {
+		iters, ok := cal.CalibIters(params)
+		if !ok {
+			canCal = false
+		} else {
+			ck = calibKey{system: n.System, cpus: n.CPUs, iters: iters}
+			if d, hit := e.calibFor(ck); hit {
+				params = cal.Calibrated(params, d)
+			}
+		}
 	}
-	switch {
-	case res.Polling != nil:
-		e.recordCalib(ck, res.Polling.DryTime)
-	case res.PWW != nil:
-		e.recordCalib(ck, res.PWW.WorkOnly)
+	in, err := platform.New(platform.Config{Transport: n.System, CPUs: n.CPUs})
+	if err != nil {
+		return nil, err
 	}
-	return &res, nil
+	defer in.Close()
+	res, chk, err := method.Execute(ctx, m, in, method.Config{System: n.System, CPUs: n.CPUs, Params: params}, method.ExecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if verr := chk.Err(); verr != nil {
+		return nil, verr
+	}
+	if canCal {
+		e.recordCalib(ck, cal.CalibResult(res))
+	}
+	return &Result{Method: n.Method, Value: res}, nil
 }
 
 func (e *Engine) notify(prog Progress) {
@@ -453,16 +478,20 @@ func (e *Engine) notify(prog Progress) {
 // cancels the remaining points and is returned; results land in the cache
 // tiers, where subsequent Run calls find them.
 func (e *Engine) RunAll(ctx context.Context, pts []Point) error {
+	type keyedPoint struct {
+		pt  Point
+		key string
+	}
 	seen := make(map[string]bool, len(pts))
-	var todo []Point
+	var todo []keyedPoint
 	for _, pt := range pts {
-		n, err := pt.normalized()
+		n, m, err := pt.normalized()
 		if err != nil {
 			return err
 		}
-		if k := n.Key(); !seen[k] {
+		if k := keyOf(n, m); !seen[k] {
 			seen[k] = true
-			todo = append(todo, n)
+			todo = append(todo, keyedPoint{pt: n, key: k})
 		}
 	}
 	total := len(todo)
@@ -480,7 +509,7 @@ func (e *Engine) RunAll(ctx context.Context, pts []Point) error {
 		firstMu sync.Mutex
 		first   error
 	)
-	work := make(chan Point)
+	work := make(chan keyedPoint)
 	workers := e.workers
 	if workers > total {
 		workers = total
@@ -489,8 +518,8 @@ func (e *Engine) RunAll(ctx context.Context, pts []Point) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for pt := range work {
-				_, src, err := e.resolve(ctx, pt)
+			for kp := range work {
+				_, src, err := e.resolve(ctx, kp.pt, kp.key)
 				if err != nil {
 					firstMu.Lock()
 					if first == nil {
@@ -504,14 +533,14 @@ func (e *Engine) RunAll(ctx context.Context, pts []Point) error {
 				done++
 				d := done
 				doneMu.Unlock()
-				e.notify(Progress{Done: d, Total: total, Key: pt.Key(), Source: src})
+				e.notify(Progress{Done: d, Total: total, Key: kp.key, Source: src})
 			}
 		}()
 	}
 feed:
-	for _, pt := range todo {
+	for _, kp := range todo {
 		select {
-		case work <- pt:
+		case work <- kp:
 		case <-ctx.Done():
 			break feed
 		}

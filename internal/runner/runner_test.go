@@ -10,13 +10,20 @@ import (
 	"time"
 
 	"comb/internal/core"
+	"comb/internal/pingpong"
+
+	// The runner resolves methods by name; register the ones the tests
+	// schedule (pingpong registers itself from its package proper).
+	_ "comb/internal/method/polling"
+	_ "comb/internal/method/pww"
 )
 
 // quickPoint is a fast polling point for cache-behaviour tests.
 func quickPoint() Point {
 	return Point{
+		Method: "polling",
 		System: "ideal",
-		Polling: &core.PollingConfig{
+		Params: core.PollingConfig{
 			Config:       core.Config{MsgSize: 100_000},
 			PollInterval: 100_000,
 			WorkTotal:    5_000_000,
@@ -24,37 +31,38 @@ func quickPoint() Point {
 	}
 }
 
-func TestKeyMatchesLegacyMemoFormat(t *testing.T) {
-	// The disk cache must key by the exact strings internal/sweep
-	// memoized by before the runner existed, so these are frozen.
-	pp := Point{System: "gm", Polling: &core.PollingConfig{
+func TestKeyFormat(t *testing.T) {
+	// The schema-2 key format is frozen: the method name leads, then the
+	// system, then the method's own parameter hash.  Committed cache
+	// entries depend on these exact strings.
+	pp := Point{Method: "polling", System: "gm", Params: core.PollingConfig{
 		Config:       core.Config{MsgSize: 100_000},
 		PollInterval: 1_000,
 		WorkTotal:    25_000_000,
 	}}
-	if got, want := pp.Key(), "gm/100000/1000/25000000"; got != want {
+	if got, want := pp.Key(), "polling/gm/100000/1000/25000000"; got != want {
 		t.Errorf("polling key = %q, want %q", got, want)
 	}
-	pw := Point{System: "portals", PWW: &core.PWWConfig{
+	pw := Point{Method: "pww", System: "portals", Params: core.PWWConfig{
 		Config:       core.Config{MsgSize: 10_000},
 		WorkInterval: 1_000_000,
 		Reps:         20,
 		TestInWork:   true,
 	}}
-	if got, want := pw.Key(), "portals/10000/1000000/20/true"; got != want {
+	if got, want := pw.Key(), "pww/portals/10000/1000000/20/true"; got != want {
 		t.Errorf("pww key = %q, want %q", got, want)
 	}
 }
 
 func TestKeyNormalization(t *testing.T) {
 	// Zero fields and explicit defaults must share a key...
-	explicit := Point{System: "gm", Polling: &core.PollingConfig{
+	explicit := Point{Method: "polling", System: "gm", Params: core.PollingConfig{
 		Config:       core.Config{MsgSize: 100_000, Tag: core.DefaultTag},
 		PollInterval: 1_000,
 		WorkTotal:    25_000_000,
 		QueueDepth:   core.DefaultQueueDepth,
 	}}
-	zeroed := Point{System: "gm", Polling: &core.PollingConfig{
+	zeroed := Point{Method: "polling", System: "gm", Params: core.PollingConfig{
 		Config:       core.Config{MsgSize: 100_000},
 		PollInterval: 1_000,
 		WorkTotal:    25_000_000,
@@ -63,7 +71,7 @@ func TestKeyNormalization(t *testing.T) {
 		t.Errorf("explicit defaults key %q != zero-value key %q", explicit.Key(), zeroed.Key())
 	}
 	// ...while non-default extras must not collide with the classic keys.
-	deep := Point{System: "gm", Polling: &core.PollingConfig{
+	deep := Point{Method: "polling", System: "gm", Params: core.PollingConfig{
 		Config:       core.Config{MsgSize: 100_000},
 		PollInterval: 1_000,
 		WorkTotal:    25_000_000,
@@ -76,6 +84,13 @@ func TestKeyNormalization(t *testing.T) {
 	smp.CPUs = 2
 	if smp.Key() == zeroed.Key() {
 		t.Error("CPU override must change the key")
+	}
+	// A pointer params value must normalize to the same key as the value.
+	ptr := zeroed
+	cfg := zeroed.Params.(core.PollingConfig)
+	ptr.Params = &cfg
+	if ptr.Key() != zeroed.Key() {
+		t.Errorf("pointer params key %q != value params key %q", ptr.Key(), zeroed.Key())
 	}
 }
 
@@ -103,22 +118,23 @@ func TestInvalidPoints(t *testing.T) {
 	eng := New(Config{Workers: 1})
 	ctx := context.Background()
 	cases := []Point{
-		{System: "ideal"}, // no method config
-		{System: "ideal", // both configs
-			Polling: &core.PollingConfig{PollInterval: 1, WorkTotal: 1},
-			PWW:     &core.PWWConfig{WorkInterval: 1}},
-		{System: "ideal", CPUs: -1,
-			Polling: &core.PollingConfig{Config: core.Config{MsgSize: 1000}, PollInterval: 1000, WorkTotal: 10000}},
-		{System: "ideal", // missing PollInterval (no default)
-			Polling: &core.PollingConfig{Config: core.Config{MsgSize: 1000}, WorkTotal: 10000}},
+		{System: "ideal"}, // no method name
+		{Method: "nosuchmethod", System: "ideal", // unregistered method
+			Params: core.PollingConfig{Config: core.Config{MsgSize: 1000}, PollInterval: 1000, WorkTotal: 10000}},
+		{Method: "polling", System: "ideal", CPUs: -1,
+			Params: core.PollingConfig{Config: core.Config{MsgSize: 1000}, PollInterval: 1000, WorkTotal: 10000}},
+		{Method: "polling", System: "ideal", // missing PollInterval (no default)
+			Params: core.PollingConfig{Config: core.Config{MsgSize: 1000}, WorkTotal: 10000}},
+		{Method: "polling", System: "ideal", // wrong params type for the method
+			Params: core.PWWConfig{WorkInterval: 1}},
 	}
 	for i, pt := range cases {
 		if _, err := eng.Run(ctx, pt); err == nil {
 			t.Errorf("case %d: invalid point must fail", i)
 		}
 	}
-	if _, err := eng.Run(ctx, Point{System: "nosuch",
-		Polling: &core.PollingConfig{Config: core.Config{MsgSize: 1000}, PollInterval: 1000, WorkTotal: 10000},
+	if _, err := eng.Run(ctx, Point{Method: "polling", System: "nosuch",
+		Params: core.PollingConfig{Config: core.Config{MsgSize: 1000}, PollInterval: 1000, WorkTotal: 10000},
 	}); err == nil {
 		t.Error("unknown system must fail")
 	}
@@ -201,6 +217,38 @@ func TestDiskCacheCorruptFallback(t *testing.T) {
 	}
 }
 
+// TestPromotedMethodThroughPipeline: a registered baseline method
+// (pingpong) flows through the same engine as the paper's two primary
+// methods — typed result extraction, disk cache entry, hit on reload.
+func TestPromotedMethodThroughPipeline(t *testing.T) {
+	ctx := context.Background()
+	pt := Point{Method: "pingpong", System: "ideal", Params: pingpong.Params{MsgSize: 10_000, Reps: 3}}
+	dir := t.TempDir()
+
+	first := New(Config{Workers: 1, Disk: Open(dir)})
+	r1, err := first.Run(ctx, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, ok := As[*pingpong.Result](r1)
+	if !ok || pp.BandwidthMBs <= 0 {
+		t.Fatalf("pingpong point returned %+v", r1)
+	}
+
+	second := New(Config{Workers: 1, Disk: Open(dir)})
+	r2, err := second.Run(ctx, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := second.Stats(); st.DiskHits != 1 || st.Runs != 0 {
+		t.Errorf("expected a disk hit, got stats %+v", st)
+	}
+	pp2, ok := As[*pingpong.Result](r2)
+	if !ok || pp2.BandwidthMBs != pp.BandwidthMBs {
+		t.Errorf("cached pingpong result diverged: %+v vs %+v", pp2, pp)
+	}
+}
+
 func TestDiskCacheSchemaMismatch(t *testing.T) {
 	dir := t.TempDir()
 	c := Open(dir)
@@ -268,7 +316,7 @@ func TestRunAllParallelAndDedup(t *testing.T) {
 	sizes := []int{10_000, 50_000, 100_000, 300_000}
 	var pts []Point
 	for _, size := range sizes {
-		pt := Point{System: "ideal", Polling: &core.PollingConfig{
+		pt := Point{Method: "polling", System: "ideal", Params: core.PollingConfig{
 			Config:       core.Config{MsgSize: size},
 			PollInterval: 100_000,
 			WorkTotal:    5_000_000,
@@ -289,7 +337,7 @@ func TestRunAllProgress(t *testing.T) {
 	eng = New(Config{Workers: 2, OnProgress: func(p Progress) { progs = append(progs, p) }})
 	var pts []Point
 	for _, size := range []int{10_000, 100_000, 300_000} {
-		pts = append(pts, Point{System: "ideal", Polling: &core.PollingConfig{
+		pts = append(pts, Point{Method: "polling", System: "ideal", Params: core.PollingConfig{
 			Config:       core.Config{MsgSize: size},
 			PollInterval: 100_000,
 			WorkTotal:    5_000_000,
@@ -333,7 +381,7 @@ func TestRunTimeout(t *testing.T) {
 	// A huge point under a tiny wall-clock timeout must abort mid-run
 	// with DeadlineExceeded, not hang.
 	eng := New(Config{Workers: 1, Timeout: time.Millisecond})
-	big := Point{System: "gm", Polling: &core.PollingConfig{
+	big := Point{Method: "polling", System: "gm", Params: core.PollingConfig{
 		Config:       core.Config{MsgSize: 300_000},
 		PollInterval: 10,
 		WorkTotal:    1_500_000_000,
@@ -347,8 +395,8 @@ func TestRunTimeout(t *testing.T) {
 func TestRetriesWrapError(t *testing.T) {
 	eng := New(Config{Workers: 1, Retries: 2})
 	// Unknown system fails identically on every attempt.
-	_, err := eng.Run(context.Background(), Point{System: "nosuch",
-		Polling: &core.PollingConfig{Config: core.Config{MsgSize: 1000}, PollInterval: 1000, WorkTotal: 10000},
+	_, err := eng.Run(context.Background(), Point{Method: "polling", System: "nosuch",
+		Params: core.PollingConfig{Config: core.Config{MsgSize: 1000}, PollInterval: 1000, WorkTotal: 10000},
 	})
 	if err == nil {
 		t.Fatal("unknown system must fail")
@@ -368,8 +416,18 @@ func TestCalibrationSharing(t *testing.T) {
 	// engine produces.
 	mk := func(interval int64) Point {
 		p := quickPoint()
-		p.Polling.PollInterval = interval
+		cfg := p.Params.(core.PollingConfig)
+		cfg.PollInterval = interval
+		p.Params = cfg
 		return p
+	}
+	asPolling := func(t *testing.T, r *Result) *core.PollingResult {
+		t.Helper()
+		pr, ok := As[*core.PollingResult](r)
+		if !ok {
+			t.Fatalf("point returned a %T result", r.Value)
+		}
+		return pr
 	}
 	ctx := context.Background()
 	shared := New(Config{Workers: 1})
@@ -384,9 +442,9 @@ func TestCalibrationSharing(t *testing.T) {
 	if st := shared.Stats(); st.CalibHits != 1 {
 		t.Errorf("stats = %+v, want CalibHits=1", st)
 	}
-	if a1.Polling.DryTime != a2.Polling.DryTime {
+	if asPolling(t, a1).DryTime != asPolling(t, a2).DryTime {
 		t.Errorf("dry times differ across shared calibration: %v vs %v",
-			a1.Polling.DryTime, a2.Polling.DryTime)
+			asPolling(t, a1).DryTime, asPolling(t, a2).DryTime)
 	}
 	// A fresh engine simulating the second point cold must agree exactly.
 	cold := New(Config{Workers: 1})
@@ -394,7 +452,7 @@ func TestCalibrationSharing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *a2.Polling != *b2.Polling {
-		t.Errorf("calibrated result %+v != cold result %+v", a2.Polling, b2.Polling)
+	if *asPolling(t, a2) != *asPolling(t, b2) {
+		t.Errorf("calibrated result %+v != cold result %+v", a2.Value, b2.Value)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"comb"
 	"comb/internal/faultinject"
+	"comb/internal/method"
 	"comb/internal/sim"
 	"comb/internal/transport"
 )
@@ -29,7 +30,7 @@ type FuzzFailure struct {
 
 // String renders the failure with its replay instructions.
 func (f FuzzFailure) String() string {
-	return fmt.Sprintf("case %d: replay with `comb %s -system %s -seed %d -faults '%s'`: %v",
+	return fmt.Sprintf("case %d: replay with `comb run -method %s -system %s -seed %d -faults '%s'`: %v",
 		f.Case, f.Method, f.System, f.Seed, f.Faults, f.Err)
 }
 
@@ -105,7 +106,11 @@ func Fuzz(ctx context.Context, n int, seed uint64) *FuzzResult {
 
 // FuzzCase derives one degraded RunSpec from a case seed.  All draws
 // come from a generator seeded with caseSeed, so the case is fully
-// determined by (system, caseSeed).
+// determined by (system, caseSeed).  Every registered method that
+// implements method.Fuzzer participates: the case picks one (uniformly
+// over the sorted name list, so the distribution is stable across
+// processes) and lets the method derive its own small parameter set
+// from the same stream.
 func FuzzCase(sys string, caseSeed uint64) comb.RunSpec {
 	crng := sim.NewRand(caseSeed)
 	tol := transport.ToleranceOf(sys)
@@ -127,26 +132,31 @@ func FuzzCase(sys string, caseSeed uint64) comb.RunSpec {
 		fs.Dup = 0.03 * crng.Float64()
 	}
 
-	spec := comb.RunSpec{System: sys, Seed: caseSeed, Faults: &fs}
-	msgSize := 1024 * (1 + crng.Intn(32)) // 1-32 KB: eager and rendezvous paths
-	if crng.Intn(2) == 0 {
-		poll := int64(1_000 * (1 + crng.Intn(50)))
-		spec.Method = comb.MethodPolling
-		spec.Polling = &comb.PollingConfig{
-			Config:       comb.Config{MsgSize: msgSize},
-			PollInterval: poll,
-			WorkTotal:    poll * int64(3+crng.Intn(8)),
-			QueueDepth:   1 + crng.Intn(4),
+	names, fuzzers := fuzzableMethods()
+	i := crng.Intn(len(fuzzers))
+	return comb.RunSpec{
+		Method: comb.Method(names[i]),
+		System: sys,
+		Seed:   caseSeed,
+		Faults: &fs,
+		Params: fuzzers[i].FuzzParams(crng),
+	}
+}
+
+// fuzzableMethods lists the registered methods implementing
+// method.Fuzzer, in sorted-name order so case derivation is stable.
+func fuzzableMethods() ([]string, []method.Fuzzer) {
+	var names []string
+	var fz []method.Fuzzer
+	for _, name := range method.Names() {
+		m, err := method.Lookup(name)
+		if err != nil {
+			continue
 		}
-	} else {
-		spec.Method = comb.MethodPWW
-		spec.PWW = &comb.PWWConfig{
-			Config:       comb.Config{MsgSize: msgSize},
-			WorkInterval: int64(10_000 * (1 + crng.Intn(40))),
-			Reps:         3 + crng.Intn(6),
-			BatchSize:    1 + crng.Intn(4),
-			TestInWork:   crng.Intn(2) == 1,
+		if f, ok := m.(method.Fuzzer); ok {
+			names = append(names, name)
+			fz = append(fz, f)
 		}
 	}
-	return spec
+	return names, fz
 }

@@ -9,6 +9,10 @@ import (
 	"comb/internal/platform"
 	"comb/internal/runner"
 	"comb/internal/stats"
+
+	// The sweep builds polling and PWW points by name; register both.
+	_ "comb/internal/method/polling"
+	_ "comb/internal/method/pww"
 )
 
 // DefaultEngine executes and memoizes sweep points when Options does not
@@ -107,8 +111,9 @@ func ClearCache() { DefaultEngine.ClearMemo() }
 // pollingPointSpec is the canonical point for one polling sweep sample.
 func pollingPointSpec(system string, size int, poll int64) runner.Point {
 	return runner.Point{
+		Method: "polling",
 		System: system,
-		Polling: &core.PollingConfig{
+		Params: core.PollingConfig{
 			Config:       core.Config{MsgSize: size},
 			PollInterval: poll,
 			WorkTotal:    workTotalFor(poll),
@@ -119,8 +124,9 @@ func pollingPointSpec(system string, size int, poll int64) runner.Point {
 // pwwPointSpec is the canonical point for one PWW sweep sample.
 func pwwPointSpec(system string, size int, work int64, reps int, testInWork bool) runner.Point {
 	return runner.Point{
+		Method: "pww",
 		System: system,
-		PWW: &core.PWWConfig{
+		Params: core.PWWConfig{
 			Config:       core.Config{MsgSize: size},
 			WorkInterval: work,
 			Reps:         reps,
@@ -140,7 +146,11 @@ func pollingPoint(ctx context.Context, eng *runner.Engine, system string, size i
 	if err != nil {
 		return nil, err
 	}
-	return res.Polling, nil
+	r, ok := runner.As[*core.PollingResult](res)
+	if !ok {
+		return nil, fmt.Errorf("sweep: polling point returned a %T result", res.Value)
+	}
+	return r, nil
 }
 
 // PWWPoint runs (or recalls) one PWW measurement of the named system on
@@ -154,7 +164,11 @@ func pwwPoint(ctx context.Context, eng *runner.Engine, system string, size int, 
 	if err != nil {
 		return nil, err
 	}
-	return res.PWW, nil
+	r, ok := runner.As[*core.PWWResult](res)
+	if !ok {
+		return nil, fmt.Errorf("sweep: pww point returned a %T result", res.Value)
+	}
+	return r, nil
 }
 
 // RunPollingOnce runs a single, uncached polling-method measurement of

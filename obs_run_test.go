@@ -32,46 +32,70 @@ func obsRunSpec() comb.RunSpec {
 
 // TestChromeExportGolden locks down the Chrome trace-event export
 // byte-for-byte: the simulation is deterministic, so the exported JSON
-// for a fixed spec must never drift.  Regenerate the golden with
-// COMB_GOLDEN=1 after reviewing an intended format change.
+// for a fixed spec must never drift.  Regenerate the goldens with
+// COMB_GOLDEN=1 after reviewing an intended format change.  The
+// TestInWork variant (paper §4.3) exercises the extra MPI_Test phase
+// span in the export.
 func TestChromeExportGolden(t *testing.T) {
-	run := func() []byte {
-		res, err := comb.Run(context.Background(), obsRunSpec())
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Obs == nil {
-			t.Fatal("ObsCap set but RunResult.Obs is nil")
-		}
-		var buf bytes.Buffer
-		if err := obs.WriteChromeTrace(&buf, res.Obs); err != nil {
-			t.Fatal(err)
-		}
-		return buf.Bytes()
+	cases := []struct {
+		name   string
+		golden string
+		spec   comb.RunSpec
+	}{
+		{"pww", "pww_ideal_chrome.json", obsRunSpec()},
+		// On the ideal transport MPI_Test is free and traceless, so the
+		// §4.3 variant is pinned on GM, where the early Test advances the
+		// rendezvous and genuinely reshapes the trace (Fig 17).
+		{"pww-testinwork", "pww_testinwork_gm_chrome.json", func() comb.RunSpec {
+			spec := obsRunSpec()
+			spec.System = "gm"
+			cfg := *spec.PWW
+			cfg.TestInWork = true
+			spec.PWW = &cfg
+			return spec
+		}()},
 	}
-	got := run()
-	if !bytes.Equal(got, run()) {
-		t.Fatal("two identical runs exported different Chrome traces")
-	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			run := func() []byte {
+				res, err := comb.Run(context.Background(), c.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Obs == nil {
+					t.Fatal("ObsCap set but RunResult.Obs is nil")
+				}
+				var buf bytes.Buffer
+				if err := obs.WriteChromeTrace(&buf, res.Obs); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			got := run()
+			if !bytes.Equal(got, run()) {
+				t.Fatal("two identical runs exported different Chrome traces")
+			}
 
-	golden := filepath.Join("testdata", "pww_ideal_chrome.json")
-	if os.Getenv("COMB_GOLDEN") == "1" {
-		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(golden, got, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("regenerated %s (%d bytes)", golden, len(got))
-		return
-	}
-	want, err := os.ReadFile(golden)
-	if err != nil {
-		t.Fatalf("missing golden (regenerate with COMB_GOLDEN=1): %v", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Errorf("chrome export drifted from %s (%d bytes got, %d want); regenerate with COMB_GOLDEN=1 if intended",
-			golden, len(got), len(want))
+			golden := filepath.Join("testdata", c.golden)
+			if os.Getenv("COMB_GOLDEN") == "1" {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("regenerated %s (%d bytes)", golden, len(got))
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with COMB_GOLDEN=1): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("chrome export drifted from %s (%d bytes got, %d want); regenerate with COMB_GOLDEN=1 if intended",
+					golden, len(got), len(want))
+			}
+		})
 	}
 }
 

@@ -127,6 +127,27 @@ func TestDeprecatedWrappersDelegate(t *testing.T) {
 	if old.BandwidthMBs != want.Polling.BandwidthMBs || old.Availability != want.Polling.Availability {
 		t.Errorf("RunPolling diverged from Run: %+v vs %+v", old, want.Polling)
 	}
+	oldOn, err := RunPollingOn(spec.System, 1, *spec.Polling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldOn.BandwidthMBs != want.Polling.BandwidthMBs {
+		t.Errorf("RunPollingOn diverged from Run: %+v vs %+v", oldOn, want.Polling)
+	}
+	oldStats, st, err := RunPollingStats(spec.System, 0, *spec.Polling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldStats.BandwidthMBs != want.Polling.BandwidthMBs || st == nil || st.Packets != want.Stats.Packets {
+		t.Errorf("RunPollingStats diverged from Run: %+v / %+v", oldStats, st)
+	}
+	oldTraced, _, rec, err := RunPollingTraced(spec.System, 0, 16, *spec.Polling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldTraced.BandwidthMBs != want.Polling.BandwidthMBs || rec == nil || rec.Len() == 0 {
+		t.Errorf("RunPollingTraced diverged from Run: %+v (trace %v)", oldTraced, rec)
+	}
 
 	pcfg := PWWConfig{
 		Config:       Config{MsgSize: 10_000},
@@ -143,5 +164,12 @@ func TestDeprecatedWrappersDelegate(t *testing.T) {
 	}
 	if oldPWW.AvgWait != wantPWW.PWW.AvgWait || oldPWW.BandwidthMBs != wantPWW.PWW.BandwidthMBs {
 		t.Errorf("RunPWW diverged from Run: %+v vs %+v", oldPWW, wantPWW.PWW)
+	}
+	oldPWWOn, err := RunPWWOn("ideal", 1, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldPWWOn.AvgWait != wantPWW.PWW.AvgWait || oldPWWOn.BandwidthMBs != wantPWW.PWW.BandwidthMBs {
+		t.Errorf("RunPWWOn diverged from Run: %+v vs %+v", oldPWWOn, wantPWW.PWW)
 	}
 }

@@ -38,12 +38,25 @@ for pkg in $(go list ./...); do
     fi
 done
 
+echo "==> method docs"
+# Every built-in benchmark method must be documented in the extension
+# guide (the registry makes adding one cheap; documenting it stays part
+# of the contract).
+for m in polling pww pingpong netperf; do
+    if ! grep -q "$m" docs/EXTENDING.md; then
+        echo "docs/EXTENDING.md does not mention method: $m"
+        fail=1
+    fi
+done
+
 echo "==> markdown relative links"
 for md in *.md docs/*.md; do
     [ -f "$md" ] || continue
     dir=$(dirname "$md")
     # Inline links only: [text](target). Skip URLs and pure anchors.
-    for target in $(grep -o '](\([^)]*\))' "$md" |
+    # Fenced code blocks are stripped first: Go index/generic syntax
+    # (`DecodeJSON[T](b)`) otherwise reads as a link.
+    for target in $(sed '/^```/,/^```/d' "$md" | grep -o '](\([^)]*\))' |
         sed 's/^](//; s/)$//; s/#.*//' |
         grep -v '^$' | grep -v '^[a-z+]*://' | sort -u); do
         if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then

@@ -1,0 +1,121 @@
+//go:build ignore
+
+// Regenerate results/cache entries under the current cache schema.
+//
+// Usage: go run scripts/regen_cache.go [-dir results/cache]
+//
+// It reads every *.json entry in the cache directory, reconstructs each
+// point from the entry's key (accepting both the schema-1 key layout,
+// "system/size/..." with a method implied by the result payload, and the
+// current "method/system/..." layout), deletes the old files, and re-runs
+// every point through a disk-backed engine so the directory ends up
+// holding only current-schema entries.  The simulation is deterministic,
+// so the regenerated values are identical to the originals.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"comb/internal/core"
+	"comb/internal/runner"
+
+	_ "comb/internal/method/all"
+)
+
+func main() {
+	dir := flag.String("dir", runner.DefaultCacheDir, "cache directory to regenerate")
+	flag.Parse()
+
+	files, err := filepath.Glob(filepath.Join(*dir, "*.json"))
+	if err != nil || len(files) == 0 {
+		log.Fatalf("no cache entries under %s: %v", *dir, err)
+	}
+
+	var points []runner.Point
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var entry struct {
+			Schema int    `json:"schema"`
+			Key    string `json:"key"`
+		}
+		if err := json.Unmarshal(b, &entry); err != nil {
+			log.Fatalf("%s: %v", f, err)
+		}
+		pt, err := pointFromKey(entry.Key)
+		if err != nil {
+			log.Fatalf("%s: %v", f, err)
+		}
+		points = append(points, pt)
+		if err := os.Remove(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	eng := runner.New(runner.Config{Disk: runner.Open(*dir)})
+	if err := eng.RunAll(context.Background(), points); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("regenerated %d entries under %s (schema %d)\n", len(points), *dir, runner.SchemaVersion)
+}
+
+// pointFromKey reverses the cache-key layouts.  Schema-1 keys had no
+// method segment: polling was "system/size/poll/work" and PWW
+// "system/size/workinterval/reps/testinwork".  Current keys prepend the
+// method name.
+func pointFromKey(key string) (runner.Point, error) {
+	seg := strings.Split(key, "/")
+	switch seg[0] {
+	case "polling", "pww":
+		seg = seg[1:]
+	}
+	ints := func(idx ...int) ([]int64, error) {
+		out := make([]int64, len(idx))
+		for i, j := range idx {
+			v, err := strconv.ParseInt(seg[j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("key %q segment %d: %v", key, j, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch len(seg) {
+	case 4: // polling: system/size/poll/work
+		v, err := ints(1, 2, 3)
+		if err != nil {
+			return runner.Point{}, err
+		}
+		return runner.Point{Method: "polling", System: seg[0], Params: core.PollingConfig{
+			Config:       core.Config{MsgSize: int(v[0])},
+			PollInterval: v[1],
+			WorkTotal:    v[2],
+		}}, nil
+	case 5: // pww: system/size/workinterval/reps/testinwork
+		v, err := ints(1, 2, 3)
+		if err != nil {
+			return runner.Point{}, err
+		}
+		tiw, err := strconv.ParseBool(seg[4])
+		if err != nil {
+			return runner.Point{}, fmt.Errorf("key %q: %v", key, err)
+		}
+		return runner.Point{Method: "pww", System: seg[0], Params: core.PWWConfig{
+			Config:       core.Config{MsgSize: int(v[0])},
+			WorkInterval: v[1],
+			Reps:         int(v[2]),
+			TestInWork:   tiw,
+		}}, nil
+	}
+	return runner.Point{}, fmt.Errorf("unrecognized cache key %q", key)
+}

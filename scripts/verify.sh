@@ -17,4 +17,17 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> comb methods smoke"
+# The CLI must list every built-in method through the registry.
+go build -o /tmp/comb-verify ./cmd/comb
+methods=$(/tmp/comb-verify methods)
+echo "$methods"
+for m in polling pww pingpong netperf; do
+    if ! echo "$methods" | grep -q "^$m "; then
+        echo "verify: method $m missing from 'comb methods'"
+        exit 1
+    fi
+done
+rm -f /tmp/comb-verify
+
 echo "verify: OK"
