@@ -7,14 +7,20 @@ package comb
 // vary the design parameters DESIGN.md calls out.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"comb/internal/cluster"
 	"comb/internal/core"
 	"comb/internal/machine"
 	"comb/internal/platform"
+	"comb/internal/serve"
 	"comb/internal/sim"
 	"comb/internal/sweep"
 	"comb/internal/transport"
@@ -80,8 +86,7 @@ func benchPollingPoint(b *testing.B, system string, size int, poll int64) {
 	b.Helper()
 	var res *PollingResult
 	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = RunPolling(system, PollingConfig{
+		out, err := runPolling(system, 0, PollingConfig{
 			Config:       Config{MsgSize: size},
 			PollInterval: poll,
 			WorkTotal:    25_000_000,
@@ -89,6 +94,7 @@ func benchPollingPoint(b *testing.B, system string, size int, poll int64) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		res = out.Polling
 	}
 	b.ReportMetric(res.BandwidthMBs, "MBps")
 	b.ReportMetric(res.Availability, "avail")
@@ -107,8 +113,7 @@ func BenchmarkPWWPoint(b *testing.B) {
 		b.Run(system, func(b *testing.B) {
 			var res *PWWResult
 			for i := 0; i < b.N; i++ {
-				var err error
-				res, err = RunPWW(system, PWWConfig{
+				out, err := runPWW(system, 0, PWWConfig{
 					Config:       Config{MsgSize: 100_000},
 					WorkInterval: 1_000_000,
 					Reps:         10,
@@ -116,6 +121,7 @@ func BenchmarkPWWPoint(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				res = out.PWW
 			}
 			b.ReportMetric(res.BandwidthMBs, "MBps")
 			b.ReportMetric(res.AvgWait.Seconds()*1e6, "wait_us")
@@ -132,8 +138,7 @@ func BenchmarkAblationQueueDepth(b *testing.B) {
 		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
 			var res *PollingResult
 			for i := 0; i < b.N; i++ {
-				var err error
-				res, err = RunPolling("gm", PollingConfig{
+				out, err := runPolling("gm", 0, PollingConfig{
 					Config:       Config{MsgSize: 100_000},
 					PollInterval: 10_000,
 					WorkTotal:    25_000_000,
@@ -142,6 +147,7 @@ func BenchmarkAblationQueueDepth(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				res = out.Polling
 			}
 			b.ReportMetric(res.BandwidthMBs, "MBps")
 		})
@@ -262,7 +268,7 @@ func BenchmarkAblationPWWBatch(b *testing.B) {
 		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
 			var bw float64
 			for i := 0; i < b.N; i++ {
-				res, err := RunPWW("gm", PWWConfig{
+				out, err := runPWW("gm", 0, PWWConfig{
 					Config:       Config{MsgSize: 100_000},
 					WorkInterval: 10_000,
 					Reps:         10,
@@ -271,7 +277,7 @@ func BenchmarkAblationPWWBatch(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				bw = res.BandwidthMBs
+				bw = out.PWW.BandwidthMBs
 			}
 			b.ReportMetric(bw, "MBps")
 		})
@@ -282,7 +288,7 @@ func BenchmarkAblationPWWBatch(b *testing.B) {
 // simulated events per wall second under a Portals polling load.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := RunPolling("portals", PollingConfig{
+		if _, err := runPolling("portals", 0, PollingConfig{
 			Config:       Config{MsgSize: 100_000},
 			PollInterval: 10_000,
 			WorkTotal:    25_000_000,
@@ -290,6 +296,100 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Serve benchmarks (docs/SERVING.md; guarded by benchdiff) ---
+
+// serveBenchSpec is one submittable polling point; varying workTotal
+// varies the cache key, so cold-cache iterations never dedupe.
+func serveBenchSpec(workTotal int64) []byte {
+	return []byte(fmt.Sprintf(
+		`{"specVersion": 1, "method": "polling", "system": "ideal", "polling": {"PollInterval": 1000, "WorkTotal": %d}}`,
+		workTotal))
+}
+
+// serveSubmitWait drives the full client path: POST the spec, long-poll
+// the job to a terminal state, fail unless it is done.
+func serveSubmitWait(base string, body []byte) error {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var v serve.View
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+	for !v.State.Terminal() {
+		r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=30s&since=%d", base, v.ID, v.Version))
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(r.Body).Decode(&v)
+		r.Body.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if v.State != serve.StateDone {
+		return fmt.Errorf("job %s: %s: %s", v.ID, v.State, v.Error)
+	}
+	return nil
+}
+
+// benchServeClients runs one op = `clients` concurrent submit+wait
+// round trips against srv over real HTTP.
+func benchServeClients(b *testing.B, srv *serve.Server, clients int, body func(iter, client int) []byte) {
+	b.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				errs[c] = serveSubmitWait(ts.URL, body(i, c))
+			}(c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkServeHotCacheClients: 8 clients submit the identical spec
+// against a pre-warmed store — pure service overhead, zero simulations.
+func BenchmarkServeHotCacheClients(b *testing.B) {
+	srv := serve.New(serve.Config{Store: serve.OpenStore(b.TempDir()), QueueCap: 256})
+	defer srv.Close()
+	warm := httptest.NewServer(srv.Handler())
+	if err := serveSubmitWait(warm.URL, serveBenchSpec(5_000_000)); err != nil {
+		b.Fatal(err)
+	}
+	warm.Close()
+	benchServeClients(b, srv, 8, func(_, _ int) []byte {
+		return serveBenchSpec(5_000_000)
+	})
+}
+
+// BenchmarkServeColdCacheClients: 8 clients each submit a distinct spec
+// with no store — every submission pays a full simulation.
+func BenchmarkServeColdCacheClients(b *testing.B) {
+	srv := serve.New(serve.Config{QueueCap: 256})
+	defer srv.Close()
+	benchServeClients(b, srv, 8, func(iter, client int) []byte {
+		return serveBenchSpec(5_000_000 + int64(iter*8+client)*64)
+	})
 }
 
 // BenchmarkAblationInterleave reproduces the paper's earlier PWW variant:
@@ -300,8 +400,7 @@ func BenchmarkAblationInterleave(b *testing.B) {
 		b.Run(fmt.Sprintf("interleave%d", il), func(b *testing.B) {
 			var res *PWWResult
 			for i := 0; i < b.N; i++ {
-				var err error
-				res, err = RunPWW("gm", PWWConfig{
+				out, err := runPWW("gm", 0, PWWConfig{
 					Config:       Config{MsgSize: 100_000},
 					WorkInterval: 2_000_000,
 					Reps:         20,
@@ -310,6 +409,7 @@ func BenchmarkAblationInterleave(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				res = out.PWW
 			}
 			b.ReportMetric(res.BandwidthMBs, "MBps")
 			b.ReportMetric(res.Availability, "avail")

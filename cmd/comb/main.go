@@ -100,6 +100,10 @@ func main() {
 		err = cmdSweep(ctx, os.Args[2:])
 	case "cache":
 		err = cmdCache(os.Args[2:])
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
+	case "submit":
+		err = cmdSubmit(ctx, os.Args[2:])
 	case "pingpong":
 		err = cmdPingpong(ctx, os.Args[2:])
 	case "bench":
@@ -127,8 +131,8 @@ func usage() {
 subcommands:
   list      list reproducible figures and simulated systems
   methods   list registered benchmark methods and their phases
-  run       run one measurement (-method <name>, then method flags;
-            -spec stays as an alias)
+  run       run one measurement (-method <name> plus method flags, or
+            -spec <file.json> with a versioned RunSpec)
   polling   run one polling-method measurement
   pww       run one post-work-wait measurement
   trace     export the last run's span timeline (trace export -format=chrome|text)
@@ -139,6 +143,8 @@ subcommands:
   assess    full COMB characterization of one system (or 'all')
   sweep     custom parameter sweep over any systems/sizes/metric
   cache     manage the on-disk result cache (clear|stat)
+  serve     run the benchmark service (HTTP API over versioned RunSpecs)
+  submit    post a spec file to a running server and await the result
   pingpong  classic latency/bandwidth microbenchmark (the pre-COMB view)
   bench     time a hot-path workload; -profile writes CPU/heap pprof files
   selfcheck verify the reproduction's calibration and headline claims
@@ -388,34 +394,47 @@ func cmdPWW(ctx context.Context, args []string) error {
 	return nil
 }
 
-// cmdRun is the unified single-measurement entry: -method (or its
-// older alias -spec) picks the registered method, every other flag is
-// forwarded to the method's own flag set.  Polling and PWW keep their
-// dedicated subcommand output; every other registered method runs
-// through the generic registry path.
+// cmdRun is the unified single-measurement entry.  -method <name>
+// picks the registered method and forwards every other flag to the
+// method's own flag set; -spec <file.json> runs a schema-versioned
+// RunSpec document instead — the same JSON the serve API accepts.
+// Polling and PWW keep their dedicated subcommand output; every other
+// registered method runs through the generic registry path.
 func cmdRun(ctx context.Context, args []string) error {
-	var name string
+	var name, specPath string
 	rest := make([]string, 0, len(args))
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		switch {
-		case a == "-method" || a == "--method" || a == "-spec" || a == "--spec":
+		case a == "-method" || a == "--method":
 			if i+1 >= len(args) {
 				return fmt.Errorf("run: %s needs a value (%s)", a, strings.Join(comb.Methods(), "|"))
 			}
 			i++
 			name = args[i]
+		case a == "-spec" || a == "--spec":
+			if i+1 >= len(args) {
+				return fmt.Errorf("run: %s needs a spec file", a)
+			}
+			i++
+			specPath = args[i]
 		case strings.HasPrefix(a, "-method="):
 			name = strings.TrimPrefix(a, "-method=")
 		case strings.HasPrefix(a, "--method="):
 			name = strings.TrimPrefix(a, "--method=")
 		case strings.HasPrefix(a, "-spec="):
-			name = strings.TrimPrefix(a, "-spec=")
+			specPath = strings.TrimPrefix(a, "-spec=")
 		case strings.HasPrefix(a, "--spec="):
-			name = strings.TrimPrefix(a, "--spec=")
+			specPath = strings.TrimPrefix(a, "--spec=")
 		default:
 			rest = append(rest, a)
 		}
+	}
+	if specPath != "" {
+		if name != "" {
+			return fmt.Errorf("run: -method and -spec are mutually exclusive")
+		}
+		return runSpecFile(ctx, specPath, rest)
 	}
 	switch name {
 	case "polling":
@@ -423,9 +442,45 @@ func cmdRun(ctx context.Context, args []string) error {
 	case "pww":
 		return cmdPWW(ctx, rest)
 	case "":
-		return fmt.Errorf("run: need -method %s", strings.Join(comb.Methods(), "|"))
+		return fmt.Errorf("run: need -method %s or -spec <file.json>", strings.Join(comb.Methods(), "|"))
 	}
 	return runMethod(ctx, name, rest)
+}
+
+// runSpecFile executes a versioned RunSpec JSON document — the same
+// body `comb submit` posts — locally through comb.Run.
+func runSpecFile(ctx context.Context, path string, args []string) error {
+	fs := flag.NewFlagSet("run -spec", flag.ExitOnError)
+	obsDir := fs.String("obs-dir", obs.DefaultRunDir, "directory for trace/metrics/manifest artifacts ('' disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := readSpecFile(path)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	var sp comb.RunSpec
+	if err := json.Unmarshal(b, &sp); err != nil {
+		return fmt.Errorf("run: %s: %w", path, err)
+	}
+	if sp.ObsCap == 0 {
+		sp.ObsCap = obsCapFor(*obsDir)
+	}
+	out, err := comb.Run(ctx, sp)
+	if err != nil {
+		return err
+	}
+	if err := writeObs(*obsDir, out); err != nil {
+		return err
+	}
+	fmt.Println(out.Value.String())
+	if out.Trace != nil {
+		fmt.Printf("--- last %d packet deliveries (%s) ---\n", out.Trace.Len(), out.Trace.Summary())
+		if _, err := out.Trace.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runMethod drives any registered method through the facade: the
@@ -510,14 +565,14 @@ func writeObs(dir string, out *comb.RunResult) error {
 	if err := out.Metrics.WritePrometheus(&prom); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, obs.MetricsPromFile), []byte(prom.String()), 0o644); err != nil {
+	if err := obs.WriteFileAtomic(filepath.Join(dir, obs.MetricsPromFile), []byte(prom.String()), 0o644); err != nil {
 		return err
 	}
 	snap, err := json.MarshalIndent(out.Metrics.Snapshot(), "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, obs.MetricsJSONFile), append(snap, '\n'), 0o644); err != nil {
+	if err := obs.WriteFileAtomic(filepath.Join(dir, obs.MetricsJSONFile), append(snap, '\n'), 0o644); err != nil {
 		return err
 	}
 	if err := out.Manifest.Save(filepath.Join(dir, obs.ManifestFile)); err != nil {
@@ -592,13 +647,18 @@ func writeTraceText(w io.Writer, c *obs.Capture) error {
 	return nil
 }
 
-// cmdMetrics prints a saved metrics file from a run directory.
+// cmdMetrics prints a saved metrics file from a run directory, or with
+// -addr scrapes a running `comb serve` instance's /metrics endpoint.
 func cmdMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	runDir := fs.String("run", obs.DefaultRunDir, "run directory holding the metrics files")
 	format := fs.String("format", "prom", "output format (prom|json)")
+	addr := fs.String("addr", "", "scrape a running server's /metrics instead (e.g. http://localhost:8080)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *addr != "" {
+		return scrapeMetrics(context.Background(), *addr)
 	}
 	var name string
 	switch *format {

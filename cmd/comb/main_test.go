@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"comb"
 	"comb/internal/obs"
 	"comb/internal/stats"
 	"comb/internal/sweep"
@@ -124,6 +125,43 @@ func TestCommandFunctions(t *testing.T) {
 	}
 }
 
+// TestRunSpecFile drives `run -spec <file.json>`: the CLI executes the
+// same versioned document the serve API accepts.
+func TestRunSpecFile(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	sp := comb.RunSpec{
+		Method: comb.MethodPWW,
+		System: "ideal",
+		PWW:    &comb.PWWConfig{WorkInterval: 1_000_000, Reps: 3},
+	}
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun(ctx, []string{"-spec", path, "-obs-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, obs.ManifestFile)); err != nil {
+		t.Fatalf("spec-file run must write artifacts: %v", err)
+	}
+
+	// A document with the wrong schema version is refused with the typed
+	// error's message, not silently run.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"specVersion":99,"method":"pww"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = cmdRun(ctx, []string{"-spec", bad, "-obs-dir", ""})
+	if err == nil || !strings.Contains(err.Error(), "specVersion") {
+		t.Fatalf("wrong-version spec error = %v", err)
+	}
+}
+
 func TestRunMethodDispatch(t *testing.T) {
 	// `run -method <name>` resolves through the registry; every registered
 	// method with flags is drivable, and unknown names fail loudly.
@@ -147,7 +185,7 @@ func TestRunMethodDispatch(t *testing.T) {
 func TestObsLifecycle(t *testing.T) {
 	ctx := context.Background()
 	dir := t.TempDir()
-	if err := cmdRun(ctx, []string{"-spec", "pww", "-system", "ideal", "-reps", "3",
+	if err := cmdRun(ctx, []string{"-method", "pww", "-system", "ideal", "-reps", "3",
 		"-obs-dir", dir}); err != nil {
 		t.Fatal(err)
 	}
@@ -193,10 +231,13 @@ func TestObsLifecycle(t *testing.T) {
 	}
 
 	if err := cmdRun(ctx, nil); err == nil {
-		t.Fatal("run without -spec must fail")
+		t.Fatal("run without -method or -spec must fail")
 	}
-	if err := cmdRun(ctx, []string{"-spec", "bogus"}); err == nil {
-		t.Fatal("unknown -spec must fail")
+	if err := cmdRun(ctx, []string{"-spec", filepath.Join(dir, "nosuch.json")}); err == nil {
+		t.Fatal("missing spec file must fail")
+	}
+	if err := cmdRun(ctx, []string{"-method", "pww", "-spec", "x.json"}); err == nil {
+		t.Fatal("-method and -spec together must fail")
 	}
 	if err := cmdTrace(nil); err == nil {
 		t.Fatal("trace without subcommand must fail")

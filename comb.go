@@ -2,21 +2,17 @@ package comb
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"strings"
-	"time"
 
-	"comb/internal/cluster"
 	"comb/internal/core"
 	"comb/internal/faultinject"
 	"comb/internal/invariant"
 	"comb/internal/method"
-	"comb/internal/mpi"
 	"comb/internal/netperf"
 	"comb/internal/obs"
 	"comb/internal/pingpong"
-	"comb/internal/platform"
+	"comb/internal/runpipe"
+	"comb/internal/spec"
 	"comb/internal/stats"
 	"comb/internal/sweep"
 	"comb/internal/trace"
@@ -86,17 +82,17 @@ func Systems() []string { return transport.Names() }
 
 // Method selects which benchmark method a RunSpec executes.  Any name
 // in Methods() is valid; the constants below name the built-ins.
-type Method string
+type Method = spec.Method
 
 const (
 	// MethodPolling is the paper's §2.1 polling method.
-	MethodPolling Method = "polling"
+	MethodPolling = spec.MethodPolling
 	// MethodPWW is the paper's §2.2 post-work-wait method.
-	MethodPWW Method = "pww"
+	MethodPWW = spec.MethodPWW
 	// MethodPingpong is the blocking round-trip baseline.
-	MethodPingpong Method = "pingpong"
+	MethodPingpong = spec.MethodPingpong
 	// MethodNetperf is the netperf-style availability baseline (§5).
-	MethodNetperf Method = "netperf"
+	MethodNetperf = spec.MethodNetperf
 )
 
 // Methods lists every registered benchmark method name, sorted.
@@ -108,365 +104,52 @@ const (
 	NetperfBusyWait = netperf.ModeBusyWait
 )
 
-// RunSpec describes one measurement for Run: the method, the simulated
-// system, and the method's configuration.
-//
-// The method configs are pointers so that "unset" is distinguishable from
-// a zero-valued config: a nil pointer for the selected method is an
-// error (the primary experiment variable has no default), while zero
-// fields inside a supplied config follow the documented zero-means-default
-// convention (see Config).
-type RunSpec struct {
-	// Method picks the benchmark method.  Empty infers it from whichever
-	// config pointer is set.
-	Method Method
-	// System is the simulated messaging system ("gm", "portals", ...).
-	System string
-	// CPUs is the processors-per-node override; 0 or 1 reproduces the
-	// paper's uniprocessor testbed.  Multi-processor nodes implement the
-	// paper's §7 future work: compare the result's Availability (the
-	// classic single-process metric, which SMP inflates) with
-	// SystemAvailability (the node-wide metric, which SMP does not fool).
-	CPUs int
-	// TraceCap, when > 0, records the last TraceCap packet-level fabric
-	// deliveries into RunResult.Trace.
-	TraceCap int
-	// ObsCap, when non-zero, collects the structured phase timeline —
-	// engine phase spans (dry/post/work/wait/poll/drain) and per-message
-	// MPI spans — into RunResult.Obs, keeping the last ObsCap spans
-	// (obs.DefaultSpanCap when negative).  Zero leaves span collection
-	// off; the engines then skip all span bookkeeping.
-	ObsCap int
-	// Seed overrides the wire's jitter/loss RNG seed (0 keeps the
-	// platform default) and, when Faults is set without its own seed,
-	// seeds the fault injector too — one knob makes a degraded run
-	// replayable.
-	Seed uint64
-	// Faults, when non-nil and non-zero, wraps the transport with
-	// deterministic fault injection (packet drop/dup/delay/reorder and
-	// CPU jitter bursts).  Faults a transport cannot survive are masked;
-	// see internal/faultinject.
-	Faults *FaultSpec
-	// Polling configures MethodPolling; it must be non-nil for that
-	// method.
-	Polling *PollingConfig
-	// PWW configures MethodPWW; it must be non-nil for that method.
-	PWW *PWWConfig
-	// Params configures any other registered method (e.g. a
-	// PingpongConfig for MethodPingpong); Method must name it
-	// explicitly.  For polling and PWW the dedicated pointers above
-	// take precedence.
-	Params any
-}
+// SpecVersion is the wire-schema version RunSpec marshals to and from:
+// the same versioned JSON document serves the library, `comb run -spec`,
+// and the serve API's request body.  Decoding a document with a missing
+// or different "specVersion" fails with a *SpecVersionError.
+const SpecVersion = spec.Version
 
-// resolve looks the spec's method up in the registry and picks its
-// parameter value, inferring the method from the config pointers when
-// unset.
-func (s RunSpec) resolve() (method.Method, any, error) {
-	name := s.Method
-	if name == "" {
-		switch {
-		case s.Polling != nil && s.PWW != nil:
-			return nil, nil, fmt.Errorf("comb: RunSpec sets both Polling and PWW configs; set Method to disambiguate")
-		case s.Polling != nil:
-			name = MethodPolling
-		case s.PWW != nil:
-			name = MethodPWW
-		case s.Params != nil:
-			return nil, nil, fmt.Errorf("comb: RunSpec.Params needs an explicit Method name (have %s)", strings.Join(Methods(), ", "))
-		default:
-			return nil, nil, fmt.Errorf("comb: RunSpec needs a method config (Polling or PWW, or Method plus Params)")
-		}
-	}
-	m, err := method.Lookup(string(name))
-	if err != nil {
-		return nil, nil, fmt.Errorf("comb: unknown method %q (have %s)", name, strings.Join(Methods(), ", "))
-	}
-	var params any
-	switch name {
-	case MethodPolling:
-		switch {
-		case s.Polling != nil:
-			params = *s.Polling
-		case s.Params != nil:
-			params = s.Params
-		default:
-			return nil, nil, fmt.Errorf("comb: %s run needs a non-nil Polling config (PollInterval has no default)", name)
-		}
-	case MethodPWW:
-		switch {
-		case s.PWW != nil:
-			params = *s.PWW
-		case s.Params != nil:
-			params = s.Params
-		default:
-			return nil, nil, fmt.Errorf("comb: %s run needs a non-nil PWW config (WorkInterval has no default)", name)
-		}
-	default:
-		if s.Params == nil {
-			return nil, nil, fmt.Errorf("comb: %s run needs RunSpec.Params", name)
-		}
-		params = s.Params
-	}
-	return m, params, nil
-}
+// SpecVersionError reports a spec document whose specVersion this build
+// does not speak; match it with errors.As.
+type SpecVersionError = spec.VersionError
+
+// RunSpec describes one measurement for Run: the method, the simulated
+// system, and the method's configuration.  It is an alias of the single
+// spec type (internal/spec.Spec) every COMB entry point shares — the
+// sweep runner schedules the same type as its Point, and its JSON
+// encoding is the versioned wire document the CLI and the serve API
+// accept.  See the aliased type for field documentation.
+type RunSpec = spec.Spec
 
 // NodeCPU is one node's CPU-time breakdown over a whole run.
-type NodeCPU struct {
-	Node      int
-	Cores     int
-	User      time.Duration
-	Kernel    time.Duration
-	Interrupt time.Duration
-}
+type NodeCPU = runpipe.NodeCPU
 
 // RunStats aggregates the simulator's hardware counters for a run: what
 // the wire and the hosts actually did while the benchmark measured.
-type RunStats struct {
-	// Packets and WireBytes count fabric traffic (headers included).
-	Packets   int64
-	WireBytes int64
-	// CPUs holds the per-node CPU breakdown.
-	CPUs []NodeCPU
-}
+type RunStats = runpipe.RunStats
 
-// RunResult bundles everything one Run produced: the method result,
-// the hardware counters, and the optional packet trace.
-type RunResult struct {
-	// Value is the method's typed result, whatever the method (always
-	// present).  For the built-ins it is a *PollingResult, *PWWResult,
-	// *PingpongResult, or *NetperfResult.
-	Value MethodResult
-	// Polling is set for MethodPolling runs (a typed view of Value).
-	Polling *PollingResult
-	// PWW is set for MethodPWW runs (a typed view of Value).
-	PWW *PWWResult
-	// Stats holds the run's hardware counters (always present).
-	Stats *RunStats
-	// Trace holds the last RunSpec.TraceCap packet deliveries, or nil
-	// when tracing was off.
-	Trace *Trace
-	// Obs holds the span timeline (plus packet instants when TraceCap
-	// was also set), or nil when RunSpec.ObsCap was zero.  Export it
-	// with obs.WriteChromeTrace or Capture.Save.
-	Obs *Capture
-	// Metrics is the run's metric registry: message/packet/byte
-	// counters and phase-duration histograms (always present).
-	Metrics *Metrics
-	// Manifest records the run's full provenance, including a hash over
-	// Polling/PWW/Stats that Replay verifies (always present).
-	Manifest *Manifest
-}
+// RunResult bundles everything one Run produced: the method result, the
+// hardware counters, the optional packet trace and span timeline, the
+// metric registry, and the provenance manifest.  See the aliased type
+// (internal/runpipe.Outcome) for field documentation.
+type RunResult = runpipe.Outcome
 
 // Run executes one COMB measurement described by spec on a freshly built
 // simulation and returns the worker's result plus hardware counters.  It
-// is the single entry point behind the deprecated RunPolling*/RunPWW*
-// helpers, and it dispatches every registered method — built-in or
-// added — through the method registry's shared pipeline.  A cancelled
-// ctx tears the simulation down mid-run and returns ctx.Err().
-func Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
-	m, params, err := spec.resolve()
-	if err != nil {
-		return nil, err
-	}
-	params, err = m.Validate(params)
-	if err != nil {
-		return nil, err
-	}
-	cfg := platform.Config{Transport: spec.System, CPUs: spec.CPUs, Seed: spec.Seed}
-	if spec.Faults != nil && !spec.Faults.Zero() {
-		fs := *spec.Faults
-		if fs.Seed == 0 {
-			fs.Seed = spec.Seed
-		}
-		if err := fs.Validate(); err != nil {
-			return nil, err
-		}
-		inner, err := transport.ByName(spec.System)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Custom = faultinject.Wrap(inner, fs)
-	}
-	in, err := platform.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	defer in.Close()
-	var rec *trace.Recorder
-	if spec.TraceCap > 0 {
-		rec = trace.NewRecorder(spec.TraceCap)
-		trace.AttachFabric(rec, in.Sys)
-	}
-	reg := obs.NewRegistry()
-	var col *obs.Collector
-	if spec.ObsCap != 0 {
-		capacity := spec.ObsCap
-		if capacity < 0 {
-			capacity = 0 // NewCollector's default
-		}
-		col = obs.NewCollector(capacity, reg)
-	}
-	res, chk, err := method.Execute(ctx, m, in, method.Config{
-		System: spec.System,
-		CPUs:   spec.CPUs,
-		Params: params,
-		Spans:  col,
-	}, method.ExecOptions{Trace: rec, Spans: col})
-	if err != nil {
-		return nil, err
-	}
-	if verr := chk.Err(); verr != nil {
-		replay := fmt.Sprintf("-seed %d", spec.Seed)
-		if spec.Faults != nil && !spec.Faults.Zero() {
-			replay += fmt.Sprintf(" -faults %q", spec.Faults.String())
-		}
-		return nil, fmt.Errorf("comb: %s/%s run broke the simulator (replay with %s): %w",
-			m.Name(), spec.System, replay, verr)
-	}
-	out := &RunResult{Value: res}
-	out.Polling, _ = res.(*PollingResult)
-	out.PWW, _ = res.(*PWWResult)
-	out.Stats = snapshot(in)
-	out.Trace = rec
-	fillMetrics(reg, in, chk.Meter())
-	out.Metrics = reg
-	if col != nil {
-		out.Obs = col.Capture()
-		if rec != nil {
-			for _, e := range rec.Events() {
-				out.Obs.Instants = append(out.Obs.Instants, obs.Instant{
-					At: time.Duration(e.At), Cat: string(e.Cat), Node: e.Node, Detail: e.Detail,
-				})
-			}
-		}
-	}
-	out.Manifest, err = buildManifest(spec, m, params, out)
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// fillMetrics loads the end-of-run hardware and message counters into
-// the registry (phase histograms accrue live via the span collector).
-func fillMetrics(reg *obs.Registry, in *platform.Instance, meter *mpi.Meter) {
-	msgHelp := "MPI messages, by kind."
-	reg.Counter(`comb_messages_posted_total{kind="send"}`, msgHelp).Add(meter.PostedSends)
-	reg.Counter(`comb_messages_posted_total{kind="recv"}`, msgHelp).Add(meter.PostedRecvs)
-	reg.Counter(`comb_messages_completed_total{kind="send"}`, msgHelp).Add(meter.DoneSends)
-	reg.Counter(`comb_messages_completed_total{kind="recv"}`, msgHelp).Add(meter.DoneRecvs)
-	byteHelp := "Payload bytes of completed messages, by kind."
-	reg.Counter(`comb_message_bytes_total{kind="send"}`, byteHelp).Add(meter.SentBytes)
-	reg.Counter(`comb_message_bytes_total{kind="recv"}`, byteHelp).Add(meter.RecvBytes)
-
-	pktHelp := "Fabric packets, by fate."
-	packets, wireBytes, delivered := in.Sys.Fabric.Stats()
-	injDrop, injDup := in.Sys.Fabric.InjectStats()
-	reg.Counter(`comb_packets_total{fate="sent"}`, pktHelp).Add(packets)
-	reg.Counter(`comb_packets_total{fate="delivered"}`, pktHelp).Add(delivered)
-	reg.Counter(`comb_packets_total{fate="lost"}`, pktHelp).Add(in.Sys.Fabric.Lost())
-	reg.Counter(`comb_packets_total{fate="injected_drop"}`, pktHelp).Add(injDrop)
-	reg.Counter(`comb_packets_total{fate="injected_dup"}`, pktHelp).Add(injDup)
-	reg.Counter("comb_wire_bytes_total", "Bytes put on the wire, headers included.").Add(wireBytes)
-}
-
-// hashedResult is the canonical serialization ResultHash covers: the
-// method name, its typed result, and the hardware counters — nothing
-// host-dependent.
-type hashedResult struct {
-	Method string       `json:"method"`
-	Value  MethodResult `json:"value"`
-	Stats  *RunStats    `json:"stats"`
-}
-
-// buildManifest assembles the provenance record for a finished run.
-// params is the method's validated (defaults applied) parameter value.
-func buildManifest(spec RunSpec, m method.Method, params any, out *RunResult) (*Manifest, error) {
-	mf := obs.NewManifest()
-	mf.Method = m.Name()
-	mf.System = spec.System
-	mf.CPUs = spec.CPUs
-	mf.Seed = spec.Seed
-	if spec.Faults != nil && !spec.Faults.Zero() {
-		fs := *spec.Faults
-		if fs.Seed == 0 {
-			fs.Seed = spec.Seed
-		}
-		mf.Faults = fs.String()
-		_, mf.MaskedFaults = fs.Masked(transport.ToleranceOf(spec.System))
-	}
-	mf.Tolerance = toleranceNames(transport.ToleranceOf(spec.System))
-	switch c := params.(type) {
-	case core.PollingConfig:
-		// Keep the dedicated manifest fields for the paper's two primary
-		// methods so existing manifests and their consumers keep working.
-		cc := c
-		mf.Polling = &cc
-	case core.PWWConfig:
-		cc := c
-		mf.PWW = &cc
-	default:
-		b, err := json.Marshal(params)
-		if err != nil {
-			return nil, fmt.Errorf("comb: manifest params: %w", err)
-		}
-		mf.Params = b
-	}
-	var err error
-	mf.ResultHash, err = obs.HashResult(hashedResult{Method: m.Name(), Value: out.Value, Stats: out.Stats})
-	return mf, err
-}
-
-// toleranceNames renders a transport tolerance as the manifest's sorted
-// fault-name list.
-func toleranceNames(t transport.Tolerance) []string {
-	var out []string
-	if t.Duplication {
-		out = append(out, "dup")
-	}
-	if t.Loss {
-		out = append(out, "loss")
-	}
-	if t.Reorder {
-		out = append(out, "reorder")
-	}
-	return out
+// is the facade's single entry point: every registered method — built-in
+// or added — dispatches through the method registry's shared pipeline
+// (the former RunPolling*/RunPWW* helpers are gone; express their
+// configurations as RunSpecs).  A cancelled ctx tears the simulation
+// down mid-run and returns ctx.Err().
+func Run(ctx context.Context, s RunSpec) (*RunResult, error) {
+	return runpipe.Run(ctx, s)
 }
 
 // SpecFromManifest reconstructs the RunSpec a manifest records, ready
 // for Run.
 func SpecFromManifest(mf *Manifest) (RunSpec, error) {
-	spec := RunSpec{
-		Method:  Method(mf.Method),
-		System:  mf.System,
-		CPUs:    mf.CPUs,
-		Seed:    mf.Seed,
-		Polling: mf.Polling,
-		PWW:     mf.PWW,
-	}
-	if len(mf.Params) > 0 {
-		m, err := method.Lookup(mf.Method)
-		if err != nil {
-			return RunSpec{}, fmt.Errorf("comb: unknown method %q (have %s)", mf.Method, strings.Join(Methods(), ", "))
-		}
-		p, err := m.DecodeParams(mf.Params)
-		if err != nil {
-			return RunSpec{}, fmt.Errorf("comb: manifest params: %w", err)
-		}
-		spec.Params = p
-	}
-	if mf.Faults != "" {
-		fs, err := faultinject.Parse(mf.Faults)
-		if err != nil {
-			return RunSpec{}, fmt.Errorf("comb: manifest faults: %w", err)
-		}
-		spec.Faults = &fs
-	}
-	if _, _, err := spec.resolve(); err != nil {
-		return RunSpec{}, err
-	}
-	return spec, nil
+	return runpipe.SpecFromManifest(mf)
 }
 
 // Replay re-executes the measurement a manifest records and verifies
@@ -474,11 +157,11 @@ func SpecFromManifest(mf *Manifest) (RunSpec, error) {
 // result is returned even on hash mismatch (alongside the error) so
 // callers can diff the two runs.
 func Replay(ctx context.Context, mf *Manifest) (*RunResult, error) {
-	spec, err := SpecFromManifest(mf)
+	s, err := SpecFromManifest(mf)
 	if err != nil {
 		return nil, err
 	}
-	res, err := Run(ctx, spec)
+	res, err := Run(ctx, s)
 	if err != nil {
 		return nil, err
 	}
@@ -487,94 +170,6 @@ func Replay(ctx context.Context, mf *Manifest) (*RunResult, error) {
 			mf.ResultHash, res.Manifest.ResultHash)
 	}
 	return res, nil
-}
-
-// snapshot collects hardware counters from a finished instance.
-func snapshot(in *platform.Instance) *RunStats {
-	st := &RunStats{}
-	st.Packets, st.WireBytes, _ = in.Sys.Fabric.Stats()
-	for _, n := range in.Sys.Nodes {
-		st.CPUs = append(st.CPUs, NodeCPU{
-			Node:      n.ID,
-			Cores:     n.CPU.Cores(),
-			User:      time.Duration(n.CPU.Usage(cluster.User)),
-			Kernel:    time.Duration(n.CPU.Usage(cluster.Kernel)),
-			Interrupt: time.Duration(n.CPU.Usage(cluster.Interrupt)),
-		})
-	}
-	return st
-}
-
-// RunPolling runs one polling-method measurement of the named system on a
-// freshly built two-node simulation and returns the worker's result.
-//
-// Deprecated: use Run with a RunSpec{Method: MethodPolling}.
-func RunPolling(system string, cfg PollingConfig) (*PollingResult, error) {
-	res, err := Run(context.Background(), RunSpec{Method: MethodPolling, System: system, Polling: &cfg})
-	if err != nil {
-		return nil, err
-	}
-	return res.Polling, nil
-}
-
-// RunPollingOn is RunPolling with a processors-per-node override.
-//
-// Deprecated: use Run with a RunSpec{Method: MethodPolling, CPUs: cpus}.
-func RunPollingOn(system string, cpus int, cfg PollingConfig) (*PollingResult, error) {
-	res, err := Run(context.Background(), RunSpec{Method: MethodPolling, System: system, CPUs: cpus, Polling: &cfg})
-	if err != nil {
-		return nil, err
-	}
-	return res.Polling, nil
-}
-
-// RunPollingStats is RunPollingOn plus the hardware counters.
-//
-// Deprecated: use Run; RunResult.Stats is always populated.
-func RunPollingStats(system string, cpus int, cfg PollingConfig) (*PollingResult, *RunStats, error) {
-	res, err := Run(context.Background(), RunSpec{Method: MethodPolling, System: system, CPUs: cpus, Polling: &cfg})
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Polling, res.Stats, nil
-}
-
-// RunPollingTraced is RunPollingStats plus a packet-level trace of the
-// last traceCap fabric deliveries (nil recorder when traceCap is 0).
-//
-// Deprecated: use Run with RunSpec.TraceCap.
-func RunPollingTraced(system string, cpus, traceCap int, cfg PollingConfig) (*PollingResult, *RunStats, *trace.Recorder, error) {
-	res, err := Run(context.Background(), RunSpec{
-		Method: MethodPolling, System: system, CPUs: cpus, TraceCap: traceCap, Polling: &cfg,
-	})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return res.Polling, res.Stats, res.Trace, nil
-}
-
-// RunPWW runs one post-work-wait measurement of the named system and
-// returns the worker's result.
-//
-// Deprecated: use Run with a RunSpec{Method: MethodPWW}.
-func RunPWW(system string, cfg PWWConfig) (*PWWResult, error) {
-	res, err := Run(context.Background(), RunSpec{Method: MethodPWW, System: system, PWW: &cfg})
-	if err != nil {
-		return nil, err
-	}
-	return res.PWW, nil
-}
-
-// RunPWWOn is RunPWW with a processors-per-node override; see
-// RunSpec.CPUs.
-//
-// Deprecated: use Run with a RunSpec{Method: MethodPWW, CPUs: cpus}.
-func RunPWWOn(system string, cpus int, cfg PWWConfig) (*PWWResult, error) {
-	res, err := Run(context.Background(), RunSpec{Method: MethodPWW, System: system, CPUs: cpus, PWW: &cfg})
-	if err != nil {
-		return nil, err
-	}
-	return res.PWW, nil
 }
 
 // Figures lists every reproducible evaluation figure (paper Figures 4-17).

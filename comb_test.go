@@ -19,7 +19,7 @@ func TestSystems(t *testing.T) {
 }
 
 func TestRunPollingFacade(t *testing.T) {
-	res, err := RunPolling("gm", PollingConfig{
+	out, err := runPolling("gm", 0, PollingConfig{
 		Config:       Config{MsgSize: 50_000},
 		PollInterval: 50_000,
 		WorkTotal:    10_000_000,
@@ -27,16 +27,17 @@ func TestRunPollingFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := out.Polling
 	if res.BandwidthMBs <= 0 || res.Availability <= 0 {
 		t.Fatalf("degenerate result: %+v", res)
 	}
-	if _, err := RunPolling("nosuch", PollingConfig{PollInterval: 1}); err == nil {
+	if _, err := runPolling("nosuch", 0, PollingConfig{PollInterval: 1}); err == nil {
 		t.Fatal("unknown system must error")
 	}
 }
 
 func TestRunPWWFacade(t *testing.T) {
-	res, err := RunPWW("portals", PWWConfig{
+	out, err := runPWW("portals", 0, PWWConfig{
 		Config:       Config{MsgSize: 50_000},
 		WorkInterval: 500_000,
 		Reps:         5,
@@ -44,10 +45,11 @@ func TestRunPWWFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := out.PWW
 	if res.BytesReceived != 5*int64(res.BatchSize)*50_000 {
 		t.Fatalf("bytes wrong: %+v", res)
 	}
-	if _, err := RunPWW("nosuch", PWWConfig{WorkInterval: 1}); err == nil {
+	if _, err := runPWW("nosuch", 0, PWWConfig{WorkInterval: 1}); err == nil {
 		t.Fatal("unknown system must error")
 	}
 }

@@ -29,8 +29,11 @@
 // RunSpec selects the method (inferred when exactly one config pointer is
 // set), system, processors per node, and optional packet tracing;
 // RunResult bundles the method result, hardware counters, and trace.  A
-// cancelled ctx tears the simulation down mid-run.  The older
-// RunPolling*/RunPWW* helpers remain as deprecated wrappers over Run.
+// cancelled ctx tears the simulation down mid-run.  The former
+// RunPolling*/RunPWW* wrappers have been removed — every spelling they
+// offered is a RunSpec field.  The same spec is also the wire format: a
+// schema-versioned JSON document ("specVersion": 1) accepted by
+// `comb run -spec file.json` and by the `comb serve` HTTP API.
 //
 // Regenerating a paper figure:
 //

@@ -1,6 +1,7 @@
 package comb_test
 
 import (
+	"context"
 	"fmt"
 
 	"comb"
@@ -9,15 +10,20 @@ import (
 // The polling method reports bandwidth and CPU availability as functions
 // of how often the application polls for completions.  Simulation runs
 // are deterministic, so this example's output is exact.
-func ExampleRunPolling() {
-	res, err := comb.RunPolling("gm", comb.PollingConfig{
-		Config:       comb.Config{MsgSize: 100_000},
-		PollInterval: 100_000,
-		WorkTotal:    25_000_000,
+func ExampleRun() {
+	out, err := comb.Run(context.Background(), comb.RunSpec{
+		Method: comb.MethodPolling,
+		System: "gm",
+		Polling: &comb.PollingConfig{
+			Config:       comb.Config{MsgSize: 100_000},
+			PollInterval: 100_000,
+			WorkTotal:    25_000_000,
+		},
 	})
 	if err != nil {
 		panic(err)
 	}
+	res := out.Polling
 	fmt.Printf("%.1f MB/s at availability %.2f\n", res.BandwidthMBs, res.Availability)
 	// Output: 86.2 MB/s at availability 0.98
 }
@@ -25,16 +31,21 @@ func ExampleRunPolling() {
 // The post-work-wait method detects application offload: with a long
 // no-MPI-call work phase, GM's wait stays at a full transfer time while
 // Portals' drops to a flag check.
-func ExampleRunPWW() {
+func ExampleRun_postWorkWait() {
 	for _, system := range []string{"gm", "portals"} {
-		res, err := comb.RunPWW(system, comb.PWWConfig{
-			Config:       comb.Config{MsgSize: 100_000},
-			WorkInterval: 20_000_000,
-			Reps:         10,
+		out, err := comb.Run(context.Background(), comb.RunSpec{
+			Method: comb.MethodPWW,
+			System: system,
+			PWW: &comb.PWWConfig{
+				Config:       comb.Config{MsgSize: 100_000},
+				WorkInterval: 20_000_000,
+				Reps:         10,
+			},
 		})
 		if err != nil {
 			panic(err)
 		}
+		res := out.PWW
 		offload := "no offload"
 		if res.AvgWait < res.AvgWorkOnly/100 {
 			offload = "application offload"

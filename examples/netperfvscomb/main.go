@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,16 +34,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		poll, err := comb.RunPolling(system, comb.PollingConfig{
-			Config:       comb.Config{MsgSize: size},
-			PollInterval: 100_000,
-			WorkTotal:    loopIters,
+		out, err := comb.Run(context.Background(), comb.RunSpec{
+			Method: comb.MethodPolling,
+			System: system,
+			Polling: &comb.PollingConfig{
+				Config:       comb.Config{MsgSize: size},
+				PollInterval: 100_000,
+				WorkTotal:    loopIters,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-10s %18.3f %18.3f %14.3f\n",
-			system, sel.Availability, busy.Availability, poll.Availability)
+			system, sel.Availability, busy.Availability, out.Polling.Availability)
 	}
 	fmt.Println()
 	fmt.Println("GM really leaves the host ~fully available (COMB ~1.0), but a")

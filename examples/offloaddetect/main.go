@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -31,20 +32,27 @@ func diagnose(system string) (report, error) {
 		size = 100_000
 		work = 10_000_000 // ~20 ms: long enough to hide a 100 KB transfer
 	)
-	base, err := comb.RunPWW(system, comb.PWWConfig{
-		Config:       comb.Config{MsgSize: size},
-		WorkInterval: work,
-		Reps:         10,
-	})
+	pww := func(testInWork bool) (*comb.PWWResult, error) {
+		out, err := comb.Run(context.Background(), comb.RunSpec{
+			Method: comb.MethodPWW,
+			System: system,
+			PWW: &comb.PWWConfig{
+				Config:       comb.Config{MsgSize: size},
+				WorkInterval: work,
+				Reps:         10,
+				TestInWork:   testInWork,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out.PWW, nil
+	}
+	base, err := pww(false)
 	if err != nil {
 		return report{}, err
 	}
-	withTest, err := comb.RunPWW(system, comb.PWWConfig{
-		Config:       comb.Config{MsgSize: size},
-		WorkInterval: work,
-		Reps:         10,
-		TestInWork:   true,
-	})
+	withTest, err := pww(true)
 	if err != nil {
 		return report{}, err
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,27 +22,37 @@ func main() {
 		fmt.Printf("=== %s ===\n", system)
 
 		// Polling method: maximum achievable overlap.
-		poll, err := comb.RunPolling(system, comb.PollingConfig{
-			Config:       comb.Config{MsgSize: 100_000},
-			PollInterval: 100_000,    // iterations between completion polls
-			WorkTotal:    25_000_000, // ~50 ms of work on the 500 MHz model
+		pollRes, err := comb.Run(context.Background(), comb.RunSpec{
+			Method: comb.MethodPolling,
+			System: system,
+			Polling: &comb.PollingConfig{
+				Config:       comb.Config{MsgSize: 100_000},
+				PollInterval: 100_000,    // iterations between completion polls
+				WorkTotal:    25_000_000, // ~50 ms of work on the 500 MHz model
+			},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		poll := pollRes.Polling
 		fmt.Printf("  polling:  %6.2f MB/s sustained at %.3f CPU availability\n",
 			poll.BandwidthMBs, poll.Availability)
 
 		// Post-work-wait method: overlap under the no-MPI-calls-during-
 		// work restriction real applications live with.
-		pww, err := comb.RunPWW(system, comb.PWWConfig{
-			Config:       comb.Config{MsgSize: 100_000},
-			WorkInterval: 10_000_000, // ~20 ms work phase
-			Reps:         10,
+		pwwRes, err := comb.Run(context.Background(), comb.RunSpec{
+			Method: comb.MethodPWW,
+			System: system,
+			PWW: &comb.PWWConfig{
+				Config:       comb.Config{MsgSize: 100_000},
+				WorkInterval: 10_000_000, // ~20 ms work phase
+				Reps:         10,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		pww := pwwRes.PWW
 		fmt.Printf("  pww:      post %v/msg, work overhead %.1f%%, wait %v/msg\n",
 			pww.AvgPostRecv, pww.WorkOverhead*100, pww.AvgWait)
 

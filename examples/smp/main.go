@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,14 +23,20 @@ func main() {
 		"system", "cpus", "bandwidth", "classic avail", "system avail")
 	for _, system := range []string{"gm", "portals"} {
 		for _, cpus := range []int{1, 2, 4} {
-			res, err := comb.RunPollingOn(system, cpus, comb.PollingConfig{
-				Config:       comb.Config{MsgSize: 100_000},
-				PollInterval: 100_000,
-				WorkTotal:    25_000_000,
+			out, err := comb.Run(context.Background(), comb.RunSpec{
+				Method: comb.MethodPolling,
+				System: system,
+				CPUs:   cpus,
+				Polling: &comb.PollingConfig{
+					Config:       comb.Config{MsgSize: 100_000},
+					PollInterval: 100_000,
+					WorkTotal:    25_000_000,
+				},
 			})
 			if err != nil {
 				log.Fatal(err)
 			}
+			res := out.Polling
 			fmt.Printf("%-10s %6d %11.2f MB/s %14.3f %14.3f\n",
 				system, cpus, res.BandwidthMBs, res.Availability, res.SystemAvailability)
 		}

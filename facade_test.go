@@ -11,22 +11,24 @@ func TestRunPollingOnSMP(t *testing.T) {
 		PollInterval: 100_000,
 		WorkTotal:    10_000_000,
 	}
-	uni, err := RunPollingOn("portals", 1, cfg)
+	uniOut, err := runPolling("portals", 1, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	smp, err := RunPollingOn("portals", 2, cfg)
+	uni := uniOut.Polling
+	smpOut, err := runPolling("portals", 2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	smp := smpOut.Polling
 	if smp.Availability <= uni.Availability {
 		t.Errorf("SMP should inflate classic availability: %.3f vs %.3f",
 			smp.Availability, uni.Availability)
 	}
-	if _, err := RunPollingOn("nosuch", 1, cfg); err == nil {
+	if _, err := runPolling("nosuch", 1, cfg); err == nil {
 		t.Error("unknown system must fail")
 	}
-	if _, err := RunPollingOn("gm", -1, cfg); err == nil {
+	if _, err := runPolling("gm", -1, cfg); err == nil {
 		t.Error("negative CPU count must fail")
 	}
 }
@@ -37,20 +39,20 @@ func TestRunPWWOnSMP(t *testing.T) {
 		WorkInterval: 2_000_000,
 		Reps:         5,
 	}
-	res, err := RunPWWOn("portals", 2, cfg)
+	out, err := runPWW("portals", 2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.SystemAvailability <= 0 {
+	if out.PWW.SystemAvailability <= 0 {
 		t.Error("system availability missing")
 	}
-	if _, err := RunPWWOn("nosuch", 1, cfg); err == nil {
+	if _, err := runPWW("nosuch", 1, cfg); err == nil {
 		t.Error("unknown system must fail")
 	}
 }
 
 func TestRunPollingStatsCounters(t *testing.T) {
-	res, st, err := RunPollingStats("portals", 1, PollingConfig{
+	out, err := runPolling("portals", 1, PollingConfig{
 		Config:       Config{MsgSize: 100_000},
 		PollInterval: 100_000,
 		WorkTotal:    10_000_000,
@@ -58,7 +60,8 @@ func TestRunPollingStatsCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res == nil || st == nil {
+	st := out.Stats
+	if out.Polling == nil || st == nil {
 		t.Fatal("missing result or stats")
 	}
 	if st.Packets <= 0 || st.WireBytes <= 0 {
@@ -80,7 +83,7 @@ func TestRunPollingStatsCounters(t *testing.T) {
 			t.Errorf("node %d cores = %d", n.Node, n.Cores)
 		}
 	}
-	if _, _, err := RunPollingStats("nosuch", 1, PollingConfig{PollInterval: 1}); err == nil {
+	if _, err := runPolling("nosuch", 1, PollingConfig{PollInterval: 1}); err == nil {
 		t.Error("unknown system must fail")
 	}
 }

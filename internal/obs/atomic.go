@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path via a temp file + rename in the
+// destination directory (created if needed), so concurrent writers — the
+// serve API's jobs, parallel CLI runs sharing -obs-dir — can only ever
+// leave whole files behind, never interleaved or truncated ones.  Rename
+// is atomic on POSIX filesystems; last writer wins.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), perm); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"runtime/debug"
 
@@ -155,10 +154,9 @@ func saveJSON(path string, v any) error {
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	// Atomic so concurrent jobs sharing an artifact directory can only
+	// ever observe whole files.
+	return WriteFileAtomic(path, append(b, '\n'), 0o644)
 }
 
 // LoadManifest reads a manifest written by Save, rejecting unknown

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -175,16 +174,14 @@ func (c *Collector) Capture() *Capture {
 }
 
 // Save writes the capture as indented JSON, creating the directory if
-// needed.
+// needed.  The write is atomic (temp file + rename), so concurrent jobs
+// sharing a directory cannot interleave.
 func (c *Capture) Save(path string) error {
 	b, err := json.MarshalIndent(c, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return WriteFileAtomic(path, append(b, '\n'), 0o644)
 }
 
 // LoadCapture reads a capture written by Save, rejecting unknown

@@ -44,6 +44,11 @@ func Open(dir string) *Cache { return &Cache{dir: dir} }
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
+// Path maps a key to the file an entry for it would live in.  Layered
+// stores (the serve API's result store) derive sidecar file names from
+// it so their artifacts sit next to the cache entry they describe.
+func (c *Cache) Path(key string) string { return c.path(key) }
+
 // path maps a key to its file: a sanitized, human-greppable prefix plus a
 // short content hash of the full key to rule out collisions.
 func (c *Cache) path(key string) string {

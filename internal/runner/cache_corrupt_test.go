@@ -39,7 +39,7 @@ func seedCache(t *testing.T, pt Point) (*Cache, string) {
 	if _, err := eng.Run(context.Background(), pt); err != nil {
 		t.Fatal(err)
 	}
-	n, _, err := pt.normalized()
+	n, _, err := pt.Normalized()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func seedCache(t *testing.T, pt Point) (*Cache, string) {
 
 func TestLoadTreatsCorruptFilesAsMiss(t *testing.T) {
 	pt := quickPoint()
-	n, _, err := pt.normalized()
+	n, _, err := pt.Normalized()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestEngineRecomputesOverCorruptCache(t *testing.T) {
 				t.Errorf("expected one fresh simulation, got stats %+v", got)
 			}
 			// The rewrite must have healed the entry for the next engine.
-			n, _, _ := pt.normalized()
+			n, _, _ := pt.Normalized()
 			if _, ok := cache.Load(n.Key()); !ok {
 				t.Error("cache entry not rewritten after recompute")
 			}

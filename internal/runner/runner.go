@@ -3,92 +3,29 @@ package runner
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"comb/internal/method"
 	"comb/internal/obs"
-	"comb/internal/platform"
+	"comb/internal/runpipe"
+	"comb/internal/spec"
 )
 
 // Point is one schedulable measurement: a registered method plus its
-// parameters on a system.  The zero CPUs means the platform's own
-// processor count (uniprocessor on the reference platform, as in the
-// paper).
-type Point struct {
-	// Method is the registered method name ("polling", "pww",
-	// "pingpong", ...); see the method registry's Names.
-	Method string
-	// System is the transport registry name ("gm", "portals", ...).
-	System string
-	// CPUs overrides processors per node; 0 or 1 is the paper's testbed.
-	CPUs int
-	// Params is the method's parameter value (e.g. a core.PollingConfig
-	// for "polling"); normalization applies the method's defaults and
-	// validation, so equivalent points (explicit defaults vs. zero
-	// fields) share a key.
-	Params any
-}
-
-// normalized resolves the point's method and returns a copy of p with
-// the method's parameter defaults applied.
-func (p Point) normalized() (Point, method.Method, error) {
-	if p.Method == "" {
-		return p, nil, fmt.Errorf("runner: point has no method")
-	}
-	m, err := method.Lookup(p.Method)
-	if err != nil {
-		return p, nil, fmt.Errorf("runner: %w", err)
-	}
-	params, err := m.Validate(p.Params)
-	if err != nil {
-		return p, nil, err
-	}
-	p.Params = params
-	if p.CPUs < 0 {
-		return p, nil, fmt.Errorf("runner: invalid CPU count %d", p.CPUs)
-	}
-	return p, m, nil
-}
-
-// Key returns the point's cache key: the method name, the system, and
-// the method's own stable parameter hash ("method/system/hash"), plus a
-// "/cpus=N" suffix for multi-processor points.  Method names enter the
-// key, so two methods can never collide however their hashes are built.
-func (p Point) Key() string {
-	n, m, err := p.normalized()
-	if err != nil {
-		// An invalid point never reaches the caches; give it a unique-ish
-		// key so callers can still log it.
-		return fmt.Sprintf("invalid/%+v", p)
-	}
-	return keyOf(n, m)
-}
-
-// keyOf builds the cache key of an already-normalized point.  The hot
-// sweep path normalizes each point exactly once and threads the key
-// through resolve and the progress callback, so key construction (and
-// the parameter re-validation Key() implies) never repeats per point.
-func keyOf(n Point, m method.Method) string {
-	var b strings.Builder
-	h := m.Hash(n.Params)
-	b.Grow(len(n.Method) + len(n.System) + len(h) + 16)
-	b.WriteString(n.Method)
-	b.WriteByte('/')
-	b.WriteString(n.System)
-	b.WriteByte('/')
-	b.WriteString(h)
-	if n.CPUs > 1 {
-		b.WriteString("/cpus=")
-		b.WriteString(strconv.Itoa(n.CPUs))
-	}
-	return b.String()
-}
+// parameters on a system.  It is the unified spec type (internal/spec)
+// — the same struct the comb facade takes and the serve API decodes —
+// so a point scheduled here, a RunSpec run through the facade, and an
+// HTTP job body are literally one type.  The zero CPUs means the
+// platform's own processor count (uniprocessor on the reference
+// platform, as in the paper).  The engine ignores the spec's
+// TraceCap/ObsCap knobs: cached results carry no trace, so points that
+// differ only there share a key and a result.
+type Point = spec.Spec
 
 // Result is the envelope around one point's typed method result.
 type Result struct {
@@ -156,6 +93,7 @@ type Source string
 const (
 	FromMemory Source = "memory" // in-memory memo hit
 	FromDisk   Source = "disk"   // on-disk cache hit
+	FromShared Source = "shared" // joined an identical in-flight simulation
 	FromRun    Source = "run"    // freshly simulated
 )
 
@@ -170,11 +108,12 @@ type Progress struct {
 
 // Stats are the engine's lifetime cache counters.
 type Stats struct {
-	MemHits   int64 // points answered by the in-memory memo
-	DiskHits  int64 // points answered by the on-disk cache
-	Runs      int64 // points actually simulated
-	Retries   int64 // extra attempts after a failed simulation
-	CalibHits int64 // simulations that reused a shared dry-run calibration
+	MemHits    int64 // points answered by the in-memory memo
+	DiskHits   int64 // points answered by the on-disk cache
+	SharedHits int64 // points that joined an identical in-flight simulation
+	Runs       int64 // points actually simulated
+	Retries    int64 // extra attempts after a failed simulation
+	CalibHits  int64 // simulations that reused a shared dry-run calibration
 }
 
 // Config parameterizes a new Engine.  The zero value is a serial,
@@ -219,12 +158,22 @@ type Engine struct {
 	start    time.Time
 	inflight atomic.Int64
 
-	mu    sync.Mutex
-	memo  map[string]*Result
-	calib map[calibKey]time.Duration
-	stats Stats
+	mu      sync.Mutex
+	memo    map[string]*Result
+	flights map[string]*flight
+	calib   map[calibKey]time.Duration
+	stats   Stats
 
 	progMu sync.Mutex
+}
+
+// flight is one in-progress simulation concurrent callers of the same
+// key wait on (single-flight): the leader closes done once res/err are
+// final.
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
 }
 
 // New builds an engine from cfg.
@@ -243,6 +192,7 @@ func New(cfg Config) *Engine {
 		spans:      cfg.Spans,
 		start:      time.Now(),
 		memo:       make(map[string]*Result),
+		flights:    make(map[string]*flight),
 		calib:      make(map[calibKey]time.Duration),
 	}
 	if e.obsReg != nil {
@@ -284,15 +234,16 @@ func (e *Engine) ClearMemo() {
 	e.memo = make(map[string]*Result)
 }
 
-// Run resolves one point through the cache tiers, simulating it if needed.
-// Concurrent Runs for the same key may both simulate (last write wins);
-// RunAll dedupes keys up front, so sweeps never do duplicate work.
+// Run resolves one point through the cache tiers, simulating it if
+// needed.  Concurrent Runs for the same key collapse into one
+// simulation: the first caller becomes the flight leader, the rest wait
+// and share its result (Stats.SharedHits).
 func (e *Engine) Run(ctx context.Context, pt Point) (*Result, error) {
-	n, m, err := pt.normalized()
+	n, m, err := pt.Normalized()
 	if err != nil {
 		return nil, err
 	}
-	key := keyOf(n, m)
+	key := spec.KeyOf(n, m)
 	res, src, err := e.resolve(ctx, n, key)
 	if err != nil {
 		return nil, err
@@ -303,19 +254,62 @@ func (e *Engine) Run(ctx context.Context, pt Point) (*Result, error) {
 	return res, nil
 }
 
-// resolve answers one normalized point through the cache tiers.
+// resolve answers one normalized point through the cache tiers, joining
+// an identical in-flight simulation when one exists.
 func (e *Engine) resolve(ctx context.Context, n Point, key string) (*Result, Source, error) {
 	t0 := time.Since(e.start)
-
-	e.mu.Lock()
-	if r, ok := e.memo[key]; ok {
-		e.stats.MemHits++
+	for {
+		e.mu.Lock()
+		if r, ok := e.memo[key]; ok {
+			e.stats.MemHits++
+			e.mu.Unlock()
+			e.observe(key, FromMemory, 0, t0)
+			return r, FromMemory, nil
+		}
+		f, inFlight := e.flights[key]
+		if !inFlight {
+			f = &flight{done: make(chan struct{})}
+			e.flights[key] = f
+		}
 		e.mu.Unlock()
-		e.observe(key, FromMemory, 0, t0)
-		return r, FromMemory, nil
-	}
-	e.mu.Unlock()
 
+		if inFlight {
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, FromShared, ctx.Err()
+			}
+			if f.err != nil {
+				// A leader cancelled under its own context says nothing
+				// about this point; a live follower takes over and retries.
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					if ctx.Err() == nil {
+						continue
+					}
+					return nil, FromShared, ctx.Err()
+				}
+				return nil, FromShared, f.err
+			}
+			e.mu.Lock()
+			e.stats.SharedHits++
+			e.mu.Unlock()
+			e.observe(key, FromShared, 0, t0)
+			return f.res, FromShared, nil
+		}
+
+		res, src, err := e.lead(ctx, n, key, t0)
+		f.res, f.err = res, err
+		e.mu.Lock()
+		delete(e.flights, key)
+		e.mu.Unlock()
+		close(f.done)
+		return res, src, err
+	}
+}
+
+// lead answers a flight leader's point from the disk tier or a fresh
+// simulation, publishing the result into the memo and disk caches.
+func (e *Engine) lead(ctx context.Context, n Point, key string, t0 time.Duration) (*Result, Source, error) {
 	if e.disk != nil {
 		if r, ok := e.disk.Load(key); ok {
 			e.mu.Lock()
@@ -420,15 +414,16 @@ func (e *Engine) recordCalib(k calibKey, d time.Duration) {
 }
 
 // simulate runs one normalized point through the shared method pipeline:
-// platform build, invariant checker, the method itself, and the
-// end-of-run conservation and plausibility checks.
+// platform build (seed and fault injection included, via runpipe),
+// invariant checker, the method itself, and the end-of-run conservation
+// and plausibility checks.
 func (e *Engine) simulate(ctx context.Context, n Point) (*Result, error) {
 	if e.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.timeout)
 		defer cancel()
 	}
-	m, err := method.Lookup(n.Method)
+	m, err := method.Lookup(string(n.Method))
 	if err != nil {
 		return nil, err
 	}
@@ -446,7 +441,7 @@ func (e *Engine) simulate(ctx context.Context, n Point) (*Result, error) {
 			}
 		}
 	}
-	in, err := platform.New(platform.Config{Transport: n.System, CPUs: n.CPUs})
+	in, err := runpipe.NewPlatform(n)
 	if err != nil {
 		return nil, err
 	}
@@ -461,7 +456,7 @@ func (e *Engine) simulate(ctx context.Context, n Point) (*Result, error) {
 	if canCal {
 		e.recordCalib(ck, cal.CalibResult(res))
 	}
-	return &Result{Method: n.Method, Value: res}, nil
+	return &Result{Method: string(n.Method), Value: res}, nil
 }
 
 func (e *Engine) notify(prog Progress) {
@@ -485,11 +480,11 @@ func (e *Engine) RunAll(ctx context.Context, pts []Point) error {
 	seen := make(map[string]bool, len(pts))
 	var todo []keyedPoint
 	for _, pt := range pts {
-		n, m, err := pt.normalized()
+		n, m, err := pt.Normalized()
 		if err != nil {
 			return err
 		}
-		if k := keyOf(n, m); !seen[k] {
+		if k := spec.KeyOf(n, m); !seen[k] {
 			seen[k] = true
 			todo = append(todo, keyedPoint{pt: n, key: k})
 		}

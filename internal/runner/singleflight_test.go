@@ -1,0 +1,95 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"comb/internal/core"
+	_ "comb/internal/method/all"
+)
+
+// TestRunSingleflight proves N concurrent Runs of an identical point
+// cost exactly one simulation: one goroutine leads the flight, every
+// other either joins it (SharedHits) or lands on the memo the leader
+// published (MemHits).  Run under -race this also exercises the
+// flight-map and memo locking.
+func TestRunSingleflight(t *testing.T) {
+	const n = 8
+	eng := New(Config{Workers: n})
+	pt := Point{
+		Method: "polling",
+		System: "ideal",
+		Polling: &core.PollingConfig{
+			PollInterval: 1000,
+			WorkTotal:    5_000_000,
+		},
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = eng.Run(context.Background(), pt)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if results[i] == nil || results[i].Value == nil {
+			t.Fatalf("run %d: empty result", i)
+		}
+	}
+	// The simulation is deterministic and the flight shares one Result:
+	// every caller must observe the identical value.
+	for i := 1; i < n; i++ {
+		if results[i].Value.String() != results[0].Value.String() {
+			t.Errorf("run %d diverged: %s != %s", i, results[i].Value.String(), results[0].Value.String())
+		}
+	}
+
+	st := eng.Stats()
+	if st.Runs != 1 {
+		t.Errorf("Runs = %d, want 1 (singleflight must collapse identical points)", st.Runs)
+	}
+	if st.MemHits+st.SharedHits != n-1 {
+		t.Errorf("MemHits (%d) + SharedHits (%d) = %d, want %d", st.MemHits, st.SharedHits, st.MemHits+st.SharedHits, n-1)
+	}
+}
+
+// TestRunSingleflightLeaderCancel: a follower whose own context is live
+// must not inherit the leader's cancellation — it takes over and runs
+// the point itself.
+func TestRunSingleflightLeaderCancel(t *testing.T) {
+	eng := New(Config{Workers: 2})
+	pt := Point{
+		Method: "pww",
+		System: "ideal",
+		PWW:    &core.PWWConfig{WorkInterval: 1_000_000, Reps: 2},
+	}
+
+	// Cancelled leader: its Run must fail with its own context error.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Run(cctx, pt); err == nil {
+		t.Fatal("cancelled run must fail")
+	}
+
+	// A fresh caller with a live context must still get the point.
+	res, err := eng.Run(context.Background(), pt)
+	if err != nil {
+		t.Fatalf("follow-up run after cancelled leader: %v", err)
+	}
+	if res == nil || res.Value == nil {
+		t.Fatal("follow-up run returned no result")
+	}
+}

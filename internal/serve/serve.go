@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"comb/internal/obs"
+	"comb/internal/runner"
+	"comb/internal/runpipe"
+	"comb/internal/spec"
+)
+
+// Config tunes a Server.  The zero value is usable: runpipe.Run as the
+// engine, GOMAXPROCS workers, a fresh metrics registry, no persistent
+// store, and every protection middleware disabled.
+type Config struct {
+	// Run executes one normalized spec; nil means runpipe.Run.  The
+	// server wraps it in breaker → retry → timeout before use.
+	Run RunFunc
+	// Store is the persistent result store; nil serves from memory only
+	// (identical in-flight jobs still dedupe via singleflight).
+	Store *Store
+	// JobsDir, when set, receives one subdirectory per finished job
+	// holding its provenance artifacts (job.json, manifest.json), each
+	// written atomically.
+	JobsDir string
+	// Workers bounds concurrently executing jobs; 0 means GOMAXPROCS.
+	Workers int
+	// QueueCap bounds the backlog of accepted-but-unstarted jobs; a
+	// full queue rejects submissions with ErrQueueFull (HTTP 503).
+	// 0 means 64.
+	QueueCap int
+
+	// Timeout bounds each run attempt; 0 disables.
+	Timeout time.Duration
+	// Retries re-runs a failed point up to this many extra times.
+	Retries int
+	// BreakerThreshold opens the circuit breaker after this many
+	// consecutive failures; 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects work before
+	// probing; 0 means 30s.
+	BreakerCooldown time.Duration
+
+	// Rate caps accepted /v1/ requests per second (token bucket of
+	// Burst capacity); 0 disables rate limiting.
+	Rate  float64
+	Burst int
+	// ClientConcurrency caps concurrent in-flight /v1/ requests per
+	// client (X-Comb-Client header, else remote host); 0 disables.
+	ClientConcurrency int
+
+	// Reg receives the server's metrics; nil means a fresh registry.
+	Reg *obs.Registry
+	// Log receives one line per HTTP request and per job transition;
+	// nil discards.
+	Log *log.Logger
+}
+
+// ErrQueueFull rejects submissions when the job backlog is at capacity.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// flight is one in-progress execution of a cache key, shared by every
+// job that submitted the identical spec while it ran.
+type flight struct {
+	done  chan struct{}
+	res   *runner.Result
+	mf    *obs.Manifest
+	stats *runpipe.RunStats
+	err   error
+}
+
+// Server runs benchmark specs submitted over HTTP: a bounded worker
+// fleet drains a queue of jobs, identical in-flight specs collapse into
+// one engine run (singleflight over the cache key), and the optional
+// Store answers repeats without running at all.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	log     *log.Logger
+	run     RunFunc
+	store   *Store
+	breaker *Breaker
+	rate    *tokenBucket
+	budget  *clientBudget
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *Job
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int64
+
+	fmu     sync.Mutex
+	flights map[string]*flight
+
+	mQueueFull *obs.Counter
+	mInflight  *obs.Gauge
+	mJobSec    *obs.Histogram
+}
+
+// jobSecondsBuckets are the comb_serve_job_seconds bounds (wall-clock).
+var jobSecondsBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 60}
+
+// New builds a server and starts its worker fleet; Close stops it.
+func New(cfg Config) *Server {
+	if cfg.Run == nil {
+		cfg.Run = runpipe.Run
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
+	reg := cfg.Reg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	lg := cfg.Log
+	if lg == nil {
+		lg = log.New(io.Discard, "", 0)
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		log:     lg,
+		store:   cfg.Store,
+		queue:   make(chan *Job, cfg.QueueCap),
+		jobs:    make(map[string]*Job),
+		flights: make(map[string]*flight),
+	}
+	var mws []Middleware
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, reg)
+		mws = append(mws, s.breaker.Middleware())
+	}
+	mws = append(mws, WithRetry(cfg.Retries), WithTimeout(cfg.Timeout))
+	s.run = Chain(mws...)(cfg.Run)
+	if cfg.Rate > 0 {
+		s.rate = newTokenBucket(cfg.Rate, cfg.Burst)
+	}
+	if cfg.ClientConcurrency > 0 {
+		s.budget = newClientBudget(cfg.ClientConcurrency)
+	}
+	s.mQueueFull = reg.Counter("comb_serve_queue_full_total", "submissions rejected because the job queue was full")
+	s.mInflight = reg.Gauge("comb_serve_inflight_jobs", "jobs currently queued or running")
+	s.mJobSec = reg.Histogram("comb_serve_job_seconds", "job wall-clock duration from start to finish", jobSecondsBuckets)
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Close stops accepting work on the worker fleet and waits for running
+// jobs to wind down (their contexts are cancelled).
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Submit validates, normalizes and enqueues one spec, returning the
+// accepted job.  The spec's TraceCap/ObsCap are cleared: the service
+// returns results and hashes, not per-run trace buffers.
+func (s *Server) Submit(sp spec.Spec) (*Job, error) {
+	sp.TraceCap, sp.ObsCap = 0, 0
+	n, m, err := sp.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	key := spec.KeyOf(n, m)
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	j := newJob(id, key, n)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		s.mQueueFull.Inc()
+		return nil, ErrQueueFull
+	}
+	s.mInflight.Set(int64(s.inflight()))
+	s.log.Printf("serve: job %s queued key=%s", id, key)
+	return j, nil
+}
+
+// Job returns a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every job's view in submission order.
+func (s *Server) Jobs() []View {
+	s.mu.Lock()
+	order := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(order))
+	for _, id := range order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]View, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.View())
+	}
+	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID })
+	return views
+}
+
+func (s *Server) inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if !j.View().State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob drives one job to a terminal state: store hit, shared flight,
+// or a fresh engine run through the middleware chain.
+func (s *Server) runJob(j *Job) {
+	j.setRunning()
+	start := time.Now()
+	defer func() {
+		s.mJobSec.Observe(time.Since(start).Seconds())
+		s.mInflight.Set(int64(s.inflight()))
+	}()
+
+	if s.store != nil {
+		if e, ok := s.store.Get(j.key); ok {
+			s.finishOK(j, SourceCache, e.Result, e.Manifest, e.Stats)
+			return
+		}
+	}
+	res, mf, stats, source, err := s.resolve(j)
+	if err != nil {
+		s.finishErr(j, err)
+		return
+	}
+	s.finishOK(j, source, res, mf, stats)
+}
+
+// resolve collapses identical in-flight keys into one engine run.  The
+// first job in becomes the leader and runs; every job arriving while
+// the flight is open waits and shares the leader's outcome (source
+// "shared"), making N identical concurrent submissions cost one run.
+func (s *Server) resolve(j *Job) (*runner.Result, *obs.Manifest, *runpipe.RunStats, string, error) {
+	s.fmu.Lock()
+	if f, ok := s.flights[j.key]; ok {
+		s.fmu.Unlock()
+		select {
+		case <-f.done:
+		case <-s.ctx.Done():
+			return nil, nil, nil, "", s.ctx.Err()
+		}
+		if f.err != nil {
+			return nil, nil, nil, "", f.err
+		}
+		return f.res, f.mf, f.stats, SourceShared, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[j.key] = f
+	s.fmu.Unlock()
+
+	out, err := s.run(s.ctx, j.spec)
+	if err != nil {
+		f.err = err
+	} else {
+		f.res = &runner.Result{Method: out.Manifest.Method, Value: out.Value}
+		f.mf = out.Manifest
+		f.stats = out.Stats
+		if s.store != nil {
+			if perr := s.store.Put(j.key, j.spec, out); perr != nil {
+				s.log.Printf("serve: store %s: %v", j.key, perr)
+			}
+		}
+	}
+	s.fmu.Lock()
+	delete(s.flights, j.key)
+	s.fmu.Unlock()
+	close(f.done)
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	return f.res, f.mf, f.stats, SourceRun, nil
+}
+
+func (s *Server) finishOK(j *Job, source string, res *runner.Result, mf *obs.Manifest, stats *runpipe.RunStats) {
+	j.finishOK(source, res, mf, stats)
+	s.reg.Counter(fmt.Sprintf("comb_serve_jobs_total{state=%q}", "done"), "finished jobs by terminal state").Inc()
+	s.reg.Counter(fmt.Sprintf("comb_serve_job_source_total{source=%q}", source), "done jobs by result source (run, shared, cache)").Inc()
+	s.log.Printf("serve: job %s done source=%s hash=%s", j.id, source, mf.ResultHash)
+	s.writeArtifacts(j)
+}
+
+func (s *Server) finishErr(j *Job, err error) {
+	j.finishErr(err)
+	s.reg.Counter(fmt.Sprintf("comb_serve_jobs_total{state=%q}", "failed"), "finished jobs by terminal state").Inc()
+	s.log.Printf("serve: job %s failed: %v", j.id, err)
+	s.writeArtifacts(j)
+}
+
+// writeArtifacts records a finished job under JobsDir/<id>/ — its view
+// and, when it has one, the run manifest.  Each file is written
+// atomically, and each job owns its own subdirectory, so concurrent
+// jobs never collide.
+func (s *Server) writeArtifacts(j *Job) {
+	if s.cfg.JobsDir == "" {
+		return
+	}
+	dir := filepath.Join(s.cfg.JobsDir, j.id)
+	if b, err := marshalIndent(j.View()); err == nil {
+		if werr := obs.WriteFileAtomic(filepath.Join(dir, "job.json"), b, 0o644); werr != nil {
+			s.log.Printf("serve: job %s artifacts: %v", j.id, werr)
+		}
+	}
+	j.mu.Lock()
+	mf := j.manifest
+	j.mu.Unlock()
+	if mf != nil {
+		if err := mf.Save(filepath.Join(dir, obs.ManifestFile)); err != nil {
+			s.log.Printf("serve: job %s manifest: %v", j.id, err)
+		}
+	}
+}

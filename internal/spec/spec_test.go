@@ -1,0 +1,203 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"comb/internal/core"
+	"comb/internal/faultinject"
+	_ "comb/internal/method/all"
+	"comb/internal/pingpong"
+	"comb/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden spec documents")
+
+// goldenSpecs are the wire-schema fixtures: one per params route
+// (dedicated polling/pww fields, generic method params) plus the
+// optional axes (cpus, seed, faults).  Their serialized forms live in
+// testdata/ and pin the version-1 schema byte for byte.
+func goldenSpecs() []struct {
+	name string
+	spec Spec
+} {
+	return []struct {
+		name string
+		spec Spec
+	}{
+		{"polling", Spec{
+			Method:  MethodPolling,
+			System:  "gm",
+			Polling: &core.PollingConfig{PollInterval: 64, WorkTotal: 1_000_000},
+		}},
+		{"pww_axes", Spec{
+			Method: MethodPWW,
+			System: "portals",
+			CPUs:   2,
+			Seed:   42,
+			Faults: &faultinject.Spec{Drop: 0.01, DelayProb: 0.2, DelayMax: sim.Time(50 * time.Microsecond)},
+			PWW:    &core.PWWConfig{WorkInterval: 500_000, Reps: 8},
+		}},
+		{"pingpong_params", Spec{
+			Method: MethodPingpong,
+			System: "ideal",
+			Params: pingpong.Params{MsgSize: 4096, Reps: 10},
+		}},
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+".golden.json")
+}
+
+// TestGoldenRoundTrip pins the wire schema: each fixture must marshal
+// to exactly its golden document, and decoding the golden document and
+// re-encoding it must reproduce the same bytes.  A diff here means the
+// schema changed and Version must be bumped (or the change reverted).
+func TestGoldenRoundTrip(t *testing.T) {
+	for _, g := range goldenSpecs() {
+		t.Run(g.name, func(t *testing.T) {
+			got, err := json.MarshalIndent(g.spec, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := goldenPath(g.name)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/spec -update` after an intentional schema change)", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("wire document drifted from golden %s:\ngot:\n%swant:\n%s", path, got, want)
+			}
+
+			// Decode → re-encode must be lossless.
+			var back Spec
+			if err := json.Unmarshal(want, &back); err != nil {
+				t.Fatal(err)
+			}
+			again, err := json.MarshalIndent(back, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			again = append(again, '\n')
+			if string(again) != string(want) {
+				t.Errorf("round trip not lossless:\nfirst:\n%ssecond:\n%s", want, again)
+			}
+
+			// And the decoded spec must describe the same measurement.
+			if got, want := back.Key(), g.spec.Key(); got != want {
+				t.Errorf("round-tripped key = %q, want %q", got, want)
+			}
+		})
+	}
+}
+
+func TestUnmarshalVersionErrors(t *testing.T) {
+	var s Spec
+	err := json.Unmarshal([]byte(`{"method":"pww","system":"gm"}`), &s)
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.Got != 0 {
+		t.Fatalf("missing specVersion: err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "no specVersion field") {
+		t.Errorf("missing-version message: %q", err)
+	}
+
+	err = json.Unmarshal([]byte(`{"specVersion":2,"method":"pww"}`), &s)
+	ve = nil
+	if !errors.As(err, &ve) || ve.Got != 2 {
+		t.Fatalf("foreign specVersion: err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "unsupported specVersion 2") {
+		t.Errorf("foreign-version message: %q", err)
+	}
+}
+
+func TestUnmarshalStrictness(t *testing.T) {
+	var s Spec
+	if err := json.Unmarshal([]byte(`{"specVersion":1,"method":"pww","bogusField":3}`), &s); err == nil {
+		t.Error("unknown fields must be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{"specVersion":1,"params":{"reps":2}}`), &s); err == nil ||
+		!strings.Contains(err.Error(), "explicit") {
+		t.Errorf("params without method: err = %v", err)
+	}
+	if err := json.Unmarshal([]byte(`{"specVersion":1,"method":"nosuch","params":{}}`), &s); err == nil ||
+		!strings.Contains(err.Error(), "unknown method") {
+		t.Errorf("unknown method: err = %v", err)
+	}
+	if err := json.Unmarshal([]byte(`{"specVersion":1,"method":"pww","faults":"drop=banana"}`), &s); err == nil {
+		t.Error("malformed faults must be rejected")
+	}
+}
+
+// TestKeyOptionalSegments pins the frozen key grammar: the classic
+// "method/system/hash" for plain specs, with /cpus=, /seed= and
+// /faults= segments appended only when those axes are set.
+func TestKeyOptionalSegments(t *testing.T) {
+	base := Spec{
+		Method:  MethodPolling,
+		System:  "gm",
+		Polling: &core.PollingConfig{PollInterval: 64, WorkTotal: 1_000_000},
+	}
+	plain := base.Key()
+	if strings.Contains(plain, "seed=") || strings.Contains(plain, "faults=") || strings.Contains(plain, "cpus=") {
+		t.Fatalf("plain key must carry no optional segments: %q", plain)
+	}
+	if !strings.HasPrefix(plain, "polling/gm/") {
+		t.Fatalf("plain key grammar: %q", plain)
+	}
+
+	seeded := base
+	seeded.Seed = 7
+	if got := seeded.Key(); got != plain+"/seed=7" {
+		t.Errorf("seeded key = %q, want %q", got, plain+"/seed=7")
+	}
+
+	faulty := base
+	faulty.Faults = &faultinject.Spec{Drop: 0.5, Seed: 9}
+	want := plain + "/faults=" + faulty.Faults.String()
+	if got := faulty.Key(); got != want {
+		t.Errorf("faulty key = %q, want %q", got, want)
+	}
+
+	// A fault spec without its own seed inherits the spec seed, and the
+	// inherited seed shows up in the key: same faults + different seed
+	// must never share a cache entry.
+	inherit := base
+	inherit.Seed = 3
+	inherit.Faults = &faultinject.Spec{Drop: 0.5}
+	n, _, err := inherit.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Faults.Seed != 3 {
+		t.Errorf("fault seed not inherited: %+v", n.Faults)
+	}
+}
+
+// TestNormalizedParamsEquivalence: the dedicated config pointer and the
+// generic Params route describe the same measurement, hence one key.
+func TestNormalizedParamsEquivalence(t *testing.T) {
+	cfg := core.PWWConfig{WorkInterval: 250_000, Reps: 4}
+	viaPtr := Spec{System: "gm", PWW: &cfg}
+	viaParams := Spec{Method: MethodPWW, System: "gm", Params: cfg}
+	if a, b := viaPtr.Key(), viaParams.Key(); a != b {
+		t.Errorf("pointer route key %q != params route key %q", a, b)
+	}
+}

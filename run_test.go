@@ -111,65 +111,59 @@ func TestRunCancelled(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersDelegate: the old facade entry points must
-// produce the same measurements as Run with the equivalent spec (the
-// simulation is deterministic, so equality is exact).
-func TestDeprecatedWrappersDelegate(t *testing.T) {
+// TestRunRegistryDispatch: Run is the facade's single entry point, and
+// every registered method dispatches through the registry identically —
+// a spec carrying a dedicated config pointer and a spec carrying the
+// same config as generic Params must produce byte-identical results
+// (the simulation is deterministic, so equality is exact).
+func TestRunRegistryDispatch(t *testing.T) {
+	ctx := context.Background()
+
+	// Dedicated-pointer path vs. registry Params path, polling.
 	spec := pollingSpec()
-	want, err := Run(context.Background(), spec)
+	want, err := Run(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	old, err := RunPolling(spec.System, *spec.Polling)
+	viaParams, err := Run(ctx, RunSpec{Method: MethodPolling, System: spec.System, Params: *spec.Polling})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if old.BandwidthMBs != want.Polling.BandwidthMBs || old.Availability != want.Polling.Availability {
-		t.Errorf("RunPolling diverged from Run: %+v vs %+v", old, want.Polling)
+	if viaParams.Polling == nil || *viaParams.Polling != *want.Polling {
+		t.Errorf("Params dispatch diverged from Polling dispatch: %+v vs %+v", viaParams.Polling, want.Polling)
 	}
-	oldOn, err := RunPollingOn(spec.System, 1, *spec.Polling)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if oldOn.BandwidthMBs != want.Polling.BandwidthMBs {
-		t.Errorf("RunPollingOn diverged from Run: %+v vs %+v", oldOn, want.Polling)
-	}
-	oldStats, st, err := RunPollingStats(spec.System, 0, *spec.Polling)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if oldStats.BandwidthMBs != want.Polling.BandwidthMBs || st == nil || st.Packets != want.Stats.Packets {
-		t.Errorf("RunPollingStats diverged from Run: %+v / %+v", oldStats, st)
-	}
-	oldTraced, _, rec, err := RunPollingTraced(spec.System, 0, 16, *spec.Polling)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if oldTraced.BandwidthMBs != want.Polling.BandwidthMBs || rec == nil || rec.Len() == 0 {
-		t.Errorf("RunPollingTraced diverged from Run: %+v (trace %v)", oldTraced, rec)
+	if viaParams.Manifest.ResultHash != want.Manifest.ResultHash {
+		t.Errorf("result hashes diverged: %s vs %s", viaParams.Manifest.ResultHash, want.Manifest.ResultHash)
 	}
 
+	// Same for PWW.
 	pcfg := PWWConfig{
 		Config:       Config{MsgSize: 10_000},
 		WorkInterval: 100_000,
 		Reps:         3,
 	}
-	wantPWW, err := Run(context.Background(), RunSpec{Method: MethodPWW, System: "ideal", PWW: &pcfg})
+	wantPWW, err := Run(ctx, RunSpec{Method: MethodPWW, System: "ideal", PWW: &pcfg})
 	if err != nil {
 		t.Fatal(err)
 	}
-	oldPWW, err := RunPWW("ideal", pcfg)
+	pwwParams, err := Run(ctx, RunSpec{Method: MethodPWW, System: "ideal", Params: pcfg})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if oldPWW.AvgWait != wantPWW.PWW.AvgWait || oldPWW.BandwidthMBs != wantPWW.PWW.BandwidthMBs {
-		t.Errorf("RunPWW diverged from Run: %+v vs %+v", oldPWW, wantPWW.PWW)
+	if pwwParams.PWW == nil || pwwParams.PWW.AvgWait != wantPWW.PWW.AvgWait || pwwParams.PWW.BandwidthMBs != wantPWW.PWW.BandwidthMBs {
+		t.Errorf("PWW Params dispatch diverged: %+v vs %+v", pwwParams.PWW, wantPWW.PWW)
 	}
-	oldPWWOn, err := RunPWWOn("ideal", 1, pcfg)
+
+	// A non-primary registered method flows through the same entry point:
+	// its typed result lands in Value (the dedicated views stay nil).
+	pp, err := Run(ctx, RunSpec{Method: MethodPingpong, System: "ideal", Params: PingpongConfig{MsgSize: 10_000, Reps: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if oldPWWOn.AvgWait != wantPWW.PWW.AvgWait || oldPWWOn.BandwidthMBs != wantPWW.PWW.BandwidthMBs {
-		t.Errorf("RunPWWOn diverged from Run: %+v vs %+v", oldPWWOn, wantPWW.PWW)
+	if pp.Polling != nil || pp.PWW != nil {
+		t.Error("pingpong run must not set the polling/PWW views")
+	}
+	if r, ok := pp.Value.(*PingpongResult); !ok || r.BandwidthMBs <= 0 {
+		t.Errorf("pingpong dispatch returned %T %+v", pp.Value, pp.Value)
 	}
 }

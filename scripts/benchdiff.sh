@@ -20,15 +20,19 @@
 #
 # ns/op wall-clock noise on shared runners is real, so treat a time
 # failure as "look here", not proof; an allocs/op failure past the slack
-# is proof.
+# is proof.  Exception: the BenchmarkServe* pair crosses real HTTP, so
+# its allocs/op jitters a few percent with connection handling; those
+# two baselines are committed with ~8% headroom above the observed min
+# instead of the exact value (keep that headroom when re-recording).
 # BENCH_FILTER narrows the benchmark regex (default: the per-figure set,
-# which covers the whole sweep->runner->sim stack).
+# which covers the whole sweep->runner->sim stack, plus the serve
+# hot/cold-cache service benchmarks).
 set -e
 cd "$(dirname "$0")/.."
 
 BASELINE=BENCH_baseline.json
 TOLERANCE="${BENCH_TOLERANCE:-20}"
-FILTER="${BENCH_FILTER:-^BenchmarkFig}"
+FILTER="${BENCH_FILTER:-^Benchmark(Fig|Serve)}"
 BENCHTIME="${BENCH_TIME:-1x}"
 COUNT="${BENCH_COUNT:-5}"
 

@@ -30,4 +30,8 @@ for m in polling pww pingpong netperf; do
 done
 rm -f /tmp/comb-verify
 
+echo "==> comb serve smoke"
+# End-to-end: serve on loopback, submit a spec, stable hash, /metrics.
+sh scripts/servesmoke.sh
+
 echo "verify: OK"

@@ -1,0 +1,14 @@
+package comb
+
+import "context"
+
+// runPolling and runPWW are test shorthands for the facade's single
+// entry point (the deprecated RunPolling*/RunPWW* wrappers are gone).
+
+func runPolling(system string, cpus int, cfg PollingConfig) (*RunResult, error) {
+	return Run(context.Background(), RunSpec{Method: MethodPolling, System: system, CPUs: cpus, Polling: &cfg})
+}
+
+func runPWW(system string, cpus int, cfg PWWConfig) (*RunResult, error) {
+	return Run(context.Background(), RunSpec{Method: MethodPWW, System: system, CPUs: cpus, PWW: &cfg})
+}
