@@ -26,6 +26,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "concurrent benchmark jobs (0 = GOMAXPROCS)")
 	queueCap := fs.Int("queue", 64, "accepted-but-unstarted job backlog before 503s")
+	retain := fs.Int("retain", 0, "finished jobs kept in memory (0 = 1024, negative = unlimited)")
 	noStore := fs.Bool("no-store", false, "serve from memory only (no persistent result store)")
 	cacheDir := fs.String("cache-dir", runner.DefaultCacheDir, "persistent result store directory (shared with sweep cache)")
 	jobsDir := fs.String("jobs-dir", "", "write per-job artifact directories here ('' disables)")
@@ -43,6 +44,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	cfg := serve.Config{
 		Workers:           *workers,
 		QueueCap:          *queueCap,
+		RetainJobs:        *retain,
 		JobsDir:           *jobsDir,
 		Timeout:           *timeout,
 		Retries:           *retries,

@@ -19,6 +19,27 @@ import (
 // maxSpecBytes bounds a submitted spec body.
 const maxSpecBytes = 1 << 20
 
+// maxWait caps ?wait= long-polls server-side so a client cannot pin a
+// handler goroutine (and its connection) indefinitely; longer polls
+// just re-issue with ?since=.
+const maxWait = 60 * time.Second
+
+// parseWait validates a ?wait= value: negative durations are rejected,
+// and anything beyond maxWait is clamped to it.
+func parseWait(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %s", d)
+	}
+	if d > maxWait {
+		d = maxWait
+	}
+	return d, nil
+}
+
 // apiError is the wire shape of every non-2xx response.
 type apiError struct {
 	Error struct {
@@ -159,7 +180,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, j.View())
 		return
 	}
-	wait, err := time.ParseDuration(waitStr)
+	wait, err := parseWait(waitStr)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_wait", fmt.Errorf("serve: wait: %w", err))
 		return
@@ -289,14 +310,26 @@ func (sr *statusRecorder) Flush() {
 	}
 }
 
-// routeLabel collapses job IDs out of a path so request metrics have
-// bounded cardinality.
+// routeLabel maps a request path onto the fixed route vocabulary so
+// request metrics have bounded cardinality: known routes keep their
+// shape with the job ID collapsed to {id}, and everything else — 404
+// scans, typos, unknown suffixes — becomes "other" instead of minting
+// a fresh label per URL.
 func routeLabel(path string) string {
-	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
-	if len(parts) >= 3 && parts[0] == "v1" && parts[1] == "jobs" {
-		parts[2] = "{id}"
+	switch path {
+	case "/healthz", "/metrics", "/v1/version", "/v1/jobs":
+		return path
 	}
-	return "/" + strings.Join(parts, "/")
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	if len(parts) >= 3 && parts[0] == "v1" && parts[1] == "jobs" && parts[2] != "" {
+		switch {
+		case len(parts) == 3:
+			return "/v1/jobs/{id}"
+		case len(parts) == 4 && (parts[3] == "result" || parts[3] == "manifest" || parts[3] == "events"):
+			return "/v1/jobs/{id}/" + parts[3]
+		}
+	}
+	return "other"
 }
 
 // obsMiddleware logs every request and counts it by route and status.

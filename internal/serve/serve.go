@@ -38,6 +38,12 @@ type Config struct {
 	// full queue rejects submissions with ErrQueueFull (HTTP 503).
 	// 0 means 64.
 	QueueCap int
+	// RetainJobs caps how many finished (terminal) jobs stay resident:
+	// once a job completes, the oldest terminal jobs beyond the cap are
+	// evicted from the in-memory index (their artifacts persist under
+	// JobsDir when set), so a long-running server's memory is bounded.
+	// 0 means 1024; negative disables eviction.
+	RetainJobs int
 
 	// Timeout bounds each run attempt; 0 disables.
 	Timeout time.Duration
@@ -108,6 +114,7 @@ type Server struct {
 	mQueueFull *obs.Counter
 	mInflight  *obs.Gauge
 	mJobSec    *obs.Histogram
+	mEvicted   *obs.Counter
 }
 
 // jobSecondsBuckets are the comb_serve_job_seconds bounds (wall-clock).
@@ -123,6 +130,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 64
+	}
+	if cfg.RetainJobs == 0 {
+		cfg.RetainJobs = 1024
 	}
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 30 * time.Second
@@ -160,6 +170,7 @@ func New(cfg Config) *Server {
 	s.mQueueFull = reg.Counter("comb_serve_queue_full_total", "submissions rejected because the job queue was full")
 	s.mInflight = reg.Gauge("comb_serve_inflight_jobs", "jobs currently queued or running")
 	s.mJobSec = reg.Histogram("comb_serve_job_seconds", "job wall-clock duration from start to finish", jobSecondsBuckets)
+	s.mEvicted = reg.Counter("comb_serve_jobs_evicted_total", "terminal jobs evicted from the in-memory index by the retention cap")
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -172,10 +183,22 @@ func New(cfg Config) *Server {
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Close stops accepting work on the worker fleet and waits for running
-// jobs to wind down (their contexts are cancelled).
+// jobs to wind down (their contexts are cancelled).  Jobs still sitting
+// in the queue are failed with context.Canceled so long-poll and SSE
+// watchers wake with a terminal view instead of blocking until their
+// own timeouts.
 func (s *Server) Close() {
 	s.cancel()
 	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			s.finishErr(j, context.Canceled)
+		default:
+			s.mInflight.Set(int64(s.inflight()))
+			return
+		}
+	}
 }
 
 // Submit validates, normalizes and enqueues one spec, returning the
@@ -193,20 +216,21 @@ func (s *Server) Submit(sp spec.Spec) (*Job, error) {
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
 	j := newJob(id, key, n)
-	s.jobs[id] = j
-	s.order = append(s.order, id)
-	s.mu.Unlock()
-
+	// Enqueue before registering, all under one critical section: a
+	// rejected job is never visible, so there is no rollback to race
+	// against a concurrent Submit.  The send cannot block (buffered
+	// channel, default arm), and workers never take s.mu while
+	// receiving, so holding the lock across it is safe.
 	select {
 	case s.queue <- j:
 	default:
-		s.mu.Lock()
-		delete(s.jobs, id)
-		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
 		s.mQueueFull.Inc()
 		return nil, ErrQueueFull
 	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
 	s.mInflight.Set(int64(s.inflight()))
 	s.log.Printf("serve: job %s queued key=%s", id, key)
 	return j, nil
@@ -226,7 +250,9 @@ func (s *Server) Jobs() []View {
 	order := append([]string(nil), s.order...)
 	jobs := make([]*Job, 0, len(order))
 	for _, id := range order {
-		jobs = append(jobs, s.jobs[id])
+		if j := s.jobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
 	}
 	s.mu.Unlock()
 	views := make([]View, 0, len(jobs))
@@ -247,6 +273,38 @@ func (s *Server) inflight() int {
 		}
 	}
 	return n
+}
+
+// evictTerminal enforces RetainJobs: once more than that many jobs are
+// terminal, the oldest terminal ones are dropped from the in-memory
+// index (queued/running jobs are always kept).  Evicted jobs' artifacts
+// remain under JobsDir; their IDs answer 404 afterwards.
+func (s *Server) evictTerminal() {
+	if s.cfg.RetainJobs < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].View().State.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.cfg.RetainJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if terminal > s.cfg.RetainJobs && s.jobs[id].View().State.Terminal() {
+			delete(s.jobs, id)
+			terminal--
+			s.mEvicted.Inc()
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
 }
 
 func (s *Server) worker() {
@@ -336,6 +394,7 @@ func (s *Server) finishOK(j *Job, source string, res *runner.Result, mf *obs.Man
 	s.reg.Counter(fmt.Sprintf("comb_serve_job_source_total{source=%q}", source), "done jobs by result source (run, shared, cache)").Inc()
 	s.log.Printf("serve: job %s done source=%s hash=%s", j.id, source, mf.ResultHash)
 	s.writeArtifacts(j)
+	s.evictTerminal()
 }
 
 func (s *Server) finishErr(j *Job, err error) {
@@ -343,6 +402,7 @@ func (s *Server) finishErr(j *Job, err error) {
 	s.reg.Counter(fmt.Sprintf("comb_serve_jobs_total{state=%q}", "failed"), "finished jobs by terminal state").Inc()
 	s.log.Printf("serve: job %s failed: %v", j.id, err)
 	s.writeArtifacts(j)
+	s.evictTerminal()
 }
 
 // writeArtifacts records a finished job under JobsDir/<id>/ — its view

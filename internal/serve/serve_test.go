@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -529,6 +530,248 @@ func TestServeClientBudget(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("bob: HTTP %d", resp.StatusCode)
+	}
+}
+
+// specVariant builds a distinct valid polling spec per i, dodging both
+// the singleflight and the result store.
+func specVariant(i int) string {
+	return fmt.Sprintf(`{"specVersion":1,"method":"polling","system":"ideal","polling":{"PollInterval":%d,"WorkTotal":5000000}}`, 1000+i)
+}
+
+// TestServeQueueFullConcurrentSubmits hammers a tiny queue with
+// concurrent distinct submissions and requires the job index to stay
+// coherent: exactly the accepted jobs are listed and every view
+// renders.  (A positional rollback in Submit used to be able to remove
+// a concurrent submission's ID instead of the rejected one, leaving a
+// dangling ID that panicked the listing.)
+func TestServeQueueFullConcurrentSubmits(t *testing.T) {
+	stall := func(ctx context.Context, s spec.Spec) (*runpipe.Outcome, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	srv, hs := newTestServer(t, Config{Workers: 1, QueueCap: 2, Run: stall})
+
+	const n = 24
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(specVariant(100+i)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				accepted.Add(1)
+			case http.StatusServiceUnavailable:
+			default:
+				t.Errorf("submit %d: HTTP %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	resp, err := http.Get(hs.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("list after churn: HTTP %d: %s", resp.StatusCode, b)
+	}
+	var list struct {
+		Jobs []View `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(list.Jobs), int(accepted.Load()); got != want {
+		t.Errorf("listing holds %d jobs, %d were accepted", got, want)
+	}
+	if got := len(srv.Jobs()); got != int(accepted.Load()) {
+		t.Errorf("Jobs() holds %d, %d were accepted", got, accepted.Load())
+	}
+}
+
+// TestServeRetention: finished jobs beyond RetainJobs are evicted from
+// the in-memory index oldest-first — they 404 afterwards — while their
+// artifacts survive on disk and live jobs are untouched.
+func TestServeRetention(t *testing.T) {
+	fast := func(ctx context.Context, s spec.Spec) (*runpipe.Outcome, error) {
+		return fakeOutcome("sha256:retain"), nil
+	}
+	jobsDir := t.TempDir()
+	_, hs := newTestServer(t, Config{Workers: 1, RetainJobs: 2, Run: fast, JobsDir: jobsDir})
+
+	ids := make([]string, 4)
+	for i := range ids {
+		v := postSpec(t, hs.URL, specVariant(200+i))
+		if done := awaitJob(t, hs.URL, v.ID); done.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", v.ID, done.State, done.Error)
+		}
+		ids[i] = v.ID
+	}
+
+	// Eviction runs just after the terminal view is published; poll
+	// briefly for the index to settle at the cap.
+	deadline := time.Now().Add(5 * time.Second)
+	var views []View
+	for {
+		var list struct {
+			Jobs []View `json:"jobs"`
+		}
+		if err := json.Unmarshal([]byte(getText(t, hs.URL+"/v1/jobs")), &list); err != nil {
+			t.Fatal(err)
+		}
+		views = list.Jobs
+		if len(views) == 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(views) != 2 || views[0].ID != ids[2] || views[1].ID != ids[3] {
+		t.Fatalf("retained views = %+v, want newest two of %v", views, ids)
+	}
+
+	for _, id := range ids[:2] {
+		resp, err := http.Get(hs.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("evicted job %s: HTTP %d, want 404", id, resp.StatusCode)
+		}
+		if _, err := os.Stat(filepath.Join(jobsDir, id, "job.json")); err != nil {
+			t.Errorf("evicted job %s lost its artifacts: %v", id, err)
+		}
+	}
+	if !strings.Contains(getText(t, hs.URL+"/metrics"), "comb_serve_jobs_evicted_total 2") {
+		t.Error("eviction metric not incremented")
+	}
+}
+
+// TestServeCloseFailsQueuedJobs: Close must drive still-queued jobs to
+// a terminal failed state so long-poll watchers wake instead of hanging
+// until their own timeouts.
+func TestServeCloseFailsQueuedJobs(t *testing.T) {
+	stall := func(ctx context.Context, s spec.Spec) (*runpipe.Outcome, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	srv := New(Config{Workers: 1, QueueCap: 4, Run: stall})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	views := make([]View, 3)
+	for i := range views {
+		views[i] = postSpec(t, hs.URL, specVariant(300+i))
+	}
+
+	// Park a long-poll on the last (queued) job before shutting down.
+	woke := make(chan View, 1)
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		resp, err := http.Get(hs.URL + "/v1/jobs/" + views[2].ID + "?wait=30s")
+		if err != nil {
+			t.Error(err)
+			woke <- View{}
+			return
+		}
+		defer resp.Body.Close()
+		var v View
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Error(err)
+		}
+		woke <- v
+	}()
+	<-parked
+	time.Sleep(20 * time.Millisecond) // let the poll reach the handler
+
+	start := time.Now()
+	srv.Close()
+
+	select {
+	case v := <-woke:
+		if !v.State.Terminal() {
+			t.Errorf("watcher woke with non-terminal state %s", v.State)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("long-poll watcher never woke after Close")
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("watcher woke after %s; should be immediate on Close", took)
+	}
+	for _, v := range srv.Jobs() {
+		if v.State != StateFailed {
+			t.Errorf("job %s state after Close = %s, want %s", v.ID, v.State, StateFailed)
+		}
+		if !strings.Contains(v.Error, context.Canceled.Error()) {
+			t.Errorf("job %s error = %q, want context.Canceled", v.ID, v.Error)
+		}
+	}
+}
+
+// TestRouteLabel pins the bounded metric-label vocabulary: known routes
+// keep their shape with IDs collapsed, everything else is "other".
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/healthz":                  "/healthz",
+		"/metrics":                  "/metrics",
+		"/v1/version":               "/v1/version",
+		"/v1/jobs":                  "/v1/jobs",
+		"/v1/jobs/j000001":          "/v1/jobs/{id}",
+		"/v1/jobs/j000001/result":   "/v1/jobs/{id}/result",
+		"/v1/jobs/j000001/manifest": "/v1/jobs/{id}/manifest",
+		"/v1/jobs/j000001/events":   "/v1/jobs/{id}/events",
+		"/v1/jobs/":                 "other",
+		"/v1/jobs/j1/unknown":       "other",
+		"/v1/jobs/j1/result/extra":  "other",
+		"/v1/secrets":               "other",
+		"/admin":                    "other",
+		"/totally/random/404/path":  "other",
+	}
+	for path, want := range cases {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestServeWaitBounds: ?wait= is clamped server-side and negatives are
+// rejected, so a client cannot pin a handler goroutine indefinitely.
+func TestServeWaitBounds(t *testing.T) {
+	if _, err := parseWait("-5s"); err == nil {
+		t.Error("negative wait accepted")
+	}
+	if d, err := parseWait("1000h"); err != nil || d != maxWait {
+		t.Errorf("parseWait(1000h) = %v, %v; want clamp to %v", d, err, maxWait)
+	}
+	if d, err := parseWait("2s"); err != nil || d != 2*time.Second {
+		t.Errorf("parseWait(2s) = %v, %v", d, err)
+	}
+
+	fast := func(ctx context.Context, s spec.Spec) (*runpipe.Outcome, error) {
+		return fakeOutcome("sha256:wait"), nil
+	}
+	_, hs := newTestServer(t, Config{Workers: 1, Run: fast})
+	v := postSpec(t, hs.URL, pollingSpecJSON)
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + v.ID + "?wait=-1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(b), "bad_wait") {
+		t.Errorf("negative wait: HTTP %d: %s", resp.StatusCode, b)
 	}
 }
 
