@@ -59,6 +59,7 @@ import (
 	"comb/internal/pingpong"
 	"comb/internal/report"
 	"comb/internal/runner"
+	"comb/internal/scenario"
 	"comb/internal/selfcheck"
 	"comb/internal/stats"
 	"comb/internal/sweep"
@@ -148,7 +149,9 @@ subcommands:
   pingpong  classic latency/bandwidth microbenchmark (the pre-COMB view)
   bench     time a hot-path workload; -profile writes CPU/heap pprof files
   selfcheck verify the reproduction's calibration and headline claims
-            (-fuzz N adds N deterministic fault-injected runs)
+            (-fuzz N adds N deterministic fault-injected runs; -pack
+            NAME|all runs scenario packs through the differential
+            metamorphic oracle, see docs/SCENARIOS.md)
   report    write the full reproduction report as markdown
 
 sweep-shaped subcommands accept -j N (parallel simulations) and cache
@@ -1184,15 +1187,33 @@ func cmdBench(ctx context.Context, args []string) error {
 	return nil
 }
 
-// cmdSelfcheck verifies the reproduction's headline claims and,
-// with -fuzz N, sweeps N deterministic fault-injected runs through the
-// invariant checker.
+// cmdSelfcheck verifies the reproduction's headline claims; with
+// -fuzz N it sweeps N deterministic fault-injected runs through the
+// invariant checker, and with -pack NAME (or "all") it runs the
+// scenario oracle instead: every workload of the named pack across all
+// registered methods × transports, judged by the metamorphic relation
+// catalog (internal/scenario), each violation carrying a one-command
+// replay line.
 func cmdSelfcheck(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("selfcheck", flag.ExitOnError)
 	fuzzN := fs.Int("fuzz", 0, "also run N deterministic fault-injected measurements across all transports")
 	seed := fs.Uint64("seed", 1, "fuzz sweep seed (each failure logs its own replayable case seed)")
+	pack := fs.String("pack", "", "run the named scenario pack ('all' for every pack) through the differential oracle")
+	scenarios := fs.String("scenarios", scenario.DefaultDir, "scenario pack manifest directory")
+	jobs := fs.Int("j", 0, "parallel simulations for -pack (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pack != "" {
+		pr, err := selfcheck.Packs(ctx, *scenarios, *pack, *jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(pr)
+		if !pr.Passed() {
+			os.Exit(1)
+		}
+		return nil
 	}
 	r, err := selfcheck.Run()
 	if err != nil {

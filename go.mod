@@ -1,3 +1,3 @@
 module comb
 
-go 1.22
+go 1.24

@@ -13,7 +13,7 @@ import (
 // TestGoldenFigures regenerates every committed results/figNN.csv from
 // scratch and demands byte identity: the simulator is deterministic, so
 // any diff is a behaviour change that must be reviewed (and, if
-// intended, committed via `comb figure all -csv results`).
+// intended, committed via `scripts/regen_golden.sh`).
 //
 // A full regeneration is minutes of CPU, so the test only runs when
 // COMB_GOLDEN=1 is set (CI runs it as its own step).  The committed
@@ -68,7 +68,7 @@ func TestGoldenFigures(t *testing.T) {
 				t.Fatalf("rebuilding figure %d: %v", n, err)
 			}
 			if got := tbl.CSV(); got != string(want) {
-				t.Errorf("figure %d CSV drifted from committed golden %s\ngot %d bytes, want %d; regenerate with `comb figure all -csv results` and review the diff",
+				t.Errorf("figure %d CSV drifted from committed golden %s\ngot %d bytes, want %d; regenerate with `scripts/regen_golden.sh` and review the diff",
 					n, golden, len(got), len(want))
 			}
 		})

@@ -52,6 +52,14 @@ func (s Spec) Zero() bool {
 	return s.Drop == 0 && s.Dup == 0 && s.Reorder == 0 && s.DelayProb == 0 && s.JitterProb == 0
 }
 
+// WireOnly reports whether the spec perturbs only the wire (drop,
+// duplication, reorder, delay) and never the host CPU.  Jitter bursts
+// steal benchmark cycles, which also inflates a method's dry-run
+// calibration — so cross-run relations that compare a faulted run's
+// availability against its clean twin only hold for wire-only specs
+// (see internal/scenario).
+func (s Spec) WireOnly() bool { return s.JitterProb == 0 }
+
 // withDefaults returns s with unset magnitude bounds filled in.
 func (s Spec) withDefaults() Spec {
 	if (s.DelayProb > 0 || s.Reorder > 0) && s.DelayMax <= 0 {

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Relation is one metamorphic assertion over a pack's result matrix.
+// Relations judge runs against each other — faulted against clean,
+// size against size, transport against transport, cold against cached —
+// which is what makes the oracle differential: no relation needs to
+// know the "right" absolute number for any cell.
+type Relation struct {
+	// Name identifies the relation ("faults/availability-monotone").
+	Name string
+	// Describe is the one-line property statement for reports and docs.
+	Describe string
+	// Check evaluates the relation over a completed matrix and returns
+	// every violation found.  Cells that errored are skipped by every
+	// relation except the completeness one — their failure is reported
+	// once, not once per relation.
+	Check func(ctx context.Context, m *Matrix) []Violation
+}
+
+// Violation is one failed relation instance.  Detail states the broken
+// property with the numbers that broke it; Replay is the one-command
+// reproduction line for the cell that must be re-examined.
+type Violation struct {
+	Relation string
+	Pack     string
+	Detail   string
+	Replay   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s [%s]: %s\n    replay with `%s`", v.Relation, v.Pack, v.Detail, v.Replay)
+}
+
+var (
+	relMu  sync.Mutex
+	relReg = make(map[string]Relation)
+)
+
+// RegisterRelation adds a relation to the registry; registering a
+// duplicate name panics (it is a programmer error, like a duplicate
+// method).
+func RegisterRelation(r Relation) {
+	if r.Name == "" || r.Check == nil {
+		panic("scenario: relation needs a name and a check")
+	}
+	relMu.Lock()
+	defer relMu.Unlock()
+	if _, dup := relReg[r.Name]; dup {
+		panic(fmt.Sprintf("scenario: relation %q registered twice", r.Name))
+	}
+	relReg[r.Name] = r
+}
+
+// Relations lists the registered relations sorted by name.
+func Relations() []Relation {
+	relMu.Lock()
+	defer relMu.Unlock()
+	out := make([]Relation, 0, len(relReg))
+	for _, r := range relReg {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Evaluate runs every registered relation over the matrix, in name
+// order, and returns the concatenated violations.
+func Evaluate(ctx context.Context, m *Matrix) []Violation {
+	var out []Violation
+	for _, r := range Relations() {
+		if ctx.Err() != nil {
+			break
+		}
+		out = append(out, r.Check(ctx, m)...)
+	}
+	return out
+}
+
+// Report is the outcome of running one pack through the oracle.
+type Report struct {
+	Pack       string
+	Cells      int
+	Faulted    int
+	Relations  int
+	Violations []Violation
+}
+
+// Passed reports whether every relation held over every cell.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// String renders the pack verdict, one line when green, the violation
+// list when red.
+func (r *Report) String() string {
+	var b strings.Builder
+	mark := "PASS"
+	if !r.Passed() {
+		mark = "FAIL"
+	}
+	fmt.Fprintf(&b, "%s  pack %-22s %3d cells (%d faulted), %d relations",
+		mark, r.Pack, r.Cells, r.Faulted, r.Relations)
+	if !r.Passed() {
+		fmt.Fprintf(&b, ", %d violations:", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "\n  %v", v)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RunPack is the oracle's front door: expand, execute, evaluate.
+func RunPack(ctx context.Context, p *Pack, opts Options) (*Report, error) {
+	m, err := Run(ctx, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Pack: p.Name, Cells: len(m.Cells), Relations: len(Relations())}
+	for _, c := range m.Cells {
+		if c.Faulted {
+			rep.Faulted++
+		}
+	}
+	rep.Violations = Evaluate(ctx, m)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

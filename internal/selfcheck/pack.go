@@ -1,0 +1,75 @@
+package selfcheck
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	_ "comb/internal/method/all" // packs resolve methods by name
+	"comb/internal/runner"
+	"comb/internal/scenario"
+)
+
+// PackResult aggregates the scenario oracle's verdicts over a set of
+// packs.
+type PackResult struct {
+	Reports []*scenario.Report
+}
+
+// Passed reports whether every pack held every relation.
+func (r *PackResult) Passed() bool {
+	for _, rep := range r.Reports {
+		if !rep.Passed() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders one verdict line per pack (violations inline) plus a
+// summary.
+func (r *PackResult) String() string {
+	var b strings.Builder
+	cells, bad := 0, 0
+	for _, rep := range r.Reports {
+		b.WriteString(rep.String())
+		cells += rep.Cells
+		bad += len(rep.Violations)
+	}
+	if bad == 0 {
+		fmt.Fprintf(&b, "scenario: %d packs, %d cells, zero relation violations\n", len(r.Reports), cells)
+	} else {
+		fmt.Fprintf(&b, "scenario: %d packs, %d cells, %d relation violations\n", len(r.Reports), cells, bad)
+	}
+	return b.String()
+}
+
+// Packs runs the scenario oracle: load the manifests in dir, run the
+// named pack (or every pack, for name "all") across all registered
+// methods × transports, and evaluate the metamorphic relation catalog
+// over each result matrix.  One engine is shared across packs so
+// identical cells — notably the clean twins faulted packs share —
+// simulate once.
+func Packs(ctx context.Context, dir, name string, workers int) (*PackResult, error) {
+	packs, err := scenario.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if name != "all" {
+		p, err := scenario.Find(packs, name)
+		if err != nil {
+			return nil, err
+		}
+		packs = []*scenario.Pack{p}
+	}
+	eng := runner.New(runner.Config{Workers: workers, Timeout: scenario.CellTimeout})
+	res := &PackResult{}
+	for _, p := range packs {
+		rep, err := scenario.RunPack(ctx, p, scenario.Options{Engine: eng})
+		if err != nil {
+			return nil, err
+		}
+		res.Reports = append(res.Reports, rep)
+	}
+	return res, nil
+}

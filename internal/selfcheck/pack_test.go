@@ -1,0 +1,55 @@
+package selfcheck
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+const scenarioDir = "../../testdata/scenarios"
+
+// TestPacksSingle runs one real pack — the clean baseline, the cheapest
+// — through the full oracle: load, expand over every registered method
+// × transport, simulate, evaluate every relation.
+func TestPacksSingle(t *testing.T) {
+	res, err := Packs(context.Background(), scenarioDir, "clean-baseline", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("clean-baseline failed the oracle:\n%s", res)
+	}
+	if len(res.Reports) != 1 || res.Reports[0].Pack != "clean-baseline" {
+		t.Fatalf("Packs ran %d packs, want just clean-baseline", len(res.Reports))
+	}
+	if s := res.String(); !strings.Contains(s, "zero relation violations") {
+		t.Fatalf("summary %q", s)
+	}
+}
+
+// TestPacksAll is the acceptance gate behind `comb selfcheck -pack all`:
+// every committed pack, every registered transport, zero violations.
+func TestPacksAll(t *testing.T) {
+	res, err := Packs(context.Background(), scenarioDir, "all", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("scenario oracle failed:\n%s", res)
+	}
+	if len(res.Reports) < 4 {
+		t.Fatalf("only %d packs committed, want >= 4", len(res.Reports))
+	}
+}
+
+func TestPacksUnknownName(t *testing.T) {
+	if _, err := Packs(context.Background(), scenarioDir, "no-such", 0); err == nil || !strings.Contains(err.Error(), "clean-baseline") {
+		t.Fatalf("unknown pack name should list available packs, got %v", err)
+	}
+}
+
+func TestPacksBadDir(t *testing.T) {
+	if _, err := Packs(context.Background(), t.TempDir(), "all", 0); err == nil {
+		t.Fatal("empty scenario dir should fail")
+	}
+}

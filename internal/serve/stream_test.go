@@ -1,0 +1,282 @@
+package serve
+
+// Interleaving tests for the two watch surfaces — SSE /events and
+// ?wait=&since= long-polls — against a gated RunFunc, so every
+// subscribe/transition ordering is forced deterministically rather than
+// raced.  These run under -race in CI: the watch plumbing (version
+// bumps, swapped changed channels, eviction) is exactly where a data
+// race would hide.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"comb/internal/runpipe"
+	"comb/internal/spec"
+
+	"context"
+)
+
+// sseEvents subscribes to a job's /events stream and decodes every
+// `data:` frame until the server closes the stream.
+func sseEvents(t *testing.T, base, id string) []View {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	var views []View
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var v View
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &v); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", line, err)
+		}
+		views = append(views, v)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("events stream: %v", err)
+	}
+	return views
+}
+
+// waitRunning polls the bare (no ?wait=) snapshot endpoint until the
+// job reports running, and returns that view.
+func waitRunning(t *testing.T, base, id string) View {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var v View
+		if err := json.Unmarshal([]byte(getText(t, base+"/v1/jobs/"+id)), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.State == StateRunning {
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never started running", id)
+	return View{}
+}
+
+// TestEventsSubscribeBeforeTerminal: a client on /events before the job
+// finishes sees a strictly version-ordered stream that ends with the
+// terminal view, after which the server closes the stream on its own.
+func TestEventsSubscribeBeforeTerminal(t *testing.T) {
+	gate := make(chan struct{})
+	gated := func(ctx context.Context, s spec.Spec) (*runpipe.Outcome, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return fakeOutcome("sha256:sse"), nil
+	}
+	_, hs := newTestServer(t, Config{Workers: 1, Run: gated})
+
+	v := postSpec(t, hs.URL, specVariant(400))
+	waitRunning(t, hs.URL, v.ID)
+
+	got := make(chan []View, 1)
+	go func() { got <- sseEvents(t, hs.URL, v.ID) }()
+
+	// The subscriber's first frame is the current (running) view; only
+	// then is the job allowed to finish, so the terminal frame is
+	// provably delivered to an already-attached watcher.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+
+	views := <-got
+	if len(views) < 2 {
+		t.Fatalf("stream delivered %d frames, want at least running+done", len(views))
+	}
+	for i := 1; i < len(views); i++ {
+		if views[i].Version <= views[i-1].Version {
+			t.Errorf("frame %d version %d <= previous %d", i, views[i].Version, views[i-1].Version)
+		}
+	}
+	first, last := views[0], views[len(views)-1]
+	if first.State.Terminal() {
+		t.Errorf("first frame already terminal: %+v", first)
+	}
+	if last.State != StateDone || last.ResultHash != "sha256:sse" {
+		t.Errorf("terminal frame = %+v", last)
+	}
+}
+
+// TestEventsSubscribeAfterTerminal: a late subscriber gets exactly one
+// frame — the terminal view — and the stream closes immediately.
+func TestEventsSubscribeAfterTerminal(t *testing.T) {
+	fast := func(ctx context.Context, s spec.Spec) (*runpipe.Outcome, error) {
+		return fakeOutcome("sha256:late"), nil
+	}
+	_, hs := newTestServer(t, Config{Workers: 1, Run: fast})
+
+	v := postSpec(t, hs.URL, specVariant(410))
+	awaitJob(t, hs.URL, v.ID)
+
+	views := sseEvents(t, hs.URL, v.ID)
+	if len(views) != 1 {
+		t.Fatalf("late subscriber got %d frames, want exactly the terminal one", len(views))
+	}
+	if views[0].State != StateDone || views[0].ResultHash != "sha256:late" {
+		t.Errorf("terminal frame = %+v", views[0])
+	}
+}
+
+// TestWatchAfterEviction: once retention evicts a terminal job, both
+// watch surfaces answer 404 job_not_found — a subscriber cannot park on
+// a job that no longer exists in the index.
+func TestWatchAfterEviction(t *testing.T) {
+	fast := func(ctx context.Context, s spec.Spec) (*runpipe.Outcome, error) {
+		return fakeOutcome("sha256:evict"), nil
+	}
+	_, hs := newTestServer(t, Config{Workers: 1, RetainJobs: 1, Run: fast})
+
+	first := postSpec(t, hs.URL, specVariant(420))
+	awaitJob(t, hs.URL, first.ID)
+	second := postSpec(t, hs.URL, specVariant(421))
+	awaitJob(t, hs.URL, second.ID)
+
+	// Eviction runs just after the second terminal view publishes; wait
+	// for the first job to fall out of the index.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(hs.URL + "/v1/jobs/" + first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never evicted (HTTP %d)", first.ID, resp.StatusCode)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	for _, path := range []string{
+		"/v1/jobs/" + first.ID + "/events",
+		"/v1/jobs/" + first.ID + "?wait=1s&since=1",
+	} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 512)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(body[:n]), "job_not_found") {
+			t.Errorf("GET %s after eviction: HTTP %d %s, want 404 job_not_found", path, resp.StatusCode, body[:n])
+		}
+	}
+
+	// The surviving job still answers on both surfaces.
+	if views := sseEvents(t, hs.URL, second.ID); len(views) != 1 || views[0].State != StateDone {
+		t.Errorf("survivor stream = %+v", views)
+	}
+}
+
+// TestLongPollSinceInterleaving forces the three long-poll outcomes
+// against one running job: a ?since= poller that must block until the
+// next version, a since-less poller that must block until terminal, and
+// a short-wait poller that must time out with the then-current
+// non-terminal view.
+func TestLongPollSinceInterleaving(t *testing.T) {
+	gate := make(chan struct{})
+	gated := func(ctx context.Context, s spec.Spec) (*runpipe.Outcome, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return fakeOutcome("sha256:poll"), nil
+	}
+	_, hs := newTestServer(t, Config{Workers: 1, Run: gated})
+
+	v := postSpec(t, hs.URL, specVariant(430))
+	running := waitRunning(t, hs.URL, v.ID)
+
+	// Outcome 1: wait expiry. The job is running and nothing newer than
+	// `since` exists, so a short wait returns the unchanged view.
+	var timedOut View
+	if err := json.Unmarshal([]byte(getText(t,
+		fmt.Sprintf("%s/v1/jobs/%s?wait=50ms&since=%d", hs.URL, v.ID, running.Version))), &timedOut); err != nil {
+		t.Fatal(err)
+	}
+	if timedOut.State != StateRunning || timedOut.Version != running.Version {
+		t.Fatalf("timed-out poll = %+v, want unchanged running view %d", timedOut, running.Version)
+	}
+
+	// Outcomes 2 and 3: park one poller on ?since=<running version> and
+	// one on the bare wait-for-terminal form, then let the job finish.
+	type polled struct {
+		v   View
+		err error
+	}
+	poll := func(url string) chan polled {
+		ch := make(chan polled, 1)
+		go func() {
+			var pv View
+			err := json.Unmarshal([]byte(getText(t, url)), &pv)
+			ch <- polled{pv, err}
+		}()
+		return ch
+	}
+	sinceCh := poll(fmt.Sprintf("%s/v1/jobs/%s?wait=30s&since=%d", hs.URL, v.ID, running.Version))
+	terminalCh := poll(hs.URL + "/v1/jobs/" + v.ID + "?wait=30s")
+
+	select {
+	case p := <-sinceCh:
+		t.Fatalf("since-poller returned before any new version: %+v (%v)", p.v, p.err)
+	case p := <-terminalCh:
+		t.Fatalf("terminal-poller returned before the job finished: %+v (%v)", p.v, p.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+
+	for name, ch := range map[string]chan polled{"since": sinceCh, "terminal": terminalCh} {
+		p := <-ch
+		if p.err != nil {
+			t.Fatalf("%s-poller: %v", name, p.err)
+		}
+		if p.v.State != StateDone || p.v.Version <= running.Version || p.v.ResultHash != "sha256:poll" {
+			t.Errorf("%s-poller woke with %+v, want done view newer than %d", name, p.v, running.Version)
+		}
+	}
+
+	// Outcome 4: a terminal job answers immediately, even when `since`
+	// is the terminal version itself — re-polling a finished job can
+	// never hang a client for the full wait.
+	start := time.Now()
+	var again View
+	done := awaitJob(t, hs.URL, v.ID)
+	if err := json.Unmarshal([]byte(getText(t,
+		fmt.Sprintf("%s/v1/jobs/%s?wait=30s&since=%d", hs.URL, v.ID, done.Version))), &again); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("terminal re-poll blocked %v", elapsed)
+	}
+	if !again.State.Terminal() || again.Version != done.Version {
+		t.Errorf("terminal re-poll = %+v", again)
+	}
+}

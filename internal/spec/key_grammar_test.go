@@ -1,0 +1,166 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"comb/internal/core"
+	"comb/internal/faultinject"
+)
+
+// TestKeyGrammarEdgeCases is the table-driven pin of the frozen cache-key
+// grammar's boundary behaviour: which axes produce a segment, which
+// collapse into the classic "method/system/hash" form, and which
+// near-miss pairs must never collide.  The grammar is a compatibility
+// surface — every committed cache entry and golden manifest embeds these
+// keys — so each case asserts the exact rendered key, not just a
+// property.
+func TestKeyGrammarEdgeCases(t *testing.T) {
+	base := func() Spec {
+		return Spec{
+			Method:  MethodPolling,
+			System:  "gm",
+			Polling: &core.PollingConfig{PollInterval: 64, WorkTotal: 1_000_000},
+		}
+	}
+	plain := base().Key()
+
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string // expected key, built from plain
+	}{
+		{
+			name:   "cpus zero is the classic key",
+			mutate: func(s *Spec) { s.CPUs = 0 },
+			want:   plain,
+		},
+		{
+			name:   "cpus one shares the classic key (uniprocessor is the default testbed)",
+			mutate: func(s *Spec) { s.CPUs = 1 },
+			want:   plain,
+		},
+		{
+			name:   "cpus two appends a segment",
+			mutate: func(s *Spec) { s.CPUs = 2 },
+			want:   plain + "/cpus=2",
+		},
+		{
+			name:   "zero-value fault spec normalizes away: no empty faults segment",
+			mutate: func(s *Spec) { s.Faults = &faultinject.Spec{} },
+			want:   plain,
+		},
+		{
+			name:   "seed-only fault spec is still a no-op fault profile",
+			mutate: func(s *Spec) { s.Faults = &faultinject.Spec{Seed: 5} },
+			want:   plain,
+		},
+		{
+			name:   "spec seed seeds the fault segment too",
+			mutate: func(s *Spec) { s.Seed = 3; s.Faults = &faultinject.Spec{Drop: 0.5} },
+			want:   plain + "/seed=3/faults=drop=0.5,seed=3",
+		},
+		{
+			name:   "explicit fault seed wins inside the faults segment",
+			mutate: func(s *Spec) { s.Seed = 3; s.Faults = &faultinject.Spec{Drop: 0.5, Seed: 9} },
+			want:   plain + "/seed=3/faults=drop=0.5,seed=9",
+		},
+		{
+			name: "all optional axes in canonical order",
+			mutate: func(s *Spec) {
+				s.CPUs = 4
+				s.Seed = 7
+				s.Faults = &faultinject.Spec{Drop: 0.25}
+			},
+			want: plain + "/cpus=4/seed=7/faults=drop=0.25,seed=7",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(&s)
+			if got := s.Key(); got != tc.want {
+				t.Errorf("key = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestKeyGrammarNonCollisions pins pairs of nearby measurements that a
+// sloppier grammar would alias onto one cache entry.
+func TestKeyGrammarNonCollisions(t *testing.T) {
+	base := func() Spec {
+		return Spec{
+			Method:  MethodPolling,
+			System:  "gm",
+			Polling: &core.PollingConfig{PollInterval: 64, WorkTotal: 1_000_000},
+		}
+	}
+	pairs := []struct {
+		name string
+		a, b func(*Spec)
+	}{
+		{
+			name: "different seeds",
+			a:    func(s *Spec) { s.Seed = 1 },
+			b:    func(s *Spec) { s.Seed = 2 },
+		},
+		{
+			name: "seeded vs unseeded",
+			a:    func(s *Spec) { s.Seed = 1 },
+			b:    func(s *Spec) {},
+		},
+		{
+			name: "fault seed from spec vs fault-only seed",
+			a:    func(s *Spec) { s.Seed = 3; s.Faults = &faultinject.Spec{Drop: 0.5} },
+			b:    func(s *Spec) { s.Faults = &faultinject.Spec{Drop: 0.5, Seed: 3} },
+		},
+		{
+			name: "same faults different fault seed",
+			a:    func(s *Spec) { s.Faults = &faultinject.Spec{Drop: 0.5, Seed: 1} },
+			b:    func(s *Spec) { s.Faults = &faultinject.Spec{Drop: 0.5, Seed: 2} },
+		},
+		{
+			name: "cpus segment vs none",
+			a:    func(s *Spec) { s.CPUs = 2 },
+			b:    func(s *Spec) {},
+		},
+		{
+			name: "faulted vs clean",
+			a:    func(s *Spec) { s.Faults = &faultinject.Spec{Drop: 0.5, Seed: 1} },
+			b:    func(s *Spec) {},
+		},
+	}
+	for _, tc := range pairs {
+		t.Run(tc.name, func(t *testing.T) {
+			sa, sb := base(), base()
+			tc.a(&sa)
+			tc.b(&sb)
+			if ka, kb := sa.Key(), sb.Key(); ka == kb {
+				t.Errorf("distinct measurements share key %q", ka)
+			}
+		})
+	}
+}
+
+// TestSpecVersionZeroRejected: a manifest stamped specVersion 0 (or a
+// pre-schema document without the field) must fail with a VersionError,
+// never best-effort decode.
+func TestSpecVersionZeroRejected(t *testing.T) {
+	var s Spec
+	err := json.Unmarshal([]byte(`{"specVersion":0,"method":"pww","pww":{"WorkInterval":1000}}`), &s)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("specVersion 0: err = %v, want *VersionError", err)
+	}
+	// Version 0 is indistinguishable from a pre-schema document with no
+	// version field; both report Got == 0.
+	if ve.Got != 0 {
+		t.Errorf("VersionError.Got = %d, want 0", ve.Got)
+	}
+	if !strings.Contains(err.Error(), "specVersion") {
+		t.Errorf("message should mention specVersion: %q", err)
+	}
+}

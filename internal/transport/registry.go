@@ -61,6 +61,21 @@ var tolerances = map[string]Tolerance{
 // Unknown names tolerate nothing.
 func ToleranceOf(name string) Tolerance { return tolerances[name] }
 
+// DefaultLink reports whether the named transport runs on the platform's
+// default interconnect rather than swapping in its own wire via
+// LinkPreferencer.  Cross-transport bandwidth comparisons are only
+// meaningful among default-link transports: a LinkPreferencer brings its
+// own NIC hardware, with its own wire rate and framing.  Unknown names
+// report false.
+func DefaultLink(name string) bool {
+	f, ok := factories[name]
+	if !ok {
+		return false
+	}
+	_, prefers := f().(LinkPreferencer)
+	return !prefers
+}
+
 // factories maps registry names to constructors returning a transport
 // with default configuration.
 var factories = map[string]func() Transport{

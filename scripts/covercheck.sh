@@ -1,0 +1,49 @@
+#!/bin/sh
+# Coverage ratchet for the correctness-critical packages: the oracle
+# layers (invariant, scenario, selfcheck) and the fault injector the
+# oracles lean on.  Each floor sits just under the coverage measured
+# when the ratchet was installed — the check only ever fails when
+# coverage REGRESSES, and a PR that meaningfully raises coverage should
+# raise the floor with it (that is the ratchet).
+#
+# Floors are statement coverage from `go test -cover`, per package.
+set -e
+cd "$(dirname "$0")/.."
+
+# package floor%  (measured at install time: 67.5 84.3 51.7 89.0)
+floors='
+comb/internal/invariant 65
+comb/internal/faultinject 80
+comb/internal/selfcheck 50
+comb/internal/scenario 85
+'
+
+pkgs=$(echo "$floors" | awk 'NF {print $1}')
+
+echo "==> go test -cover (ratcheted packages)"
+out=$(go test -cover $pkgs)
+echo "$out"
+
+fail=0
+echo "$floors" | while read -r pkg floor; do
+    [ -z "$pkg" ] && continue
+    pct=$(echo "$out" | awk -v p="$pkg" '$2 == p {
+        for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }
+    }')
+    if [ -z "$pct" ]; then
+        echo "covercheck: no coverage reported for $pkg"
+        exit 1
+    fi
+    if awk -v got="$pct" -v want="$floor" 'BEGIN { exit !(got < want) }'; then
+        echo "covercheck: $pkg coverage ${pct}% fell below the ${floor}% floor"
+        exit 1
+    fi
+    echo "covercheck: $pkg ${pct}% >= ${floor}%"
+done || fail=1
+
+if [ "$fail" -ne 0 ]; then
+    echo "covercheck: FAIL — coverage regressed; add tests or (only for"
+    echo "covercheck: deliberate removals) lower the floor in this script"
+    exit 1
+fi
+echo "covercheck: OK"

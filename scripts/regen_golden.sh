@@ -1,0 +1,28 @@
+#!/bin/sh
+# Regenerate the committed golden figure CSVs under results/.
+#
+# The golden CI job (COMB_GOLDEN=1 TestGoldenFigures) rebuilds every
+# results/figNN.csv from scratch and demands byte identity, so any
+# intentional simulator change that moves a number must re-commit the
+# goldens.  This is the one blessed path for doing that:
+#
+#   scripts/regen_golden.sh        # rebuild every figure into results/
+#   git diff results/              # review every changed number
+#   git add results/ && git commit # commit alongside the change itself
+#
+# The rebuild reuses results/cache, so only points whose spec keys
+# changed actually re-simulate; pass -no-cache through to force a full
+# cold rebuild (minutes of CPU):
+#
+#   scripts/regen_golden.sh -no-cache
+set -e
+cd "$(dirname "$0")/.."
+
+go build -o /tmp/comb-regen ./cmd/comb
+trap 'rm -f /tmp/comb-regen' EXIT
+
+/tmp/comb-regen figure -csv results -chart=false "$@" all
+
+echo
+echo "regen_golden: results/ rewritten; review with 'git diff results/'"
+echo "regen_golden: a clean diff means the change moved no figure"

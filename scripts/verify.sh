@@ -17,6 +17,14 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> synctest virtual-time suites"
+# The build-tagged runner/serve timeout-and-retry tests on the virtual
+# clock; plain `go test ./...` skips these files entirely.
+GOEXPERIMENT=synctest go test ./internal/runner ./internal/serve
+
+echo "==> coverage ratchet"
+sh scripts/covercheck.sh
+
 echo "==> comb methods smoke"
 # The CLI must list every built-in method through the registry.
 go build -o /tmp/comb-verify ./cmd/comb
@@ -28,6 +36,10 @@ for m in polling pww pingpong netperf; do
         exit 1
     fi
 done
+echo "==> comb selfcheck -pack all"
+# The scenario oracle: every committed pack across every registered
+# method × transport, zero relation violations.
+/tmp/comb-verify selfcheck -pack all
 rm -f /tmp/comb-verify
 
 echo "==> comb serve smoke"
