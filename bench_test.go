@@ -8,6 +8,7 @@ package comb
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -20,8 +21,10 @@ import (
 	"comb/internal/core"
 	"comb/internal/machine"
 	"comb/internal/platform"
+	"comb/internal/runner"
 	"comb/internal/serve"
 	"comb/internal/sim"
+	"comb/internal/stats"
 	"comb/internal/sweep"
 	"comb/internal/transport"
 )
@@ -79,6 +82,102 @@ func BenchmarkFig15BandwidthVsAvailabilityPortals(b *testing.B) {
 }
 func BenchmarkFig16MethodsGM(b *testing.B)         { benchFigure(b, "16") }
 func BenchmarkFig17MethodsPlusTestGM(b *testing.B) { benchFigure(b, "17") }
+
+// bisectBenchCurve is the strategy benchmark's search target: the PWW
+// availability-vs-work-interval curve on portals (the Figure 6
+// relation), on a dense 33-points-per-decade axis where searching
+// actually pays.
+func bisectBenchCurve(eng *runner.Engine, axis []int64) sweep.Curve {
+	return sweep.Curve{
+		Name: "portals",
+		Axis: axis,
+		Eval: func(x int64, rep int) (float64, float64, error) {
+			p := runner.Point{Method: "pww", System: "portals", Params: core.PWWConfig{
+				Config:       core.Config{MsgSize: 100_000},
+				WorkInterval: x,
+				Reps:         20,
+			}}
+			p.Seed = sweep.RepSeed(0, rep)
+			res, err := eng.Run(context.Background(), p)
+			if err != nil {
+				return 0, 0, err
+			}
+			r, ok := runner.As[*core.PWWResult](res)
+			if !ok {
+				return 0, 0, fmt.Errorf("pww point returned a %T result", res.Value)
+			}
+			return float64(x), r.Availability, nil
+		},
+	}
+}
+
+// BenchmarkFigBisectVsGrid measures the strategy layer's engine-run
+// cut: finding the 0.5 availability crossover by bisection versus
+// evaluating the dense axis.  The dense reference runs once outside the
+// timed loop; every iteration pays a cold bisect search on a fresh
+// engine.  It reports both run counts and their ratio, and fails if
+// bisect lands outside the dense answer's ±1 grid step or spends more
+// than 1/5 of the dense runs.
+func BenchmarkFigBisectVsGrid(b *testing.B) {
+	const target = 0.5
+	axis := stats.LogSpaceInt(10_000, 10_000_000, 33)
+
+	denseEng := runner.New(runner.Config{Workers: 4})
+	dense, err := sweep.RunCurve(sweep.Options{Engine: denseEng}, bisectBenchCurve(denseEng, axis))
+	if err != nil {
+		b.Fatal(err)
+	}
+	denseRuns := denseEng.Stats().Runs
+	denseCross := -1
+	for i, p := range dense.Points {
+		if p.Y >= target {
+			denseCross = i
+			break
+		}
+	}
+	if denseCross < 0 {
+		b.Fatalf("dense curve never crosses %g", target)
+	}
+	lo := dense.Points[denseCross].X
+	if denseCross > 0 {
+		lo = dense.Points[denseCross-1].X
+	}
+	hi := dense.Points[denseCross].X
+
+	st, err := ParseStrategy("bisect:target=0.5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bisRuns int64
+	cross := -1.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := runner.New(runner.Config{Workers: 4})
+		s, err := sweep.RunCurve(sweep.Options{Engine: eng, Strategy: st}, bisectBenchCurve(eng, axis))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bisRuns = eng.Stats().Runs
+		cross = -1
+		for _, p := range s.Points {
+			if p.Y >= target {
+				cross = p.X
+				break
+			}
+		}
+	}
+	b.StopTimer()
+	if cross < lo || cross > hi {
+		b.Fatalf("bisect crossover x=%g outside dense ±1 window [%g, %g]", cross, lo, hi)
+	}
+	if bisRuns*5 > denseRuns {
+		b.Fatalf("bisect spent %d engine runs, dense %d — ratio %.1fx below the 5x floor",
+			bisRuns, denseRuns, float64(denseRuns)/float64(bisRuns))
+	}
+	b.ReportMetric(float64(denseRuns), "dense_runs")
+	b.ReportMetric(float64(bisRuns), "bisect_runs")
+	b.ReportMetric(float64(denseRuns)/float64(bisRuns), "runs_ratio")
+}
 
 // benchPollingPoint is the unit benchmark behind the figures: one polling
 // measurement per iteration.

@@ -156,7 +156,9 @@ subcommands:
 
 sweep-shaped subcommands accept -j N (parallel simulations) and cache
 results under results/cache/ (-no-cache to skip, 'comb cache clear' to
-empty); polling and pww accept -seed and -faults '<spec>' for
+empty); figure and sweep accept -strategy
+(grid|bisect|knee|adaptive-reps) to replace the dense grid with a
+search, see docs/SWEEPS.md; polling and pww accept -seed and -faults '<spec>' for
 deterministic degraded runs (e.g. -faults 'drop=0.01,delay=0.2:50us')
 and write trace/metrics/manifest artifacts into -obs-dir (results/last
 by default) for 'comb trace export', 'comb metrics' and 'comb replay'`)
@@ -269,6 +271,7 @@ func cmdPolling(ctx context.Context, args []string) error {
 	traceN := fs.Int("trace", 0, "print the last N packet deliveries")
 	seed := fs.Uint64("seed", 0, "wire/fault RNG seed (0 = platform default)")
 	faults := fs.String("faults", "", "fault injection spec, e.g. 'drop=0.01,delay=0.2:50us,jitter=0.1:200us'")
+	strat := fs.String("strategy", "", "measurement-protocol stamp recorded in the spec key and manifest ("+strategyFlagHelp+")")
 	obsDir := fs.String("obs-dir", obs.DefaultRunDir, "directory for trace/metrics/manifest artifacts ('' disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -277,6 +280,11 @@ func cmdPolling(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	st, err := parseStrategy(*strat)
+	if err != nil {
+		return err
+	}
+	noteSingleRunStrategy(st)
 	warnMaskedFaults(*system, fspec)
 	out, err := comb.Run(ctx, comb.RunSpec{
 		Method:   comb.MethodPolling,
@@ -286,6 +294,7 @@ func cmdPolling(ctx context.Context, args []string) error {
 		ObsCap:   obsCapFor(*obsDir),
 		Seed:     *seed,
 		Faults:   fspec,
+		Strategy: st,
 		Polling: &comb.PollingConfig{
 			Config:       comb.Config{MsgSize: *size},
 			PollInterval: *poll,
@@ -348,6 +357,7 @@ func cmdPWW(ctx context.Context, args []string) error {
 	cpus := fs.Int("cpus", 1, "processors per node (SMP extension, paper s7)")
 	seed := fs.Uint64("seed", 0, "wire/fault RNG seed (0 = platform default)")
 	faults := fs.String("faults", "", "fault injection spec, e.g. 'drop=0.01,delay=0.2:50us,jitter=0.1:200us'")
+	strat := fs.String("strategy", "", "measurement-protocol stamp recorded in the spec key and manifest ("+strategyFlagHelp+")")
 	obsDir := fs.String("obs-dir", obs.DefaultRunDir, "directory for trace/metrics/manifest artifacts ('' disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -356,14 +366,20 @@ func cmdPWW(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	st, err := parseStrategy(*strat)
+	if err != nil {
+		return err
+	}
+	noteSingleRunStrategy(st)
 	warnMaskedFaults(*system, fspec)
 	out, err := comb.Run(ctx, comb.RunSpec{
-		Method: comb.MethodPWW,
-		System: *system,
-		CPUs:   *cpus,
-		ObsCap: obsCapFor(*obsDir),
-		Seed:   *seed,
-		Faults: fspec,
+		Method:   comb.MethodPWW,
+		System:   *system,
+		CPUs:     *cpus,
+		ObsCap:   obsCapFor(*obsDir),
+		Seed:     *seed,
+		Faults:   fspec,
+		Strategy: st,
 		PWW: &comb.PWWConfig{
 			Config:       comb.Config{MsgSize: *size},
 			WorkInterval: *work,
@@ -455,6 +471,7 @@ func cmdRun(ctx context.Context, args []string) error {
 func runSpecFile(ctx context.Context, path string, args []string) error {
 	fs := flag.NewFlagSet("run -spec", flag.ExitOnError)
 	obsDir := fs.String("obs-dir", obs.DefaultRunDir, "directory for trace/metrics/manifest artifacts ('' disables)")
+	strat := fs.String("strategy", "", "override the document's strategy stamp ("+strategyFlagHelp+")")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -466,6 +483,14 @@ func runSpecFile(ctx context.Context, path string, args []string) error {
 	if err := json.Unmarshal(b, &sp); err != nil {
 		return fmt.Errorf("run: %s: %w", path, err)
 	}
+	if *strat != "" {
+		st, err := parseStrategy(*strat)
+		if err != nil {
+			return err
+		}
+		sp.Strategy = st
+	}
+	noteSingleRunStrategy(sp.Strategy)
 	if sp.ObsCap == 0 {
 		sp.ObsCap = obsCapFor(*obsDir)
 	}
@@ -504,6 +529,7 @@ func runMethod(ctx context.Context, name string, args []string) error {
 	traceN := fs.Int("trace", 0, "print the last N packet deliveries")
 	seed := fs.Uint64("seed", 0, "wire/fault RNG seed (0 = platform default)")
 	faults := fs.String("faults", "", "fault injection spec, e.g. 'drop=0.01,delay=0.2:50us,jitter=0.1:200us'")
+	strat := fs.String("strategy", "", "measurement-protocol stamp recorded in the spec key and manifest ("+strategyFlagHelp+")")
 	obsDir := fs.String("obs-dir", obs.DefaultRunDir, "directory for trace/metrics/manifest artifacts ('' disables)")
 	params := fb.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -513,6 +539,11 @@ func runMethod(ctx context.Context, name string, args []string) error {
 	if err != nil {
 		return err
 	}
+	st, err := parseStrategy(*strat)
+	if err != nil {
+		return err
+	}
+	noteSingleRunStrategy(st)
 	warnMaskedFaults(*system, fspec)
 	out, err := comb.Run(ctx, comb.RunSpec{
 		Method:   comb.Method(name),
@@ -522,6 +553,7 @@ func runMethod(ctx context.Context, name string, args []string) error {
 		ObsCap:   obsCapFor(*obsDir),
 		Seed:     *seed,
 		Faults:   fspec,
+		Strategy: st,
 		Params:   params(),
 	})
 	if err != nil {
@@ -707,12 +739,17 @@ func cmdFigure(ctx context.Context, args []string) error {
 	chart := fs.Bool("chart", true, "render an ASCII chart")
 	table := fs.Bool("table", false, "print the aligned numeric table")
 	csvDir := fs.String("csv", "", "directory to write figNN.csv files into")
+	strat := fs.String("strategy", "", strategyFlagHelp)
 	eo := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
 		return fmt.Errorf("figure: need a figure number (4-17) or 'all'")
+	}
+	st, err := parseStrategy(*strat)
+	if err != nil {
+		return err
 	}
 	var ids []string
 	if fs.Arg(0) == "all" {
@@ -723,11 +760,14 @@ func cmdFigure(ctx context.Context, args []string) error {
 		ids = fs.Args()
 	}
 	meter := eo.install()
-	opt := sweep.Options{Quick: *quick, Context: ctx}
+	var sstats sweep.SweepStats
+	opt := sweep.Options{Quick: *quick, Context: ctx, Strategy: st, Obs: meter.reg, Stats: &sstats}
 
 	// Expand every requested figure up front and execute the union of
 	// their point lists in one batch: `figure all -j N` parallelizes
-	// across figures, and shared sweeps run exactly once.
+	// across figures, and shared sweeps run exactly once.  A search
+	// strategy skips the dense prewarm — spending runs on every grid
+	// point is exactly what it avoids.
 	var figs []sweep.Figure
 	var pts []runner.Point
 	for _, id := range ids {
@@ -736,11 +776,11 @@ func cmdFigure(ctx context.Context, args []string) error {
 			return err
 		}
 		figs = append(figs, f)
-		if f.Points != nil {
+		if f.Points != nil && st.IsGrid() {
 			pts = append(pts, f.Points(opt)...)
 		}
 	}
-	err := sweep.DefaultEngine.RunAll(ctx, pts)
+	err = sweep.DefaultEngine.RunAll(ctx, pts)
 	meter.finish()
 	if err != nil {
 		return err
@@ -748,6 +788,7 @@ func cmdFigure(ctx context.Context, args []string) error {
 
 	for _, f := range figs {
 		fmt.Fprintf(os.Stderr, "building figure %s (%s)...\n", f.ID, f.Title)
+		ev0, sk0 := sstats.Evaluated.Load(), sstats.Skipped.Load()
 		tbl, err := f.Build(opt)
 		if err != nil {
 			return err
@@ -763,7 +804,8 @@ func cmdFigure(ctx context.Context, args []string) error {
 			if f.Points != nil {
 				np = len(f.Points(opt))
 			}
-			if err := writeCSV(*csvDir, f, tbl, *quick, np, meter.reg); err != nil {
+			ev, sk := sstats.Evaluated.Load()-ev0, sstats.Skipped.Load()-sk0
+			if err := writeCSV(*csvDir, f, tbl, *quick, np, meter.reg, st, ev, sk); err != nil {
 				return err
 			}
 		}
@@ -773,9 +815,10 @@ func cmdFigure(ctx context.Context, args []string) error {
 }
 
 // writeCSV writes a figure's data file plus its provenance manifest
-// (figNN.manifest.json): the regenerating command, sweep size, engine
-// metrics snapshot, and a hash of the CSV bytes.
-func writeCSV(dir string, f sweep.Figure, tbl *stats.Table, quick bool, points int, reg *obs.Registry) error {
+// (figNN.manifest.json): the regenerating command, sweep size, search
+// strategy and its evaluated/skipped counts, engine metrics snapshot,
+// and a hash of the CSV bytes.
+func writeCSV(dir string, f sweep.Figure, tbl *stats.Table, quick bool, points int, reg *obs.Registry, st *comb.SweepStrategy, evaluated, skipped int64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -793,6 +836,12 @@ func writeCSV(dir string, f sweep.Figure, tbl *stats.Table, quick bool, points i
 	mf.Command = fmt.Sprintf("comb figure %s -csv %s", f.ID, dir)
 	if quick {
 		mf.Command += " -quick"
+	}
+	if !st.IsGrid() {
+		mf.Strategy = st.String()
+		mf.Command += " -strategy " + st.String()
+		mf.PointsEvaluated = evaluated
+		mf.PointsSkipped = skipped
 	}
 	mf.Points = points
 	if reg != nil {
@@ -912,8 +961,13 @@ func cmdSweep(ctx context.Context, args []string) error {
 	chart := fs.Bool("chart", true, "render an ASCII chart")
 	table := fs.Bool("table", false, "print the aligned numeric table")
 	csvOut := fs.Bool("csv", false, "print CSV to stdout")
+	strat := fs.String("strategy", "", strategyFlagHelp)
 	eo := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := parseStrategy(*strat)
+	if err != nil {
 		return err
 	}
 
@@ -943,23 +997,27 @@ func cmdSweep(ctx context.Context, args []string) error {
 	}
 
 	meter := eo.install()
-	// Warm the whole grid through the worker pool, then shape serially
-	// off the memo.
-	var pts []runner.Point
-	for _, sys := range sysList {
-		sys = strings.TrimSpace(sys)
-		for _, size := range sizeList {
-			for _, x := range axis {
-				pts = append(pts, sweepPointSpec(*meth, sys, size, x))
+	// Grid sweeps warm the whole axis through the worker pool, then
+	// shape serially off the memo; a search strategy skips the prewarm
+	// and lets RunCurve decide which points to spend runs on.
+	if st.IsGrid() {
+		var pts []runner.Point
+		for _, sys := range sysList {
+			sys = strings.TrimSpace(sys)
+			for _, size := range sizeList {
+				for _, x := range axis {
+					pts = append(pts, sweepPointSpec(*meth, sys, size, x))
+				}
 			}
 		}
+		if err := sweep.DefaultEngine.RunAll(ctx, pts); err != nil {
+			meter.finish()
+			return err
+		}
 	}
-	err := sweep.DefaultEngine.RunAll(ctx, pts)
 	meter.finish()
-	if err != nil {
-		return err
-	}
 
+	opt := sweep.Options{Context: ctx, Strategy: st, Obs: meter.reg}
 	for _, sys := range sysList {
 		sys = strings.TrimSpace(sys)
 		for _, size := range sizeList {
@@ -967,13 +1025,23 @@ func cmdSweep(ctx context.Context, args []string) error {
 			if len(sizeList) > 1 {
 				name = fmt.Sprintf("%s %dB", sys, size)
 			}
-			series := stats.Series{Name: name}
-			for _, x := range axis {
-				y, err := sweepPoint(*meth, *metric, sys, size, x)
-				if err != nil {
-					return err
-				}
-				series.Add(float64(x), y)
+			c := sweep.Curve{
+				Name: name,
+				Axis: axis,
+				Eval: func(x int64, rep int) (float64, float64, error) {
+					p := sweepPointSpec(*meth, sys, size, x)
+					p.Seed = sweep.RepSeed(p.Seed, rep)
+					res, err := sweep.DefaultEngine.Run(ctx, p)
+					if err != nil {
+						return 0, 0, err
+					}
+					y, err := sweepMetric(*meth, *metric, res)
+					return float64(x), y, err
+				},
+			}
+			series, err := sweep.RunCurve(opt, c)
+			if err != nil {
+				return err
 			}
 			tbl.Series = append(tbl.Series, series)
 		}
@@ -1008,14 +1076,14 @@ func sweepPointSpec(meth, sys string, size int, x int64) runner.Point {
 	}}
 }
 
-// sweepPoint measures one (method, system, size, x) point and extracts
-// the requested metric.
-func sweepPoint(meth, metric, sys string, size int, x int64) (float64, error) {
+// sweepMetric extracts the requested metric from one engine result of a
+// custom-sweep point.
+func sweepMetric(meth, metric string, res *runner.Result) (float64, error) {
 	switch meth {
 	case "polling":
-		r, err := sweep.PollingPoint(sys, size, x)
-		if err != nil {
-			return 0, err
+		r, ok := runner.As[*comb.PollingResult](res)
+		if !ok {
+			return 0, fmt.Errorf("sweep: polling point returned a %T result", res.Value)
 		}
 		switch metric {
 		case "bandwidth":
@@ -1026,9 +1094,9 @@ func sweepPoint(meth, metric, sys string, size int, x int64) (float64, error) {
 			return 0, fmt.Errorf("sweep: metric %q not available for polling (bandwidth|availability)", metric)
 		}
 	case "pww":
-		r, err := sweep.PWWPoint(sys, size, x, 20, false)
-		if err != nil {
-			return 0, err
+		r, ok := runner.As[*comb.PWWResult](res)
+		if !ok {
+			return 0, fmt.Errorf("sweep: pww point returned a %T result", res.Value)
 		}
 		switch metric {
 		case "bandwidth":
@@ -1233,6 +1301,37 @@ func cmdSelfcheck(ctx context.Context, args []string) error {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// parseStrategy turns a -strategy flag value into a validated sweep
+// strategy: nil when empty or "grid", so the zero value stays the dense
+// default and grid sweeps keep their classic spec keys.
+func parseStrategy(s string) (*comb.SweepStrategy, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	st, err := comb.ParseStrategy(s)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsGrid() {
+		return nil, nil
+	}
+	return st, nil
+}
+
+// strategyFlagHelp is the shared -strategy usage string.
+var strategyFlagHelp = fmt.Sprintf("sweep search strategy (%s; knobs like 'bisect:target=0.5', see docs/SWEEPS.md)",
+	strings.Join(comb.Strategies(), "|"))
+
+// noteSingleRunStrategy explains what a non-grid strategy means on a
+// single measurement: a measurement-protocol stamp recorded in the spec
+// key and manifest, not a search — searches need an axis to walk, which
+// only the sweep-shaped subcommands have.
+func noteSingleRunStrategy(st *comb.SweepStrategy) {
+	if !st.IsGrid() {
+		fmt.Fprintf(os.Stderr, "comb: strategy %s recorded as measurement protocol; searches drive sweeps (comb figure/sweep -strategy)\n", st)
+	}
 }
 
 // parseFaults turns a -faults flag value into a RunSpec fault spec (nil

@@ -10,13 +10,25 @@ import (
 
 	"comb"
 	"comb/internal/obs"
+	"comb/internal/runner"
 	"comb/internal/stats"
 	"comb/internal/sweep"
 )
 
+// sweepMetricAt runs one custom-sweep point on a throwaway engine and
+// extracts the metric, mirroring cmdSweep's curve evaluator.
+func sweepMetricAt(t *testing.T, meth, metric, sys string, size int, x int64) (float64, error) {
+	t.Helper()
+	res, err := runner.New(runner.Config{}).Run(context.Background(), sweepPointSpec(meth, sys, size, x))
+	if err != nil {
+		return 0, err
+	}
+	return sweepMetric(meth, metric, res)
+}
+
 func TestSweepPointMetrics(t *testing.T) {
 	for _, metric := range []string{"bandwidth", "availability"} {
-		v, err := sweepPoint("polling", metric, "gm", 100_000, 1_000_000)
+		v, err := sweepMetricAt(t, "polling", metric, "gm", 100_000, 1_000_000)
 		if err != nil {
 			t.Fatalf("polling %s: %v", metric, err)
 		}
@@ -25,7 +37,7 @@ func TestSweepPointMetrics(t *testing.T) {
 		}
 	}
 	for _, metric := range []string{"bandwidth", "availability", "wait", "overhead", "postrecv"} {
-		v, err := sweepPoint("pww", metric, "portals", 100_000, 1_000_000)
+		v, err := sweepMetricAt(t, "pww", metric, "portals", 100_000, 1_000_000)
 		if err != nil {
 			t.Fatalf("pww %s: %v", metric, err)
 		}
@@ -36,17 +48,33 @@ func TestSweepPointMetrics(t *testing.T) {
 }
 
 func TestSweepPointErrors(t *testing.T) {
-	if _, err := sweepPoint("polling", "wait", "gm", 1000, 1000); err == nil {
+	if _, err := sweepMetricAt(t, "polling", "wait", "gm", 1000, 1000); err == nil {
 		t.Error("polling has no wait metric")
 	}
-	if _, err := sweepPoint("pww", "nosuch", "gm", 1000, 1000); err == nil {
+	if _, err := sweepMetricAt(t, "pww", "nosuch", "gm", 1000, 1000); err == nil {
 		t.Error("unknown metric must fail")
 	}
-	if _, err := sweepPoint("nosuch", "bandwidth", "gm", 1000, 1000); err == nil {
+	if _, err := sweepMetric("nosuch", "bandwidth", &runner.Result{}); err == nil {
 		t.Error("unknown method must fail")
 	}
-	if _, err := sweepPoint("polling", "bandwidth", "nosuch", 1000, 1000); err == nil {
+	if _, err := sweepMetricAt(t, "polling", "bandwidth", "nosuch", 1000, 1000); err == nil {
 		t.Error("unknown system must fail")
+	}
+}
+
+func TestParseStrategyFlag(t *testing.T) {
+	if st, err := parseStrategy(""); err != nil || st != nil {
+		t.Errorf("empty -strategy = %v, %v; want nil, nil", st, err)
+	}
+	if st, err := parseStrategy("grid"); err != nil || st != nil {
+		t.Errorf("-strategy grid = %v, %v; want nil, nil (grid is the zero value)", st, err)
+	}
+	st, err := parseStrategy("bisect:target=0.25")
+	if err != nil || st == nil || st.Target != 0.25 {
+		t.Errorf("-strategy bisect:target=0.25 = %v, %v", st, err)
+	}
+	if _, err := parseStrategy("bogus"); err == nil {
+		t.Error("unknown strategy must fail")
 	}
 }
 
@@ -57,7 +85,7 @@ func TestWriteCSV(t *testing.T) {
 		Series: []stats.Series{{Name: "s", Points: []stats.Point{{X: 1, Y: 2}}}},
 	}
 	f := sweep.Figure{ID: "7", Title: "test figure"}
-	if err := writeCSV(dir, f, tbl, true, 3, obs.NewRegistry()); err != nil {
+	if err := writeCSV(dir, f, tbl, true, 3, obs.NewRegistry(), nil, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(filepath.Join(dir, "fig07.csv"))
@@ -80,6 +108,32 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if mf.CSVSHA256 != obs.HashBytes(b) {
 		t.Fatalf("csv hash mismatch: manifest %s, file %s", mf.CSVSHA256, obs.HashBytes(b))
+	}
+	if mf.Strategy != "" || mf.PointsEvaluated != 0 || mf.PointsSkipped != 0 {
+		t.Fatalf("grid manifest must not carry strategy provenance: %+v", mf)
+	}
+
+	// A searched build stamps its strategy and point accounting into the
+	// manifest and the regenerating command.
+	st, err := comb.ParseStrategy("bisect:target=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCSV(dir, f, tbl, false, 3, nil, st, 9, 8); err != nil {
+		t.Fatal(err)
+	}
+	mb, err = os.ReadFile(filepath.Join(dir, "fig07.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mb, &mf); err != nil {
+		t.Fatal(err)
+	}
+	if mf.Strategy != st.String() || mf.PointsEvaluated != 9 || mf.PointsSkipped != 8 {
+		t.Fatalf("strategy provenance: %+v", mf)
+	}
+	if !strings.Contains(mf.Command, "-strategy "+st.String()) {
+		t.Fatalf("command must reproduce the strategy: %q", mf.Command)
 	}
 }
 
@@ -104,12 +158,24 @@ func TestCommandFunctions(t *testing.T) {
 	if err := cmdFigure(ctx, []string{"-quick", "-chart=false", "-no-cache", "13"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := cmdFigure(ctx, []string{"-quick", "-chart=false", "-no-cache",
+		"-strategy", "knee:budget=4", "13"}); err != nil {
+		t.Fatal(err)
+	}
 	if err := cmdAssess(ctx, []string{"-no-cache"}); err == nil {
 		t.Fatal("assess without args must fail")
 	}
 	if err := cmdSweep(ctx, []string{"-systems", "ideal", "-from", "100000", "-to", "1000000",
 		"-points", "1", "-chart=false", "-no-cache"}); err != nil {
 		t.Fatal(err)
+	}
+	if err := cmdSweep(ctx, []string{"-systems", "ideal", "-method", "pww", "-metric", "availability",
+		"-from", "100000", "-to", "10000000", "-points", "2", "-chart=false", "-no-cache",
+		"-strategy", "bisect:target=0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep(ctx, []string{"-strategy", "bogus", "-no-cache"}); err == nil {
+		t.Fatal("unknown -strategy must fail")
 	}
 	if err := cmdSweep(ctx, []string{"-sizes", "abc", "-no-cache"}); err == nil {
 		t.Fatal("bad sizes must fail")
@@ -148,6 +214,34 @@ func TestRunSpecFile(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, obs.ManifestFile)); err != nil {
 		t.Fatalf("spec-file run must write artifacts: %v", err)
+	}
+
+	// The -spec argument also accepts an inline JSON document — the form
+	// selfcheck replay lines quote, no temp file needed.
+	if err := cmdRun(ctx, []string{"-spec", string(b), "-obs-dir", ""}); err != nil {
+		t.Fatalf("inline spec document: %v", err)
+	}
+
+	// A -strategy stamp lands in the provenance manifest and survives the
+	// replay round trip (manifest → spec → identical result hash).
+	sdir := t.TempDir()
+	if err := cmdRun(ctx, []string{"-method", "pww", "-system", "ideal", "-reps", "3",
+		"-strategy", "bisect:target=0.5", "-obs-dir", sdir}); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := obs.LoadManifest(filepath.Join(sdir, obs.ManifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := comb.ParseStrategy("bisect:target=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Strategy != want.String() {
+		t.Fatalf("manifest strategy = %q, want %q", mf.Strategy, want.String())
+	}
+	if err := cmdReplay(ctx, []string{"-manifest", filepath.Join(sdir, obs.ManifestFile)}); err != nil {
+		t.Fatalf("strategy-stamped manifest must replay: %v", err)
 	}
 
 	// A document with the wrong schema version is refused with the typed

@@ -133,6 +133,11 @@ func readSpecFile(path string) ([]byte, error) {
 	if path == "-" {
 		return io.ReadAll(os.Stdin)
 	}
+	// An argument that starts with '{' is an inline spec document, not a
+	// file name — the form selfcheck replay lines quote.
+	if strings.HasPrefix(strings.TrimSpace(path), "{") {
+		return []byte(path), nil
+	}
 	return os.ReadFile(path)
 }
 

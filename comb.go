@@ -14,6 +14,7 @@ import (
 	"comb/internal/runpipe"
 	"comb/internal/spec"
 	"comb/internal/stats"
+	"comb/internal/strategy"
 	"comb/internal/sweep"
 	"comb/internal/trace"
 	"comb/internal/transport"
@@ -103,6 +104,23 @@ const (
 	NetperfSelect   = netperf.ModeSelect
 	NetperfBusyWait = netperf.ModeBusyWait
 )
+
+// SweepStrategy selects how a sweep spends its engine evaluations:
+// "grid" (every dense point, the default), "bisect" (binary-search the
+// axis for a metric threshold), "knee" (concentrate a point budget
+// around the steepest gradient), or "adaptive-reps" (repeat each point
+// until its confidence interval tightens).  See internal/strategy for
+// the knob grammar.
+type SweepStrategy = strategy.Spec
+
+// ParseStrategy reads a -strategy command-line spec, e.g. "grid",
+// "bisect:target=0.5", "knee:budget=12" or
+// "adaptive-reps:reltol=0.05,maxreps=16", validating the knobs and
+// filling defaults.
+func ParseStrategy(s string) (*SweepStrategy, error) { return strategy.Parse(s) }
+
+// Strategies lists the available sweep strategy names, sorted.
+func Strategies() []string { return strategy.Names() }
 
 // SpecVersion is the wire-schema version RunSpec marshals to and from:
 // the same versioned JSON document serves the library, `comb run -spec`,

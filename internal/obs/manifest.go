@@ -12,7 +12,15 @@ import (
 )
 
 // ManifestSchemaVersion versions the serialized manifest layout.
-const ManifestSchemaVersion = 1
+//
+// Schema 2 adds the "strategy" field (run manifests) and the
+// "strategy"/"points_evaluated"/"points_skipped" fields (figure
+// manifests); schema-1 files are still readable — the new fields
+// default to the dense grid.
+const ManifestSchemaVersion = 2
+
+// oldestManifestSchema is the oldest schema LoadManifest still reads.
+const oldestManifestSchema = 1
 
 // DefaultRunDir is where the CLI writes a single run's observability
 // artifacts unless -obs-dir says otherwise; `comb trace export`,
@@ -47,6 +55,10 @@ type Manifest struct {
 	Faults       string   `json:"faults,omitempty"`
 	MaskedFaults []string `json:"masked_faults,omitempty"`
 	Tolerance    []string `json:"tolerance,omitempty"`
+	// Strategy is the measurement protocol the spec was stamped with, in
+	// its canonical one-line form ("bisect:target=0.5"); empty means the
+	// dense grid.
+	Strategy string `json:"strategy,omitempty"`
 
 	Polling *core.PollingConfig `json:"polling,omitempty"`
 	PWW     *core.PWWConfig     `json:"pww,omitempty"`
@@ -75,6 +87,14 @@ type FigureManifest struct {
 	Quick   bool   `json:"quick"`
 	Command string `json:"command"`
 	Points  int    `json:"points"`
+
+	// Strategy is the sweep search strategy in canonical one-line form;
+	// empty means the dense grid.  PointsEvaluated counts the engine
+	// evaluations the build issued (repetitions included) and
+	// PointsSkipped the dense-axis points the search never touched.
+	Strategy        string `json:"strategy,omitempty"`
+	PointsEvaluated int64  `json:"points_evaluated,omitempty"`
+	PointsSkipped   int64  `json:"points_skipped,omitempty"`
 
 	Engine *Snapshot `json:"engine,omitempty"`
 
@@ -170,8 +190,8 @@ func LoadManifest(path string) (*Manifest, error) {
 	if err := json.Unmarshal(b, &m); err != nil {
 		return nil, fmt.Errorf("obs: %s: %w", path, err)
 	}
-	if m.Schema != ManifestSchemaVersion {
-		return nil, fmt.Errorf("obs: %s: manifest schema v%d, this build reads v%d", path, m.Schema, ManifestSchemaVersion)
+	if m.Schema < oldestManifestSchema || m.Schema > ManifestSchemaVersion {
+		return nil, fmt.Errorf("obs: %s: manifest schema v%d, this build reads v%d-v%d", path, m.Schema, oldestManifestSchema, ManifestSchemaVersion)
 	}
 	return &m, nil
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -256,7 +257,7 @@ func TestManifestSaveLoad(t *testing.T) {
 
 	// Unknown schema must be rejected.
 	b, _ := os.ReadFile(path)
-	b = bytes.Replace(b, []byte(`"schema": 1`), []byte(`"schema": 99`), 1)
+	b = bytes.Replace(b, []byte(fmt.Sprintf(`"schema": %d`, ManifestSchemaVersion)), []byte(`"schema": 99`), 1)
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		t.Fatal(err)
 	}

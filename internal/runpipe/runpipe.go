@@ -24,6 +24,7 @@ import (
 	"comb/internal/obs"
 	"comb/internal/platform"
 	"comb/internal/spec"
+	"comb/internal/strategy"
 	"comb/internal/trace"
 	"comb/internal/transport"
 )
@@ -230,6 +231,9 @@ func buildManifest(s spec.Spec, m method.Method, params any, out *Outcome) (*obs
 		_, mf.MaskedFaults = fs.Masked(transport.ToleranceOf(s.System))
 	}
 	mf.Tolerance = toleranceNames(transport.ToleranceOf(s.System))
+	if !s.Strategy.IsGrid() {
+		mf.Strategy = s.Strategy.String()
+	}
 	switch c := params.(type) {
 	case core.PollingConfig:
 		// Keep the dedicated manifest fields for the paper's two primary
@@ -295,6 +299,13 @@ func SpecFromManifest(mf *obs.Manifest) (spec.Spec, error) {
 			return spec.Spec{}, fmt.Errorf("comb: manifest faults: %w", err)
 		}
 		s.Faults = &fs
+	}
+	if mf.Strategy != "" {
+		st, err := strategy.Parse(mf.Strategy)
+		if err != nil {
+			return spec.Spec{}, fmt.Errorf("comb: manifest strategy: %w", err)
+		}
+		s.Strategy = st
 	}
 	if _, _, err := s.Resolve(); err != nil {
 		return spec.Spec{}, err

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -48,15 +49,21 @@ type Cell struct {
 }
 
 // Replay renders the one-command reproduction line for the cell: the
-// same `comb run -method ... -seed ... -faults ...` vocabulary
-// selfcheck's fuzz failures use, plus the frozen spec key so the exact
-// parameter hash is on record.
+// cell's full normalized spec as an inline versioned document — the
+// exact argument `comb run -spec` accepts — plus the frozen spec key.
+// Quoting the whole document is lossless: everything the key hashes
+// (method configuration, seed, faults, strategy stamp) survives
+// transcription, where the older -method/-seed/-faults vocabulary
+// silently dropped the method knobs and the strategy.
 func (c *Cell) Replay() string {
-	s := fmt.Sprintf("comb run -method %s -system %s -seed %d", c.Spec.Method, c.System, c.Spec.Seed)
-	if c.Spec.Faults != nil && !c.Spec.Faults.Zero() {
-		s += fmt.Sprintf(" -faults '%s'", c.Spec.Faults)
+	b, err := json.Marshal(&c.Spec)
+	if err != nil {
+		// The spec already ran, so it marshals; keep the line usable if
+		// that invariant ever breaks.
+		return fmt.Sprintf("comb run -method %s -system %s -seed %d (spec key %s)",
+			c.Spec.Method, c.System, c.Spec.Seed, c.Key)
 	}
-	return fmt.Sprintf("%s (spec key %s)", s, c.Key)
+	return fmt.Sprintf("comb run -spec '%s' (spec key %s)", b, c.Key)
 }
 
 // Matrix is one pack's expanded, executed result grid.

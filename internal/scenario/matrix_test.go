@@ -2,11 +2,13 @@ package scenario
 
 import (
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"comb/internal/pingpong"
 	"comb/internal/spec"
+	"comb/internal/strategy"
 	"comb/internal/transport"
 )
 
@@ -83,9 +85,9 @@ func TestExpandSeedOverride(t *testing.T) {
 	}
 }
 
-// TestReplayLine pins the reproduction vocabulary: the same
-// `comb run -method ... -seed ... -faults` wording selfcheck's fuzz
-// failures use, plus the frozen spec key.
+// TestReplayLine pins the reproduction vocabulary: the cell's full
+// normalized spec quoted as the inline document `comb run -spec`
+// accepts, plus the frozen spec key.
 func TestReplayLine(t *testing.T) {
 	p := tinyPack(t)
 	cells, err := Expand(p, []string{"tcp"})
@@ -101,17 +103,57 @@ func TestReplayLine(t *testing.T) {
 		}
 	}
 	cr := clean.Replay()
-	for _, want := range []string{"comb run -method pingpong", "-system tcp", "-seed 9", "(spec key " + clean.Key + ")"} {
+	for _, want := range []string{"comb run -spec '{", `"method":"pingpong"`, `"system":"tcp"`, "(spec key " + clean.Key + ")"} {
 		if !strings.Contains(cr, want) {
 			t.Errorf("clean replay %q missing %q", cr, want)
 		}
 	}
-	if strings.Contains(cr, "-faults") {
+	if strings.Contains(cr, "faults") {
 		t.Errorf("clean replay %q mentions faults", cr)
 	}
-	fr := faulted.Replay()
-	if !strings.Contains(fr, "-faults 'drop=0.05,seed=9'") {
-		t.Errorf("faulted replay %q missing canonical fault string", fr)
+	if !strings.Contains(faulted.Replay(), `drop=0.05,seed=9`) {
+		t.Errorf("faulted replay %q missing canonical fault string", faulted.Replay())
+	}
+}
+
+// TestReplayLineRoundTrip is the regression for the replay-line fidelity
+// bug: the quoted document must decode through the spec parser into a
+// spec whose key is exactly the cell's frozen key — method knobs,
+// faults, and the strategy stamp all survive.
+func TestReplayLineRoundTrip(t *testing.T) {
+	p := tinyPack(t)
+	st, err := strategy.Parse("bisect:target=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stamp one workload with a non-grid strategy so the round trip
+	// proves the stamp is carried, not just absent everywhere.
+	p.Workloads[0].Spec.Strategy = st
+	cells, err := Expand(p, []string{"tcp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		line := c.Replay()
+		start := strings.Index(line, "'")
+		end := strings.LastIndex(line, "'")
+		if start < 0 || end <= start {
+			t.Fatalf("replay line has no quoted document: %q", line)
+		}
+		var back spec.Spec
+		if err := json.Unmarshal([]byte(line[start+1:end]), &back); err != nil {
+			t.Fatalf("replay document does not parse: %v\nline: %s", err, line)
+		}
+		norm, m, err := back.Normalized()
+		if err != nil {
+			t.Fatalf("replay document does not normalize: %v", err)
+		}
+		if key := spec.KeyOf(norm, m); key != c.Key {
+			t.Errorf("replay round trip changed the key:\n  cell:   %s\n  replay: %s\n  line:   %s", c.Key, key, line)
+		}
+	}
+	if c := cells[0]; c.Spec.Strategy.IsGrid() {
+		t.Fatal("strategy stamp lost during expansion")
 	}
 }
 

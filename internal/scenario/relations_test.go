@@ -149,7 +149,7 @@ func TestCompleteFiresOnErroredCell(t *testing.T) {
 	if len(vs) != 1 || !strings.Contains(vs[0].Detail, "simulated deadlock") {
 		t.Fatalf("matrix/complete = %v", vs)
 	}
-	if !strings.Contains(vs[0].String(), "replay with `comb run -method pww") {
+	if !strings.Contains(vs[0].String(), "replay with `comb run -spec '{") {
 		t.Fatalf("violation lacks replay line: %s", vs[0])
 	}
 	// Every other relation must skip the errored cell: the failure is

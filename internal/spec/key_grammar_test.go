@@ -8,6 +8,7 @@ import (
 
 	"comb/internal/core"
 	"comb/internal/faultinject"
+	"comb/internal/strategy"
 )
 
 // TestKeyGrammarEdgeCases is the table-driven pin of the frozen cache-key
@@ -76,6 +77,25 @@ func TestKeyGrammarEdgeCases(t *testing.T) {
 			},
 			want: plain + "/cpus=4/seed=7/faults=drop=0.25,seed=7",
 		},
+		{
+			name:   "grid strategy normalizes away: classic key unchanged",
+			mutate: func(s *Spec) { s.Strategy = &strategy.Spec{Name: strategy.Grid} },
+			want:   plain,
+		},
+		{
+			name:   "non-grid strategy appends a canonical segment with defaults spelled out",
+			mutate: func(s *Spec) { s.Strategy = &strategy.Spec{Name: strategy.Bisect} },
+			want:   plain + "/strategy=bisect:target=0.5",
+		},
+		{
+			name: "strategy segment comes after faults",
+			mutate: func(s *Spec) {
+				s.Seed = 7
+				s.Faults = &faultinject.Spec{Drop: 0.25}
+				s.Strategy = &strategy.Spec{Name: strategy.Knee, Budget: 6}
+			},
+			want: plain + "/seed=7/faults=drop=0.25,seed=7/strategy=knee:budget=6",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -131,6 +151,16 @@ func TestKeyGrammarNonCollisions(t *testing.T) {
 			name: "faulted vs clean",
 			a:    func(s *Spec) { s.Faults = &faultinject.Spec{Drop: 0.5, Seed: 1} },
 			b:    func(s *Spec) {},
+		},
+		{
+			name: "searched vs dense",
+			a:    func(s *Spec) { s.Strategy = &strategy.Spec{Name: strategy.Bisect} },
+			b:    func(s *Spec) {},
+		},
+		{
+			name: "same strategy different knobs",
+			a:    func(s *Spec) { s.Strategy = &strategy.Spec{Name: strategy.Bisect, Target: 0.25} },
+			b:    func(s *Spec) { s.Strategy = &strategy.Spec{Name: strategy.Bisect, Target: 0.75} },
 		},
 	}
 	for _, tc := range pairs {

@@ -21,16 +21,26 @@ import (
 	"comb/internal/core"
 	"comb/internal/faultinject"
 	"comb/internal/method"
+	"comb/internal/strategy"
 )
 
 // Version is the current wire-schema version.  MarshalJSON always stamps
-// it; UnmarshalJSON rejects documents carrying any other value (or none)
-// with a *VersionError.
+// it; UnmarshalJSON accepts the versions listed below and rejects any
+// other value (or none) with a *VersionError.
 //
 // Version 1: the fields of Spec below, with "polling"/"pww" dedicated
 // config objects, "faults" in faultinject.Spec.String() form, and
 // "params" as the registered method's own JSON parameter payload.
-const Version = 1
+//
+// Version 2: version 1 plus an optional "strategy" block (the sweep
+// search strategy; see internal/strategy).  A version-1 document is
+// still accepted and defaults to the grid strategy; carrying a
+// "strategy" block requires stamping specVersion 2.
+const Version = 2
+
+// oldestVersion is the oldest wire-schema version UnmarshalJSON still
+// accepts.
+const oldestVersion = 1
 
 // Method selects which benchmark method a Spec executes.  Any name in
 // method.Names() is valid; the constants below name the built-ins.
@@ -56,9 +66,9 @@ type VersionError struct {
 
 func (e *VersionError) Error() string {
 	if e.Got == 0 {
-		return fmt.Sprintf("comb: spec document has no specVersion field (this build speaks version %d)", Version)
+		return fmt.Sprintf("comb: spec document has no specVersion field (this build speaks versions %d-%d)", oldestVersion, Version)
 	}
-	return fmt.Sprintf("comb: unsupported specVersion %d (this build speaks version %d)", e.Got, Version)
+	return fmt.Sprintf("comb: unsupported specVersion %d (this build speaks versions %d-%d)", e.Got, oldestVersion, Version)
 }
 
 // Spec describes one measurement: the method, the simulated system, and
@@ -106,6 +116,14 @@ type Spec struct {
 	// CPU jitter bursts).  Faults a transport cannot survive are masked;
 	// see internal/faultinject.
 	Faults *faultinject.Spec
+	// Strategy stamps the measurement protocol the spec was (or should
+	// be) evaluated under: nil or grid is the classic dense evaluation;
+	// bisect/knee/adaptive-reps describe search (see internal/strategy).
+	// A single run simulates identically whatever the strategy — the
+	// strategies decide which points of a sweep axis get run, and with
+	// how many repetitions — but the stamp enters the cache key and
+	// manifests so searched results never alias dense ones.
+	Strategy *strategy.Spec
 	// Polling configures MethodPolling; it must be non-nil for that
 	// method (unless Params carries the config instead).
 	Polling *core.PollingConfig
@@ -192,6 +210,19 @@ func (s Spec) Normalized() (Spec, method.Method, error) {
 	n.Method = Method(m.Name())
 	n.Params = params
 	n.Polling, n.PWW = nil, nil
+	if n.Strategy != nil {
+		st := *n.Strategy
+		if err := st.Validate(); err != nil {
+			return s, nil, err
+		}
+		if st.IsGrid() {
+			// Grid is the default: fold it away so dense specs keep
+			// their classic keys whether or not they spell it out.
+			n.Strategy = nil
+		} else {
+			n.Strategy = &st
+		}
+	}
 	if n.Faults != nil {
 		if n.Faults.Zero() {
 			n.Faults = nil
@@ -213,7 +244,8 @@ func (s Spec) Normalized() (Spec, method.Method, error) {
 // name, the system, and the method's own stable parameter hash
 // ("method/system/hash").  Optional axes append only when set — "/cpus=N"
 // for multi-processor points, "/seed=N" for an explicit RNG seed,
-// "/faults=<spec>" for fault injection — so the classic keys (and every
+// "/faults=<spec>" for fault injection, "/strategy=<spec>" for a
+// non-grid search strategy — so the classic keys (and every
 // committed cache entry) are unchanged.  Method names enter the key, so
 // two methods can never collide however their hashes are built.  The hot
 // sweep path normalizes each point exactly once and threads the key
@@ -239,6 +271,10 @@ func KeyOf(n Spec, m method.Method) string {
 		b.WriteString("/faults=")
 		b.WriteString(n.Faults.String())
 	}
+	if !n.Strategy.IsGrid() {
+		b.WriteString("/strategy=")
+		b.WriteString(n.Strategy.String())
+	}
 	return b.String()
 }
 
@@ -253,8 +289,9 @@ func (s Spec) Key() string {
 	return KeyOf(n, m)
 }
 
-// wireSpec is the version-1 JSON document.  Field names are the schema;
-// changing any of them requires a Version bump.
+// wireSpec is the version-2 JSON document (a superset of version 1:
+// the "strategy" block is the only addition).  Field names are the
+// schema; changing any of them requires a Version bump.
 type wireSpec struct {
 	SpecVersion int                 `json:"specVersion"`
 	Method      string              `json:"method,omitempty"`
@@ -264,16 +301,17 @@ type wireSpec struct {
 	ObsCap      int                 `json:"obsCap,omitempty"`
 	Seed        uint64              `json:"seed,omitempty"`
 	Faults      string              `json:"faults,omitempty"`
+	Strategy    *strategy.Spec      `json:"strategy,omitempty"`
 	Polling     *core.PollingConfig `json:"polling,omitempty"`
 	PWW         *core.PWWConfig     `json:"pww,omitempty"`
 	Params      json.RawMessage     `json:"params,omitempty"`
 }
 
-// MarshalJSON writes the version-1 wire document, stamping the current
+// MarshalJSON writes the version-2 wire document, stamping the current
 // Version.  Typed polling/PWW parameter values (as a normalized spec
 // carries in Params) are routed into the dedicated "polling"/"pww"
 // fields; any other params marshal under "params" as the method's own
-// JSON payload.
+// JSON payload.  A grid strategy is the default and is omitted.
 func (s Spec) MarshalJSON() ([]byte, error) {
 	w := wireSpec{
 		SpecVersion: Version,
@@ -288,6 +326,9 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 	}
 	if s.Faults != nil && !s.Faults.Zero() {
 		w.Faults = s.Faults.String()
+	}
+	if !s.Strategy.IsGrid() {
+		w.Strategy = s.Strategy
 	}
 	switch p := s.Params.(type) {
 	case nil:
@@ -319,10 +360,13 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 	return json.Marshal(w)
 }
 
-// UnmarshalJSON decodes a version-1 wire document strictly: unknown
-// fields are rejected, a missing or foreign specVersion fails with a
-// *VersionError, and "params" payloads are decoded into the registered
-// method's own typed parameters (so Method must name one).
+// UnmarshalJSON decodes a version-1 or version-2 wire document
+// strictly: unknown fields are rejected, a missing or foreign
+// specVersion fails with a *VersionError, and "params" payloads are
+// decoded into the registered method's own typed parameters (so Method
+// must name one).  Version-1 documents default to the grid strategy;
+// one that carries a "strategy" block is rejected (that block is what
+// version 2 adds).
 func (s *Spec) UnmarshalJSON(b []byte) error {
 	var probe struct {
 		SpecVersion *int `json:"specVersion"`
@@ -333,7 +377,7 @@ func (s *Spec) UnmarshalJSON(b []byte) error {
 	if probe.SpecVersion == nil {
 		return &VersionError{}
 	}
-	if *probe.SpecVersion != Version {
+	if *probe.SpecVersion < oldestVersion || *probe.SpecVersion > Version {
 		return &VersionError{Got: *probe.SpecVersion}
 	}
 	dec := json.NewDecoder(bytes.NewReader(b))
@@ -341,6 +385,14 @@ func (s *Spec) UnmarshalJSON(b []byte) error {
 	var w wireSpec
 	if err := dec.Decode(&w); err != nil {
 		return fmt.Errorf("comb: spec document: %w", err)
+	}
+	if w.SpecVersion < 2 && w.Strategy != nil {
+		return fmt.Errorf("comb: spec \"strategy\" needs specVersion 2 (document says %d)", w.SpecVersion)
+	}
+	if w.Strategy != nil {
+		if err := w.Strategy.Validate(); err != nil {
+			return fmt.Errorf("comb: spec strategy: %w", err)
+		}
 	}
 	out := Spec{
 		SpecVersion: w.SpecVersion,
@@ -350,6 +402,7 @@ func (s *Spec) UnmarshalJSON(b []byte) error {
 		TraceCap:    w.TraceCap,
 		ObsCap:      w.ObsCap,
 		Seed:        w.Seed,
+		Strategy:    w.Strategy,
 		Polling:     w.Polling,
 		PWW:         w.PWW,
 	}

@@ -15,14 +15,15 @@ import (
 	_ "comb/internal/method/all"
 	"comb/internal/pingpong"
 	"comb/internal/sim"
+	"comb/internal/strategy"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden spec documents")
 
 // goldenSpecs are the wire-schema fixtures: one per params route
 // (dedicated polling/pww fields, generic method params) plus the
-// optional axes (cpus, seed, faults).  Their serialized forms live in
-// testdata/ and pin the version-1 schema byte for byte.
+// optional axes (cpus, seed, faults, strategy).  Their serialized forms
+// live in testdata/ and pin the version-2 schema byte for byte.
 func goldenSpecs() []struct {
 	name string
 	spec Spec
@@ -48,6 +49,12 @@ func goldenSpecs() []struct {
 			Method: MethodPingpong,
 			System: "ideal",
 			Params: pingpong.Params{MsgSize: 4096, Reps: 10},
+		}},
+		{"polling_strategy", Spec{
+			Method:   MethodPolling,
+			System:   "tcp",
+			Strategy: &strategy.Spec{Name: strategy.Bisect, Target: 0.5},
+			Polling:  &core.PollingConfig{PollInterval: 1000, WorkTotal: 10_000_000},
 		}},
 	}
 }
@@ -118,13 +125,55 @@ func TestUnmarshalVersionErrors(t *testing.T) {
 		t.Errorf("missing-version message: %q", err)
 	}
 
-	err = json.Unmarshal([]byte(`{"specVersion":2,"method":"pww"}`), &s)
+	err = json.Unmarshal([]byte(`{"specVersion":3,"method":"pww"}`), &s)
 	ve = nil
-	if !errors.As(err, &ve) || ve.Got != 2 {
+	if !errors.As(err, &ve) || ve.Got != 3 {
 		t.Fatalf("foreign specVersion: err = %v", err)
 	}
-	if !strings.Contains(err.Error(), "unsupported specVersion 2") {
+	if !strings.Contains(err.Error(), "unsupported specVersion 3") {
 		t.Errorf("foreign-version message: %q", err)
+	}
+}
+
+// TestUnmarshalVersionCompat: a version-1 document (no strategy block)
+// still decodes, defaulting to the grid strategy; a version-1 document
+// that smuggles in a strategy block is rejected.
+func TestUnmarshalVersionCompat(t *testing.T) {
+	var s Spec
+	v1 := `{"specVersion":1,"method":"pww","system":"gm","pww":{"WorkInterval":500000}}`
+	if err := json.Unmarshal([]byte(v1), &s); err != nil {
+		t.Fatalf("version-1 document rejected: %v", err)
+	}
+	if s.SpecVersion != 1 || !s.Strategy.IsGrid() {
+		t.Fatalf("version-1 decode: %+v", s)
+	}
+	// Re-encoding stamps the current version; the measurement is the same.
+	out, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"specVersion":2`) {
+		t.Fatalf("re-encode did not stamp version 2: %s", out)
+	}
+
+	bad := `{"specVersion":1,"method":"pww","system":"gm","strategy":{"name":"bisect"},"pww":{"WorkInterval":500000}}`
+	if err := json.Unmarshal([]byte(bad), &s); err == nil ||
+		!strings.Contains(err.Error(), "needs specVersion 2") {
+		t.Fatalf("v1 + strategy: err = %v", err)
+	}
+
+	v2 := `{"specVersion":2,"method":"pww","system":"gm","strategy":{"name":"bisect","target":0.25},"pww":{"WorkInterval":500000}}`
+	if err := json.Unmarshal([]byte(v2), &s); err != nil {
+		t.Fatalf("version-2 strategy document rejected: %v", err)
+	}
+	if s.Strategy == nil || s.Strategy.Name != "bisect" || s.Strategy.Target != 0.25 {
+		t.Fatalf("strategy block lost: %+v", s.Strategy)
+	}
+	// Invalid strategies fail at decode time, not run time.
+	badKnob := `{"specVersion":2,"method":"pww","strategy":{"name":"bisect","budget":4}}`
+	if err := json.Unmarshal([]byte(badKnob), &s); err == nil ||
+		!strings.Contains(err.Error(), "does not take") {
+		t.Fatalf("invalid strategy knob: err = %v", err)
 	}
 }
 

@@ -1,0 +1,102 @@
+package stats
+
+import "math"
+
+// Confidence-interval helpers for variance-driven sweeps ("MPI
+// Benchmarking Revisited"-style stopping rules): sample mean and
+// standard deviation, Student-t critical values, and the half-width of
+// the CI of the mean.
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator;
+// 0 when fewer than two samples).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mean := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Student-t two-sided critical values, indexed by degrees of freedom
+// 1..30.  Beyond 30 the normal quantile is close enough for a stopping
+// rule.
+var tTable = map[float64][]float64{
+	0.95: {
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	},
+	0.99: {
+		63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+		3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+		2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+	},
+}
+
+// Normal two-sided quantiles, the large-df fallback.
+var zTable = map[float64]float64{0.95: 1.960, 0.99: 2.576}
+
+// TCritical returns the two-sided Student-t critical value at
+// confidence conf with df degrees of freedom.  Exact tables back 0.95
+// and 0.99 up to df 30 (normal quantile beyond); other levels fall back
+// to an Acklam-free normal approximation of the matching z, which is
+// conservative enough for stopping rules.
+func TCritical(conf float64, df int) float64 {
+	if df < 1 {
+		df = 1
+	}
+	if tb, ok := tTable[conf]; ok {
+		if df <= len(tb) {
+			return tb[df-1]
+		}
+		return zTable[conf]
+	}
+	// Generic fallback: invert the normal CDF for (1+conf)/2 by
+	// bisection over [0, 10].
+	p := (1 + conf) / 2
+	lo, hi := 0.0, 10.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if normalCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func normalCDF(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+// MeanCI returns the sample mean of xs and the half-width of its
+// two-sided confidence interval at level conf, using Student-t with
+// n-1 degrees of freedom.  Fewer than two samples yield a zero
+// half-width.
+func MeanCI(xs []float64, conf float64) (mean, half float64) {
+	mean = Mean(xs)
+	n := len(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	sd := StdDev(xs)
+	half = TCritical(conf, n-1) * sd / math.Sqrt(float64(n))
+	return mean, half
+}

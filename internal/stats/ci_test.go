@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	cases := []struct {
+		name     string
+		xs       []float64
+		mean, sd float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{7}, 7, 0},
+		{"constant", []float64{4, 4, 4, 4}, 4, 0},
+		// 2,4,4,4,5,5,7,9: classic example — mean 5, sample sd sqrt(32/7).
+		{"classic", []float64{2, 4, 4, 4, 5, 5, 7, 9}, 5, math.Sqrt(32.0 / 7.0)},
+		{"pair", []float64{1, 3}, 2, math.Sqrt2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Mean(c.xs); math.Abs(got-c.mean) > 1e-12 {
+				t.Errorf("Mean = %g, want %g", got, c.mean)
+			}
+			if got := StdDev(c.xs); math.Abs(got-c.sd) > 1e-12 {
+				t.Errorf("StdDev = %g, want %g", got, c.sd)
+			}
+		})
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	cases := []struct {
+		conf float64
+		df   int
+		want float64
+	}{
+		{0.95, 1, 12.706},
+		{0.95, 4, 2.776},
+		{0.95, 30, 2.042},
+		{0.95, 1000, 1.960}, // normal fallback past the table
+		{0.99, 2, 9.925},
+		{0.99, 10, 3.169},
+		{0.99, 500, 2.576},
+		{0.95, 0, 12.706}, // df clamped up to 1
+	}
+	for _, c := range cases {
+		if got := TCritical(c.conf, c.df); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("TCritical(%g, %d) = %g, want %g", c.conf, c.df, got, c.want)
+		}
+	}
+	// Unlisted confidence level: normal-quantile bisection fallback.
+	// z for 90% two-sided is 1.6449.
+	if got := TCritical(0.90, 50); math.Abs(got-1.6449) > 1e-3 {
+		t.Errorf("TCritical(0.90, 50) = %g, want ~1.6449", got)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	// n=4, sd=1, mean=10: half = t(0.95, 3) * 1/2 = 3.182/2.
+	xs := []float64{9, 9, 11, 11}
+	sd := StdDev(xs) // 2/sqrt(3)
+	mean, half := MeanCI(xs, 0.95)
+	if mean != 10 {
+		t.Fatalf("mean = %g", mean)
+	}
+	want := 3.182 * sd / 2
+	if math.Abs(half-want) > 1e-9 {
+		t.Fatalf("half = %g, want %g", half, want)
+	}
+	// Degenerate inputs give a zero-width interval.
+	if _, h := MeanCI([]float64{5}, 0.95); h != 0 {
+		t.Fatalf("single-sample half = %g, want 0", h)
+	}
+	if _, h := MeanCI([]float64{3, 3, 3}, 0.95); h != 0 {
+		t.Fatalf("constant-sample half = %g, want 0", h)
+	}
+}
+
+func TestSeriesAddCI(t *testing.T) {
+	var s Series
+	s.AddCI(1, 10, 9, 11, 5)
+	p := s.Points[0]
+	if p.X != 1 || p.Y != 10 || p.Lo != 9 || p.Hi != 11 || p.Reps != 5 {
+		t.Fatalf("AddCI point = %+v", p)
+	}
+}
+
+func TestTableCSVWithCI(t *testing.T) {
+	tbl := &Table{
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{{Name: "a", Points: []Point{
+			{X: 1, Y: 2, Lo: 1.5, Hi: 2.5, Reps: 4},
+			{X: 3, Y: 4}, // mixed: un-repped rows still carry the columns
+		}}},
+	}
+	want := "series,x,y,y_lo,y_hi,reps\na,1,2,1.5,2.5,4\na,3,4,0,0,0\n"
+	if got := tbl.CSV(); got != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", got, want)
+	}
+	// Without any repped point the header and rows are the classic
+	// three columns — grid output stays byte-identical.
+	plain := &Table{XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "a", Points: []Point{{X: 1, Y: 2}}}}}
+	if got := plain.CSV(); strings.Contains(got, "y_lo") {
+		t.Fatalf("plain CSV grew CI columns:\n%q", got)
+	}
+}

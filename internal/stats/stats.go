@@ -7,9 +7,14 @@ import (
 	"strings"
 )
 
-// Point is one measurement.
+// Point is one measurement.  Lo, Hi, and Reps are set only by sweeps
+// that repeat points (the adaptive-reps strategy): Reps counts the
+// repetitions behind Y and [Lo, Hi] is the confidence interval of the
+// mean.  A plain single-shot point leaves them zero.
 type Point struct {
-	X, Y float64
+	X, Y   float64
+	Lo, Hi float64
+	Reps   int
 }
 
 // Series is a named curve.
@@ -20,6 +25,12 @@ type Series struct {
 
 // Add appends a point.
 func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// AddCI appends a point carrying a confidence interval over reps
+// repetitions.
+func (s *Series) AddCI(x, y, lo, hi float64, reps int) {
+	s.Points = append(s.Points, Point{X: x, Y: y, Lo: lo, Hi: hi, Reps: reps})
+}
 
 // SortByX orders the points by x ascending (stable).
 func (s *Series) SortByX() {
@@ -49,13 +60,32 @@ type Table struct {
 }
 
 // CSV renders the table in long form: series,x,y — one row per point,
-// stable order, full float precision.
+// stable order, full float precision.  When any point carries a
+// repetition count (an adaptive-reps sweep), three extra columns
+// y_lo,y_hi,reps follow on every row; tables without repeated points
+// render exactly as before, so grid output stays byte-identical.
 func (t *Table) CSV() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "series,%s,%s\n", csvField(t.XLabel), csvField(t.YLabel))
+	withCI := false
 	for _, s := range t.Series {
 		for _, p := range s.Points {
-			fmt.Fprintf(&b, "%s,%g,%g\n", csvField(s.Name), p.X, p.Y)
+			if p.Reps > 0 {
+				withCI = true
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,%s,%s", csvField(t.XLabel), csvField(t.YLabel))
+	if withCI {
+		b.WriteString(",y_lo,y_hi,reps")
+	}
+	b.WriteByte('\n')
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%g,%g", csvField(s.Name), p.X, p.Y)
+			if withCI {
+				fmt.Fprintf(&b, ",%g,%g,%d", p.Lo, p.Hi, p.Reps)
+			}
+			b.WriteByte('\n')
 		}
 	}
 	return b.String()

@@ -97,8 +97,8 @@ func TestTableCSV(t *testing.T) {
 		XLabel: "x,axis", // exercises quoting
 		YLabel: "y",
 		Series: []Series{
-			{Name: "a", Points: []Point{{1, 2}, {3, 4}}},
-			{Name: "b", Points: []Point{{1, 5}}},
+			{Name: "a", Points: []Point{{X: 1, Y: 2}, {X: 3, Y: 4}}},
+			{Name: "b", Points: []Point{{X: 1, Y: 5}}},
 		},
 	}
 	csv := tbl.CSV()
@@ -114,8 +114,8 @@ func TestTableText(t *testing.T) {
 		XLabel: "x",
 		YLabel: "y",
 		Series: []Series{
-			{Name: "a", Points: []Point{{1, 2}, {3, 4}}},
-			{Name: "b", Points: []Point{{3, 9}}},
+			{Name: "a", Points: []Point{{X: 1, Y: 2}, {X: 3, Y: 4}}},
+			{Name: "b", Points: []Point{{X: 3, Y: 9}}},
 		},
 	}
 	txt := tbl.Text()

@@ -1,0 +1,275 @@
+package strategy
+
+import (
+	"fmt"
+
+	"comb/internal/stats"
+)
+
+// Eval produces the metric value of one axis point.  i indexes the
+// dense axis; rep is the repetition number (always 0 except under
+// adaptive-reps, where rep r re-measures the same point with a
+// perturbed seed).  Implementations route through the sweep engine, so
+// repeated (i, rep) pairs are cache hits.
+type Eval func(i, rep int) (float64, error)
+
+// Sample is one evaluated axis point.  Under adaptive-reps Y is the
+// mean over Reps repetitions and [Lo, Hi] its confidence interval; for
+// the other strategies Reps is 0 and Lo = Hi = Y.
+type Sample struct {
+	// Index is the point's position on the dense axis.
+	Index int
+	// Reps counts the repetitions behind Y (0 = a single evaluation).
+	Reps int
+	// Y is the measured (or mean) metric value; Lo and Hi bound it.
+	Y, Lo, Hi float64
+}
+
+// Result is one finished search: the evaluated samples in axis order,
+// how many evaluations they cost, and — for bisect — the crossing.
+type Result struct {
+	// Samples holds every evaluated point, sorted by Index (each index
+	// at most once).
+	Samples []Sample
+	// Evals counts Eval calls, repetitions included.  The dense grid
+	// costs exactly n; the searches cost less.
+	Evals int
+	// CrossIndex is the smallest axis index on the far side of the
+	// bisect target (-1 when the curve never crosses it, or for the
+	// other strategies).
+	CrossIndex int
+}
+
+// search tracks one in-progress search over [0, n) with memoized
+// single-rep evaluations.
+type search struct {
+	eval  Eval
+	memo  map[int]float64
+	evals int
+}
+
+func newSearch(eval Eval) *search {
+	return &search{eval: eval, memo: make(map[int]float64)}
+}
+
+// at evaluates index i once (rep 0), memoized.
+func (s *search) at(i int) (float64, error) {
+	if y, ok := s.memo[i]; ok {
+		return y, nil
+	}
+	y, err := s.eval(i, 0)
+	if err != nil {
+		return 0, err
+	}
+	s.evals++
+	s.memo[i] = y
+	return y, nil
+}
+
+// result assembles the evaluated samples in index order.
+func (s *search) result(cross int) *Result {
+	r := &Result{Evals: s.evals, CrossIndex: cross}
+	idx := make([]int, 0, len(s.memo))
+	for i := range s.memo {
+		idx = append(idx, i)
+	}
+	// Insertion sort: the evaluated sets are small (O(log n)).
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	for _, i := range idx {
+		y := s.memo[i]
+		r.Samples = append(r.Samples, Sample{Index: i, Y: y, Lo: y, Hi: y})
+	}
+	return r
+}
+
+// RunGrid evaluates every index of the dense axis in order — the
+// classic sweep, byte-identical to a strategy-free loop.
+func RunGrid(n int, eval Eval) (*Result, error) {
+	s := newSearch(eval)
+	for i := 0; i < n; i++ {
+		if _, err := s.at(i); err != nil {
+			return nil, err
+		}
+	}
+	return s.result(-1), nil
+}
+
+// RunBisect binary-searches [0, n) for the boundary where the metric
+// crosses target.  It evaluates both endpoints, decides the curve's
+// direction from them, then keeps one index on each side of the
+// crossing and halves the bracket: O(log n) evaluations.  CrossIndex is
+// the smallest index whose value is on the far side of target (>= for a
+// rising curve, <= for a falling one), or -1 when the endpoints leave
+// the target outside their range.  Non-monotone curves get the answer
+// for whichever crossing the bracket converges to, like any bisection.
+func RunBisect(n int, target float64, eval Eval) (*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("strategy: bisect needs a non-empty axis")
+	}
+	s := newSearch(eval)
+	ylo, err := s.at(0)
+	if err != nil {
+		return nil, err
+	}
+	if n == 1 {
+		cross := -1
+		if ylo >= target {
+			cross = 0
+		}
+		return s.result(cross), nil
+	}
+	yhi, err := s.at(n - 1)
+	if err != nil {
+		return nil, err
+	}
+	// crossed says the value is on the far side of target, in the
+	// direction the endpoints establish.
+	rising := yhi >= ylo
+	crossed := func(y float64) bool {
+		if rising {
+			return y >= target
+		}
+		return y <= target
+	}
+	switch {
+	case crossed(ylo):
+		// Already past the target at the low end: the boundary is 0.
+		return s.result(0), nil
+	case !crossed(yhi):
+		// Never reaches the target.
+		return s.result(-1), nil
+	}
+	lo, hi := 0, n-1 // invariant: !crossed(lo), crossed(hi)
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		y, err := s.at(mid)
+		if err != nil {
+			return nil, err
+		}
+		if crossed(y) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return s.result(hi), nil
+}
+
+// invphi is 1/phi, the golden-section split ratio.
+const invphi = 0.6180339887498949
+
+// RunKnee seeds the search with the endpoints and midpoint, then spends
+// budget extra evaluations splitting whichever evaluated gap shows the
+// steepest metric change — golden-section refinement around the knee —
+// so points concentrate where the curve bends.  Gaps narrower than two
+// axis steps cannot be split; the search stops early when none remain.
+func RunKnee(n, budget int, eval Eval) (*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("strategy: knee needs a non-empty axis")
+	}
+	s := newSearch(eval)
+	for _, i := range []int{0, n - 1, (n - 1) / 2} {
+		if _, err := s.at(i); err != nil {
+			return nil, err
+		}
+	}
+	for spent := 0; spent < budget; spent++ {
+		samples := s.result(-1).Samples
+		// The steepest adjacent evaluated pair with room to split.
+		best, bestDelta := -1, -1.0
+		for k := 0; k+1 < len(samples); k++ {
+			a, b := samples[k], samples[k+1]
+			if b.Index-a.Index < 2 {
+				continue
+			}
+			delta := b.Y - a.Y
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta > bestDelta {
+				best, bestDelta = k, delta
+			}
+		}
+		if best < 0 {
+			break
+		}
+		a, b := samples[best], samples[best+1]
+		// Golden split, biased toward the steeper end of the gap.
+		split := a.Index + int(invphi*float64(b.Index-a.Index))
+		if split <= a.Index {
+			split = a.Index + 1
+		}
+		if split >= b.Index {
+			split = b.Index - 1
+		}
+		if _, err := s.at(split); err != nil {
+			return nil, err
+		}
+	}
+	return s.result(-1), nil
+}
+
+// RunAdaptiveReps evaluates every axis index, repeating each one until
+// the confidence interval's half-width drops under relTol*|mean| or
+// maxReps is reached — never beyond maxReps — starting from minReps.
+// Samples carry the per-point mean, CI bounds, and repetition count.
+// A deterministic point (every rep identical, the clean-platform case)
+// stops at minReps with a zero-width interval.
+func RunAdaptiveReps(n int, conf, relTol float64, minReps, maxReps int, eval Eval) (*Result, error) {
+	if minReps < 2 || maxReps < minReps {
+		return nil, fmt.Errorf("strategy: adaptive-reps bounds %d..%d invalid", minReps, maxReps)
+	}
+	r := &Result{CrossIndex: -1}
+	for i := 0; i < n; i++ {
+		var ys []float64
+		for rep := 0; rep < maxReps; rep++ {
+			y, err := eval(i, rep)
+			if err != nil {
+				return nil, err
+			}
+			r.Evals++
+			ys = append(ys, y)
+			if rep+1 < minReps {
+				continue
+			}
+			mean, half := stats.MeanCI(ys, conf)
+			bound := relTol * abs(mean)
+			if half <= bound {
+				break
+			}
+		}
+		mean, half := stats.MeanCI(ys, conf)
+		r.Samples = append(r.Samples, Sample{
+			Index: i, Reps: len(ys), Y: mean, Lo: mean - half, Hi: mean + half,
+		})
+	}
+	return r, nil
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// Run dispatches a validated spec to its search over an n-point axis.
+func Run(s *Spec, n int, eval Eval) (*Result, error) {
+	if s.IsGrid() {
+		return RunGrid(n, eval)
+	}
+	switch s.Name {
+	case Bisect:
+		return RunBisect(n, s.Target, eval)
+	case Knee:
+		return RunKnee(n, s.Budget, eval)
+	case AdaptiveReps:
+		return RunAdaptiveReps(n, s.Confidence, s.RelTol, s.MinReps, s.MaxReps, eval)
+	default:
+		return nil, fmt.Errorf("strategy: unknown strategy %q", s.Name)
+	}
+}

@@ -1,0 +1,305 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// countingEval wraps a pure curve and counts evaluations.
+func countingEval(f func(i, rep int) float64) (Eval, *int) {
+	n := 0
+	return func(i, rep int) (float64, error) {
+		n++
+		return f(i, rep), nil
+	}, &n
+}
+
+func TestRunGridEvaluatesEverything(t *testing.T) {
+	eval, calls := countingEval(func(i, _ int) float64 { return float64(i * i) })
+	r, err := RunGrid(7, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *calls != 7 || r.Evals != 7 || len(r.Samples) != 7 {
+		t.Fatalf("calls=%d evals=%d samples=%d", *calls, r.Evals, len(r.Samples))
+	}
+	for i, s := range r.Samples {
+		if s.Index != i || s.Y != float64(i*i) || s.Lo != s.Y || s.Hi != s.Y || s.Reps != 0 {
+			t.Fatalf("sample %d = %+v", i, s)
+		}
+	}
+	if r.CrossIndex != -1 {
+		t.Fatalf("grid CrossIndex = %d", r.CrossIndex)
+	}
+}
+
+func TestRunBisectRisingCurve(t *testing.T) {
+	// Step curve: 0 below index 40, 1 from index 40 on.
+	const n, step = 100, 40
+	eval, calls := countingEval(func(i, _ int) float64 {
+		if i >= step {
+			return 1
+		}
+		return 0
+	})
+	r, err := RunBisect(n, 0.5, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CrossIndex != step {
+		t.Fatalf("CrossIndex = %d, want %d", r.CrossIndex, step)
+	}
+	// O(log n): two endpoints plus ~log2(100) probes.
+	if *calls > 10 {
+		t.Fatalf("bisect used %d evals on n=%d", *calls, n)
+	}
+}
+
+func TestRunBisectFallingCurve(t *testing.T) {
+	// Availability-style falling curve crossing 0.5 between 59 and 60.
+	eval, _ := countingEval(func(i, _ int) float64 { return 1 - float64(i)/120.0 })
+	r, err := RunBisect(120, 0.5, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First index with y <= 0.5 is 60 (1 - 60/120 = 0.5).
+	if r.CrossIndex != 60 {
+		t.Fatalf("CrossIndex = %d, want 60", r.CrossIndex)
+	}
+}
+
+func TestRunBisectEdges(t *testing.T) {
+	// Crossed already at the low end.
+	eval, _ := countingEval(func(i, _ int) float64 { return 1 })
+	r, err := RunBisect(10, 0.5, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CrossIndex != 0 {
+		t.Fatalf("already-crossed CrossIndex = %d", r.CrossIndex)
+	}
+	// Never crosses.
+	eval, _ = countingEval(func(i, _ int) float64 { return 0 })
+	r, err = RunBisect(10, 0.5, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CrossIndex != -1 {
+		t.Fatalf("never-crossed CrossIndex = %d", r.CrossIndex)
+	}
+	// Single-point axis.
+	eval, _ = countingEval(func(i, _ int) float64 { return 0.9 })
+	r, err = RunBisect(1, 0.5, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CrossIndex != 0 {
+		t.Fatalf("n=1 CrossIndex = %d", r.CrossIndex)
+	}
+	if _, err := RunBisect(0, 0.5, eval); err == nil {
+		t.Fatal("empty axis should error")
+	}
+}
+
+// Property: on any monotone non-decreasing synthetic curve, bisect
+// finds exactly the first index past the target, in O(log n) evals.
+func TestPropertyBisectMatchesLinearScan(t *testing.T) {
+	f := func(seed int64, nn uint8, tt uint8) bool {
+		n := int(nn)%200 + 2
+		rng := rand.New(rand.NewSource(seed))
+		ys := make([]float64, n)
+		acc := 0.0
+		for i := range ys {
+			acc += rng.Float64()
+			ys[i] = acc
+		}
+		target := ys[0] + (ys[n-1]-ys[0])*float64(tt)/255.0
+		eval, calls := countingEval(func(i, _ int) float64 { return ys[i] })
+		r, err := RunBisect(n, target, eval)
+		if err != nil {
+			return false
+		}
+		// Linear-scan reference: first index with y >= target.
+		want := -1
+		for i, y := range ys {
+			if y >= target {
+				want = i
+				break
+			}
+		}
+		logBound := 3 + int(math.Ceil(math.Log2(float64(n))))
+		return r.CrossIndex == want && *calls <= logBound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunKneeConcentratesOnSteepRegion(t *testing.T) {
+	// Sigmoid knee at index 50 of 101: refinement points should cluster
+	// within the steep band.
+	const n = 101
+	curve := func(i, _ int) float64 { return 1 / (1 + math.Exp(-float64(i-50)/3)) }
+	eval, calls := countingEval(curve)
+	const budget = 10
+	r, err := RunKnee(n, budget, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *calls != 3+budget || r.Evals != *calls {
+		t.Fatalf("knee used %d evals, want %d", *calls, 3+budget)
+	}
+	// Points concentrate where the curve bends: the steep band around
+	// the knee must hold more samples than both flat tails combined.
+	band, tails := 0, 0
+	for _, s := range r.Samples {
+		switch {
+		case s.Index >= 40 && s.Index <= 60:
+			band++
+		case s.Index <= 20 || s.Index >= 80:
+			tails++
+		}
+	}
+	if band <= tails || band < budget/2 {
+		t.Fatalf("knee did not concentrate: %d in band vs %d in tails: %+v", band, tails, r.Samples)
+	}
+}
+
+func TestRunKneeStopsWhenNoGapRemains(t *testing.T) {
+	// Axis of 5 points with a huge budget: only 5 evaluations possible.
+	eval, calls := countingEval(func(i, _ int) float64 { return float64(i) })
+	r, err := RunKnee(5, 100, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *calls > 5 || len(r.Samples) > 5 {
+		t.Fatalf("knee overran a 5-point axis: %d evals", *calls)
+	}
+	if _, err := RunKnee(0, 3, eval); err == nil {
+		t.Fatal("empty axis should error")
+	}
+}
+
+func TestRunAdaptiveRepsStopsEarlyOnDeterministicPoints(t *testing.T) {
+	// Every rep returns the same value: the CI collapses at minReps.
+	eval, calls := countingEval(func(i, _ int) float64 { return 42 })
+	r, err := RunAdaptiveReps(4, 0.95, 0.05, 3, 16, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *calls != 4*3 {
+		t.Fatalf("deterministic points should stop at minReps: %d evals", *calls)
+	}
+	for _, s := range r.Samples {
+		if s.Reps != 3 || s.Y != 42 || s.Lo != 42 || s.Hi != 42 {
+			t.Fatalf("sample = %+v", s)
+		}
+	}
+}
+
+func TestRunAdaptiveRepsKeepsSamplingNoisyPoints(t *testing.T) {
+	// High-variance point: hits the cap. The rep stream is seeded so
+	// the run is deterministic.
+	noisy := func(i, rep int) float64 {
+		return float64(rand.New(rand.NewSource(int64(i*1000+rep))).NormFloat64() * 100)
+	}
+	eval, _ := countingEval(noisy)
+	r, err := RunAdaptiveReps(2, 0.95, 0.001, 2, 6, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Samples {
+		if s.Reps != 6 {
+			t.Fatalf("noisy point stopped early: %+v", s)
+		}
+		if !(s.Lo < s.Y && s.Y < s.Hi) {
+			t.Fatalf("CI does not bracket mean: %+v", s)
+		}
+	}
+	if _, err := RunAdaptiveReps(3, 0.95, 0.05, 1, 16, eval); err == nil {
+		t.Fatal("minReps=1 should error")
+	}
+	if _, err := RunAdaptiveReps(3, 0.95, 0.05, 4, 2, eval); err == nil {
+		t.Fatal("maxReps<minReps should error")
+	}
+}
+
+// Property: adaptive-reps never exceeds the rep cap, always reaches the
+// floor, and is deterministic under a fixed seed.
+func TestPropertyAdaptiveRepsBoundedAndDeterministic(t *testing.T) {
+	f := func(seed int64, nn, minr, maxr uint8) bool {
+		n := int(nn)%6 + 1
+		minReps := int(minr)%4 + 2
+		maxReps := minReps + int(maxr)%8
+		run := func() *Result {
+			eval := func(i, rep int) (float64, error) {
+				// Seeded per (i, rep): a fixed seed reproduces the
+				// exact same measurement stream.
+				src := rand.New(rand.NewSource(seed ^ int64(i*131071+rep)))
+				return src.NormFloat64(), nil
+			}
+			r, err := RunAdaptiveReps(n, 0.95, 0.05, minReps, maxReps, eval)
+			if err != nil {
+				panic(err)
+			}
+			return r
+		}
+		a, b := run(), run()
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			return false // not deterministic
+		}
+		total := 0
+		for _, s := range a.Samples {
+			if s.Reps < minReps || s.Reps > maxReps {
+				return false
+			}
+			total += s.Reps
+		}
+		return total == a.Evals && len(a.Samples) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDispatcher(t *testing.T) {
+	eval, _ := countingEval(func(i, _ int) float64 { return float64(i) })
+	for _, name := range []string{"grid", "bisect:target=3", "knee:budget=2",
+		"adaptive-reps:minreps=2,maxreps=2"} {
+		s, err := Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(s, 8, eval); err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+	}
+	if _, err := Run(&Spec{Name: "bogus"}, 8, eval); err == nil {
+		t.Fatal("bogus strategy should error")
+	}
+	// nil spec runs the grid.
+	r, err := Run(nil, 4, eval)
+	if err != nil || len(r.Samples) != 4 {
+		t.Fatalf("nil spec: %v, %v", r, err)
+	}
+}
+
+func TestSearchPropagatesEvalErrors(t *testing.T) {
+	boom := fmt.Errorf("engine exploded")
+	eval := func(i, rep int) (float64, error) { return 0, boom }
+	if _, err := RunGrid(3, eval); err == nil {
+		t.Fatal("grid should propagate errors")
+	}
+	if _, err := RunBisect(8, 0.5, eval); err == nil {
+		t.Fatal("bisect should propagate errors")
+	}
+	if _, err := RunKnee(8, 3, eval); err == nil {
+		t.Fatal("knee should propagate errors")
+	}
+	if _, err := RunAdaptiveReps(2, 0.95, 0.05, 2, 4, eval); err == nil {
+		t.Fatal("adaptive-reps should propagate errors")
+	}
+}

@@ -6,4 +6,16 @@
 // expands the figure into its deterministic point list and warms the
 // engine's caches across a worker pool, then shapes the table serially —
 // so a parallel build is byte-identical to a serial one.
+//
+// Options.Strategy replaces dense-grid evaluation with search (the
+// sweep.Strategy layer): every figure series is a Curve that RunCurve
+// evaluates under the chosen strategy — grid visits all points (the
+// default, bit-identical to a strategy-free sweep), bisect
+// binary-searches the axis for a metric threshold, knee concentrates a
+// point budget around the steepest gradient, and adaptive-reps repeats
+// each point until its confidence interval tightens (CI bounds land in
+// the series and CSVs).  The searches are pure index-space algorithms
+// in internal/strategy; this package binds them to the engine, so
+// every probed point is cached, shared, and replayable like any dense
+// sweep point.
 package sweep

@@ -193,11 +193,13 @@ func (o Options) pwwPoints(systems []string, sizes []int, testInWork bool) []run
 }
 
 // Build executes the figure's sweep and returns its table, titled like
-// the paper's caption.  The point list is warmed through the engine's
-// worker pool first; the shaping pass then runs serially over cache hits,
-// so the table is identical whatever the worker count.
+// the paper's caption.  Under the grid strategy the point list is warmed
+// through the engine's worker pool first; the shaping pass then runs
+// serially over cache hits, so the table is identical whatever the
+// worker count.  Search strategies skip the dense prewarm — spending
+// engine runs only where the search probes is their whole point.
 func (f Figure) Build(opt Options) (*stats.Table, error) {
-	if f.Points != nil {
+	if f.Points != nil && opt.Strategy.IsGrid() {
 		if err := opt.engine().RunAll(opt.ctx(), f.Points(opt)); err != nil {
 			return nil, err
 		}
@@ -250,6 +252,41 @@ func seriesName(system string, size int, multiSystem, multiSize bool) string {
 	}
 }
 
+// pollingCurve is one polling-sweep series as a searchable curve: the
+// axis is the poll interval; coord extracts the plotted (x, y) pair
+// from one measurement.
+func pollingCurve(o Options, name, system string, size int, coord func(poll int64, r *core.PollingResult) (px, py float64)) Curve {
+	return Curve{
+		Name: name,
+		Axis: o.pollAxis(),
+		Eval: func(poll int64, rep int) (float64, float64, error) {
+			r, err := pollingPointAt(o, system, size, poll, rep)
+			if err != nil {
+				return 0, 0, err
+			}
+			x, y := coord(poll, r)
+			return x, y, nil
+		},
+	}
+}
+
+// pwwCurve is one PWW-sweep series as a searchable curve over the work
+// axis.
+func pwwCurve(o Options, name, system string, size int, testInWork bool, coord func(work int64, r *core.PWWResult) (px, py float64)) Curve {
+	return Curve{
+		Name: name,
+		Axis: o.workAxis(),
+		Eval: func(work int64, rep int) (float64, float64, error) {
+			r, err := pwwPointAt(o, system, size, work, o.reps(), testInWork, rep)
+			if err != nil {
+				return 0, 0, err
+			}
+			x, y := coord(work, r)
+			return x, y, nil
+		},
+	}
+}
+
 // pollingVsInterval builds a figure with poll interval on x.
 func pollingVsInterval(o Options, systems []string, sizes []int, y pollY) (*stats.Table, error) {
 	t := &stats.Table{
@@ -259,13 +296,13 @@ func pollingVsInterval(o Options, systems []string, sizes []int, y pollY) (*stat
 	}
 	for _, sys := range systems {
 		for _, size := range sizes {
-			s := stats.Series{Name: seriesName(sys, size, len(systems) > 1, len(sizes) > 1)}
-			for _, poll := range o.pollAxis() {
-				r, err := pollingPoint(o.ctx(), o.engine(), sys, size, poll)
-				if err != nil {
-					return nil, err
-				}
-				s.Add(float64(poll), y.poll(r))
+			name := seriesName(sys, size, len(systems) > 1, len(sizes) > 1)
+			s, err := RunCurve(o, pollingCurve(o, name, sys, size,
+				func(poll int64, r *core.PollingResult) (float64, float64) {
+					return float64(poll), y.poll(r)
+				}))
+			if err != nil {
+				return nil, err
 			}
 			t.Series = append(t.Series, s)
 		}
@@ -282,13 +319,13 @@ func pwwVsInterval(o Options, systems []string, sizes []int, testInWork bool, y 
 	}
 	for _, sys := range systems {
 		for _, size := range sizes {
-			s := stats.Series{Name: seriesName(sys, size, len(systems) > 1, len(sizes) > 1)}
-			for _, work := range o.workAxis() {
-				r, err := pwwPoint(o.ctx(), o.engine(), sys, size, work, o.reps(), testInWork)
-				if err != nil {
-					return nil, err
-				}
-				s.Add(float64(work), y.pww(r))
+			name := seriesName(sys, size, len(systems) > 1, len(sizes) > 1)
+			s, err := RunCurve(o, pwwCurve(o, name, sys, size, testInWork,
+				func(work int64, r *core.PWWResult) (float64, float64) {
+					return float64(work), y.pww(r)
+				}))
+			if err != nil {
+				return nil, err
 			}
 			t.Series = append(t.Series, s)
 		}
@@ -304,15 +341,21 @@ func workOverhead(o Options, system string) (*stats.Table, error) {
 		YLabel: "Average Time Per Work Phase (us)",
 		LogX:   true,
 	}
-	with := stats.Series{Name: "Work with MH"}
-	only := stats.Series{Name: "Work Only"}
-	for _, work := range o.workAxis() {
-		r, err := pwwPoint(o.ctx(), o.engine(), system, 100_000, work, o.reps(), false)
-		if err != nil {
-			return nil, err
-		}
-		with.Add(float64(work), r.AvgWorkMH.Seconds()*1e6)
-		only.Add(float64(work), r.AvgWorkOnly.Seconds()*1e6)
+	// Two series off the same sweep points: each runs as its own curve,
+	// sharing every measurement through the engine cache.
+	with, err := RunCurve(o, pwwCurve(o, "Work with MH", system, 100_000, false,
+		func(work int64, r *core.PWWResult) (float64, float64) {
+			return float64(work), r.AvgWorkMH.Seconds() * 1e6
+		}))
+	if err != nil {
+		return nil, err
+	}
+	only, err := RunCurve(o, pwwCurve(o, "Work Only", system, 100_000, false,
+		func(work int64, r *core.PWWResult) (float64, float64) {
+			return float64(work), r.AvgWorkOnly.Seconds() * 1e6
+		}))
+	if err != nil {
+		return nil, err
 	}
 	t.Series = append(t.Series, with, only)
 	return t, nil
@@ -326,13 +369,12 @@ func bwVsAvail(o Options, system string, sizes []int) (*stats.Table, error) {
 		YLabel: "Bandwidth (MB/s)",
 	}
 	for _, size := range sizes {
-		s := stats.Series{Name: sizeLabel(size)}
-		for _, poll := range o.pollAxis() {
-			r, err := pollingPoint(o.ctx(), o.engine(), system, size, poll)
-			if err != nil {
-				return nil, err
-			}
-			s.Add(r.Availability, r.BandwidthMBs)
+		s, err := RunCurve(o, pollingCurve(o, sizeLabel(size), system, size,
+			func(_ int64, r *core.PollingResult) (float64, float64) {
+				return r.Availability, r.BandwidthMBs
+			}))
+		if err != nil {
+			return nil, err
 		}
 		s.SortByX()
 		t.Series = append(t.Series, s)
@@ -347,24 +389,22 @@ func methodsVsAvail(o Options, system string, includeTestVariant bool) (*stats.T
 		XLabel: "CPU Available to User (fraction of time)",
 		YLabel: "Bandwidth (MB/s)",
 	}
-	poll := stats.Series{Name: "Poll"}
-	for _, p := range o.pollAxis() {
-		r, err := pollingPoint(o.ctx(), o.engine(), system, 100_000, p)
-		if err != nil {
-			return nil, err
-		}
-		poll.Add(r.Availability, r.BandwidthMBs)
+	poll, err := RunCurve(o, pollingCurve(o, "Poll", system, 100_000,
+		func(_ int64, r *core.PollingResult) (float64, float64) {
+			return r.Availability, r.BandwidthMBs
+		}))
+	if err != nil {
+		return nil, err
 	}
 	poll.SortByX()
 
 	pwwSeries := func(testInWork bool, name string) (stats.Series, error) {
-		s := stats.Series{Name: name}
-		for _, w := range o.workAxis() {
-			r, err := pwwPoint(o.ctx(), o.engine(), system, 100_000, w, o.reps(), testInWork)
-			if err != nil {
-				return stats.Series{}, err
-			}
-			s.Add(r.Availability, r.BandwidthMBs)
+		s, err := RunCurve(o, pwwCurve(o, name, system, 100_000, testInWork,
+			func(_ int64, r *core.PWWResult) (float64, float64) {
+				return r.Availability, r.BandwidthMBs
+			}))
+		if err != nil {
+			return stats.Series{}, err
 		}
 		s.SortByX()
 		return s, nil

@@ -1,0 +1,200 @@
+package sweep
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"comb/internal/core"
+	"comb/internal/obs"
+	"comb/internal/runner"
+	"comb/internal/stats"
+	"comb/internal/strategy"
+)
+
+var updateSweep = flag.Bool("update-sweep", false, "rewrite the sweep strategy golden CSVs")
+
+// TestStrategyGridBitIdentical: an explicit grid strategy must produce
+// the exact bytes of a strategy-free build — grid IS the classic sweep.
+func TestStrategyGridBitIdentical(t *testing.T) {
+	f, err := ByID("8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainTbl, err := f.Build(Options{Quick: true, Engine: runner.New(runner.Config{Workers: 4})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := strategy.Parse("grid")
+	gridTbl, err := f.Build(Options{Quick: true, Engine: runner.New(runner.Config{Workers: 4}), Strategy: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainTbl.CSV() != gridTbl.CSV() {
+		t.Errorf("grid strategy diverged from the dense default:\nplain:\n%s\ngrid:\n%s",
+			plainTbl.CSV(), gridTbl.CSV())
+	}
+}
+
+// TestStrategyBisectMatchesDenseCrossover: bisect must land on the same
+// axis point where the dense grid first crosses the target (±1 grid
+// step), with strictly fewer engine runs.
+func TestStrategyBisectMatchesDenseCrossover(t *testing.T) {
+	const target = 0.5
+	denseEng := runner.New(runner.Config{Workers: 4})
+	denseOpt := Options{Quick: true, Engine: denseEng}
+	dense, err := RunCurve(denseOpt, pwwAvailCurve(denseOpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseRuns := denseEng.Stats().Runs
+	denseCross := -1
+	for i, p := range dense.Points {
+		if p.Y >= target {
+			denseCross = i
+			break
+		}
+	}
+	if denseCross < 0 {
+		t.Fatalf("dense quick curve never crosses %g: %+v", target, dense.Points)
+	}
+
+	st, _ := strategy.Parse("bisect:target=0.5")
+	bisEng := runner.New(runner.Config{Workers: 4})
+	var bstats SweepStats
+	bisOpt := Options{Quick: true, Engine: bisEng, Strategy: st, Stats: &bstats}
+	bis, err := RunCurve(bisOpt, pwwAvailCurve(bisOpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bisRuns := bisEng.Stats().Runs
+
+	// The bisect series' crossing sample must sit within one grid step
+	// of the dense answer (compare by axis x value).
+	denseX := dense.Points[denseCross].X
+	var lo, hi float64
+	if denseCross > 0 {
+		lo = dense.Points[denseCross-1].X
+	} else {
+		lo = denseX
+	}
+	hi = denseX
+	cross := -1.0
+	for _, p := range bis.Points {
+		if p.Y >= target {
+			cross = p.X
+			break
+		}
+	}
+	if cross < lo || cross > hi {
+		t.Errorf("bisect crossover x=%g outside dense ±1 window [%g, %g]", cross, lo, hi)
+	}
+	if bisRuns >= denseRuns {
+		t.Errorf("bisect ran %d engine points, dense ran %d — no savings", bisRuns, denseRuns)
+	}
+	if ev, sk := bstats.Evaluated.Load(), bstats.Skipped.Load(); ev == 0 || ev+sk != int64(len(dense.Points)) {
+		t.Errorf("sweep stats evaluated=%d skipped=%d, want sum %d", ev, sk, len(dense.Points))
+	}
+}
+
+// pwwAvailCurve is the pinned search target for the equivalence tests:
+// the PWW availability-vs-work curve on portals (Figure 6's quick
+// series), which rises monotonically through the 0.5 crossover.  The
+// quick axis has too few points for a search to show its shape, so the
+// tests pin a denser one (~17 points over the same range).
+func pwwAvailCurve(o Options) Curve {
+	c := pwwCurve(o, "portals", "portals", 100_000, false,
+		func(work int64, r *core.PWWResult) (float64, float64) {
+			return float64(work), r.Availability
+		})
+	c.Axis = stats.LogSpaceInt(10_000, 10_000_000, 6)
+	return c
+}
+
+// TestStrategyAdaptiveRepsGolden pins the CI-annotated CSV shape: the
+// quick Figure 6 built under adaptive-reps must carry y_lo/y_hi/reps
+// columns, stop at the minimum repetitions on the deterministic clean
+// platform (zero-width CI), and match the golden byte for byte.
+func TestStrategyAdaptiveRepsGolden(t *testing.T) {
+	st, err := strategy.Parse("adaptive-reps:minreps=2,maxreps=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ByID("6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := f.Build(Options{Quick: true, Engine: runner.New(runner.Config{Workers: 4}), Strategy: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, "y_lo,y_hi,reps") {
+		t.Fatalf("adaptive CSV lacks CI columns:\n%s", csv)
+	}
+	path := filepath.Join("testdata", "fig06_adaptive_quick.csv")
+	if *updateSweep {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/sweep -update-sweep` after an intentional change)", err)
+	}
+	if csv != string(want) {
+		t.Errorf("adaptive-reps CSV drifted from %s:\ngot:\n%s\nwant:\n%s", path, csv, want)
+	}
+	// The clean platform is deterministic: every point must have
+	// stopped at the 2-rep floor with a collapsed interval.
+	for _, s := range tbl.Series {
+		for _, p := range s.Points {
+			if p.Reps != 2 || p.Lo != p.Y || p.Hi != p.Y {
+				t.Fatalf("clean-platform point should stop at minreps with zero-width CI: %+v", p)
+			}
+		}
+	}
+}
+
+// TestStrategyKneeSubset: a knee build touches a strict subset of the
+// dense axis and still includes both endpoints.
+func TestStrategyKneeSubset(t *testing.T) {
+	st, _ := strategy.Parse("knee:budget=2")
+	opt := Options{Quick: true, Engine: runner.New(runner.Config{Workers: 4}), Strategy: st}
+	s, err := RunCurve(opt, pwwAvailCurve(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis := pwwAvailCurve(Options{Quick: true}).Axis
+	if len(s.Points) >= len(axis) {
+		t.Fatalf("knee evaluated the whole axis: %d of %d", len(s.Points), len(axis))
+	}
+	if s.Points[0].X != float64(axis[0]) || s.Points[len(s.Points)-1].X != float64(axis[len(axis)-1]) {
+		t.Errorf("knee lost the endpoints: %+v", s.Points)
+	}
+}
+
+// TestStrategyMetricsCounters: the obs registry receives the
+// evaluated/skipped counters labelled by strategy.
+func TestStrategyMetricsCounters(t *testing.T) {
+	st, _ := strategy.Parse("bisect")
+	reg := obs.NewRegistry()
+	opt := Options{Quick: true, Engine: runner.New(runner.Config{Workers: 4}), Strategy: st, Obs: reg}
+	if _, err := RunCurve(opt, pwwAvailCurve(opt)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `comb_sweep_points_evaluated_total{strategy="bisect"}`) ||
+		!strings.Contains(out, `comb_sweep_points_skipped_total{strategy="bisect"}`) {
+		t.Errorf("missing sweep counters:\n%s", out)
+	}
+}

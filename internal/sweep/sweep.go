@@ -30,6 +30,16 @@ type Options struct {
 	Engine *runner.Engine
 	// Context cancels point execution; nil means context.Background().
 	Context context.Context
+	// Strategy picks how curves spend engine runs: nil or grid is the
+	// classic dense evaluation (bit-identical output); bisect, knee and
+	// adaptive-reps search instead (see internal/strategy and RunCurve).
+	Strategy *Strategy
+	// Obs, when non-nil, receives the comb_sweep_points_*_total
+	// counters as curves complete.
+	Obs *Registry
+	// Stats, when non-nil, accumulates per-build evaluated/skipped
+	// counts for figure manifests.
+	Stats *SweepStats
 }
 
 // engine returns the engine builds run on.

@@ -49,6 +49,22 @@ for m in polling pww pingpong netperf; do
     fi
 done
 
+echo "==> docs/ file references"
+# Any mention of a docs/<name>.md file — markdown prose, Go doc
+# comments, CLI usage strings, scripts — must name a file that exists.
+# The markdown link check below only sees [text](target) links; this
+# catches the bare "see docs/<name>.md" form too, so a doc rename or
+# deletion that leaves references behind fails here.  A leading
+# non-path character keeps external paths (vendor/docs/x.md) out.
+for ref in $(grep -rhoE '(^|[^/A-Za-z0-9_.-])docs/[A-Za-z0-9_.-]+\.md' \
+    --include='*.go' --include='*.md' --include='*.sh' . |
+    sed 's/^[^d]//' | sort -u); do
+    if [ ! -f "$ref" ]; then
+        echo "reference to nonexistent $ref"
+        fail=1
+    fi
+done
+
 echo "==> markdown relative links"
 for md in *.md docs/*.md; do
     [ -f "$md" ] || continue
