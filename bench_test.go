@@ -515,3 +515,35 @@ func BenchmarkAblationInterleave(b *testing.B) {
 		})
 	}
 }
+
+// benchDESNodes runs one full polling measurement per iteration on an
+// n-node cluster, with the serial or the conservative parallel engine.
+// The 2-node pairs pin "parallel never regresses the classic topology"
+// (SimWorkers falls back to serial there); the 8-node pairs measure the
+// engine's actual speedup, which scripts/benchdiff.sh and the
+// internal/perf speedup test guard.
+func benchDESNodes(b *testing.B, nodes, simJ int) {
+	b.Helper()
+	spec := RunSpec{
+		Method: MethodPolling,
+		System: "gm",
+		Nodes:  nodes,
+		Polling: &PollingConfig{
+			Config:       Config{MsgSize: 100_000},
+			PollInterval: 100_000,
+			WorkTotal:    25_000_000,
+		},
+		SimWorkers: simJ,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDESNodes2Serial(b *testing.B)   { benchDESNodes(b, 0, 0) }
+func BenchmarkDESNodes2Parallel(b *testing.B) { benchDESNodes(b, 0, 4) }
+func BenchmarkDESNodes8Serial(b *testing.B)   { benchDESNodes(b, 8, 0) }
+func BenchmarkDESNodes8Parallel(b *testing.B) { benchDESNodes(b, 8, 4) }

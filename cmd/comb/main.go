@@ -168,6 +168,7 @@ by default) for 'comb trace export', 'comb metrics' and 'comb replay'`)
 // subcommand (figure, sweep, compare, assess, report).
 type engineOpts struct {
 	jobs    *int
+	simJ    *int
 	noCache *bool
 	dir     *string
 	retries *int
@@ -176,6 +177,7 @@ type engineOpts struct {
 func addEngineFlags(fs *flag.FlagSet) *engineOpts {
 	return &engineOpts{
 		jobs:    fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS)"),
+		simJ:    fs.Int("sim-j", 0, "parallel DES partitions per simulation (needs -nodes > 2; results are identical)"),
 		noCache: fs.Bool("no-cache", false, "skip the on-disk result cache"),
 		dir:     fs.String("cache-dir", runner.DefaultCacheDir, "on-disk result cache directory"),
 		retries: fs.Int("retries", 0, "extra attempts for a failed point"),
@@ -189,6 +191,7 @@ func (o *engineOpts) install() *progressMeter {
 	m := &progressMeter{reg: obs.NewRegistry()}
 	cfg := runner.Config{
 		Workers:    *o.jobs,
+		SimWorkers: *o.simJ,
 		Retries:    *o.retries,
 		OnProgress: m.update,
 		Obs:        m.reg,
@@ -267,6 +270,8 @@ func cmdPolling(ctx context.Context, args []string) error {
 	work := fs.Int64("work", 25_000_000, "total work (loop iterations)")
 	queue := fs.Int("queue", 4, "message queue depth per direction")
 	cpus := fs.Int("cpus", 1, "processors per node (SMP extension, paper s7)")
+	nodes := fs.Int("nodes", 0, "cluster size: concurrent worker/support pairs sharing the switch (0 = the paper's 2 nodes)")
+	simJ := fs.Int("sim-j", 0, "parallel DES partitions (needs -nodes > 2; results are identical)")
 	showStats := fs.Bool("stats", false, "print hardware counters (packets, CPU breakdown)")
 	traceN := fs.Int("trace", 0, "print the last N packet deliveries")
 	seed := fs.Uint64("seed", 0, "wire/fault RNG seed (0 = platform default)")
@@ -287,14 +292,16 @@ func cmdPolling(ctx context.Context, args []string) error {
 	noteSingleRunStrategy(st)
 	warnMaskedFaults(*system, fspec)
 	out, err := comb.Run(ctx, comb.RunSpec{
-		Method:   comb.MethodPolling,
-		System:   *system,
-		CPUs:     *cpus,
-		TraceCap: *traceN,
-		ObsCap:   obsCapFor(*obsDir),
-		Seed:     *seed,
-		Faults:   fspec,
-		Strategy: st,
+		Method:     comb.MethodPolling,
+		System:     *system,
+		CPUs:       *cpus,
+		Nodes:      *nodes,
+		SimWorkers: *simJ,
+		TraceCap:   *traceN,
+		ObsCap:     obsCapFor(*obsDir),
+		Seed:       *seed,
+		Faults:     fspec,
+		Strategy:   st,
 		Polling: &comb.PollingConfig{
 			Config:       comb.Config{MsgSize: *size},
 			PollInterval: *poll,
@@ -355,6 +362,8 @@ func cmdPWW(ctx context.Context, args []string) error {
 	test := fs.Bool("test", false, "plant one MPI_Test early in the work phase (paper §4.3)")
 	interleave := fs.Int("interleave", 1, "batches kept in flight (paper §4.3's earlier variant)")
 	cpus := fs.Int("cpus", 1, "processors per node (SMP extension, paper s7)")
+	nodes := fs.Int("nodes", 0, "cluster size: concurrent worker/support pairs sharing the switch (0 = the paper's 2 nodes)")
+	simJ := fs.Int("sim-j", 0, "parallel DES partitions (needs -nodes > 2; results are identical)")
 	seed := fs.Uint64("seed", 0, "wire/fault RNG seed (0 = platform default)")
 	faults := fs.String("faults", "", "fault injection spec, e.g. 'drop=0.01,delay=0.2:50us,jitter=0.1:200us'")
 	strat := fs.String("strategy", "", "measurement-protocol stamp recorded in the spec key and manifest ("+strategyFlagHelp+")")
@@ -373,13 +382,15 @@ func cmdPWW(ctx context.Context, args []string) error {
 	noteSingleRunStrategy(st)
 	warnMaskedFaults(*system, fspec)
 	out, err := comb.Run(ctx, comb.RunSpec{
-		Method:   comb.MethodPWW,
-		System:   *system,
-		CPUs:     *cpus,
-		ObsCap:   obsCapFor(*obsDir),
-		Seed:     *seed,
-		Faults:   fspec,
-		Strategy: st,
+		Method:     comb.MethodPWW,
+		System:     *system,
+		CPUs:       *cpus,
+		Nodes:      *nodes,
+		SimWorkers: *simJ,
+		ObsCap:     obsCapFor(*obsDir),
+		Seed:       *seed,
+		Faults:     fspec,
+		Strategy:   st,
 		PWW: &comb.PWWConfig{
 			Config:       comb.Config{MsgSize: *size},
 			WorkInterval: *work,
@@ -472,6 +483,7 @@ func runSpecFile(ctx context.Context, path string, args []string) error {
 	fs := flag.NewFlagSet("run -spec", flag.ExitOnError)
 	obsDir := fs.String("obs-dir", obs.DefaultRunDir, "directory for trace/metrics/manifest artifacts ('' disables)")
 	strat := fs.String("strategy", "", "override the document's strategy stamp ("+strategyFlagHelp+")")
+	simJ := fs.Int("sim-j", 0, "parallel DES partitions (execution knob, never part of the document; results are identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -491,6 +503,9 @@ func runSpecFile(ctx context.Context, path string, args []string) error {
 		sp.Strategy = st
 	}
 	noteSingleRunStrategy(sp.Strategy)
+	if *simJ != 0 {
+		sp.SimWorkers = *simJ
+	}
 	if sp.ObsCap == 0 {
 		sp.ObsCap = obsCapFor(*obsDir)
 	}
@@ -526,6 +541,8 @@ func runMethod(ctx context.Context, name string, args []string) error {
 	fs := flag.NewFlagSet("run -method "+name, flag.ExitOnError)
 	system := fs.String("system", "gm", "system to benchmark (gm|portals|ideal)")
 	cpus := fs.Int("cpus", 1, "processors per node (SMP extension, paper s7)")
+	nodes := fs.Int("nodes", 0, "cluster size: concurrent worker/support pairs sharing the switch (0 = the paper's 2 nodes)")
+	simJ := fs.Int("sim-j", 0, "parallel DES partitions (needs -nodes > 2; results are identical)")
 	traceN := fs.Int("trace", 0, "print the last N packet deliveries")
 	seed := fs.Uint64("seed", 0, "wire/fault RNG seed (0 = platform default)")
 	faults := fs.String("faults", "", "fault injection spec, e.g. 'drop=0.01,delay=0.2:50us,jitter=0.1:200us'")
@@ -546,15 +563,17 @@ func runMethod(ctx context.Context, name string, args []string) error {
 	noteSingleRunStrategy(st)
 	warnMaskedFaults(*system, fspec)
 	out, err := comb.Run(ctx, comb.RunSpec{
-		Method:   comb.Method(name),
-		System:   *system,
-		CPUs:     *cpus,
-		TraceCap: *traceN,
-		ObsCap:   obsCapFor(*obsDir),
-		Seed:     *seed,
-		Faults:   fspec,
-		Strategy: st,
-		Params:   params(),
+		Method:     comb.Method(name),
+		System:     *system,
+		CPUs:       *cpus,
+		Nodes:      *nodes,
+		SimWorkers: *simJ,
+		TraceCap:   *traceN,
+		ObsCap:     obsCapFor(*obsDir),
+		Seed:       *seed,
+		Faults:     fspec,
+		Strategy:   st,
+		Params:     params(),
 	})
 	if err != nil {
 		return err
@@ -958,6 +977,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	perDecade := fs.Int("points", 2, "points per decade")
 	metric := fs.String("metric", "bandwidth",
 		"y value: bandwidth|availability|wait|overhead|postrecv")
+	nodes := fs.Int("nodes", 0, "cluster size: concurrent worker/support pairs sharing the switch (0 = the paper's 2 nodes)")
 	chart := fs.Bool("chart", true, "render an ASCII chart")
 	table := fs.Bool("table", false, "print the aligned numeric table")
 	csvOut := fs.Bool("csv", false, "print CSV to stdout")
@@ -1006,7 +1026,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 			sys = strings.TrimSpace(sys)
 			for _, size := range sizeList {
 				for _, x := range axis {
-					pts = append(pts, sweepPointSpec(*meth, sys, size, x))
+					pts = append(pts, sweepPointSpec(*meth, sys, size, *nodes, x))
 				}
 			}
 		}
@@ -1029,7 +1049,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 				Name: name,
 				Axis: axis,
 				Eval: func(x int64, rep int) (float64, float64, error) {
-					p := sweepPointSpec(*meth, sys, size, x)
+					p := sweepPointSpec(*meth, sys, size, *nodes, x)
 					p.Seed = sweep.RepSeed(p.Seed, rep)
 					res, err := sweep.DefaultEngine.Run(ctx, p)
 					if err != nil {
@@ -1061,15 +1081,15 @@ func cmdSweep(ctx context.Context, args []string) error {
 
 // sweepPointSpec mirrors sweepPoint's configs as runner points for the
 // parallel prewarm.
-func sweepPointSpec(meth, sys string, size int, x int64) runner.Point {
+func sweepPointSpec(meth, sys string, size, nodes int, x int64) runner.Point {
 	if meth == "pww" {
-		return runner.Point{Method: "pww", System: sys, Params: comb.PWWConfig{
+		return runner.Point{Method: "pww", System: sys, Nodes: nodes, Params: comb.PWWConfig{
 			Config:       comb.Config{MsgSize: size},
 			WorkInterval: x,
 			Reps:         20,
 		}}
 	}
-	return runner.Point{Method: "polling", System: sys, Params: comb.PollingConfig{
+	return runner.Point{Method: "polling", System: sys, Nodes: nodes, Params: comb.PollingConfig{
 		Config:       comb.Config{MsgSize: size},
 		PollInterval: x,
 		WorkTotal:    sweep.WorkTotalFor(x),
@@ -1269,11 +1289,12 @@ func cmdSelfcheck(ctx context.Context, args []string) error {
 	pack := fs.String("pack", "", "run the named scenario pack ('all' for every pack) through the differential oracle")
 	scenarios := fs.String("scenarios", scenario.DefaultDir, "scenario pack manifest directory")
 	jobs := fs.Int("j", 0, "parallel simulations for -pack (0 = GOMAXPROCS)")
+	simJ := fs.Int("sim-j", 0, "parallel DES partitions per simulation (results are identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *pack != "" {
-		pr, err := selfcheck.Packs(ctx, *scenarios, *pack, *jobs)
+		pr, err := selfcheck.Packs(ctx, *scenarios, *pack, *jobs, *simJ)
 		if err != nil {
 			return err
 		}

@@ -19,7 +19,7 @@ import (
 // extracts the metric, mirroring cmdSweep's curve evaluator.
 func sweepMetricAt(t *testing.T, meth, metric, sys string, size int, x int64) (float64, error) {
 	t.Helper()
-	res, err := runner.New(runner.Config{}).Run(context.Background(), sweepPointSpec(meth, sys, size, x))
+	res, err := runner.New(runner.Config{}).Run(context.Background(), sweepPointSpec(meth, sys, size, 0, x))
 	if err != nil {
 		return 0, err
 	}

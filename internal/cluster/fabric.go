@@ -117,6 +117,12 @@ type Fabric struct {
 
 	// injector, when set, vets every port-to-port packet's delivery.
 	injector Injector
+
+	// ports, when non-nil, puts the fabric in partitioned mode: env is
+	// nil, each node's TX lanes / freelists / outbox live in its port,
+	// and rx/rxU/backplane are claimed by Merge between windows.  See
+	// parallel.go.
+	ports []*fabPort
 }
 
 // Observe registers a delivery observer.  Observers run in registration
@@ -141,7 +147,15 @@ type Injector interface {
 // replace earlier ones).  It must be called before traffic flows: packet
 // pooling and train batching are disabled while an injector is present,
 // but packets already in flight on the pooled path would misbehave.
-func (f *Fabric) SetInjector(inj Injector) { f.injector = inj }
+// Fault injection reorders deliveries across partition boundaries, so it
+// requires the serial engine; transports that inject should implement
+// transport.FaultMarker so the platform layer falls back before building.
+func (f *Fabric) SetInjector(inj Injector) {
+	if f.ports != nil {
+		panic("cluster: fault injection requires the serial engine (implement transport.FaultMarker)")
+	}
+	f.injector = inj
+}
 
 // Injected reports whether a fault injector is installed.  Transports use
 // it to switch off their own object pooling: duplicated or delayed
@@ -193,6 +207,9 @@ func (f *Fabric) Attach(node int, sink func(*Packet)) {
 // drop); under fault injection it is a plain allocation, since duplicated
 // or delayed deliveries outlive any safe reuse point.
 func (f *Fabric) GetPacket() *Packet {
+	if f.ports != nil {
+		panic("cluster: GetPacket on a partitioned fabric; use GetPacketFrom")
+	}
 	if f.injector != nil {
 		return &Packet{}
 	}
@@ -282,6 +299,9 @@ func (f *Fabric) transit(pkt *Packet) (sent, done sim.Time, lost bool) {
 // left the sender's port (i.e. when the send-side buffer is reusable).
 // Sends never block; contention shows up purely as queueing delay.
 func (f *Fabric) Send(pkt *Packet) sim.Time {
+	if f.ports != nil {
+		return f.ports[pkt.From].send(pkt)
+	}
 	sent, done, lost := f.transit(pkt)
 	f.packets++
 	f.bytes += int64(pkt.Size)
@@ -392,6 +412,9 @@ func (f *Fabric) SendMessage(from, to, size, header int, mk func(i, n int, last 
 	if size < 0 {
 		panic("cluster: negative message size")
 	}
+	if f.ports != nil {
+		return f.ports[from].sendMessage(to, size, header, mk)
+	}
 	if f.injector != nil {
 		return f.sendMessageInjected(from, to, size, header, mk)
 	}
@@ -461,8 +484,19 @@ func (f *Fabric) sendMessageInjected(from, to, size, header int, mk func(i, n in
 	return sent
 }
 
-// Stats returns (packets sent, wire bytes sent, packets delivered).
+// Stats returns (packets sent, wire bytes sent, packets delivered).  On a
+// partitioned fabric the per-port counters are summed; callers read stats
+// after the run, when the window scheduler's barrier has ordered all
+// partition writes before this goroutine.
 func (f *Fabric) Stats() (packets, bytes, delivered int64) {
+	if f.ports != nil {
+		for _, p := range f.ports {
+			packets += p.packets
+			bytes += p.bytes
+			delivered += p.delivered
+		}
+		return packets, bytes, delivered
+	}
 	return f.packets, f.bytes, f.delivered
 }
 

@@ -38,8 +38,16 @@ func (n *Node) Work(p *sim.Proc, iters int64) {
 
 // System is a complete simulated cluster: an environment, n nodes and the
 // fabric connecting them.
+//
+// A serial system has one environment shared by every node (Env, and
+// Envs of length one aliasing it).  A partitioned system — the parallel
+// engine — gives every node its own environment: Env is nil, Envs holds
+// one partition environment per node, and each Node.Env points at its
+// partition.  Code that needs "the" environment must either be explicitly
+// serial-only (use Env) or node-scoped (use Nodes[i].Env).
 type System struct {
-	Env    *sim.Env
+	Env    *sim.Env   // serial engine's single environment; nil when partitioned
+	Envs   []*sim.Env // all environments: len 1 (serial) or one per node
 	Nodes  []*Node
 	Fabric *Fabric
 	P      Platform
@@ -53,6 +61,7 @@ func NewSystem(n int, p Platform) *System {
 	env := sim.NewEnv()
 	s := &System{
 		Env:    env,
+		Envs:   []*sim.Env{env},
 		Fabric: NewFabric(env, n, p.Link),
 		P:      p,
 	}
@@ -71,5 +80,61 @@ func NewSystem(n int, p Platform) *System {
 	return s
 }
 
-// Close releases the underlying simulation environment.
-func (s *System) Close() { s.Env.Close() }
+// NewPartitionedSystem builds a cluster of n identical nodes for the
+// parallel engine: one partition environment per node, connected by a
+// partitioned fabric.  Callers drive it with sim.NewWindows over s.Envs
+// using the fabric's Lookahead and Merge.
+func NewPartitionedSystem(n int, p Platform) *System {
+	if n < 2 {
+		panic(fmt.Sprintf("cluster: a partitioned system needs at least two nodes, got %d", n))
+	}
+	envs := make([]*sim.Env, n)
+	for i := range envs {
+		envs[i] = sim.NewPartitionEnv(i)
+	}
+	s := &System{
+		Envs:   envs,
+		Fabric: NewParallelFabric(envs, p.Link),
+		P:      p,
+	}
+	cores := p.CPUs
+	if cores == 0 {
+		cores = 1
+	}
+	for i := 0; i < n; i++ {
+		s.Nodes = append(s.Nodes, &Node{
+			ID:  i,
+			Env: envs[i],
+			CPU: NewSMP(envs[i], fmt.Sprintf("cpu%d", i), cores),
+			P:   p,
+		})
+	}
+	return s
+}
+
+// Partitioned reports whether this system runs one environment per node.
+func (s *System) Partitioned() bool { return s.Env == nil }
+
+// Now returns the cluster's virtual time: the single clock on a serial
+// system, the furthest partition clock on a partitioned one (meaningful
+// between windows or after the run, when all partitions have drained to
+// the same bound).
+func (s *System) Now() sim.Time {
+	if s.Env != nil {
+		return s.Env.Now()
+	}
+	var t sim.Time
+	for _, e := range s.Envs {
+		if n := e.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// Close releases the underlying simulation environment(s).
+func (s *System) Close() {
+	for _, e := range s.Envs {
+		e.Close()
+	}
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"comb/internal/sim"
+)
+
+// parLink is a positive-lookahead port: PerPacket > 0 so the partitioned
+// fabric's conservative window (Latency + 2*PerPacket) has real width.
+func parLink() LinkConfig {
+	return LinkConfig{
+		Bandwidth: 100 * MB,
+		Latency:   5 * sim.Microsecond,
+		PerPacket: 2 * sim.Microsecond,
+		MTU:       4096,
+	}
+}
+
+// delivery is one sink observation, comparable across engines.
+type delivery struct {
+	to, from, size int
+	payload        any
+	at             sim.Time
+}
+
+func sortDeliveries(ds []delivery) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].at != ds[j].at {
+			return ds[i].at < ds[j].at
+		}
+		if ds[i].to != ds[j].to {
+			return ds[i].to < ds[j].to
+		}
+		return fmt.Sprint(ds[i].payload) < fmt.Sprint(ds[j].payload)
+	})
+}
+
+// plan drives one deterministic traffic mix against a fabric: lone
+// packets, an urgent packet, sender contention, multi-fragment messages,
+// and both loopback shapes.  schedule posts fn at time at in node's
+// partition (or the single serial env), and packet obtains a fresh
+// packet chargeable to node.
+func plan(f *Fabric, schedule func(node int, at sim.Time, fn func()), packet func(node int) *Packet) {
+	send := func(from, to, size int, urgent bool, tag string) {
+		pkt := packet(from)
+		pkt.From, pkt.To, pkt.Size, pkt.Urgent, pkt.Payload = from, to, size, urgent, tag
+		f.Send(pkt)
+	}
+	schedule(0, 0, func() { send(0, 1, 1000, false, "a0") })
+	schedule(0, 0, func() { send(0, 1, 1000, false, "a1") }) // TX contention with a0
+	schedule(2, 0, func() {
+		f.SendMessage(2, 3, 10000, 16, func(i, n int, last bool) any { return fmt.Sprintf("m%d", i) })
+	})
+	schedule(1, 3*sim.Microsecond, func() { send(1, 0, 500, true, "urgent") })
+	schedule(3, 1*sim.Microsecond, func() { send(3, 3, 700, false, "loop") })
+	schedule(1, 2*sim.Microsecond, func() {
+		f.SendMessage(1, 1, 9000, 16, func(i, n int, last bool) any { return fmt.Sprintf("l%d", i) })
+	})
+	// A second wave far enough out to span multiple windows.
+	schedule(3, 40*sim.Microsecond, func() { send(3, 0, 2000, false, "b0") })
+	schedule(2, 41*sim.Microsecond, func() { send(2, 1, 2000, false, "b1") })
+}
+
+// runSerialPlan executes the plan on the classic single-env fabric.
+func runSerialPlan(cfg LinkConfig, nodes int) ([]delivery, [3]int64) {
+	env := sim.NewEnv()
+	f := NewFabric(env, nodes, cfg)
+	var got []delivery
+	for n := 0; n < nodes; n++ {
+		f.Attach(n, func(p *Packet) {
+			got = append(got, delivery{to: p.To, from: p.From, size: p.Size, payload: p.Payload, at: env.Now()})
+		})
+	}
+	plan(f,
+		func(node int, at sim.Time, fn func()) { env.Schedule(at, fn) },
+		func(node int) *Packet { return f.GetPacket() })
+	env.Run()
+	pk, by, de := f.Stats()
+	return got, [3]int64{pk, by, de}
+}
+
+// runParallelPlan executes the same plan on a partitioned fabric under
+// the window scheduler.
+func runParallelPlan(t *testing.T, cfg LinkConfig, nodes, workers int) ([]delivery, [3]int64) {
+	t.Helper()
+	envs := make([]*sim.Env, nodes)
+	for i := range envs {
+		envs[i] = sim.NewPartitionEnv(i)
+	}
+	f := NewParallelFabric(envs, cfg)
+	if !f.Partitioned() {
+		t.Fatal("NewParallelFabric did not produce a partitioned fabric")
+	}
+	// One slice per node: a sink only ever runs in its own partition, so
+	// per-node state needs no synchronization (exactly the contract the
+	// transports rely on).
+	perNode := make([][]delivery, nodes)
+	for n := 0; n < nodes; n++ {
+		n := n
+		f.Attach(n, func(p *Packet) {
+			perNode[n] = append(perNode[n], delivery{to: p.To, from: p.From, size: p.Size, payload: p.Payload, at: envs[n].Now()})
+		})
+	}
+	plan(f,
+		func(node int, at sim.Time, fn func()) { envs[node].Schedule(at, fn) },
+		func(node int) *Packet { return f.GetPacketFrom(node) })
+	w := sim.NewWindows(envs, f.Lookahead(), workers, f.Merge)
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var got []delivery
+	for _, ds := range perNode {
+		got = append(got, ds...)
+	}
+	pk, by, de := f.Stats()
+	return got, [3]int64{pk, by, de}
+}
+
+// TestParallelFabricMatchesSerial: the partitioned fabric must reproduce
+// the serial fabric's deliveries — same packets, same arrival instants —
+// across lone sends, urgent traffic, contention, fragmentation and both
+// loopback paths.  The merge claims receive-side time in global send
+// order, so even cross-sender RX contention resolves identically.
+func TestParallelFabricMatchesSerial(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		link LinkConfig
+	}{
+		{"crossbar", parLink()},
+		{"backplane", func() LinkConfig {
+			l := parLink()
+			l.BackplaneBandwidth = 150 * MB
+			return l
+		}()},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			want, wantStats := runSerialPlan(cfg.link, 4)
+			for _, workers := range []int{1, 4} {
+				got, gotStats := runParallelPlan(t, cfg.link, 4, workers)
+				sortDeliveries(want)
+				sortDeliveries(got)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d deliveries, serial had %d", workers, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("workers=%d: delivery %d = %+v, serial %+v", workers, i, got[i], want[i])
+					}
+				}
+				if gotStats != wantStats {
+					t.Errorf("workers=%d: stats %v, serial %v", workers, gotStats, wantStats)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFabricPacketReuse: port freelists recycle packets and
+// trains, so a steady-state wave allocates nothing new (observable as
+// repeated runs staying equal — reuse bugs corrupt later deliveries).
+func TestParallelFabricPacketReuse(t *testing.T) {
+	cfg := parLink()
+	envs := []*sim.Env{sim.NewPartitionEnv(0), sim.NewPartitionEnv(1)}
+	f := NewParallelFabric(envs, cfg)
+	var arrivals []sim.Time
+	f.Attach(0, func(p *Packet) {})
+	f.Attach(1, func(p *Packet) { arrivals = append(arrivals, envs[1].Now()) })
+	const waves = 5
+	for k := 0; k < waves; k++ {
+		at := sim.Time(k) * 100 * sim.Microsecond
+		envs[0].Schedule(at, func() {
+			f.SendMessage(0, 1, 8000, 0, func(i, n int, last bool) any { return i })
+		})
+	}
+	w := sim.NewWindows(envs, f.Lookahead(), 2, f.Merge)
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != waves*2 {
+		t.Fatalf("%d fragment deliveries, want %d", len(arrivals), waves*2)
+	}
+	// Identical waves must land with identical intra-wave spacing.
+	gap := arrivals[1] - arrivals[0]
+	for k := 1; k < waves; k++ {
+		if g := arrivals[2*k+1] - arrivals[2*k]; g != gap {
+			t.Fatalf("wave %d fragment gap %v, want %v (freelist reuse corrupted timing)", k, g, gap)
+		}
+	}
+}
+
+func TestParallelFabricLookahead(t *testing.T) {
+	cfg := parLink()
+	envs := []*sim.Env{sim.NewPartitionEnv(0), sim.NewPartitionEnv(1)}
+	f := NewParallelFabric(envs, cfg)
+	if want := cfg.Latency + 2*cfg.PerPacket; f.Lookahead() != want {
+		t.Fatalf("lookahead %v, want %v", f.Lookahead(), want)
+	}
+	// The serial fabric is not partitioned.
+	if NewFabric(sim.NewEnv(), 2, cfg).Partitioned() {
+		t.Fatal("serial fabric reports partitioned")
+	}
+}
+
+// TestParallelFabricRejectsRandomness: jitter and loss consume a global
+// random stream in global event order, which partitions cannot replay;
+// the constructor refuses rather than silently diverging.
+func TestParallelFabricRejectsRandomness(t *testing.T) {
+	envs := []*sim.Env{sim.NewPartitionEnv(0), sim.NewPartitionEnv(1)}
+	mustPanic := func(name string, cfg LinkConfig) {
+		t.Helper()
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatalf("%s: NewParallelFabric did not panic", name)
+			}
+			if s := fmt.Sprint(p); !strings.Contains(s, "cluster:") {
+				t.Fatalf("%s: unexpected panic %v", name, p)
+			}
+		}()
+		NewParallelFabric(envs, cfg)
+	}
+	jitter := parLink()
+	jitter.Jitter = 0.1
+	mustPanic("jitter", jitter)
+	loss := parLink()
+	loss.LossRate = 0.01
+	mustPanic("loss", loss)
+	mustPanic("mtu", LinkConfig{Bandwidth: 100 * MB, Latency: sim.Microsecond})
+}

@@ -92,6 +92,11 @@ func (t *Transport) Name() string { return t.inner.Name() + "+faults" }
 // Offload reports the inner transport's offload capability.
 func (t *Transport) Offload() bool { return t.inner.Offload() }
 
+// InjectsFaults implements transport.FaultMarker: the platform layer must
+// use the serial engine, because injected deliveries reorder across
+// partition boundaries.
+func (t *Transport) InjectsFaults() bool { return true }
+
 // Inner returns the wrapped transport.
 func (t *Transport) Inner() transport.Transport { return t.inner }
 

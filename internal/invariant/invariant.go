@@ -3,6 +3,7 @@ package invariant
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"comb/internal/cluster"
 	"comb/internal/core"
@@ -58,51 +59,112 @@ type Options struct {
 }
 
 // Checker watches one simulated system for invariant violations.
+//
+// On a partitioned system (parallel engine) each partition gets its own
+// meter and per-environment step watcher, so the hot counters stay
+// unsynchronized single-writer state; only the violation list itself
+// takes a mutex, since partition goroutines can report concurrently.
 type Checker struct {
-	sys   *cluster.System
-	comms []*mpi.Comm
-	meter *mpi.Meter
-	opts  Options
+	sys    *cluster.System
+	comms  []*mpi.Comm
+	meters []*mpi.Meter // one (serial) or one per comm (partitioned)
+	opts   Options
 
+	watches    []envWatch // one per environment
+	mu         sync.Mutex // guards violations (and queueTrip)
+	queueTrip  bool       // queue-bound violation reported (once)
+	violations []Violation
+}
+
+// envWatch is one environment's step-observer state, written only by the
+// goroutine driving that environment.
+type envWatch struct {
+	env         *sim.Env
 	lastAt      sim.Time
 	peakPending int
-	queueTrip   bool // queue-bound violation reported (once)
-	violations  []Violation
 }
 
 // Attach wires a checker into sys: a message meter on every
-// communicator and a per-event observer on the environment.  It must be
+// communicator and a per-event observer on each environment.  It must be
 // called before the run starts.
 func Attach(sys *cluster.System, comms []*mpi.Comm, opts Options) *Checker {
 	if opts.MaxPending <= 0 {
 		opts.MaxPending = DefaultMaxPending
 	}
-	c := &Checker{sys: sys, comms: comms, meter: &mpi.Meter{Spans: opts.Spans}, opts: opts}
-	for _, cm := range comms {
-		cm.SetMeter(c.meter)
+	c := &Checker{sys: sys, comms: comms, opts: opts}
+	if sys.Partitioned() {
+		for _, cm := range comms {
+			m := &mpi.Meter{Spans: opts.Spans}
+			c.meters = append(c.meters, m)
+			cm.SetMeter(m)
+		}
+	} else {
+		m := &mpi.Meter{Spans: opts.Spans}
+		c.meters = []*mpi.Meter{m}
+		for _, cm := range comms {
+			cm.SetMeter(m)
+		}
 	}
-	sys.Env.OnStep(c.step)
+	c.watches = make([]envWatch, len(sys.Envs))
+	for i, env := range sys.Envs {
+		w := &c.watches[i]
+		w.env = env
+		env.OnStep(func(at sim.Time) { c.step(w, at) })
+	}
 	return c
 }
 
 // Meter exposes the attached message meter (for tests and reporting).
-func (c *Checker) Meter() *mpi.Meter { return c.meter }
-
-// PeakPending reports the deepest event queue observed.
-func (c *Checker) PeakPending() int { return c.peakPending }
-
-// step runs once per executed event.
-func (c *Checker) step(at sim.Time) {
-	if at < c.lastAt {
-		c.add(at, "time/monotonic", fmt.Sprintf("clock went backwards: %v after %v", at, c.lastAt))
+// On a partitioned system it returns a fresh aggregate of the per-comm
+// meters; call it only after the run.
+func (c *Checker) Meter() *mpi.Meter {
+	if len(c.meters) == 1 {
+		return c.meters[0]
 	}
-	c.lastAt = at
-	if p := c.sys.Env.Pending(); p > c.peakPending {
-		c.peakPending = p
-		if p > c.opts.MaxPending && !c.queueTrip {
-			c.queueTrip = true
-			c.add(at, "queue/bound", fmt.Sprintf("event queue depth %d exceeds bound %d (livelock?)", p, c.opts.MaxPending))
+	agg := &mpi.Meter{}
+	for _, m := range c.meters {
+		agg.PostedSends += m.PostedSends
+		agg.PostedRecvs += m.PostedRecvs
+		agg.DoneSends += m.DoneSends
+		agg.DoneRecvs += m.DoneRecvs
+		agg.SentBytes += m.SentBytes
+		agg.RecvBytes += m.RecvBytes
+	}
+	return agg
+}
+
+// PeakPending reports the deepest event queue observed (summed across
+// partition peaks on a partitioned system).
+func (c *Checker) PeakPending() int {
+	total := 0
+	for i := range c.watches {
+		total += c.watches[i].peakPending
+	}
+	return total
+}
+
+// step runs once per executed event on w's environment.
+func (c *Checker) step(w *envWatch, at sim.Time) {
+	if at < w.lastAt {
+		c.add(at, "time/monotonic", fmt.Sprintf("clock went backwards: %v after %v", at, w.lastAt))
+	}
+	w.lastAt = at
+	if p := w.env.Pending(); p > w.peakPending {
+		w.peakPending = p
+		if p > c.opts.MaxPending {
+			c.tripQueue(at, p)
 		}
+	}
+}
+
+// tripQueue reports the queue-bound violation at most once.
+func (c *Checker) tripQueue(at sim.Time, p int) {
+	c.mu.Lock()
+	tripped := c.queueTrip
+	c.queueTrip = true
+	c.mu.Unlock()
+	if !tripped {
+		c.add(at, "queue/bound", fmt.Sprintf("event queue depth %d exceeds bound %d (livelock?)", p, c.opts.MaxPending))
 	}
 }
 
@@ -110,7 +172,7 @@ func (c *Checker) step(at sim.Time) {
 // the event queue drained normally (a deadlocked or cancelled run
 // legitimately strands state).
 func (c *Checker) Finish() {
-	now := c.sys.Env.Now()
+	now := c.sys.Now()
 
 	// Wire conservation: every packet sent is delivered, lost to the
 	// wire, or swallowed by the fault injector — and duplicates are the
@@ -129,7 +191,7 @@ func (c *Checker) Finish() {
 	// completed receives, byte for byte.  Posted receives may outnumber
 	// completed ones (the polling worker keeps a full receive queue
 	// posted at shutdown), never the reverse.
-	m := c.meter
+	m := c.Meter()
 	if m.DoneSends != m.PostedSends {
 		c.add(now, "conservation/sends",
 			fmt.Sprintf("%d sends posted but %d completed", m.PostedSends, m.DoneSends))
@@ -166,7 +228,7 @@ func (c *Checker) CheckPolling(r *core.PollingResult) {
 	if r == nil {
 		return
 	}
-	now := c.sys.Env.Now()
+	now := c.sys.Now()
 	if r.DryTime <= 0 || r.Elapsed <= 0 {
 		c.add(now, "result/time", fmt.Sprintf("non-positive durations: dry %v, elapsed %v", r.DryTime, r.Elapsed))
 	}
@@ -183,7 +245,7 @@ func (c *Checker) CheckPWW(r *core.PWWResult) {
 	if r == nil {
 		return
 	}
-	now := c.sys.Env.Now()
+	now := c.sys.Now()
 	if r.WorkOnly <= 0 || r.Elapsed <= 0 {
 		c.add(now, "result/time", fmt.Sprintf("non-positive durations: work-only %v, elapsed %v", r.WorkOnly, r.Elapsed))
 	}
@@ -200,7 +262,7 @@ func (c *Checker) CheckPWW(r *core.PWWResult) {
 // checkAvail asserts availability ∈ (0, 1] and system availability ∈
 // [0, 1], both with float tolerance.
 func (c *Checker) checkAvail(avail, sysAvail float64) {
-	now := c.sys.Env.Now()
+	now := c.sys.Now()
 	if avail <= 0 || avail > 1+availEps {
 		c.add(now, "result/availability", fmt.Sprintf("availability %v outside (0, 1]", avail))
 	}
@@ -213,7 +275,7 @@ func (c *Checker) checkAvail(avail, sysAvail float64) {
 func (c *Checker) checkBandwidth(mbs float64) {
 	limit := c.sys.P.Link.Bandwidth / 1e6 * bwSlack
 	if mbs < 0 || mbs > limit {
-		c.add(c.sys.Env.Now(), "result/bandwidth",
+		c.add(c.sys.Now(), "result/bandwidth",
 			fmt.Sprintf("%.2f MB/s outside [0, %.2f] (wire rate %.0f B/s)", mbs, limit, c.sys.P.Link.Bandwidth))
 	}
 }
@@ -232,24 +294,31 @@ func (c *Checker) add(at sim.Time, rule, detail string) {
 			return
 		}
 	}
+	c.mu.Lock()
 	c.violations = append(c.violations, Violation{At: at, Rule: rule, Detail: detail})
+	c.mu.Unlock()
 	if c.opts.Trace != nil {
 		c.opts.Trace.Recordf(at, trace.CatViolation, 0, "%s: %s", rule, detail)
 	}
 }
 
 // Violations returns everything found so far.
-func (c *Checker) Violations() []Violation { return c.violations }
+func (c *Checker) Violations() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.violations
+}
 
 // Err returns nil when no invariant broke, else one error summarizing
 // every violation.
 func (c *Checker) Err() error {
-	if len(c.violations) == 0 {
+	vs := c.Violations()
+	if len(vs) == 0 {
 		return nil
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d invariant violation(s):", len(c.violations))
-	for _, v := range c.violations {
+	fmt.Fprintf(&b, "%d invariant violation(s):", len(vs))
+	for _, v := range vs {
 		fmt.Fprintf(&b, "\n  %v", v)
 	}
 	return fmt.Errorf("%s", b.String())

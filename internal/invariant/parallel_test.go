@@ -1,0 +1,167 @@
+package invariant_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"comb/internal/core"
+	"comb/internal/invariant"
+	"comb/internal/machine"
+	"comb/internal/method"
+	"comb/internal/mpi"
+	"comb/internal/platform"
+	"comb/internal/sim"
+
+	_ "comb/internal/method/polling"
+)
+
+// runPartitioned executes one multi-pair polling run on a partitioned
+// (parallel-engine) platform with a manually-attached checker, so tests
+// control the checker options.
+func runPartitioned(t *testing.T, opts invariant.Options) *invariant.Checker {
+	t.Helper()
+	in, err := platform.New(platform.Config{Transport: "gm", Nodes: 8, SimWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if !in.Parallel() {
+		t.Fatal("8-node SimWorkers=4 platform fell back to serial")
+	}
+	chk := invariant.Attach(in.Sys, in.Comms, opts)
+	var mu sync.Mutex
+	var ferr error
+	err = in.RunContext(context.Background(), func(p *sim.Proc, c *mpi.Comm) {
+		mach := machine.NewSim(p, c, in.Sys.Nodes[c.Rank()])
+		var m core.Machine = mach
+		if c.Size() > 2 {
+			m = machine.PairView{M: mach}
+		}
+		_, err := core.RunPolling(m, pollCfg)
+		if err != nil {
+			mu.Lock()
+			if ferr == nil {
+				ferr = err
+			}
+			mu.Unlock()
+		}
+	})
+	if err == nil {
+		err = ferr
+	}
+	if err != nil {
+		t.Fatalf("simulation: %v", err)
+	}
+	chk.Finish()
+	return chk
+}
+
+// TestPartitionedCheckerCleanRun: on a parallel run the checker's
+// per-partition watchers and per-comm meters still see the whole
+// system — conservation holds, the aggregate meter carries real
+// traffic, and the queue watermark is populated.
+func TestPartitionedCheckerCleanRun(t *testing.T) {
+	chk := runPartitioned(t, invariant.Options{})
+	if err := chk.Err(); err != nil {
+		t.Fatalf("clean partitioned run violated invariants: %v", err)
+	}
+	m := chk.Meter()
+	if m.DoneSends == 0 || m.DoneRecvs == 0 || m.SentBytes == 0 {
+		t.Fatalf("aggregate meter empty: %+v", m)
+	}
+	// Every send completes and finds a matching receive; receives may
+	// stay pre-posted past the end of the run (the polling queue depth).
+	if m.DoneSends != m.PostedSends || m.DoneRecvs != m.DoneSends || m.PostedRecvs < m.DoneRecvs {
+		t.Fatalf("unbalanced meter after Finish: %+v", m)
+	}
+	if chk.PeakPending() == 0 {
+		t.Fatal("peak pending watermark never moved")
+	}
+}
+
+// TestPartitionedQueueBoundTripsOnce: an absurdly low queue bound trips
+// the livelock guard on a partitioned run — and exactly once, even with
+// four partitions racing to report it.
+func TestPartitionedQueueBoundTripsOnce(t *testing.T) {
+	chk := runPartitioned(t, invariant.Options{MaxPending: 1})
+	trips := 0
+	for _, v := range chk.Violations() {
+		if v.Rule == "queue/bound" {
+			trips++
+		}
+	}
+	if trips != 1 {
+		t.Fatalf("queue/bound reported %d times, want exactly once:\n%v", trips, chk.Err())
+	}
+}
+
+// TestPartitionedExecuteMatchesSerialMeter: the shared Execute pipeline
+// attaches the checker on both engines; the traffic totals it observes
+// must be identical, parallel or serial.
+func TestPartitionedExecuteMatchesSerialMeter(t *testing.T) {
+	meter := func(simWorkers int) *mpi.Meter {
+		t.Helper()
+		m, err := method.Lookup("polling")
+		if err != nil {
+			t.Fatal(err)
+		}
+		params, err := m.Validate(core.PollingConfig{
+			Config:       core.Config{MsgSize: 4096},
+			PollInterval: 10_000,
+			WorkTotal:    100_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := platform.New(platform.Config{Transport: "gm", Nodes: 8, SimWorkers: simWorkers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer in.Close()
+		_, chk, err := method.Execute(context.Background(), m, in, method.Config{System: "gm", Params: params}, method.ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := chk.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return chk.Meter()
+	}
+	serial, par := meter(0), meter(4)
+	if *serial != *par {
+		t.Fatalf("meters diverged:\n  serial:   %+v\n  parallel: %+v", serial, par)
+	}
+}
+
+// TestCheckPWWRejectsImpossibleResult: the PWW plausibility check flags
+// results that finish before their own injected work.
+func TestCheckPWWRejectsImpossibleResult(t *testing.T) {
+	chk := runPartitioned(t, invariant.Options{})
+	chk.CheckPWW(&core.PWWResult{
+		WorkOnly:           1000,
+		WorkTotal:          5000,
+		Elapsed:            2000, // < WorkTotal: impossible
+		Availability:       0.5,
+		SystemAvailability: 0.5,
+		BandwidthMBs:       10,
+	})
+	err := chk.Err()
+	if err == nil || !strings.Contains(err.Error(), "result/time") {
+		t.Fatalf("impossible PWW result not flagged: %v", err)
+	}
+	chk.CheckPWW(nil) // nil result is a no-op, not a crash
+}
+
+// TestCheckAvailabilityBounds: the generic hooks methods use from
+// CheckResult flag out-of-range availability and wire-beating goodput.
+func TestCheckAvailabilityBounds(t *testing.T) {
+	chk := runPartitioned(t, invariant.Options{})
+	chk.CheckAvailability(1.5, 0.5)
+	chk.CheckBandwidth(1e9)
+	err := chk.Err()
+	if err == nil || !strings.Contains(err.Error(), "result/availability") || !strings.Contains(err.Error(), "result/bandwidth") {
+		t.Fatalf("out-of-range result values not flagged: %v", err)
+	}
+}

@@ -90,6 +90,34 @@ type ResultChecker interface {
 	CheckResult(chk *invariant.Checker, res Result)
 }
 
+// NodeScaler is an optional Method extension for methods that run on
+// more than the paper's two nodes (multi-pair scaling: Nodes/2
+// concurrent worker/support pairs sharing the switch).  Methods without
+// it are restricted to the 2-node topology by spec validation.
+type NodeScaler interface {
+	// ValidateNodes rejects cluster sizes the method cannot run on
+	// (odd counts, absurd scales); n is always > 2 here.
+	ValidateNodes(n int) error
+}
+
+// MaxNodes bounds how large a multi-pair cluster a spec may request; it
+// is a sanity rail (event-queue and goroutine counts scale with it), not
+// a modeling limit.
+const MaxNodes = 256
+
+// ValidatePairNodes is the shared NodeScaler body for pair-structured
+// methods: the cluster must split into whole worker/support pairs and
+// stay within MaxNodes.
+func ValidatePairNodes(name string, n int) error {
+	if n%2 != 0 {
+		return fmt.Errorf("%s: node count %d must be even (worker/support pairs)", name, n)
+	}
+	if n > MaxNodes {
+		return fmt.Errorf("%s: node count %d exceeds the %d-node limit", name, n, MaxNodes)
+	}
+	return nil
+}
+
 // Relaxer is an optional Method extension declaring invariant rules
 // the workload legitimately violates at shutdown (e.g. a netperf-style
 // loop strands in-flight messages because it has no drain handshake).

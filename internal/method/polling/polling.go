@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"comb/internal/core"
@@ -75,6 +76,7 @@ func (pollingMethod) Run(ctx context.Context, in *platform.Instance, cfg method.
 	if err != nil {
 		return nil, err
 	}
+	var mu sync.Mutex
 	var res *core.PollingResult
 	var ferr error
 	err = in.RunContext(ctx, func(p *sim.Proc, mc *mpi.Comm) {
@@ -82,12 +84,23 @@ func (pollingMethod) Run(ctx context.Context, in *platform.Instance, cfg method.
 		if cfg.Spans != nil {
 			mach.Observe(cfg.Spans)
 		}
-		r, err := core.RunPolling(mach, c)
+		var m core.Machine = mach
+		if mc.Size() > 2 {
+			// Multi-pair topology: every consecutive pair runs the
+			// unmodified two-rank benchmark; the reported result is pair
+			// 0's (global rank 0), measured under full switch contention.
+			m = machine.PairView{M: mach}
+		}
+		r, err := core.RunPolling(m, c)
+		mu.Lock()
+		defer mu.Unlock()
 		if err != nil {
-			ferr = err
+			if ferr == nil {
+				ferr = err
+			}
 			return
 		}
-		if r != nil {
+		if r != nil && mc.Rank() == 0 {
 			res = r
 		}
 	})
@@ -101,6 +114,12 @@ func (pollingMethod) Run(ctx context.Context, in *platform.Instance, cfg method.
 		return nil, fmt.Errorf("polling: run produced no worker result")
 	}
 	return res, nil
+}
+
+// ValidateNodes implements method.NodeScaler: the polling benchmark runs
+// on any even number of worker/support pairs.
+func (pollingMethod) ValidateNodes(n int) error {
+	return method.ValidatePairNodes("polling", n)
 }
 
 func (pollingMethod) DecodeParams(b []byte) (any, error) {

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"comb/internal/core"
@@ -80,6 +81,7 @@ func (pwwMethod) Run(ctx context.Context, in *platform.Instance, cfg method.Conf
 	if err != nil {
 		return nil, err
 	}
+	var mu sync.Mutex
 	var res *core.PWWResult
 	var ferr error
 	err = in.RunContext(ctx, func(p *sim.Proc, mc *mpi.Comm) {
@@ -87,12 +89,23 @@ func (pwwMethod) Run(ctx context.Context, in *platform.Instance, cfg method.Conf
 		if cfg.Spans != nil {
 			mach.Observe(cfg.Spans)
 		}
-		r, err := core.RunPWW(mach, c)
+		var m core.Machine = mach
+		if mc.Size() > 2 {
+			// Multi-pair topology: every consecutive pair runs the
+			// unmodified two-rank benchmark; the reported result is pair
+			// 0's (global rank 0), measured under full switch contention.
+			m = machine.PairView{M: mach}
+		}
+		r, err := core.RunPWW(m, c)
+		mu.Lock()
+		defer mu.Unlock()
 		if err != nil {
-			ferr = err
+			if ferr == nil {
+				ferr = err
+			}
 			return
 		}
-		if r != nil {
+		if r != nil && mc.Rank() == 0 {
 			res = r
 		}
 	})
@@ -106,6 +119,12 @@ func (pwwMethod) Run(ctx context.Context, in *platform.Instance, cfg method.Conf
 		return nil, fmt.Errorf("pww: run produced no worker result")
 	}
 	return res, nil
+}
+
+// ValidateNodes implements method.NodeScaler: the post-work-wait
+// benchmark runs on any even number of worker/support pairs.
+func (pwwMethod) ValidateNodes(n int) error {
+	return method.ValidatePairNodes("pww", n)
 }
 
 func (pwwMethod) DecodeParams(b []byte) (any, error) {

@@ -15,9 +15,10 @@ import (
 //
 // Schema 2 adds the "strategy" field (run manifests) and the
 // "strategy"/"points_evaluated"/"points_skipped" fields (figure
-// manifests); schema-1 files are still readable — the new fields
-// default to the dense grid.
-const ManifestSchemaVersion = 2
+// manifests); schema 3 adds the "nodes" field (run manifests).  Older
+// files are still readable — the new fields default to the dense grid
+// and the paper's two-node topology.
+const ManifestSchemaVersion = 3
 
 // oldestManifestSchema is the oldest schema LoadManifest still reads.
 const oldestManifestSchema = 1
@@ -48,7 +49,10 @@ type Manifest struct {
 	Method string `json:"method"`
 	System string `json:"system"`
 	CPUs   int    `json:"cpus,omitempty"`
-	Seed   uint64 `json:"seed,omitempty"`
+	// Nodes is the cluster size when the run scaled past the paper's
+	// two-node topology; zero means the classic two nodes.
+	Nodes int    `json:"nodes,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
 	// Faults is the requested fault spec in its replayable string form;
 	// MaskedFaults lists the knobs the transport's declared tolerance
 	// masked off, and Tolerance the faults it survives.

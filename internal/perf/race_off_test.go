@@ -1,0 +1,8 @@
+//go:build !race
+
+package perf
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock assertions skip under it (5-20x slowdowns swamp the
+// measured ratios).
+const raceEnabled = false

@@ -1,0 +1,117 @@
+package perf
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"comb/internal/core"
+	"comb/internal/method"
+	"comb/internal/platform"
+
+	_ "comb/internal/method/polling"
+)
+
+// speedupSpec is the 8-node multi-pair polling workload the parallel
+// engine is measured on: four worker/support pairs streaming 100 KB
+// messages through the shared switch, the same shape as the root
+// BenchmarkDESNodes8* pair.
+func speedupConfig(simWorkers int) platform.Config {
+	return platform.Config{
+		Transport:  "gm",
+		Nodes:      8,
+		SimWorkers: simWorkers,
+	}
+}
+
+// runOnce executes the workload and returns its wall-clock time.
+func runOnce(t *testing.T, simWorkers int) time.Duration {
+	t.Helper()
+	m, err := method.Lookup("polling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := m.Validate(core.PollingConfig{
+		Config:       core.Config{MsgSize: 100_000},
+		PollInterval: 100_000,
+		WorkTotal:    25_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := platform.New(speedupConfig(simWorkers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	start := time.Now()
+	res, _, err := method.Execute(context.Background(), m, in, method.Config{System: "gm", Params: params}, method.ExecOptions{})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no result")
+	}
+	if simWorkers > 1 && !in.Parallel() {
+		t.Fatal("parallel run fell back to the serial engine")
+	}
+	return elapsed
+}
+
+// best returns the fastest of n runs — the standard way to strip
+// scheduler noise from a wall-clock comparison.
+func best(t *testing.T, simWorkers, n int) time.Duration {
+	t.Helper()
+	b := runOnce(t, simWorkers)
+	for i := 1; i < n; i++ {
+		if d := runOnce(t, simWorkers); d < b {
+			b = d
+		}
+	}
+	return b
+}
+
+// TestParallelSpeedup is the performance acceptance gate for the
+// conservative engine: on an 8-node multi-pair workload the parallel
+// engine must beat the serial one by at least 2x on an 8-core host
+// (1.4x on 4-7 cores, where worker contention with the OS bites).  The
+// test skips on fewer than 4 cores and under the race detector —
+// wall-clock ratios are meaningless in both regimes; the bit-identical
+// equivalence tests still run there.
+func TestParallelSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector skews wall-clock ratios")
+	}
+	cpus := runtime.NumCPU()
+	if cpus < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup measurement, have %d", cpus)
+	}
+	want := 1.4
+	if cpus >= 8 {
+		want = 2.0
+	}
+	serial := best(t, 0, 3)
+	par := best(t, 4, 3)
+	speedup := float64(serial) / float64(par)
+	t.Logf("8-node polling: serial %v, parallel %v, speedup %.2fx (%d CPUs)", serial, par, speedup, cpus)
+	if speedup < want {
+		t.Errorf("parallel speedup %.2fx < required %.1fx (serial %v, parallel %v)", speedup, want, serial, par)
+	}
+}
+
+// TestParallelNoTwoNodeRegression: with the classic 2-node topology the
+// engine must fall back to serial, so requesting SimWorkers there can
+// never cost anything — the instance simply is not parallel.
+func TestParallelNoTwoNodeRegression(t *testing.T) {
+	cfg := platform.Config{Transport: "gm", SimWorkers: 4}
+	in, err := platform.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if in.Parallel() {
+		t.Fatal("2-node instance must use the serial engine")
+	}
+}

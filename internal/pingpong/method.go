@@ -73,6 +73,12 @@ func (ppMethod) Run(ctx context.Context, in *platform.Instance, cfg method.Confi
 	return measure(ctx, in, cfg.System, p.MsgSize, p.Reps, cfg.Spans)
 }
 
+// ValidateNodes implements method.NodeScaler: ping-pong runs on any even
+// number of concurrent pairs.
+func (ppMethod) ValidateNodes(n int) error {
+	return method.ValidatePairNodes("pingpong", n)
+}
+
 func (ppMethod) DecodeParams(b []byte) (any, error) {
 	p, err := method.DecodeJSON[Params](b)
 	if err != nil {

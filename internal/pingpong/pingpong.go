@@ -47,13 +47,19 @@ func Run(system string, size, reps int) (*Result, error) {
 func measure(ctx context.Context, in *platform.Instance, system string, size, reps int, spans *obs.Collector) (*Result, error) {
 	var start, end sim.Time
 	err := in.RunContext(ctx, func(p *sim.Proc, c *mpi.Comm) {
-		peer := 1 - c.Rank()
+		// Consecutive ranks pair up (0-1, 2-3, ...); on the classic
+		// two-node system that is exactly the old rank-0/rank-1 exchange.
+		// Every pair ping-pongs simultaneously over the shared switch;
+		// the reported timing is pair 0's, and only global rank 0 writes
+		// it (read after the run, so no lock is needed).
+		role := c.Rank() % 2
+		peer := c.Rank() - role + (1 - role)
 		buf := make([]byte, size)
 		payload := make([]byte, size)
 		c.Barrier(p)
 		t0 := p.Now()
 		for i := 0; i < reps; i++ {
-			if c.Rank() == 0 {
+			if role == 0 {
 				c.Send(p, peer, 1, payload)
 				c.Recv(p, peer, 1, buf)
 			} else {

@@ -32,6 +32,15 @@ type Config struct {
 	// applied after any transport link preference, so seeded runs are
 	// replayable on every transport.
 	Seed uint64
+	// SimWorkers > 1 opts into the parallel engine: one partition per
+	// node advanced concurrently by up to SimWorkers goroutines in
+	// conservative time windows.  Results are bit-identical to the serial
+	// engine, so the choice never affects hashes or cache keys.  The
+	// builder silently falls back to serial whenever parallelism cannot
+	// help or cannot be conservative: Nodes <= 2, zero lookahead on the
+	// link, wire jitter or loss (global RNG stream), or a fault-injecting
+	// transport (transport.FaultMarker).
+	SimWorkers int
 }
 
 // Instance is a ready-to-run simulated system.
@@ -39,6 +48,24 @@ type Instance struct {
 	Sys       *cluster.System
 	Transport transport.Transport
 	Comms     []*mpi.Comm
+
+	// par drives the partitioned system between window barriers; nil on
+	// the serial engine.
+	par *sim.Windows
+}
+
+// Parallel reports whether this instance runs on the parallel engine.
+func (in *Instance) Parallel() bool { return in.par != nil }
+
+// WindowStats reports the parallel engine's window counters (windows
+// advanced, windows with fewer than two active partitions) and whether
+// the parallel engine was in use at all.
+func (in *Instance) WindowStats() (advanced, stalled uint64, ok bool) {
+	if in.par == nil {
+		return 0, 0, false
+	}
+	advanced, stalled = in.par.Stats()
+	return advanced, stalled, true
 }
 
 // New builds an instance from cfg.
@@ -76,6 +103,16 @@ func New(cfg Config) (*Instance, error) {
 	if cfg.Seed != 0 {
 		p.Link.Seed = cfg.Seed
 	}
+	if useParallel(cfg, n, p, tr) {
+		sys := cluster.NewPartitionedSystem(n, p)
+		eps := tr.Build(sys)
+		comms := make([]*mpi.Comm, n)
+		for i, ep := range eps {
+			comms[i] = mpi.NewComm(sys.Nodes[i].Env, i, n, ep)
+		}
+		par := sim.NewWindows(sys.Envs, sys.Fabric.Lookahead(), cfg.SimWorkers, sys.Fabric.Merge)
+		return &Instance{Sys: sys, Transport: tr, Comms: comms, par: par}, nil
+	}
 	sys := cluster.NewSystem(n, p)
 	eps := tr.Build(sys)
 	comms := make([]*mpi.Comm, n)
@@ -83,6 +120,25 @@ func New(cfg Config) (*Instance, error) {
 		comms[i] = mpi.NewComm(sys.Env, i, n, ep)
 	}
 	return &Instance{Sys: sys, Transport: tr, Comms: comms}, nil
+}
+
+// useParallel decides whether the parallel engine is both requested and
+// conservatively sound for this configuration.  p is the final platform
+// (link preferences and seed already applied).
+func useParallel(cfg Config, n int, p cluster.Platform, tr transport.Transport) bool {
+	if cfg.SimWorkers <= 1 || n <= 2 {
+		return false
+	}
+	if p.Link.Jitter > 0 || p.Link.LossRate > 0 {
+		return false // global RNG stream: consumption order is global state
+	}
+	if p.Link.Latency+2*p.Link.PerPacket <= 0 {
+		return false // zero lookahead: no conservative window exists
+	}
+	if fm, ok := tr.(transport.FaultMarker); ok && fm.InjectsFaults() {
+		return false // injected deliveries reorder across partitions
+	}
+	return true
 }
 
 // Run spawns fn once per rank and drives the simulation until the event
@@ -102,9 +158,19 @@ const cancelCheckEvery = sim.Millisecond
 // loop stops at the next watcher check and RunContext returns ctx.Err()
 // instead of driving the point to completion.  A non-cancellable context
 // (e.g. context.Background()) adds no watcher and no overhead.
+//
+// On the parallel engine, fn runs concurrently across partitions: one
+// goroutine per window worker, each owning a subset of ranks.  fn must
+// therefore synchronize any state it shares across ranks (the simulation
+// itself — comms, machines, per-rank state — is already
+// partition-private); cancellation is checked once per window instead of
+// via a watcher event.
 func (in *Instance) RunContext(ctx context.Context, fn func(p *sim.Proc, c *mpi.Comm)) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if in.par != nil {
+		return in.runParallel(ctx, fn)
 	}
 	procs := make([]*sim.Proc, len(in.Comms))
 	for i, c := range in.Comms {
@@ -145,6 +211,27 @@ func (in *Instance) RunContext(ctx context.Context, fn func(p *sim.Proc, c *mpi.
 	for i, p := range procs {
 		if !p.Done() {
 			return fmt.Errorf("platform: rank %d did not finish (deadlock at t=%v)", i, in.Sys.Env.Now())
+		}
+	}
+	return nil
+}
+
+// runParallel spawns each rank on its own partition environment and
+// drives the window scheduler to completion.
+func (in *Instance) runParallel(ctx context.Context, fn func(p *sim.Proc, c *mpi.Comm)) error {
+	procs := make([]*sim.Proc, len(in.Comms))
+	for i, c := range in.Comms {
+		c := c
+		procs[i] = in.Sys.Nodes[i].Env.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			fn(p, c)
+		})
+	}
+	if err := in.par.Run(ctx); err != nil {
+		return err
+	}
+	for i, p := range procs {
+		if !p.Done() {
+			return fmt.Errorf("platform: rank %d did not finish (deadlock at t=%v)", i, in.Sys.Now())
 		}
 	}
 	return nil

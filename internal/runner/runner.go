@@ -143,6 +143,11 @@ type Config struct {
 	// runner's own export track (node -1) — with the point key, result
 	// source, and attempt count as arguments.
 	Spans *obs.Collector
+	// SimWorkers, when > 1, opts every simulated point into the parallel
+	// DES engine (spec.Spec.SimWorkers) unless the point sets its own
+	// value.  Results and cache keys are identical either way — this is
+	// an execution knob, like Workers, not a measurement axis.
+	SimWorkers int
 }
 
 // Engine schedules points.  It is safe for concurrent use.
@@ -150,6 +155,7 @@ type Engine struct {
 	workers    int
 	timeout    time.Duration
 	retries    int
+	simWorkers int
 	onProgress func(Progress)
 	disk       *Cache
 
@@ -186,6 +192,7 @@ func New(cfg Config) *Engine {
 		workers:    w,
 		timeout:    cfg.Timeout,
 		retries:    cfg.Retries,
+		simWorkers: cfg.SimWorkers,
 		onProgress: cfg.OnProgress,
 		disk:       cfg.Disk,
 		obsReg:     cfg.Obs,
@@ -440,6 +447,9 @@ func (e *Engine) simulate(ctx context.Context, n Point) (*Result, error) {
 				params = cal.Calibrated(params, d)
 			}
 		}
+	}
+	if n.SimWorkers == 0 {
+		n.SimWorkers = e.simWorkers
 	}
 	in, err := runpipe.NewPlatform(n)
 	if err != nil {

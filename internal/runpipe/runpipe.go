@@ -83,7 +83,19 @@ type Outcome struct {
 // Every entry path (facade, sweep runner, serve) builds platforms here,
 // so seeds and faults behave identically everywhere.
 func NewPlatform(s spec.Spec) (*platform.Instance, error) {
-	cfg := platform.Config{Transport: s.System, CPUs: s.CPUs, Seed: s.Seed}
+	cfg := platform.Config{
+		Transport:  s.System,
+		CPUs:       s.CPUs,
+		Nodes:      s.Nodes,
+		Seed:       s.Seed,
+		SimWorkers: s.SimWorkers,
+	}
+	if s.TraceCap > 0 {
+		// The packet-trace hooks observe the fabric from whichever
+		// partition delivers, so tracing forces the serial engine (results
+		// are identical either way; only wall-clock differs).
+		cfg.SimWorkers = 0
+	}
 	if s.Faults != nil && !s.Faults.Zero() {
 		fs := *s.Faults
 		if fs.Seed == 0 {
@@ -107,14 +119,14 @@ func NewPlatform(s spec.Spec) (*platform.Instance, error) {
 // method registry's shared pipeline.  A cancelled ctx tears the
 // simulation down mid-run and returns ctx.Err().
 func Run(ctx context.Context, s spec.Spec) (*Outcome, error) {
-	m, params, err := s.Resolve()
+	// Normalized (not just Resolve+Validate) so the optional axes are
+	// checked too — notably Nodes, which needs the method's NodeScaler.
+	n, m, err := s.Normalized()
 	if err != nil {
 		return nil, err
 	}
-	params, err = m.Validate(params)
-	if err != nil {
-		return nil, err
-	}
+	s = n
+	params := n.Params
 	in, err := NewPlatform(s)
 	if err != nil {
 		return nil, err
@@ -196,6 +208,12 @@ func fillMetrics(reg *obs.Registry, in *platform.Instance, meter *mpi.Meter) {
 	reg.Counter(`comb_packets_total{fate="injected_drop"}`, pktHelp).Add(injDrop)
 	reg.Counter(`comb_packets_total{fate="injected_dup"}`, pktHelp).Add(injDup)
 	reg.Counter("comb_wire_bytes_total", "Bytes put on the wire, headers included.").Add(wireBytes)
+
+	if adv, stall, ok := in.WindowStats(); ok {
+		winHelp := "Conservative-engine time windows, by outcome."
+		reg.Counter(`comb_sim_window_advanced_total`, winHelp).Add(int64(adv))
+		reg.Counter(`comb_sim_window_stall_total`, winHelp).Add(int64(stall))
+	}
 }
 
 // hashedResult is the canonical serialization ResultHash covers: the
@@ -221,6 +239,7 @@ func buildManifest(s spec.Spec, m method.Method, params any, out *Outcome) (*obs
 	mf.Method = m.Name()
 	mf.System = s.System
 	mf.CPUs = s.CPUs
+	mf.Nodes = s.Nodes
 	mf.Seed = s.Seed
 	if s.Faults != nil && !s.Faults.Zero() {
 		fs := *s.Faults
@@ -278,6 +297,7 @@ func SpecFromManifest(mf *obs.Manifest) (spec.Spec, error) {
 		Method:  spec.Method(mf.Method),
 		System:  mf.System,
 		CPUs:    mf.CPUs,
+		Nodes:   mf.Nodes,
 		Seed:    mf.Seed,
 		Polling: mf.Polling,
 		PWW:     mf.PWW,

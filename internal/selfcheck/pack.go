@@ -50,7 +50,7 @@ func (r *PackResult) String() string {
 // over each result matrix.  One engine is shared across packs so
 // identical cells — notably the clean twins faulted packs share —
 // simulate once.
-func Packs(ctx context.Context, dir, name string, workers int) (*PackResult, error) {
+func Packs(ctx context.Context, dir, name string, workers, simWorkers int) (*PackResult, error) {
 	packs, err := scenario.LoadDir(dir)
 	if err != nil {
 		return nil, err
@@ -62,7 +62,7 @@ func Packs(ctx context.Context, dir, name string, workers int) (*PackResult, err
 		}
 		packs = []*scenario.Pack{p}
 	}
-	eng := runner.New(runner.Config{Workers: workers, Timeout: scenario.CellTimeout})
+	eng := runner.New(runner.Config{Workers: workers, SimWorkers: simWorkers, Timeout: scenario.CellTimeout})
 	res := &PackResult{}
 	for _, p := range packs {
 		rep, err := scenario.RunPack(ctx, p, scenario.Options{Engine: eng})

@@ -12,7 +12,7 @@ const scenarioDir = "../../testdata/scenarios"
 // — through the full oracle: load, expand over every registered method
 // × transport, simulate, evaluate every relation.
 func TestPacksSingle(t *testing.T) {
-	res, err := Packs(context.Background(), scenarioDir, "clean-baseline", 0)
+	res, err := Packs(context.Background(), scenarioDir, "clean-baseline", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestPacksSingle(t *testing.T) {
 // TestPacksAll is the acceptance gate behind `comb selfcheck -pack all`:
 // every committed pack, every registered transport, zero violations.
 func TestPacksAll(t *testing.T) {
-	res, err := Packs(context.Background(), scenarioDir, "all", 0)
+	res, err := Packs(context.Background(), scenarioDir, "all", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,13 +43,13 @@ func TestPacksAll(t *testing.T) {
 }
 
 func TestPacksUnknownName(t *testing.T) {
-	if _, err := Packs(context.Background(), scenarioDir, "no-such", 0); err == nil || !strings.Contains(err.Error(), "clean-baseline") {
+	if _, err := Packs(context.Background(), scenarioDir, "no-such", 0, 0); err == nil || !strings.Contains(err.Error(), "clean-baseline") {
 		t.Fatalf("unknown pack name should list available packs, got %v", err)
 	}
 }
 
 func TestPacksBadDir(t *testing.T) {
-	if _, err := Packs(context.Background(), t.TempDir(), "all", 0); err == nil {
+	if _, err := Packs(context.Background(), t.TempDir(), "all", 0, 0); err == nil {
 		t.Fatal("empty scenario dir should fail")
 	}
 }

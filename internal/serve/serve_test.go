@@ -174,7 +174,7 @@ func TestServeEndToEnd(t *testing.T) {
 	if body := getText(t, hs.URL+"/healthz"); !strings.Contains(body, "ok") {
 		t.Errorf("healthz: %q", body)
 	}
-	if body := getText(t, hs.URL+"/v1/version"); !strings.Contains(body, `"specVersion": 2`) ||
+	if body := getText(t, hs.URL+"/v1/version"); !strings.Contains(body, `"specVersion": 3`) ||
 		!strings.Contains(body, "polling") {
 		t.Errorf("version: %q", body)
 	}

@@ -28,7 +28,7 @@ import "fmt"
 type Env struct {
 	now     Time
 	seq     uint64
-	heap    []queued // future events, 4-ary min-heap by (at, seq)
+	heap    []queued // future events, 4-ary min-heap by (at, seq, sub)
 	ring    []queued // zero-delay events at the current instant, FIFO
 	ringPop int      // consumed prefix of ring
 	pending int      // scheduled and not yet executed or cancelled
@@ -36,6 +36,12 @@ type Env struct {
 	cur     *Proc
 	steps   uint64
 	stopped bool
+
+	// partStamp, when non-zero, switches event stamping from the serial
+	// (global sequence) scheme to the partition scheme of the parallel
+	// engine: heap entries carry (birth instant, partition|local seq)
+	// instead of (global seq, 0).  See NewPartitionEnv.
+	partStamp uint64
 
 	// MaxSteps, when non-zero, bounds the number of executed events.  It is
 	// a safety valve against accidental livelock (for example a process
@@ -62,6 +68,7 @@ type Env struct {
 type queued struct {
 	at   Time
 	seq  uint64
+	sub  uint64 // tie-break below seq; always 0 in the serial engine
 	fn   func()
 	fn1  func(any)
 	arg  any
@@ -88,6 +95,78 @@ func NewEnv() *Env {
 	e := &Env{MaxSteps: 1 << 34}
 	e.wakeFn = e.runWake
 	return e
+}
+
+// NewPartitionEnv returns an environment that stamps events for the
+// parallel engine's cross-partition merge: heap entries order by (at,
+// birth instant, partition|local seq) instead of (at, global seq).  part
+// is the zero-based partition index; the stamp keeps partition bits above
+// bit 40, leaving 2^40 local sequence numbers — far beyond the MaxSteps
+// safety valve.  Each partition environment is still strictly
+// single-threaded; the Windows scheduler guarantees only one goroutine
+// touches it at a time.
+func NewPartitionEnv(part int) *Env {
+	if part < 0 || part >= 1<<23 {
+		panic(fmt.Sprintf("sim: partition index %d out of range", part))
+	}
+	e := NewEnv()
+	e.partStamp = uint64(part+1) << 40
+	return e
+}
+
+// Partitioned reports whether this environment uses partition stamping.
+func (e *Env) Partitioned() bool { return e.partStamp != 0 }
+
+// MailStamp draws a (seq, sub) stamp for an outbound cross-partition
+// message.  The stamp comes from the same counter as local events, so a
+// merged delivery sorts against the destination's local events exactly
+// where the serial engine's globally-sequenced delivery event would:
+// after everything born earlier, before everything born later, with the
+// partition index breaking same-instant ties deterministically.  Only
+// valid on partition environments.
+func (e *Env) MailStamp() (seq, sub uint64) {
+	e.seq++
+	return uint64(e.now), e.partStamp | e.seq
+}
+
+// ScheduleStamped inserts an event at absolute time at carrying an
+// explicit (seq, sub) stamp — the merge-side counterpart of MailStamp.
+// It is called between windows by the merge phase, never from inside a
+// running event, and at must not be in the past (conservative lookahead
+// guarantees merged deliveries land at or beyond the window bound).
+func (e *Env) ScheduleStamped(at Time, seq, sub uint64, fn func(any), arg any) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: stamped event at t=%v is before now=%v", at, e.now))
+	}
+	e.pending++
+	e.heap = append(e.heap, queued{at: at, seq: seq, sub: sub, fn1: fn, arg: arg, tidx: -1})
+	e.siftUp(len(e.heap) - 1)
+}
+
+// PeekTime returns the timestamp of the earliest queued event and whether
+// one exists.  Between windows the ring is always empty, so this is the
+// heap minimum; it is what the window scheduler folds across partitions
+// to pick the next window's base time.
+func (e *Env) PeekTime() (Time, bool) {
+	if e.ringPop < len(e.ring) {
+		return e.now, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
+// RunBefore executes every event with timestamp strictly below bound and
+// returns with the ring drained (events at an executed instant always run
+// to completion before the clock can pass it).  It is the window body of
+// the parallel engine: all remaining events are >= bound afterwards, so
+// event births across successive windows are globally monotone.
+func (e *Env) RunBefore(bound Time) {
+	if bound <= 0 {
+		return
+	}
+	e.run(bound - 1)
 }
 
 // Now returns the current virtual time.
@@ -166,6 +245,15 @@ func (e *Env) push(delay Time, fn func(), fn1 func(any), arg any, tidx int32) {
 	e.seq++
 	e.pending++
 	q := queued{at: e.now + delay, seq: e.seq, fn: fn, fn1: fn1, arg: arg, tidx: tidx}
+	if e.partStamp != 0 {
+		// Partition stamping: order by birth instant first, then by
+		// (partition, local sequence).  Within one environment this is
+		// the same relative order as the serial global sequence — birth
+		// times and local sequence numbers are both monotone in
+		// scheduling order — but it gives cross-partition merges a
+		// deterministic total order that no single global counter could.
+		q.seq, q.sub = uint64(e.now), e.partStamp|e.seq
+	}
 	if delay == 0 {
 		if tidx >= 0 {
 			s := &e.slots[tidx]
@@ -203,12 +291,19 @@ func (e *Env) freeSlot(idx int32) {
 	e.freeSlots = append(e.freeSlots, idx)
 }
 
-// less orders entries by timestamp, FIFO within a timestamp.
+// less orders entries by timestamp, FIFO within a timestamp.  The serial
+// engine never sets sub, so for it the comparison is exactly the historic
+// (at, seq) order; partition environments use (at, birth seq, partition
+// sub) so that events merged from other partitions sort deterministically
+// among local ones.
 func (a *queued) less(b *queued) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.sub < b.sub
 }
 
 // movedTo records entry i's new heap position in its timer slot, if any.

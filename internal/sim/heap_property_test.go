@@ -222,3 +222,230 @@ func TestHeapStableFIFOAtSameInstant(t *testing.T) {
 		}
 	}
 }
+
+// --- partition stamping: the cross-partition merge order ------------------
+//
+// The parallel engine replaces the serial global sequence with (at, birth
+// instant, partition|local seq) stamps so deliveries merged from other
+// partitions slot into a deterministic total order.  The tests below drive
+// a partition environment — local events self-stamp, merged mail arrives
+// through ScheduleStamped — against a container/heap oracle whose
+// comparator is the full three-key (at, seq, sub) order.
+
+// refEvent3 is one oracle entry under partition stamping.
+type refEvent3 struct {
+	at  Time
+	seq uint64
+	sub uint64
+	id  int
+}
+
+type refHeap3 []*refEvent3
+
+func (h refHeap3) Len() int      { return len(h) }
+func (h refHeap3) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h refHeap3) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].seq != h[j].seq {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].sub < h[j].sub
+}
+func (h *refHeap3) Push(x any) { *h = append(*h, x.(*refEvent3)) }
+func (h *refHeap3) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// mailItem is one pre-stamped cross-partition delivery, as the merge
+// phase would inject it.
+type mailItem struct {
+	at  Time
+	seq uint64 // sender-side birth instant
+	sub uint64 // sender partition stamp | sender local seq
+	id  int
+}
+
+// genMail builds m random mail items from the given sender partitions,
+// with deliberate collisions: shared delivery instants, shared birth
+// instants, and same-(at,seq) pairs that only sub can order.
+func genMail(rng *Rand, firstID, m int, senders []int) []mailItem {
+	mails := make([]mailItem, 0, m)
+	localSeq := make(map[int]uint64)
+	var prev mailItem
+	for i := 0; i < m; i++ {
+		s := senders[rng.Intn(len(senders))]
+		localSeq[s]++
+		var birth, at Time
+		if i > 0 && rng.Intn(3) == 0 {
+			// Collide with the previous mail: same delivery instant, and
+			// half the time the same birth instant too, so only sub decides.
+			at = prev.at
+			birth = Time(prev.seq)
+			if rng.Intn(2) == 0 {
+				birth = Time(rng.Intn(int(at) + 1))
+			}
+		} else {
+			birth = Time(rng.Intn(40))
+			at = birth + Time(1+rng.Intn(10))
+		}
+		it := mailItem{
+			at:  at,
+			seq: uint64(birth),
+			sub: uint64(s+1)<<40 | localSeq[s],
+			id:  firstID + i,
+		}
+		mails = append(mails, it)
+		prev = it
+	}
+	return mails
+}
+
+// runPartitionPlan executes a local plan plus injected mail on a real
+// partition environment and returns the fire trace.
+func runPartitionPlan(t *testing.T, part int, nodes []propNode, roots []int, mails []mailItem) []int {
+	t.Helper()
+	e := NewPartitionEnv(part)
+	var trace []int
+	timers := make([]Timer, len(nodes))
+	scheduled := make([]bool, len(nodes))
+	var schedule func(id int)
+	schedule = func(id int) {
+		if scheduled[id] {
+			return
+		}
+		scheduled[id] = true
+		n := &nodes[id]
+		timers[id] = e.ScheduleTimer(n.delay, func() {
+			trace = append(trace, id)
+			for _, c := range n.children {
+				schedule(c)
+			}
+			for _, c := range n.cancels {
+				if scheduled[c] {
+					timers[c].Stop()
+				}
+			}
+		})
+	}
+	for _, m := range mails {
+		m := m
+		e.ScheduleStamped(m.at, m.seq, m.sub, func(any) { trace = append(trace, m.id) }, nil)
+	}
+	for _, r := range roots {
+		schedule(r)
+	}
+	e.Run()
+	return trace
+}
+
+// runRefPartitionPlan executes the same plan on the three-key oracle,
+// modelling the partition stamp rules independently: a local event
+// scheduled at instant T carries seq = T (its birth) and
+// sub = partition stamp | a per-environment counter bumped on every
+// scheduling.
+func runRefPartitionPlan(part int, nodes []propNode, roots []int, mails []mailItem) []int {
+	var (
+		trace     []int
+		h         refHeap3
+		now       Time
+		counter   uint64
+		stamp     = uint64(part+1) << 40
+		scheduled = make([]bool, len(nodes))
+		cancelled = make([]bool, len(nodes))
+	)
+	schedule := func(id int) {
+		if scheduled[id] {
+			return
+		}
+		scheduled[id] = true
+		counter++
+		heap.Push(&h, &refEvent3{at: now + nodes[id].delay, seq: uint64(now), sub: stamp | counter, id: id})
+	}
+	for _, m := range mails {
+		heap.Push(&h, &refEvent3{at: m.at, seq: m.seq, sub: m.sub, id: m.id})
+	}
+	for _, r := range roots {
+		schedule(r)
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(*refEvent3)
+		if ev.at < now {
+			panic("oracle: time went backwards")
+		}
+		now = ev.at
+		if ev.id < len(nodes) {
+			if cancelled[ev.id] {
+				continue
+			}
+			trace = append(trace, ev.id)
+			n := &nodes[ev.id]
+			for _, c := range n.children {
+				schedule(c)
+			}
+			for _, c := range n.cancels {
+				if scheduled[c] {
+					cancelled[c] = true
+				}
+			}
+			continue
+		}
+		trace = append(trace, ev.id) // mail: fire only
+	}
+	return trace
+}
+
+// TestPartitionMergeMatchesOracle drives many random local plans with
+// injected cross-partition mail through a partition environment and the
+// container/heap oracle, requiring identical fire traces — the merge
+// order the parallel engine's determinism rests on.
+func TestPartitionMergeMatchesOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := NewRand(seed * 0x9e3779b97f4a7c15)
+			n := 30 + int(seed)%60
+			nodes, roots := genPlan(rng, n)
+			// Destination partition 2; mail from partitions 0, 1 and 3, so
+			// sub stamps fall both below and above the local stamp.
+			mails := genMail(rng, n, 25+int(seed)%20, []int{0, 1, 3})
+			got := runPartitionPlan(t, 2, nodes, roots, mails)
+			want := runRefPartitionPlan(2, nodes, roots, mails)
+			if len(got) != len(want) {
+				t.Fatalf("trace lengths differ: env %d vs oracle %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trace diverges at %d: env fired %d, oracle %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestScheduleStampedOrdersBySub pins the last tie-break key directly:
+// events sharing (at, seq) fire in sub order however they were inserted.
+func TestScheduleStampedOrdersBySub(t *testing.T) {
+	e := NewPartitionEnv(0)
+	var got []uint64
+	subs := []uint64{7, 3, 9, 1, 8, 2, 6, 4, 5}
+	for _, s := range subs {
+		s := s
+		e.ScheduleStamped(10, 5, s, func(any) { got = append(got, s) }, nil)
+	}
+	e.Run()
+	if len(got) != len(subs) {
+		t.Fatalf("fired %d events, want %d", len(got), len(subs))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("sub order violated: %v", got)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+)
+
+// Windows drives a set of partition environments through conservative
+// bounded time windows — the parallel counterpart of Env.Run.
+//
+// Each round picks the globally earliest pending event time T and lets
+// every partition execute its events in [T, T+lookahead) concurrently.
+// The lookahead comes from the minimum cross-partition delivery delay
+// (link latency plus the per-packet occupancy floor at both ports), so
+// nothing sent inside a window can be due inside that same window: a
+// send at t >= T completes no earlier than t + lookahead >= T + lookahead.
+// Between rounds a single-threaded merge hook drains the fabric
+// mailboxes into the destination heaps; the channel hand-off to and from
+// the workers is the happens-before edge that lets plain (unsynchronized)
+// environments migrate between the merge goroutine and their worker.
+//
+// Determinism: each environment is only ever advanced by one fixed
+// worker, environments are strictly single-threaded, and the merge runs
+// alone — so event execution order inside every partition is identical
+// run to run, and identical to the serial engine (the equality suite in
+// internal/runpipe pins this across every method × transport).
+type Windows struct {
+	envs      []*Env
+	lookahead Time
+	merge     func()
+	workers   int
+
+	advanced uint64 // windows executed
+	stalled  uint64 // windows in which fewer than two partitions had work
+}
+
+// NewWindows builds a scheduler over envs with the given lookahead and
+// worker count.  lookahead must be positive (a zero-lookahead topology
+// cannot be conservatively parallelized — the caller falls back to the
+// serial engine).  merge runs single-threaded between windows; nil is
+// allowed for mailbox-free workloads (tests).  workers is clamped to
+// [1, len(envs)].
+func NewWindows(envs []*Env, lookahead Time, workers int, merge func()) *Windows {
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %v", lookahead))
+	}
+	if len(envs) == 0 {
+		panic("sim: no partition environments")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(envs) {
+		workers = len(envs)
+	}
+	return &Windows{envs: envs, lookahead: lookahead, merge: merge, workers: workers}
+}
+
+// Lookahead returns the window width.
+func (w *Windows) Lookahead() Time { return w.lookahead }
+
+// Stats reports how many windows have executed and how many of those had
+// fewer than two partitions with runnable work (serialization stalls —
+// windows where the parallel engine could not overlap anything).
+func (w *Windows) Stats() (advanced, stalled uint64) { return w.advanced, w.stalled }
+
+// windowResult is one worker's report for one window.
+type windowResult struct {
+	active   int // partitions that executed at least one event
+	panicked any // recovered panic, re-raised by the leader
+}
+
+// Run executes windows until every partition drains, or ctx is cancelled
+// (checked once per window), or a partition panics (re-raised here, like
+// Env.Run re-raises process panics).  Partitions are assigned to workers
+// statically (worker k owns envs k, k+workers, ...), so each environment
+// has exactly one writer for the whole run.
+func (w *Windows) Run(ctx context.Context) error {
+	nw := w.workers
+	bounds := make([]chan Time, nw)
+	for k := range bounds {
+		bounds[k] = make(chan Time, 1)
+	}
+	done := make(chan windowResult, nw)
+	for k := 0; k < nw; k++ {
+		go w.worker(k, bounds[k], done)
+	}
+	defer func() {
+		for _, c := range bounds {
+			close(c)
+		}
+	}()
+	for {
+		if w.merge != nil {
+			w.merge()
+		}
+		var base Time
+		found := false
+		for _, e := range w.envs {
+			if t, ok := e.PeekTime(); ok && (!found || t < base) {
+				base, found = t, true
+			}
+		}
+		if !found {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		bound := base + w.lookahead
+		for _, c := range bounds {
+			c <- bound
+		}
+		active := 0
+		var panicked any
+		for range bounds {
+			r := <-done
+			active += r.active
+			if r.panicked != nil && panicked == nil {
+				panicked = r.panicked
+			}
+		}
+		if panicked != nil {
+			panic(panicked)
+		}
+		w.advanced++
+		if active < 2 {
+			w.stalled++
+		}
+	}
+}
+
+// worker advances this worker's partitions through each window bound it
+// receives, reporting per-window activity and any recovered panic.
+func (w *Windows) worker(k int, bounds <-chan Time, done chan<- windowResult) {
+	for bound := range bounds {
+		var r windowResult
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					r.panicked = p
+				}
+			}()
+			for i := k; i < len(w.envs); i += w.workers {
+				e := w.envs[i]
+				before := e.Steps()
+				e.RunBefore(bound)
+				if e.Steps() != before {
+					r.active++
+				}
+			}
+		}()
+		done <- r
+	}
+}

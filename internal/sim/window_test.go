@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// partEnvs builds n partition environments.
+func partEnvs(n int) []*Env {
+	envs := make([]*Env, n)
+	for i := range envs {
+		envs[i] = NewPartitionEnv(i)
+	}
+	return envs
+}
+
+func TestWindowsRunsAllPartitions(t *testing.T) {
+	envs := partEnvs(4)
+	var fired [4][]Time
+	for i, e := range envs {
+		i, e := i, e
+		// A little chain per partition so the run spans several windows.
+		var step func()
+		n := 0
+		step = func() {
+			fired[i] = append(fired[i], e.Now())
+			if n++; n < 5 {
+				e.Schedule(3, step)
+			}
+		}
+		e.Schedule(Time(i+1), step)
+	}
+	w := NewWindows(envs, 2, 4, nil)
+	if w.Lookahead() != 2 {
+		t.Fatalf("lookahead %v, want 2", w.Lookahead())
+	}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fired {
+		if len(fired[i]) != 5 {
+			t.Fatalf("partition %d fired %d events, want 5", i, len(fired[i]))
+		}
+		want := Time(i + 1)
+		for _, at := range fired[i] {
+			if at != want {
+				t.Fatalf("partition %d fired at %v, want %v", i, at, want)
+			}
+			want += 3
+		}
+	}
+	adv, _ := w.Stats()
+	if adv == 0 {
+		t.Fatal("no windows advanced")
+	}
+}
+
+// TestWindowsWorkerClamp: worker counts outside [1, len(envs)] are
+// clamped, and the static partition assignment still covers every env.
+func TestWindowsWorkerClamp(t *testing.T) {
+	for _, workers := range []int{0, -3, 99} {
+		envs := partEnvs(3)
+		ran := make([]bool, 3)
+		for i, e := range envs {
+			i := i
+			e.Schedule(1, func() { ran[i] = true })
+		}
+		w := NewWindows(envs, 10, workers, nil)
+		if err := w.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		for i, ok := range ran {
+			if !ok {
+				t.Fatalf("workers=%d: partition %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+// TestWindowsStallCounting: a lone active partition means nothing can
+// overlap, so every advanced window also counts as stalled.
+func TestWindowsStallCounting(t *testing.T) {
+	envs := partEnvs(2)
+	n := 0
+	var step func()
+	step = func() {
+		if n++; n < 4 {
+			envs[0].Schedule(5, step)
+		}
+	}
+	envs[0].Schedule(1, step)
+	w := NewWindows(envs, 2, 2, nil)
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	adv, stall := w.Stats()
+	if adv == 0 || stall != adv {
+		t.Fatalf("advanced %d, stalled %d; a single-partition run must stall every window", adv, stall)
+	}
+}
+
+// TestWindowsMergeInjectsMail: the merge hook runs single-threaded
+// between windows and may inject stamped cross-partition events; the
+// injected event must execute at its stamped time in the destination.
+func TestWindowsMergeInjectsMail(t *testing.T) {
+	envs := partEnvs(2)
+	type mail struct {
+		at       Time
+		seq, sub uint64
+	}
+	var outbox []mail
+	// Partition 0 "sends" at t=4: conservative lookahead 10 means the
+	// delivery lands at t=14, safely beyond any window that can see it.
+	envs[0].Schedule(4, func() {
+		seq, sub := envs[0].MailStamp()
+		outbox = append(outbox, mail{at: envs[0].Now() + 10, seq: seq, sub: sub})
+	})
+	var deliveredAt Time
+	merge := func() {
+		for _, m := range outbox {
+			envs[1].ScheduleStamped(m.at, m.seq, m.sub, func(any) { deliveredAt = envs[1].Now() }, nil)
+		}
+		outbox = outbox[:0]
+	}
+	w := NewWindows(envs, 10, 2, merge)
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if deliveredAt != 14 {
+		t.Fatalf("mailed event delivered at %v, want 14", deliveredAt)
+	}
+}
+
+// TestWindowsContextCancel: cancellation is observed between windows.
+func TestWindowsContextCancel(t *testing.T) {
+	envs := partEnvs(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	var step func()
+	step = func() {
+		if n++; n == 3 {
+			cancel()
+		}
+		envs[0].Schedule(5, step) // endless without cancellation
+	}
+	envs[0].Schedule(1, step)
+	w := NewWindows(envs, 2, 2, nil)
+	if err := w.Run(ctx); err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestWindowsRepanics: a panic inside a partition event surfaces from
+// Run on the caller's goroutine, like Env.Run re-raising process panics.
+func TestWindowsRepanics(t *testing.T) {
+	envs := partEnvs(2)
+	envs[1].Schedule(1, func() { panic("boom in partition") })
+	w := NewWindows(envs, 2, 2, nil)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("Run did not re-raise the partition panic")
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("re-raised %v, want the partition panic", p)
+		}
+	}()
+	_ = w.Run(context.Background())
+}
+
+func TestNewWindowsRejectsBadConfig(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero lookahead", func() { NewWindows(partEnvs(2), 0, 2, nil) })
+	mustPanic("no envs", func() { NewWindows(nil, 5, 2, nil) })
+}

@@ -36,7 +36,12 @@ import (
 // search strategy; see internal/strategy).  A version-1 document is
 // still accepted and defaults to the grid strategy; carrying a
 // "strategy" block requires stamping specVersion 2.
-const Version = 2
+//
+// Version 3: version 2 plus an optional "nodes" field (the cluster size
+// for multi-pair topologies; see Spec.Nodes).  Version-1 and version-2
+// documents are still accepted and default to the paper's 2 nodes;
+// carrying a "nodes" field requires stamping specVersion 3.
+const Version = 3
 
 // oldestVersion is the oldest wire-schema version UnmarshalJSON still
 // accepts.
@@ -97,6 +102,18 @@ type Spec struct {
 	// classic single-process metric, which SMP inflates) with
 	// SystemAvailability (the node-wide metric, which SMP does not fool).
 	CPUs int
+	// Nodes is the cluster size; 0 or 2 reproduces the paper's two-node
+	// testbed.  Larger even counts run the method on Nodes/2 concurrent
+	// pairs sharing the switch (the multi-pair scaling axis); only
+	// methods implementing method.NodeScaler accept them.  Normalization
+	// folds 2 to 0 so explicit-default specs keep the classic keys.
+	Nodes int
+	// SimWorkers > 1 opts this run into the parallel simulation engine
+	// (conservative time windows, one partition per node).  It is an
+	// in-memory engine hint only: results are bit-identical to the
+	// serial engine, so the field never serializes to the wire document
+	// and never enters cache keys or manifests.
+	SimWorkers int
 	// TraceCap, when > 0, records the last TraceCap packet-level fabric
 	// deliveries.  The sweep runner and the serve API ignore it (cached
 	// results carry no trace).
@@ -210,6 +227,23 @@ func (s Spec) Normalized() (Spec, method.Method, error) {
 	n.Method = Method(m.Name())
 	n.Params = params
 	n.Polling, n.PWW = nil, nil
+	if n.Nodes == 2 {
+		// Two nodes is the default: fold it away so explicit-default
+		// specs keep their classic keys.
+		n.Nodes = 0
+	}
+	if n.Nodes != 0 {
+		if n.Nodes < 2 {
+			return s, nil, fmt.Errorf("comb: invalid node count %d (need at least 2)", n.Nodes)
+		}
+		ns, ok := m.(method.NodeScaler)
+		if !ok {
+			return s, nil, fmt.Errorf("comb: method %q only supports the paper's 2-node topology", m.Name())
+		}
+		if err := ns.ValidateNodes(n.Nodes); err != nil {
+			return s, nil, err
+		}
+	}
 	if n.Strategy != nil {
 		st := *n.Strategy
 		if err := st.Validate(); err != nil {
@@ -263,6 +297,10 @@ func KeyOf(n Spec, m method.Method) string {
 		b.WriteString("/cpus=")
 		b.WriteString(strconv.Itoa(n.CPUs))
 	}
+	if n.Nodes > 2 {
+		b.WriteString("/nodes=")
+		b.WriteString(strconv.Itoa(n.Nodes))
+	}
 	if n.Seed != 0 {
 		b.WriteString("/seed=")
 		b.WriteString(strconv.FormatUint(n.Seed, 10))
@@ -289,14 +327,17 @@ func (s Spec) Key() string {
 	return KeyOf(n, m)
 }
 
-// wireSpec is the version-2 JSON document (a superset of version 1:
-// the "strategy" block is the only addition).  Field names are the
-// schema; changing any of them requires a Version bump.
+// wireSpec is the version-3 JSON document (a superset of version 2:
+// the "nodes" field is the only addition).  Field names are the
+// schema; changing any of them requires a Version bump.  Spec.SimWorkers
+// deliberately has no wire field: the engine choice must never enter a
+// serialized spec, a manifest, or a cache key.
 type wireSpec struct {
 	SpecVersion int                 `json:"specVersion"`
 	Method      string              `json:"method,omitempty"`
 	System      string              `json:"system,omitempty"`
 	CPUs        int                 `json:"cpus,omitempty"`
+	Nodes       int                 `json:"nodes,omitempty"`
 	TraceCap    int                 `json:"traceCap,omitempty"`
 	ObsCap      int                 `json:"obsCap,omitempty"`
 	Seed        uint64              `json:"seed,omitempty"`
@@ -318,6 +359,7 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 		Method:      string(s.Method),
 		System:      s.System,
 		CPUs:        s.CPUs,
+		Nodes:       s.Nodes,
 		TraceCap:    s.TraceCap,
 		ObsCap:      s.ObsCap,
 		Seed:        s.Seed,
@@ -360,13 +402,13 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 	return json.Marshal(w)
 }
 
-// UnmarshalJSON decodes a version-1 or version-2 wire document
+// UnmarshalJSON decodes a version-1 through version-3 wire document
 // strictly: unknown fields are rejected, a missing or foreign
 // specVersion fails with a *VersionError, and "params" payloads are
 // decoded into the registered method's own typed parameters (so Method
-// must name one).  Version-1 documents default to the grid strategy;
-// one that carries a "strategy" block is rejected (that block is what
-// version 2 adds).
+// must name one).  Older documents default to the grid strategy and the
+// 2-node topology; a document carrying a "strategy" block must stamp at
+// least specVersion 2, and one carrying "nodes" at least specVersion 3.
 func (s *Spec) UnmarshalJSON(b []byte) error {
 	var probe struct {
 		SpecVersion *int `json:"specVersion"`
@@ -389,6 +431,9 @@ func (s *Spec) UnmarshalJSON(b []byte) error {
 	if w.SpecVersion < 2 && w.Strategy != nil {
 		return fmt.Errorf("comb: spec \"strategy\" needs specVersion 2 (document says %d)", w.SpecVersion)
 	}
+	if w.SpecVersion < 3 && w.Nodes != 0 {
+		return fmt.Errorf("comb: spec \"nodes\" needs specVersion 3 (document says %d)", w.SpecVersion)
+	}
 	if w.Strategy != nil {
 		if err := w.Strategy.Validate(); err != nil {
 			return fmt.Errorf("comb: spec strategy: %w", err)
@@ -399,6 +444,7 @@ func (s *Spec) UnmarshalJSON(b []byte) error {
 		Method:      Method(w.Method),
 		System:      w.System,
 		CPUs:        w.CPUs,
+		Nodes:       w.Nodes,
 		TraceCap:    w.TraceCap,
 		ObsCap:      w.ObsCap,
 		Seed:        w.Seed,

@@ -22,8 +22,8 @@ var update = flag.Bool("update", false, "rewrite the golden spec documents")
 
 // goldenSpecs are the wire-schema fixtures: one per params route
 // (dedicated polling/pww fields, generic method params) plus the
-// optional axes (cpus, seed, faults, strategy).  Their serialized forms
-// live in testdata/ and pin the version-2 schema byte for byte.
+// optional axes (cpus, seed, faults, strategy, nodes).  Their serialized
+// forms live in testdata/ and pin the version-3 schema byte for byte.
 func goldenSpecs() []struct {
 	name string
 	spec Spec
@@ -55,6 +55,12 @@ func goldenSpecs() []struct {
 			System:   "tcp",
 			Strategy: &strategy.Spec{Name: strategy.Bisect, Target: 0.5},
 			Polling:  &core.PollingConfig{PollInterval: 1000, WorkTotal: 10_000_000},
+		}},
+		{"polling_nodes", Spec{
+			Method:  MethodPolling,
+			System:  "gm",
+			Nodes:   8,
+			Polling: &core.PollingConfig{PollInterval: 64, WorkTotal: 1_000_000},
 		}},
 	}
 }
@@ -125,12 +131,12 @@ func TestUnmarshalVersionErrors(t *testing.T) {
 		t.Errorf("missing-version message: %q", err)
 	}
 
-	err = json.Unmarshal([]byte(`{"specVersion":3,"method":"pww"}`), &s)
+	err = json.Unmarshal([]byte(`{"specVersion":4,"method":"pww"}`), &s)
 	ve = nil
-	if !errors.As(err, &ve) || ve.Got != 3 {
+	if !errors.As(err, &ve) || ve.Got != 4 {
 		t.Fatalf("foreign specVersion: err = %v", err)
 	}
-	if !strings.Contains(err.Error(), "unsupported specVersion 3") {
+	if !strings.Contains(err.Error(), "unsupported specVersion 4") {
 		t.Errorf("foreign-version message: %q", err)
 	}
 }
@@ -152,14 +158,28 @@ func TestUnmarshalVersionCompat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(out), `"specVersion":2`) {
-		t.Fatalf("re-encode did not stamp version 2: %s", out)
+	if !strings.Contains(string(out), `"specVersion":3`) {
+		t.Fatalf("re-encode did not stamp version 3: %s", out)
 	}
 
 	bad := `{"specVersion":1,"method":"pww","system":"gm","strategy":{"name":"bisect"},"pww":{"WorkInterval":500000}}`
 	if err := json.Unmarshal([]byte(bad), &s); err == nil ||
 		!strings.Contains(err.Error(), "needs specVersion 2") {
 		t.Fatalf("v1 + strategy: err = %v", err)
+	}
+
+	badNodes := `{"specVersion":2,"method":"pww","system":"gm","nodes":8,"pww":{"WorkInterval":500000}}`
+	if err := json.Unmarshal([]byte(badNodes), &s); err == nil ||
+		!strings.Contains(err.Error(), "needs specVersion 3") {
+		t.Fatalf("v2 + nodes: err = %v", err)
+	}
+
+	v3 := `{"specVersion":3,"method":"pww","system":"gm","nodes":8,"pww":{"WorkInterval":500000}}`
+	if err := json.Unmarshal([]byte(v3), &s); err != nil {
+		t.Fatalf("version-3 nodes document rejected: %v", err)
+	}
+	if s.Nodes != 8 {
+		t.Fatalf("version-3 decode: %+v", s)
 	}
 
 	v2 := `{"specVersion":2,"method":"pww","system":"gm","strategy":{"name":"bisect","target":0.25},"pww":{"WorkInterval":500000}}`

@@ -68,7 +68,7 @@ func (t *EMP) Build(sys *cluster.System) []mpi.Endpoint {
 			cfg:  t.Config,
 			node: node,
 			fab:  sys.Fabric,
-			hub:  mpi.NewActivityHub(sys.Env),
+			hub:  mpi.NewActivityHub(node.Env),
 			acc:  make(map[empMsgID]*empAccum),
 		}
 		ep.sendDoneFn = ep.sendDone

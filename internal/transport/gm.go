@@ -67,7 +67,7 @@ func (g *GM) Build(sys *cluster.System) []mpi.Endpoint {
 			cfg:      g.Config,
 			node:     node,
 			fab:      sys.Fabric,
-			hub:      mpi.NewActivityHub(sys.Env),
+			hub:      mpi.NewActivityHub(node.Env),
 			eagerAcc: make(map[gmMsgID]*gmAccum),
 			dataAcc:  make(map[gmMsgID]*gmAccum),
 			sendReqs: make(map[gmMsgID]*mpi.Request),
@@ -252,7 +252,7 @@ func (ep *gmEndpoint) sendDone(a any) {
 func (ep *gmEndpoint) sendCtrl(to int, kind gmFragKind, id gmMsgID, tag, size int) {
 	f := ep.getFrag()
 	f.kind, f.id, f.src, f.tag, f.size = kind, id, ep.rank(), tag, size
-	pkt := ep.fab.GetPacket()
+	pkt := ep.fab.GetPacketFrom(ep.node.ID)
 	pkt.From, pkt.To, pkt.Size, pkt.Urgent = ep.rank(), to, ep.cfg.CtrlSize, true
 	pkt.Payload = f
 	ep.fab.Send(pkt)

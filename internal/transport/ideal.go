@@ -29,7 +29,7 @@ func (t *Ideal) Build(sys *cluster.System) []mpi.Endpoint {
 		ep := &idealEndpoint{
 			node: node,
 			fab:  sys.Fabric,
-			hub:  mpi.NewActivityHub(sys.Env),
+			hub:  mpi.NewActivityHub(node.Env),
 			acc:  make(map[idealMsgID]*idealAccum),
 		}
 		ep.sendDoneFn = ep.sendDone

@@ -70,15 +70,15 @@ func (t *Portals) Build(sys *cluster.System) []mpi.Endpoint {
 			cfg:      t.Config,
 			node:     node,
 			fab:      sys.Fabric,
-			hub:      mpi.NewActivityHub(sys.Env),
-			txKick:   mpi.NewActivityHub(sys.Env),
+			hub:      mpi.NewActivityHub(node.Env),
+			txKick:   mpi.NewActivityHub(node.Env),
 			inflight: make(map[ptlMsgID]*ptlInbound),
 		}
 		ep.rxKernelFn = ep.rxKernel
 		ep.rxCopyStartFn = ep.rxCopyStart
 		ep.rxCopyDoneFn = ep.rxCopyDone
 		sys.Fabric.Attach(node.ID, ep.onPacket)
-		sys.Env.Spawn(fmt.Sprintf("ptl-tx-%d", node.ID), ep.txDriver)
+		node.Env.Spawn(fmt.Sprintf("ptl-tx-%d", node.ID), ep.txDriver)
 		eps[i] = ep
 	}
 	return eps
@@ -309,7 +309,7 @@ func (ep *portalsEndpoint) txDriver(p *sim.Proc) {
 			f.off, f.n, f.data = off, n, msg.data[off:off+n]
 			f.first, f.last = first, last
 			f.msg, f.inb = msg, nil
-			pkt := ep.fab.GetPacket()
+			pkt := ep.fab.GetPacketFrom(ep.node.ID)
 			pkt.From, pkt.To = ep.rank(), msg.dst
 			pkt.Size = n + ep.node.P.PacketHeader
 			pkt.Payload = f

@@ -30,6 +30,16 @@ type LinkPreferencer interface {
 	PreferredLink() (cluster.LinkConfig, int)
 }
 
+// FaultMarker is an optional Transport extension for transports that
+// install a fault injector on the fabric (the faultinject wrappers).
+// Injected deliveries can be dropped, delayed or duplicated across
+// partition boundaries, which the parallel engine's conservative merge
+// cannot reorder deterministically — so the platform layer falls back to
+// the serial engine whenever InjectsFaults reports true.
+type FaultMarker interface {
+	InjectsFaults() bool
+}
+
 // Tolerance declares which wire faults a transport survives without
 // deadlock or panic.  The fault injector masks its fault menu against
 // this before wrapping a transport, so fuzz sweeps only inject faults a

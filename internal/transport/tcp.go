@@ -98,8 +98,8 @@ func (t *TCP) Build(sys *cluster.System) []mpi.Endpoint {
 			cfg:       t.Config,
 			node:      node,
 			fab:       sys.Fabric,
-			hub:       mpi.NewActivityHub(sys.Env),
-			txKick:    mpi.NewActivityHub(sys.Env),
+			hub:       mpi.NewActivityHub(node.Env),
+			txKick:    mpi.NewActivityHub(node.Env),
 			inflight:  make(map[tcpMsgID]*tcpInbound),
 			unacked:   make(map[tcpMsgID]*tcpTx),
 			completed: make(map[tcpMsgID]bool),
@@ -109,7 +109,7 @@ func (t *TCP) Build(sys *cluster.System) []mpi.Endpoint {
 		ep.rxAcceptFn = ep.rxAccept
 		ep.retransmitFn = ep.retransmit
 		sys.Fabric.Attach(node.ID, ep.onPacket)
-		sys.Env.Spawn(fmt.Sprintf("tcp-tx-%d", node.ID), ep.txDriver)
+		node.Env.Spawn(fmt.Sprintf("tcp-tx-%d", node.ID), ep.txDriver)
 		eps[i] = ep
 	}
 	return eps
@@ -319,7 +319,7 @@ func (ep *tcpEndpoint) txDriver(p *sim.Proc) {
 			seg := ep.getSeg()
 			seg.id, seg.src, seg.tag, seg.size = msg.id, ep.rank(), msg.tag, len(msg.data)
 			seg.off, seg.n, seg.data, seg.last = off, n, msg.data[off:off+n], last
-			pkt := ep.fab.GetPacket()
+			pkt := ep.fab.GetPacketFrom(ep.node.ID)
 			pkt.From, pkt.To, pkt.Size = ep.rank(), msg.dst, n+hdr
 			pkt.Payload = seg
 			sentAt := ep.fab.Send(pkt)
@@ -413,7 +413,7 @@ func (ep *tcpEndpoint) acceptSegment(seg *tcpSeg) {
 	if ep.cfg.AckEvery > 0 && ep.rxSegs%int64(ep.cfg.AckEvery) == 0 {
 		ack := ep.getSeg()
 		ack.isAck, ack.src = true, ep.rank()
-		pkt := ep.fab.GetPacket()
+		pkt := ep.fab.GetPacketFrom(ep.node.ID)
 		pkt.From, pkt.To, pkt.Size = ep.rank(), seg.src, ep.cfg.AckSize
 		pkt.Payload = ack
 		ep.fab.Send(pkt)
@@ -457,7 +457,7 @@ func (ep *tcpEndpoint) sendDoneAck(seg *tcpSeg) {
 	}
 	ack := ep.getSeg()
 	ack.isAck, ack.ackDone, ack.id, ack.src = true, true, seg.id, ep.rank()
-	pkt := ep.fab.GetPacket()
+	pkt := ep.fab.GetPacketFrom(ep.node.ID)
 	pkt.From, pkt.To, pkt.Size = ep.rank(), seg.src, ep.cfg.AckSize
 	pkt.Payload = ack
 	ep.fab.Send(pkt)
