@@ -1,6 +1,6 @@
 package comb
 
-// One benchmark per paper figure (4-17): each iteration regenerates the
+// One benchmark per figure (4-18): each iteration regenerates the
 // figure's sweep in quick mode from scratch and reports the headline
 // numbers the paper's plot shows, so `go test -bench .` doubles as a
 // compact reproduction report.  The ablation benchmarks at the bottom
@@ -20,6 +20,8 @@ import (
 	"comb/internal/cluster"
 	"comb/internal/core"
 	"comb/internal/machine"
+	"comb/internal/method/collov"
+	"comb/internal/method/halo"
 	"comb/internal/platform"
 	"comb/internal/runner"
 	"comb/internal/serve"
@@ -82,6 +84,7 @@ func BenchmarkFig15BandwidthVsAvailabilityPortals(b *testing.B) {
 }
 func BenchmarkFig16MethodsGM(b *testing.B)         { benchFigure(b, "16") }
 func BenchmarkFig17MethodsPlusTestGM(b *testing.B) { benchFigure(b, "17") }
+func BenchmarkFig18CollectiveOverlap(b *testing.B) { benchFigure(b, "18") }
 
 // bisectBenchCurve is the strategy benchmark's search target: the PWW
 // availability-vs-work-interval curve on portals (the Figure 6
@@ -547,3 +550,84 @@ func BenchmarkDESNodes2Serial(b *testing.B)   { benchDESNodes(b, 0, 0) }
 func BenchmarkDESNodes2Parallel(b *testing.B) { benchDESNodes(b, 0, 4) }
 func BenchmarkDESNodes8Serial(b *testing.B)   { benchDESNodes(b, 8, 0) }
 func BenchmarkDESNodes8Parallel(b *testing.B) { benchDESNodes(b, 8, 4) }
+
+// runCollov runs one collective-overlap measurement through the facade.
+func runCollov(system string, nodes int, p collov.Params) (*collov.Result, error) {
+	out, err := Run(context.Background(), RunSpec{
+		Method: MethodCollov, System: system, Nodes: nodes, Params: p,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.Value.(*collov.Result), nil
+}
+
+// BenchmarkCollovNodes8 times one full 8-rank max-work-injection search
+// (allreduce, bisect) per iteration: the whole multi-rank stack — tree
+// collectives, nonblocking initiation, the rank-0 coordinated search —
+// in one number.
+func BenchmarkCollovNodes8(b *testing.B) {
+	var res *collov.Result
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := runCollov("gm", 8, collov.Params{Collective: "allreduce", MsgSize: 16 * 1024, Reps: 2, WorkGrid: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.OverlapFraction, "overlap")
+	b.ReportMetric(float64(res.Probes), "probes")
+}
+
+// BenchmarkHaloNodes8 times one full 8-rank 2D stencil halo exchange
+// per iteration (post-work-wait progress on a 4x2 torus).
+func BenchmarkHaloNodes8(b *testing.B) {
+	var res *halo.Result
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := Run(context.Background(), RunSpec{
+			Method: MethodHalo, System: "gm", Nodes: 8,
+			Params: halo.Params{MsgSize: 8 * 1024, Iters: 8, WorkIters: 200_000},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = out.Value.(*halo.Result)
+	}
+	b.ReportMetric(res.Availability, "avail")
+	b.ReportMetric(res.BandwidthMBs, "MBps")
+}
+
+// BenchmarkCollovBisectVsGrid measures the collov search's engine-run
+// cut: the dense grid measures every work level (WorkGrid+1 probes),
+// bisection finds the same crossing in O(log n) rounds.  The dense
+// reference runs once outside the timed loop; the gate demands bisect
+// spend at most 1/3 of the grid's probes and land on the same answer.
+func BenchmarkCollovBisectVsGrid(b *testing.B) {
+	p := collov.Params{Collective: "allreduce", MsgSize: 16 * 1024, Reps: 2, WorkGrid: 32}
+	p.Search = "grid"
+	dense, err := runCollov("gm", 4, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Search = "bisect"
+	var res *collov.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = runCollov("gm", 4, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if res.MaxWorkIters != dense.MaxWorkIters {
+		b.Fatalf("bisect found max work %d, dense grid %d", res.MaxWorkIters, dense.MaxWorkIters)
+	}
+	if res.Probes*3 > dense.Probes {
+		b.Fatalf("bisect spent %d probes, grid %d — above the 1/3 ceiling", res.Probes, dense.Probes)
+	}
+	b.ReportMetric(float64(dense.Probes), "grid_probes")
+	b.ReportMetric(float64(res.Probes), "bisect_probes")
+	b.ReportMetric(float64(dense.Probes)/float64(res.Probes), "probe_ratio")
+}

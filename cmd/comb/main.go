@@ -11,7 +11,7 @@
 //	comb trace export [flags]         # export the last run's span timeline
 //	comb metrics [flags]              # print the last run's metrics
 //	comb replay -manifest <file>      # re-run a manifest, verify the hash
-//	comb figure <n|all> [flags]       # regenerate paper figure(s) 4-17
+//	comb figure <n|all> [flags]       # regenerate figure(s) 4-18
 //	comb compare [flags]              # side-by-side system summary
 //	comb assess <system|all> [flags]  # full diagnostic report
 //	comb sweep [flags]                # custom sweep over systems/sizes/metric
@@ -139,7 +139,7 @@ subcommands:
   trace     export the last run's span timeline (trace export -format=chrome|text)
   metrics   print the last run's metrics (-format prom|json)
   replay    re-run a saved manifest and verify its result hash
-  figure    regenerate paper figure <n|all> (Figures 4-17)
+  figure    regenerate figure <n|all> (Figures 4-18)
   compare   quick side-by-side summary of all systems
   assess    full COMB characterization of one system (or 'all')
   sweep     custom parameter sweep over any systems/sizes/metric
@@ -248,15 +248,44 @@ func cmdList() error {
 	return nil
 }
 
-// cmdMethods lists every registered benchmark method: name, one-line
-// description, and the phase spans it records.
+// methodCapabilities renders the capability matrix cells for one
+// registered method: an "x" per optional interface it implements.
+func methodCapabilities(m method.Method) []string {
+	mark := func(ok bool) string {
+		if ok {
+			return "x"
+		}
+		return "-"
+	}
+	_, calib := m.(method.Calibratable)
+	_, check := m.(method.ResultChecker)
+	_, relax := m.(method.Relaxer)
+	_, fuzz := m.(method.Fuzzer)
+	_, flags := m.(method.FlagBinder)
+	_, nodes := m.(method.NodeScaler)
+	return []string{mark(calib), mark(check), mark(relax), mark(fuzz), mark(flags), mark(nodes)}
+}
+
+// methodCapabilityHeaders names the capability matrix columns, in the
+// order methodCapabilities fills them.
+var methodCapabilityHeaders = []string{"calib", "check", "relax", "fuzz", "flags", "nodes"}
+
+// cmdMethods lists every registered benchmark method as a capability
+// matrix — which optional registry interfaces (calibration, result
+// checking, invariant relaxation, fuzzing, CLI flags, node scaling)
+// each method plugs into — plus its description and phase taxonomy.
 func cmdMethods() error {
+	fmt.Printf("%-10s %s  description\n", "method", strings.Join(methodCapabilityHeaders, "  "))
 	for _, name := range comb.Methods() {
 		m, err := method.Lookup(name)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-10s %s\n", name, m.Describe())
+		cells := methodCapabilities(m)
+		for i, c := range cells {
+			cells[i] = fmt.Sprintf("%-*s", len(methodCapabilityHeaders[i]), c)
+		}
+		fmt.Printf("%-10s %s  %s\n", name, strings.Join(cells, "  "), m.Describe())
 		fmt.Printf("%-10s phases: %s\n", "", strings.Join(m.PhaseTaxonomy(), ", "))
 	}
 	return nil
@@ -764,7 +793,7 @@ func cmdFigure(ctx context.Context, args []string) error {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("figure: need a figure number (4-17) or 'all'")
+		return fmt.Errorf("figure: need a figure number (4-18) or 'all'")
 	}
 	st, err := parseStrategy(*strat)
 	if err != nil {

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out, rerr := io.ReadAll(r)
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	return string(out)
+}
+
+// TestMethodsMatrixGolden pins the `comb methods` capability matrix
+// byte for byte: a new method, a renamed capability column, or a method
+// gaining/losing an optional interface must show up here.
+func TestMethodsMatrixGolden(t *testing.T) {
+	got := captureStdout(t, cmdMethods)
+	want := `method     calib  check  relax  fuzz  flags  nodes  description
+collov     -      x      -      x     x      x      collective/computation overlap via max-work-injection (allreduce or bcast)
+           phases: ref, probe
+halo       -      x      -      x     x      x      2D stencil halo exchange on a rank torus: polling vs post-work-wait progress
+           phases: exchange
+netperf    -      x      x      x     x      -      delay loop sharing a node with a message stream: the availability misreporter (paper §5)
+           phases: dry, loop
+pingpong   -      x      -      x     x      x      blocking send/recv round trips: the latency and bandwidth baseline
+           phases: exchange
+polling    x      x      -      x     x      x      work chunks interleaved with completion polls at a swept poll interval (paper §2.1)
+           phases: dry, work, poll, drain
+pww        x      x      -      x     x      x      post-work-wait cycles timing each MPI call around a work phase (paper §2.2; -test plants the §4.3 rescue call)
+           phases: dry, post, work, wait
+`
+	if got != want {
+		t.Errorf("comb methods output drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -94,6 +94,10 @@ const (
 	MethodPingpong = spec.MethodPingpong
 	// MethodNetperf is the netperf-style availability baseline (§5).
 	MethodNetperf = spec.MethodNetperf
+	// MethodCollov is the collective/computation overlap benchmark.
+	MethodCollov = spec.MethodCollov
+	// MethodHalo is the 2D stencil halo exchange.
+	MethodHalo = spec.MethodHalo
 )
 
 // Methods lists every registered benchmark method name, sorted.
@@ -190,7 +194,8 @@ func Replay(ctx context.Context, mf *Manifest) (*RunResult, error) {
 	return res, nil
 }
 
-// Figures lists every reproducible evaluation figure (paper Figures 4-17).
+// Figures lists every reproducible evaluation figure: the paper's
+// Figures 4-17 plus the multi-rank collective-overlap Figure 18.
 func Figures() []FigureSpec { return sweep.Figures() }
 
 // BuildFigure regenerates the paper figure with the given number.  Quick

@@ -55,8 +55,8 @@ func TestRunPWWFacade(t *testing.T) {
 }
 
 func TestFiguresFacade(t *testing.T) {
-	if len(Figures()) != 14 {
-		t.Fatalf("Figures() has %d entries, want 14", len(Figures()))
+	if len(Figures()) != 15 {
+		t.Fatalf("Figures() has %d entries, want 15", len(Figures()))
 	}
 	if _, err := BuildFigure("2", false); err == nil {
 		t.Fatal("figure 2 is a diagram, not a result")

@@ -1,0 +1,170 @@
+package cluster
+
+import "comb/internal/sim"
+
+// Deferred receive-side claims: the serial engine's counterpart of the
+// partitioned Merge phase.
+//
+// The serial fabric historically claimed a packet's backplane and RX-lane
+// occupancy inline, during the send's event — so when two nodes sent to a
+// shared destination at the same virtual instant, the claim order was
+// whatever order the event loop happened to execute those sends in.  The
+// partitioned engine replays mailed messages in (birth instant, node,
+// per-node send order) — there is no global execution order to fall back
+// on — so same-instant contention could resolve differently between the
+// two engines, swapping which packet takes the earlier RX slot.  Pairwise
+// traffic never contends (each destination has one sender), but collective
+// trees fan several same-instant senders into one parent.
+//
+// To make both engines claim in the same order, a serial fabric that the
+// window engine could parallelize (conservativeOrder) defers the receive
+// half of each send to the end of the send's birth instant: sends claim
+// TX time inline (sender-owned, order-independent), buffer the packet,
+// and an instant-end hook replays the instant's buffer sorted by sender —
+// exactly the (birth instant, node, send order) key Merge uses.  Configs
+// the window engine refuses (jitter, loss, fault injection, <=2 nodes,
+// zero lookahead) keep the historic inline path: there is no parallel run
+// to agree with, and the inline order is part of their seeded histories.
+
+// claimMsg is one deferred message: its sender, and the slice of the flat
+// claimPkts/claimSent buffers holding its fragments.  Fragments replay
+// back to back under one claim, like one mailMsg in partitioned mode.
+type claimMsg struct {
+	from  int32
+	off   int32
+	npkts int32
+}
+
+// conservativeOrder reports whether this serial fabric must claim
+// receive-side resources in the partitioned engine's merge order.  The
+// condition mirrors platform.useParallel: exactly the configurations
+// where a parallel run of the same spec could exist.
+func conservativeOrder(n int, cfg LinkConfig) bool {
+	return n > 2 && cfg.Jitter == 0 && cfg.LossRate == 0 &&
+		cfg.Latency+2*cfg.PerPacket > 0
+}
+
+// deferClaims reports whether the current send should take the deferred
+// path.  Fault injection opts out dynamically: injectors reorder and
+// duplicate deliveries, which already forces the serial engine.
+func (f *Fabric) deferClaims() bool {
+	return f.claimsOn && f.injector == nil
+}
+
+// queueClaim buffers one sent message for the instant-end replay,
+// scheduling the flush hook on the first message of the instant.
+func (f *Fabric) queueClaim(from int32, off, npkts int32) {
+	f.claimMsgs = append(f.claimMsgs, claimMsg{from: from, off: off, npkts: npkts})
+	if !f.claimSched {
+		f.claimSched = true
+		f.env.AtInstantEnd(f.flushFn)
+	}
+}
+
+// sendDeferred is the deferred-claim Send: claim TX occupancy inline,
+// buffer the packet for the instant-end receive claim.  Loopback packets
+// never touch ports and are handled by the caller.
+func (f *Fabric) sendDeferred(pkt *Packet) sim.Time {
+	now := f.env.Now()
+	f.packets++
+	f.bytes += int64(pkt.Size)
+	occ := f.occOf(pkt.Size)
+	lane := &f.tx[pkt.From]
+	if pkt.Urgent {
+		lane = &f.txU[pkt.From]
+	}
+	start := *lane
+	if start < now {
+		start = now
+	}
+	sent := start + occ
+	*lane = sent
+	off := int32(len(f.claimPkts))
+	f.claimPkts = append(f.claimPkts, pkt)
+	f.claimSent = append(f.claimSent, sent)
+	f.queueClaim(int32(pkt.From), off, 1)
+	return sent
+}
+
+// sendMessageDeferred is the deferred-claim fragment loop: one claim
+// covers the whole train, so the replay delivers its fragments back to
+// back exactly as the partitioned engine's mergeOne does.
+func (f *Fabric) sendMessageDeferred(from, to, size, header int, mk func(i, n int, last bool) any) sim.Time {
+	now := f.env.Now()
+	var sent sim.Time
+	rem := size
+	i := 0
+	off := int32(len(f.claimPkts))
+	for {
+		n := rem
+		if n > f.cfg.MTU {
+			n = f.cfg.MTU
+		}
+		rem -= n
+		last := rem == 0
+		pkt := f.GetPacket()
+		pkt.From, pkt.To, pkt.Size, pkt.Payload = from, to, n+header, mk(i, n, last)
+		occ := f.occOf(pkt.Size)
+		start := f.tx[from]
+		if start < now {
+			start = now
+		}
+		sent = start + occ
+		f.tx[from] = sent
+		f.packets++
+		f.bytes += int64(pkt.Size)
+		f.claimPkts = append(f.claimPkts, pkt)
+		f.claimSent = append(f.claimSent, sent)
+		i++
+		if last {
+			break
+		}
+	}
+	f.queueClaim(int32(from), off, int32(i))
+	return sent
+}
+
+// flushClaims replays the instant's buffered messages in (sender, send
+// order) — stable-sorted by sender, preserving each sender's own send
+// order — claiming backplane and RX time and scheduling deliveries, then
+// resets the buffers for the next instant.  Together with the instant-end
+// firing order this yields the global (birth instant, node, send order)
+// replay the partitioned Merge uses.
+func (f *Fabric) flushClaims() {
+	f.claimSched = false
+	msgs := f.claimMsgs
+	// Insertion sort: batches are at most a handful of messages (bounded
+	// by how many nodes send in one instant), and it is stable without
+	// allocating.
+	for i := 1; i < len(msgs); i++ {
+		m := msgs[i]
+		j := i
+		for j > 0 && msgs[j-1].from > m.from {
+			msgs[j] = msgs[j-1]
+			j--
+		}
+		msgs[j] = m
+	}
+	now := f.env.Now()
+	for _, m := range msgs {
+		pkts := f.claimPkts[m.off : m.off+m.npkts]
+		sents := f.claimSent[m.off : m.off+m.npkts]
+		if m.npkts == 1 {
+			done := f.rxClaim(pkts[0], sents[0])
+			f.env.ScheduleCall(done-now, f.deliverFn, pkts[0])
+			continue
+		}
+		t := f.getTrain()
+		for k, pkt := range pkts {
+			t.pkts = append(t.pkts, pkt)
+			t.ats = append(t.ats, f.rxClaim(pkt, sents[k]))
+		}
+		f.env.ScheduleCall(t.ats[0]-now, f.trainFn, t)
+	}
+	for i := range f.claimPkts {
+		f.claimPkts[i] = nil
+	}
+	f.claimMsgs = f.claimMsgs[:0]
+	f.claimPkts = f.claimPkts[:0]
+	f.claimSent = f.claimSent[:0]
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"comb/internal/sim"
+)
+
+// fanInPlan is the traffic shape collective trees produce and pairwise
+// benchmarks never do: several nodes sending to one destination at the
+// same virtual instant.  The schedule order (3, 1, 2) deliberately
+// differs from node order, so an engine that claims receive-side time in
+// send-execution order assigns the RX slots differently than one that
+// claims in (birth instant, node) order.
+func fanInPlan(f *Fabric, schedule func(node int, at sim.Time, fn func()), packet func(node int) *Packet) {
+	send := func(from, to, size int, tag string) {
+		pkt := packet(from)
+		pkt.From, pkt.To, pkt.Size, pkt.Payload = from, to, size, tag
+		f.Send(pkt)
+	}
+	at := 10 * sim.Microsecond
+	schedule(3, at, func() { send(3, 0, 1000, "c3") })
+	schedule(1, at, func() { send(1, 0, 1000, "c1") })
+	schedule(2, at, func() { send(2, 0, 1000, "c2") })
+	// A same-instant fragmented message into the same destination, plus a
+	// second wave that reuses the lanes while the first is still draining.
+	schedule(2, at, func() {
+		f.SendMessage(2, 0, 6000, 16, func(i, n int, last bool) any { return fmt.Sprintf("f%d", i) })
+	})
+	schedule(3, 12*sim.Microsecond, func() { send(3, 0, 500, "d3") })
+	schedule(1, 12*sim.Microsecond, func() { send(1, 0, 500, "d1") })
+}
+
+// byPayload indexes deliveries by payload so arrival instants compare
+// packet-for-packet, not just as a sorted multiset: a slot swap between
+// two same-size packets must fail the test.
+func byPayload(t *testing.T, ds []delivery) map[string]sim.Time {
+	t.Helper()
+	m := make(map[string]sim.Time, len(ds))
+	for _, d := range ds {
+		key := fmt.Sprint(d.payload)
+		if _, dup := m[key]; dup {
+			t.Fatalf("duplicate payload %q", key)
+		}
+		m[key] = d.at
+	}
+	return m
+}
+
+// TestSameInstantFanInMatchesSerial pins the deferred-claim discipline:
+// with several same-instant senders contending for one node's RX lane,
+// the serial engine must hand out the receive slots in the same (birth
+// instant, node, send order) the partitioned Merge uses, so every packet
+// arrives at the identical instant on both engines.
+func TestSameInstantFanInMatchesSerial(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		link LinkConfig
+	}{
+		{"crossbar", parLink()},
+		{"backplane", func() LinkConfig {
+			l := parLink()
+			l.BackplaneBandwidth = 150 * MB
+			return l
+		}()},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			env := sim.NewEnv()
+			sf := NewFabric(env, 4, cfg.link)
+			if !sf.deferClaims() {
+				t.Fatal("4-node jitter-free fabric must use deferred claims")
+			}
+			var serial []delivery
+			for n := 0; n < 4; n++ {
+				sf.Attach(n, func(p *Packet) {
+					serial = append(serial, delivery{to: p.To, from: p.From, size: p.Size, payload: p.Payload, at: env.Now()})
+				})
+			}
+			fanInPlan(sf,
+				func(node int, at sim.Time, fn func()) { env.Schedule(at, fn) },
+				func(node int) *Packet { return sf.GetPacket() })
+			env.Run()
+
+			envs := make([]*sim.Env, 4)
+			for i := range envs {
+				envs[i] = sim.NewPartitionEnv(i)
+			}
+			pf := NewParallelFabric(envs, cfg.link)
+			perNode := make([][]delivery, 4)
+			for n := 0; n < 4; n++ {
+				n := n
+				pf.Attach(n, func(p *Packet) {
+					perNode[n] = append(perNode[n], delivery{to: p.To, from: p.From, size: p.Size, payload: p.Payload, at: envs[n].Now()})
+				})
+			}
+			fanInPlan(pf,
+				func(node int, at sim.Time, fn func()) { envs[node].Schedule(at, fn) },
+				func(node int) *Packet { return pf.GetPacketFrom(node) })
+			w := sim.NewWindows(envs, pf.Lookahead(), 4, pf.Merge)
+			if err := w.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			var par []delivery
+			for _, ds := range perNode {
+				par = append(par, ds...)
+			}
+
+			want, got := byPayload(t, serial), byPayload(t, par)
+			if len(got) != len(want) {
+				t.Fatalf("parallel delivered %d packets, serial %d", len(got), len(want))
+			}
+			for key, at := range want {
+				if got[key] != at {
+					t.Errorf("payload %q arrived at %v parallel, %v serial", key, got[key], at)
+				}
+			}
+			// The same-instant singles must take RX slots in node order —
+			// c1 before c2 before c3 — regardless of send-execution order.
+			if !(want["c1"] < want["c2"] && want["c2"] < want["c3"]) {
+				t.Errorf("same-instant claims not in node order: c1=%v c2=%v c3=%v",
+					want["c1"], want["c2"], want["c3"])
+			}
+		})
+	}
+}
+
+// TestDeferredClaimsGate: configurations the window engine refuses keep
+// the historic inline claim order — their seeded histories are goldens.
+func TestDeferredClaimsGate(t *testing.T) {
+	if NewFabric(sim.NewEnv(), 2, parLink()).deferClaims() {
+		t.Error("2-node fabric must claim inline (parallel engine never engages)")
+	}
+	jl := parLink()
+	jl.Jitter = 0.1
+	if NewFabric(sim.NewEnv(), 4, jl).deferClaims() {
+		t.Error("jittered fabric must claim inline")
+	}
+	ll := parLink()
+	ll.LossRate = 0.01
+	if NewFabric(sim.NewEnv(), 4, ll).deferClaims() {
+		t.Error("lossy fabric must claim inline")
+	}
+	zl := parLink()
+	zl.Latency, zl.PerPacket = 0, 0
+	if NewFabric(sim.NewEnv(), 4, zl).deferClaims() {
+		t.Error("zero-lookahead fabric must claim inline")
+	}
+	f := NewFabric(sim.NewEnv(), 4, parLink())
+	f.SetInjector(injectorFunc(func(pkt *Packet, at sim.Time) []sim.Time { return []sim.Time{at} }))
+	if f.deferClaims() {
+		t.Error("fault-injected fabric must claim inline")
+	}
+}
+
+// injectorFunc adapts a function to the Injector interface.
+type injectorFunc func(pkt *Packet, at sim.Time) []sim.Time
+
+func (fn injectorFunc) Deliver(pkt *Packet, at sim.Time) []sim.Time { return fn(pkt, at) }

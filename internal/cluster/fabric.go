@@ -118,6 +118,17 @@ type Fabric struct {
 	// injector, when set, vets every port-to-port packet's delivery.
 	injector Injector
 
+	// Deferred receive-claim state (see claims.go): claimsOn marks a
+	// serial fabric that must claim backplane/RX time in the partitioned
+	// engine's merge order; the buffers hold the current instant's sent
+	// messages until the instant-end flush replays them sorted by sender.
+	claimsOn   bool
+	claimSched bool
+	claimMsgs  []claimMsg
+	claimPkts  []*Packet
+	claimSent  []sim.Time
+	flushFn    func() // bound once: flushClaims
+
 	// ports, when non-nil, puts the fabric in partitioned mode: env is
 	// nil, each node's TX lanes / freelists / outbox live in its port,
 	// and rx/rxU/backplane are claimed by Merge between windows.  See
@@ -183,6 +194,8 @@ func NewFabric(env *sim.Env, n int, cfg LinkConfig) *Fabric {
 	}
 	f.deliverFn = func(a any) { f.deliver(a.(*Packet)) }
 	f.trainFn = f.runTrain
+	f.claimsOn = conservativeOrder(n, cfg)
+	f.flushFn = f.flushClaims
 	return f
 }
 
@@ -302,6 +315,9 @@ func (f *Fabric) Send(pkt *Packet) sim.Time {
 	if f.ports != nil {
 		return f.ports[pkt.From].send(pkt)
 	}
+	if f.deferClaims() && pkt.From != pkt.To {
+		return f.sendDeferred(pkt)
+	}
 	sent, done, lost := f.transit(pkt)
 	f.packets++
 	f.bytes += int64(pkt.Size)
@@ -417,6 +433,9 @@ func (f *Fabric) SendMessage(from, to, size, header int, mk func(i, n int, last 
 	}
 	if f.injector != nil {
 		return f.sendMessageInjected(from, to, size, header, mk)
+	}
+	if f.deferClaims() && from != to {
+		return f.sendMessageDeferred(from, to, size, header, mk)
 	}
 	t := f.getTrain()
 	var sent sim.Time

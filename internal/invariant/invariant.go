@@ -209,6 +209,25 @@ func (c *Checker) Finish() {
 			fmt.Sprintf("%d bytes sent vs %d received", m.SentBytes, m.RecvBytes))
 	}
 
+	// Collective conservation: every collective a rank starts (barriers,
+	// blocking collectives, nonblocking CollReqs) must be driven to
+	// completion, and — since all ranks call the same collectives in the
+	// same order — every rank must count the same number of them.
+	var collRef int64
+	for i, cm := range c.comms {
+		started, done := cm.CollStats()
+		if started != done {
+			c.add(now, "conservation/collectives",
+				fmt.Sprintf("rank %d started %d collectives but completed %d", cm.Rank(), started, done))
+		}
+		if i == 0 {
+			collRef = started
+		} else if started != collRef {
+			c.add(now, "conservation/collectives",
+				fmt.Sprintf("rank %d started %d collectives, rank %d started %d", cm.Rank(), started, c.comms[0].Rank(), collRef))
+		}
+	}
+
 	// No rank may end the run with unexpected messages still queued: the
 	// benchmarks' drain handshakes consume everything in flight.
 	for _, cm := range c.comms {
@@ -287,6 +306,23 @@ func (c *Checker) CheckAvailability(avail, sysAvail float64) { c.checkAvail(avai
 
 // CheckBandwidth asserts goodput does not beat the wire rate.
 func (c *Checker) CheckBandwidth(mbs float64) { c.checkBandwidth(mbs) }
+
+// CheckRange asserts a method-specific quantity lands in [lo, hi] (with
+// float tolerance) under the result/range rule; what names it in the
+// violation.
+func (c *Checker) CheckRange(what string, v, lo, hi float64) {
+	if v < lo-availEps || v > hi+availEps {
+		c.add(c.sys.Now(), "result/range", fmt.Sprintf("%s %v outside [%v, %v]", what, v, lo, hi))
+	}
+}
+
+// CheckPositiveTime asserts a measured duration is strictly positive
+// under the result/time rule.
+func (c *Checker) CheckPositiveTime(what string, v float64) {
+	if v <= 0 {
+		c.add(c.sys.Now(), "result/time", fmt.Sprintf("non-positive %s: %v", what, v))
+	}
+}
 
 func (c *Checker) add(at sim.Time, rule, detail string) {
 	for _, r := range c.opts.Relax {

@@ -1,0 +1,149 @@
+package collov
+
+import (
+	"context"
+	"testing"
+
+	"comb/internal/method"
+	"comb/internal/platform"
+)
+
+// run executes one collov measurement through the shared pipeline and
+// fails the test on any invariant violation.
+func run(t *testing.T, system string, nodes int, p Params) *Result {
+	t.Helper()
+	m, err := method.Lookup("collov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := m.Validate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := platform.New(platform.Config{Transport: system, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	res, chk, err := method.Execute(context.Background(), m, in,
+		method.Config{System: system, Params: vp}, method.ExecOptions{})
+	if err != nil {
+		t.Fatalf("%s: %v", system, err)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("%s: invariants: %v", system, err)
+	}
+	return res.(*Result)
+}
+
+func smallParams() Params {
+	return Params{MsgSize: 16 * 1024, Reps: 2, WorkGrid: 8}
+}
+
+// TestCollovCleanAcrossTransports runs both collectives on every
+// transport at 4 nodes under the full invariant checker and sanity-
+// checks the reported shape.
+func TestCollovCleanAcrossTransports(t *testing.T) {
+	for _, sys := range []string{"gm", "tcp", "emp", "portals", "ideal"} {
+		for _, coll := range []string{"allreduce", "bcast"} {
+			p := smallParams()
+			p.Collective = coll
+			r := run(t, sys, 4, p)
+			if r.RefTime <= 0 {
+				t.Errorf("%s %s: non-positive reference time %v", sys, coll, r.RefTime)
+			}
+			if r.OverlapFraction < 0 || r.OverlapFraction > axisHeadroom {
+				t.Errorf("%s %s: overlap fraction %v off the axis", sys, coll, r.OverlapFraction)
+			}
+			if r.Probes < 1 || r.Probes > r.GridPoints {
+				t.Errorf("%s %s: probe count %d outside [1, %d]", sys, coll, r.Probes, r.GridPoints)
+			}
+			if r.Nodes != 4 {
+				t.Errorf("%s %s: nodes %d, want 4", sys, coll, r.Nodes)
+			}
+		}
+	}
+}
+
+// TestCollovPhysics pins the headline contrast: a host-progressed NIC
+// (GM) hides no work inside a collective, an offloaded one (ideal,
+// broadcast from the measuring root) hides most of it.
+func TestCollovPhysics(t *testing.T) {
+	p := smallParams()
+	p.Collective = "bcast"
+	gm := run(t, "gm", 4, p)
+	ideal := run(t, "ideal", 4, p)
+	if gm.OverlapFraction != 0 {
+		t.Errorf("gm bcast overlap %v, want 0 (host-progressed NIC)", gm.OverlapFraction)
+	}
+	if ideal.OverlapFraction < 0.5 {
+		t.Errorf("ideal bcast overlap %v, want >= 0.5 (offloaded NIC)", ideal.OverlapFraction)
+	}
+}
+
+// TestCollovBisectMatchesGrid pins the search: on the same axis, the
+// bisection finds the same crossing the dense grid does, with fewer
+// probes.
+func TestCollovBisectMatchesGrid(t *testing.T) {
+	for _, sys := range []string{"gm", "ideal"} {
+		pb := smallParams()
+		pb.Search = SearchBisect
+		pg := smallParams()
+		pg.Search = SearchGrid
+		b := run(t, sys, 4, pb)
+		g := run(t, sys, 4, pg)
+		if b.MaxWorkIters != g.MaxWorkIters {
+			t.Errorf("%s: bisect max work %d != grid %d", sys, b.MaxWorkIters, g.MaxWorkIters)
+		}
+		if g.Probes != g.GridPoints {
+			t.Errorf("%s: grid probed %d of %d levels", sys, g.Probes, g.GridPoints)
+		}
+		if b.Probes >= g.Probes {
+			t.Errorf("%s: bisect probed %d, grid %d — no savings", sys, b.Probes, g.Probes)
+		}
+	}
+}
+
+// TestCollovNodeScaling runs at non-power-of-two and larger sizes: the
+// binomial trees must hold the invariants at any rank count.
+func TestCollovNodeScaling(t *testing.T) {
+	for _, nodes := range []int{2, 3, 5, 8} {
+		p := smallParams()
+		p.WorkGrid = 4
+		r := run(t, "ideal", nodes, p)
+		if r.Nodes != nodes {
+			t.Errorf("nodes %d: result reports %d", nodes, r.Nodes)
+		}
+	}
+}
+
+func TestCollovValidate(t *testing.T) {
+	m, err := method.Lookup("collov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Validate(Params{Collective: "alltoall"}); err == nil {
+		t.Error("unknown collective accepted")
+	}
+	if _, err := m.Validate(Params{Search: "random"}); err == nil {
+		t.Error("unknown search accepted")
+	}
+	if _, err := m.Validate(Params{Reps: -1}); err == nil {
+		t.Error("negative reps accepted")
+	}
+	if _, err := m.Validate(Params{WorkGrid: 1}); err == nil {
+		t.Error("degenerate work grid accepted")
+	}
+	v, err := m.Validate(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := v.(Params)
+	if p.Collective != "allreduce" || p.MsgSize != DefaultMsgSize ||
+		p.Reps != DefaultReps || p.WorkGrid != DefaultWorkGrid || p.Search != SearchBisect {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+	if got, want := m.Hash(p), "allreduce/16384/4/32/bisect"; got != want {
+		t.Errorf("hash %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,179 @@
+package collov
+
+import (
+	"context"
+	"flag"
+	"fmt"
+
+	"comb/internal/invariant"
+	"comb/internal/method"
+	"comb/internal/platform"
+	"comb/internal/sim"
+)
+
+func init() { method.Register(clMethod{}) }
+
+// Defaults for zero-valued Params fields.
+const (
+	DefaultMsgSize  = 16 * 1024
+	DefaultReps     = 4
+	DefaultWorkGrid = 32
+)
+
+// Search mode names.
+const (
+	SearchBisect = "bisect"
+	SearchGrid   = "grid"
+)
+
+// Params parameterizes the registered "collov" method.  Zero values
+// mean "unset — use the default".
+type Params struct {
+	// Collective picks the operation under test: "allreduce" (default)
+	// or "bcast".
+	Collective string `json:"collective"`
+	// MsgSize is the collective payload in bytes; zero selects
+	// DefaultMsgSize.
+	MsgSize int `json:"msg_size"`
+	// Reps is the number of timed invocations per work level; zero
+	// selects DefaultReps.
+	Reps int `json:"reps"`
+	// WorkGrid is the resolution of the injected-work axis (WorkGrid+1
+	// levels from zero to axisHeadroom × the reference time); zero
+	// selects DefaultWorkGrid.
+	WorkGrid int `json:"work_grid"`
+	// Search picks how the axis is explored: "bisect" (default,
+	// O(log n) rounds) or "grid" (every level, for calibration).
+	Search string `json:"search"`
+}
+
+// clMethod is the registered collective-overlap method.
+type clMethod struct{}
+
+func (clMethod) Name() string { return "collov" }
+
+func (clMethod) Describe() string {
+	return "collective/computation overlap via max-work-injection (allreduce or bcast)"
+}
+
+func (clMethod) PhaseTaxonomy() []string { return []string{"ref", "probe"} }
+
+func (clMethod) Validate(params any) (any, error) {
+	p, err := asParams(params)
+	if err != nil {
+		return nil, err
+	}
+	if p.Collective == "" {
+		p.Collective = "allreduce"
+	}
+	if p.Collective != "allreduce" && p.Collective != "bcast" {
+		return nil, fmt.Errorf("collov: collective %q must be allreduce or bcast", p.Collective)
+	}
+	if p.MsgSize == 0 {
+		p.MsgSize = DefaultMsgSize
+	}
+	if p.Reps == 0 {
+		p.Reps = DefaultReps
+	}
+	if p.WorkGrid == 0 {
+		p.WorkGrid = DefaultWorkGrid
+	}
+	if p.Search == "" {
+		p.Search = SearchBisect
+	}
+	if p.Search != SearchBisect && p.Search != SearchGrid {
+		return nil, fmt.Errorf("collov: search %q must be %s or %s", p.Search, SearchBisect, SearchGrid)
+	}
+	if p.MsgSize < 1 {
+		return nil, fmt.Errorf("collov: message size %d must be >= 1 (zero means unset)", p.MsgSize)
+	}
+	if p.Reps < 1 {
+		return nil, fmt.Errorf("collov: reps %d must be >= 1 (zero means unset)", p.Reps)
+	}
+	if p.WorkGrid < 2 {
+		return nil, fmt.Errorf("collov: work grid %d must be >= 2 (zero means unset)", p.WorkGrid)
+	}
+	return p, nil
+}
+
+func (clMethod) Hash(params any) string {
+	p := params.(Params)
+	return fmt.Sprintf("%s/%d/%d/%d/%s", p.Collective, p.MsgSize, p.Reps, p.WorkGrid, p.Search)
+}
+
+func (clMethod) Run(ctx context.Context, in *platform.Instance, cfg method.Config) (method.Result, error) {
+	p, err := asParams(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return measure(ctx, in, cfg.System, p, cfg.Spans)
+}
+
+// ValidateNodes implements method.NodeScaler: the binomial trees span
+// any rank count.
+func (clMethod) ValidateNodes(n int) error {
+	if n > method.MaxNodes {
+		return fmt.Errorf("collov: node count %d exceeds the %d-node limit", n, method.MaxNodes)
+	}
+	return nil
+}
+
+func (clMethod) DecodeParams(b []byte) (any, error) {
+	p, err := method.DecodeJSON[Params](b)
+	if err != nil {
+		return nil, err
+	}
+	return *p, nil
+}
+
+func (clMethod) DecodeResult(b []byte) (method.Result, error) {
+	return method.DecodeJSON[Result](b)
+}
+
+// CheckResult implements method.ResultChecker: the reference time must
+// be positive, and the overlap fraction must land on the work axis —
+// within [0, headroom], since the axis only reaches axisHeadroom × the
+// reference.
+func (clMethod) CheckResult(chk *invariant.Checker, res method.Result) {
+	r := res.(*Result)
+	chk.CheckPositiveTime("collov reference time", float64(r.RefTime))
+	chk.CheckRange("collov overlap fraction", r.OverlapFraction, 0, axisHeadroom)
+	chk.CheckRange("collov probe count", float64(r.Probes), 1, float64(r.GridPoints))
+}
+
+// FuzzParams implements method.Fuzzer with small, checker-clean runs.
+func (clMethod) FuzzParams(crng *sim.Rand) any {
+	colls := []string{"allreduce", "bcast"}
+	searches := []string{SearchBisect, SearchGrid}
+	return Params{
+		Collective: colls[crng.Intn(len(colls))],
+		MsgSize:    1024 * (1 + crng.Intn(16)),
+		Reps:       2 + crng.Intn(3),
+		WorkGrid:   4 + crng.Intn(5),
+		Search:     searches[crng.Intn(len(searches))],
+	}
+}
+
+// BindFlags implements method.FlagBinder.
+func (clMethod) BindFlags(fs *flag.FlagSet) func() any {
+	coll := fs.String("collective", "allreduce", "collective under test: allreduce or bcast")
+	size := fs.Int("size", DefaultMsgSize, "collective payload in bytes")
+	reps := fs.Int("reps", DefaultReps, "timed invocations per work level")
+	grid := fs.Int("grid", DefaultWorkGrid, "work axis resolution (levels)")
+	search := fs.String("search", SearchBisect, "axis exploration: bisect or grid")
+	return func() any {
+		return Params{Collective: *coll, MsgSize: *size, Reps: *reps, WorkGrid: *grid, Search: *search}
+	}
+}
+
+func asParams(params any) (Params, error) {
+	switch p := params.(type) {
+	case Params:
+		return p, nil
+	case *Params:
+		if p != nil {
+			return *p, nil
+		}
+	}
+	return Params{}, fmt.Errorf("collov: params must be a collov.Params, got %T", params)
+}

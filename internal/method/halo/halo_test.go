@@ -1,0 +1,150 @@
+package halo
+
+import (
+	"context"
+	"testing"
+
+	"comb/internal/method"
+	"comb/internal/platform"
+)
+
+// run executes one halo measurement through the shared pipeline and
+// fails the test on any invariant violation.
+func run(t *testing.T, system string, nodes int, p Params) *Result {
+	t.Helper()
+	m, err := method.Lookup("halo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := m.Validate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := platform.New(platform.Config{Transport: system, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	res, chk, err := method.Execute(context.Background(), m, in,
+		method.Config{System: system, Params: vp}, method.ExecOptions{})
+	if err != nil {
+		t.Fatalf("%s: %v", system, err)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("%s: invariants: %v", system, err)
+	}
+	return res.(*Result)
+}
+
+func smallParams() Params {
+	return Params{MsgSize: 8 * 1024, Iters: 4, WorkIters: 50_000}
+}
+
+func TestGridShape(t *testing.T) {
+	cases := []struct{ n, px, py int }{
+		{2, 1, 2}, {3, 1, 3}, {4, 2, 2}, {5, 1, 5},
+		{6, 2, 3}, {8, 2, 4}, {9, 3, 3}, {12, 3, 4}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		px, py := gridShape(c.n)
+		if px != c.px || py != c.py {
+			t.Errorf("gridShape(%d) = %dx%d, want %dx%d", c.n, px, py, c.px, c.py)
+		}
+	}
+}
+
+// TestNeighborsSymmetric checks the torus wiring: if a has b as its +d
+// neighbour, b has a as its -d neighbour, and the direction count
+// matches the grid's non-degenerate dimensions.
+func TestNeighborsSymmetric(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6, 8, 12} {
+		px, py := gridShape(n)
+		for rank := 0; rank < n; rank++ {
+			nb := neighbors(rank, px, py)
+			want := 0
+			if px > 1 {
+				want += 2
+			}
+			if py > 1 {
+				want += 2
+			}
+			if len(nb) != want {
+				t.Fatalf("n=%d rank %d: %d directions, want %d", n, rank, len(nb), want)
+			}
+			for d, peer := range nb {
+				back := neighbors(peer, px, py)
+				if back[opposite(d)] != rank {
+					t.Fatalf("n=%d rank %d dir %d: peer %d's opposite is %d, want %d",
+						n, rank, d, peer, back[opposite(d)], rank)
+				}
+			}
+		}
+	}
+}
+
+// TestHaloCleanAcrossTransports runs both disciplines on every
+// transport at several rank counts under the full invariant checker.
+func TestHaloCleanAcrossTransports(t *testing.T) {
+	for _, sys := range []string{"gm", "tcp", "emp", "portals", "ideal"} {
+		for _, mode := range []string{ProgressWait, ProgressPoll} {
+			for _, nodes := range []int{2, 4, 6} {
+				p := smallParams()
+				p.Progress = mode
+				r := run(t, sys, nodes, p)
+				if r.Elapsed <= 0 {
+					t.Errorf("%s %s n=%d: non-positive elapsed %v", sys, mode, nodes, r.Elapsed)
+				}
+				if r.Availability <= 0 || r.Availability > 1 {
+					t.Errorf("%s %s n=%d: availability %v outside (0, 1]", sys, mode, nodes, r.Availability)
+				}
+				if r.Px*r.Py != nodes {
+					t.Errorf("%s %s: grid %dx%d does not cover %d ranks", sys, mode, r.Px, r.Py, nodes)
+				}
+			}
+		}
+	}
+}
+
+// TestHaloProgressContrast pins the method's point on a host-progressed
+// transport: polling donates host cycles to the library mid-compute, so
+// the post-compute wait shrinks versus the pure post-work-wait
+// discipline.
+func TestHaloProgressContrast(t *testing.T) {
+	p := smallParams()
+	p.WorkIters = 500_000
+	p.Progress = ProgressWait
+	wait := run(t, "gm", 4, p)
+	p.Progress = ProgressPoll
+	poll := run(t, "gm", 4, p)
+	if poll.AvgWait >= wait.AvgWait {
+		t.Errorf("gm: poll wait %v not below post-work-wait %v", poll.AvgWait, wait.AvgWait)
+	}
+}
+
+func TestHaloValidate(t *testing.T) {
+	m, err := method.Lookup("halo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Validate(Params{Progress: "spin"}); err == nil {
+		t.Error("unknown progress mode accepted")
+	}
+	if _, err := m.Validate(Params{Iters: -1}); err == nil {
+		t.Error("negative iters accepted")
+	}
+	if _, err := m.Validate(Params{WorkIters: -5}); err == nil {
+		t.Error("negative work accepted")
+	}
+	v, err := m.Validate(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := v.(Params)
+	if p.MsgSize != DefaultMsgSize || p.Iters != DefaultIters ||
+		p.WorkIters != DefaultWorkIters || p.Progress != ProgressWait {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+	if got, want := m.Hash(p), "8192/10/100000/wait"; got != want {
+		t.Errorf("hash %q, want %q", got, want)
+	}
+}

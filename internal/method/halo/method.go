@@ -1,0 +1,163 @@
+package halo
+
+import (
+	"context"
+	"flag"
+	"fmt"
+
+	"comb/internal/invariant"
+	"comb/internal/method"
+	"comb/internal/platform"
+	"comb/internal/sim"
+)
+
+func init() { method.Register(haloMethod{}) }
+
+// Defaults for zero-valued Params fields.
+const (
+	DefaultMsgSize   = 8 * 1024
+	DefaultIters     = 10
+	DefaultWorkIters = 100_000
+)
+
+// Progress discipline names.
+const (
+	ProgressWait = "wait"
+	ProgressPoll = "poll"
+)
+
+// Params parameterizes the registered "halo" method.  Zero values mean
+// "unset — use the default".
+type Params struct {
+	// MsgSize is the per-direction halo size in bytes; zero selects
+	// DefaultMsgSize.
+	MsgSize int `json:"msg_size"`
+	// Iters is the number of exchange iterations; zero selects
+	// DefaultIters.
+	Iters int `json:"iters"`
+	// WorkIters is the per-iteration compute in simulated loop
+	// iterations; zero selects DefaultWorkIters.
+	WorkIters int64 `json:"work_iters"`
+	// Progress picks the completion discipline: "wait" (default,
+	// post-work-wait) or "poll" (Test rounds between work slices).
+	Progress string `json:"progress"`
+}
+
+// haloMethod is the registered stencil halo-exchange method.
+type haloMethod struct{}
+
+func (haloMethod) Name() string { return "halo" }
+
+func (haloMethod) Describe() string {
+	return "2D stencil halo exchange on a rank torus: polling vs post-work-wait progress"
+}
+
+func (haloMethod) PhaseTaxonomy() []string { return []string{"exchange"} }
+
+func (haloMethod) Validate(params any) (any, error) {
+	p, err := asParams(params)
+	if err != nil {
+		return nil, err
+	}
+	if p.MsgSize == 0 {
+		p.MsgSize = DefaultMsgSize
+	}
+	if p.Iters == 0 {
+		p.Iters = DefaultIters
+	}
+	if p.WorkIters == 0 {
+		p.WorkIters = DefaultWorkIters
+	}
+	if p.Progress == "" {
+		p.Progress = ProgressWait
+	}
+	if p.Progress != ProgressWait && p.Progress != ProgressPoll {
+		return nil, fmt.Errorf("halo: progress %q must be %s or %s", p.Progress, ProgressWait, ProgressPoll)
+	}
+	if p.MsgSize < 1 {
+		return nil, fmt.Errorf("halo: message size %d must be >= 1 (zero means unset)", p.MsgSize)
+	}
+	if p.Iters < 1 {
+		return nil, fmt.Errorf("halo: iters %d must be >= 1 (zero means unset)", p.Iters)
+	}
+	if p.WorkIters < 1 {
+		return nil, fmt.Errorf("halo: work iters %d must be >= 1 (zero means unset)", p.WorkIters)
+	}
+	return p, nil
+}
+
+func (haloMethod) Hash(params any) string {
+	p := params.(Params)
+	return fmt.Sprintf("%d/%d/%d/%s", p.MsgSize, p.Iters, p.WorkIters, p.Progress)
+}
+
+func (haloMethod) Run(ctx context.Context, in *platform.Instance, cfg method.Config) (method.Result, error) {
+	p, err := asParams(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return measure(ctx, in, cfg.System, p, cfg.Spans)
+}
+
+// ValidateNodes implements method.NodeScaler: the torus degrades to a
+// ring at prime counts, so any size within the rail works.
+func (haloMethod) ValidateNodes(n int) error {
+	if n > method.MaxNodes {
+		return fmt.Errorf("halo: node count %d exceeds the %d-node limit", n, method.MaxNodes)
+	}
+	return nil
+}
+
+func (haloMethod) DecodeParams(b []byte) (any, error) {
+	p, err := method.DecodeJSON[Params](b)
+	if err != nil {
+		return nil, err
+	}
+	return *p, nil
+}
+
+func (haloMethod) DecodeResult(b []byte) (method.Result, error) {
+	return method.DecodeJSON[Result](b)
+}
+
+// CheckResult implements method.ResultChecker.
+func (haloMethod) CheckResult(chk *invariant.Checker, res method.Result) {
+	r := res.(*Result)
+	chk.CheckPositiveTime("halo elapsed time", float64(r.Elapsed))
+	chk.CheckRange("halo availability", r.Availability, 0, 1)
+	chk.CheckBandwidth(r.BandwidthMBs)
+}
+
+// FuzzParams implements method.Fuzzer with small, checker-clean runs.
+func (haloMethod) FuzzParams(crng *sim.Rand) any {
+	modes := []string{ProgressWait, ProgressPoll}
+	return Params{
+		MsgSize:   1024 * (1 + crng.Intn(16)),
+		Iters:     2 + crng.Intn(5),
+		WorkIters: int64(10_000 * (1 + crng.Intn(10))),
+		Progress:  modes[crng.Intn(len(modes))],
+	}
+}
+
+// BindFlags implements method.FlagBinder.
+func (haloMethod) BindFlags(fs *flag.FlagSet) func() any {
+	size := fs.Int("size", DefaultMsgSize, "halo size per direction in bytes")
+	iters := fs.Int("iters", DefaultIters, "exchange iterations")
+	work := fs.Int64("work", DefaultWorkIters, "per-iteration compute (loop iterations)")
+	progress := fs.String("progress", ProgressWait, "completion discipline: wait or poll")
+	return func() any {
+		return Params{MsgSize: *size, Iters: *iters, WorkIters: *work, Progress: *progress}
+	}
+}
+
+func asParams(params any) (Params, error) {
+	switch p := params.(type) {
+	case Params:
+		return p, nil
+	case *Params:
+		if p != nil {
+			return *p, nil
+		}
+	}
+	return Params{}, fmt.Errorf("halo: params must be a halo.Params, got %T", params)
+}

@@ -14,12 +14,28 @@ import (
 // Like their MPI namesakes, all ranks of the communicator must call each
 // collective in the same order.
 
+// collSeqLimit bounds the collective sequence space.  Tags are plain
+// ints end to end (matcher, transports, fabric headers), so the space
+// is limited only by keeping collBase + seq*collKinds inside a 64-bit
+// int with room to spare; 2^40 invocations is unreachable in practice,
+// and hitting the bound panics rather than silently aliasing tags
+// across in-flight invocations (the pre-fix failure mode at 2^16).
+const collSeqLimit = 1 << 40
+
+// collBase is the first tag of the collective tag space, above the
+// barrier's slice of the reserved range.
+const collBase = TagUpper + (1 << 21)
+
 // collTag derives a reserved tag for one collective invocation.  The
 // sequence number keeps distinct invocations from matching each other
-// even when ranks race ahead.
+// even when ranks race ahead: every invocation gets a tag no earlier
+// or later invocation can produce.
 func (c *Comm) collTag(kind int) int {
+	if c.collSeq >= collSeqLimit {
+		panic(fmt.Sprintf("mpi: collective sequence space exhausted after %d invocations", collSeqLimit))
+	}
 	c.collSeq++
-	return TagUpper + (1 << 21) + (kind << 16) + c.collSeq%(1<<16)
+	return collBase + c.collSeq*collKinds + kind
 }
 
 // Collective kind codes for tag derivation.
@@ -28,6 +44,9 @@ const (
 	collReduce
 	collGather
 	collAllreduce
+
+	// collKinds strides the sequence number past every kind code.
+	collKinds
 )
 
 // Bcast broadcasts root's data to every rank: on the root, data is the
@@ -36,6 +55,8 @@ const (
 func (c *Comm) Bcast(p *sim.Proc, root int, data []byte) {
 	c.checkRank(root)
 	tag := c.collTag(collBcast)
+	c.collStarted++
+	defer func() { c.collDone++ }()
 	// Rotate ranks so the root is virtual rank 0, then run the standard
 	// binomial tree: a rank receives from the peer that differs in its
 	// lowest set bit, and forwards along every lower bit.
@@ -75,6 +96,8 @@ func (c *Comm) Reduce(p *sim.Proc, root int, data []byte, combine Combine) {
 		panic("mpi: Reduce needs a combine function")
 	}
 	tag := c.collTag(collReduce)
+	c.collStarted++
+	defer func() { c.collDone++ }()
 	vrank := (c.rank - root + c.size) % c.size
 	tmp := make([]byte, len(data))
 	mask := 1
@@ -107,6 +130,8 @@ func (c *Comm) Allreduce(p *sim.Proc, data []byte, combine Combine) {
 func (c *Comm) Gather(p *sim.Proc, root int, data, out []byte) {
 	c.checkRank(root)
 	tag := c.collTag(collGather)
+	c.collStarted++
+	defer func() { c.collDone++ }()
 	if c.rank != root {
 		c.sendInternal(p, root, tag, data)
 		return
@@ -122,10 +147,7 @@ func (c *Comm) Gather(p *sim.Proc, root int, data, out []byte) {
 		if src == root {
 			continue
 		}
-		r := &Request{kind: KindRecv, comm: c, peer: src, tag: tag,
-			buf: out[src*n : (src+1)*n], postedAt: c.env.Now()}
-		c.ep.Irecv(p, r)
-		reqs = append(reqs, r)
+		reqs = append(reqs, c.postInternalRecv(p, src, tag, out[src*n:(src+1)*n]))
 	}
 	c.Waitall(p, reqs)
 }

@@ -20,6 +20,14 @@ type Comm struct {
 	barrierSeq int
 	collSeq    int
 
+	// collStarted/collDone count collective operations initiated and
+	// completed on this rank (barriers, blocking collectives, and
+	// nonblocking CollReqs).  The invariant checker compares them per
+	// rank and across ranks: collectives are called by every rank in the
+	// same order, so the counts must agree.
+	collStarted int64
+	collDone    int64
+
 	// meter, when set, counts every posted and completed request on this
 	// rank (the invariant checker's conservation bookkeeping).
 	meter *Meter
@@ -191,11 +199,21 @@ func (c *Comm) Recv(p *sim.Proc, src, tag int, buf []byte) Status {
 	return r.status
 }
 
+// CollStats reports how many collective operations this rank started
+// and finished (barriers, blocking collectives, nonblocking CollReqs).
+// Every collective must be driven to completion, and every rank calls
+// the same collectives in the same order, so started == done per rank
+// and the counts agree across ranks — the invariant checker's
+// "conservation/collectives" rule.
+func (c *Comm) CollStats() (started, done int64) { return c.collStarted, c.collDone }
+
 // Barrier synchronizes all ranks with a linear gather to rank 0 followed
 // by a broadcast, using a reserved tag space.
 func (c *Comm) Barrier(p *sim.Proc) {
 	tag := TagUpper + c.barrierSeq%(1<<20)
 	c.barrierSeq++
+	c.collStarted++
+	defer func() { c.collDone++ }()
 	if c.size == 1 {
 		return
 	}
@@ -215,23 +233,35 @@ func (c *Comm) Barrier(p *sim.Proc) {
 
 // sendInternal / recvInternal bypass tag validation for reserved tags.
 func (c *Comm) sendInternal(p *sim.Proc, dst, tag int, data []byte) {
+	c.Wait(p, c.postInternalSend(p, dst, tag, data))
+}
+
+func (c *Comm) recvInternal(p *sim.Proc, src, tag int, buf []byte) {
+	c.Wait(p, c.postInternalRecv(p, src, tag, buf))
+}
+
+// postInternalSend / postInternalRecv post a library-internal request
+// (reserved tag space, no tag validation) without waiting on it.  They
+// still feed the message meter: conservation accounting covers internal
+// traffic exactly like application traffic.
+func (c *Comm) postInternalSend(p *sim.Proc, dst, tag int, data []byte) *Request {
 	r := &Request{kind: KindSend, comm: c, peer: dst, tag: tag, data: data,
 		postedAt: c.env.Now()}
 	if c.meter != nil {
 		c.meter.posted(KindSend)
 	}
 	c.ep.Isend(p, r)
-	c.Wait(p, r)
+	return r
 }
 
-func (c *Comm) recvInternal(p *sim.Proc, src, tag int, buf []byte) {
+func (c *Comm) postInternalRecv(p *sim.Proc, src, tag int, buf []byte) *Request {
 	r := &Request{kind: KindRecv, comm: c, peer: src, tag: tag, buf: buf,
 		postedAt: c.env.Now()}
 	if c.meter != nil {
 		c.meter.posted(KindRecv)
 	}
 	c.ep.Irecv(p, r)
-	c.Wait(p, r)
+	return r
 }
 
 func (c *Comm) checkRank(rank int) {

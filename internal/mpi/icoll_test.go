@@ -1,0 +1,198 @@
+package mpi_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"comb/internal/mpi"
+	"comb/internal/platform"
+	"comb/internal/sim"
+)
+
+func TestIbcastAllSizesAndRoots(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, name string) {
+		for _, n := range collectiveSizes() {
+			for root := 0; root < n; root++ {
+				n, root := n, root
+				t.Run(fmt.Sprintf("n%d_root%d", n, root), func(t *testing.T) {
+					payload := pattern(700, byte(root+1))
+					got := make([][]byte, n)
+					err := platform.Launch(platform.Config{Transport: name, Nodes: n},
+						func(p *sim.Proc, c *mpi.Comm) {
+							buf := make([]byte, len(payload))
+							if c.Rank() == root {
+								copy(buf, payload)
+							}
+							r := c.Ibcast(p, root, buf)
+							c.CollWait(p, r)
+							got[c.Rank()] = buf
+						})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for r, b := range got {
+						if !bytes.Equal(b, payload) {
+							t.Fatalf("rank %d got wrong broadcast", r)
+						}
+					}
+				})
+			}
+		}
+	})
+}
+
+func TestIallreduceSum(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, name string) {
+		for _, n := range collectiveSizes() {
+			n := n
+			t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+				var want int64
+				for r := 0; r < n; r++ {
+					want += int64(r + 1)
+				}
+				results := make([][]int64, n)
+				err := platform.Launch(platform.Config{Transport: name, Nodes: n},
+					func(p *sim.Proc, c *mpi.Comm) {
+						data := encodeInts(int64(c.Rank()+1), int64(2*(c.Rank()+1)))
+						r := c.Iallreduce(p, data, sumCombine)
+						c.CollWait(p, r)
+						results[c.Rank()] = decodeInts(data)
+					})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for rank, vs := range results {
+					if vs[0] != want || vs[1] != 2*want {
+						t.Fatalf("rank %d allreduce = %v, want [%d %d]", rank, vs, want, 2*want)
+					}
+				}
+			})
+		}
+	})
+}
+
+// TestIcollOverlapPolling drives nonblocking collectives with CollTest
+// polling interleaved with work — the usage pattern the collov method
+// measures — and checks results and completion flags.
+func TestIcollOverlapPolling(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, name string) {
+		const n = 5
+		results := make([]int64, n)
+		err := platform.Launch(platform.Config{Transport: name, Nodes: n},
+			func(p *sim.Proc, c *mpi.Comm) {
+				data := encodeInts(int64(c.Rank() + 1))
+				r := c.Iallreduce(p, data, sumCombine)
+				for !c.CollTest(p, r) {
+					p.Sleep(10) // injected "work" between polls
+				}
+				if !r.Done() {
+					panic("CollTest returned true but Done is false")
+				}
+				results[c.Rank()] = decodeInts(data)[0]
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank, v := range results {
+			if v != 15 {
+				t.Fatalf("rank %d polled allreduce = %d, want 15", rank, v)
+			}
+		}
+	})
+}
+
+// TestIcollBackToBack pins sequence isolation: consecutive nonblocking
+// collectives get distinct tags, so a rank racing ahead into invocation
+// i+1 can never match invocation i's traffic.
+func TestIcollBackToBack(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, name string) {
+		const n = 4
+		const rounds = 5
+		err := platform.Launch(platform.Config{Transport: name, Nodes: n},
+			func(p *sim.Proc, c *mpi.Comm) {
+				for i := 1; i <= rounds; i++ {
+					data := encodeInts(int64(i * (c.Rank() + 1)))
+					r := c.Iallreduce(p, data, sumCombine)
+					c.CollWait(p, r)
+					if got, want := decodeInts(data)[0], int64(i*(1+2+3+4)); got != want {
+						panic(fmt.Sprintf("rank %d round %d: %d, want %d", c.Rank(), i, got, want))
+					}
+					buf := encodeInts(int64(c.Rank()))
+					if c.Rank() == 0 {
+						buf = encodeInts(int64(100 + i))
+					}
+					br := c.Ibcast(p, 0, buf)
+					c.CollWait(p, br)
+					if got := decodeInts(buf)[0]; got != int64(100+i) {
+						panic(fmt.Sprintf("rank %d round %d bcast: %d", c.Rank(), i, got))
+					}
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestIcollSingleRank pins the degenerate world: a one-rank collective
+// completes at initiation with no traffic.
+func TestIcollSingleRank(t *testing.T) {
+	err := platform.Launch(platform.Config{Transport: "ideal", Nodes: 1},
+		func(p *sim.Proc, c *mpi.Comm) {
+			data := encodeInts(7)
+			r := c.Iallreduce(p, data, sumCombine)
+			if !r.Done() {
+				panic("single-rank Iallreduce not immediately done")
+			}
+			c.CollWait(p, r)
+			if decodeInts(data)[0] != 7 {
+				panic("single-rank Iallreduce mangled data")
+			}
+			br := c.Ibcast(p, 0, data)
+			if !br.Done() {
+				panic("single-rank Ibcast not immediately done")
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollStatsBalance pins the bookkeeping behind the checker's
+// conservation/collectives rule: after a mixed blocking/nonblocking
+// sequence, every rank reports started == done with the same count.
+func TestCollStatsBalance(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, name string) {
+		const n = 4
+		started := make([]int64, n)
+		done := make([]int64, n)
+		err := platform.Launch(platform.Config{Transport: name, Nodes: n},
+			func(p *sim.Proc, c *mpi.Comm) {
+				c.Barrier(p)
+				data := encodeInts(int64(c.Rank()))
+				c.Allreduce(p, data, sumCombine)
+				c.Bcast(p, 0, data)
+				r := c.Iallreduce(p, data, sumCombine)
+				c.CollWait(p, r)
+				br := c.Ibcast(p, 0, data)
+				c.CollWait(p, br)
+				out := make([]byte, 8*n)
+				c.Gather(p, 0, encodeInts(int64(c.Rank())), out)
+				started[c.Rank()], done[c.Rank()] = c.CollStats()
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Barrier + Allreduce(2) + Bcast + Iallreduce + Ibcast + Gather = 7.
+		const want = 7
+		for rank := 0; rank < n; rank++ {
+			if started[rank] != done[rank] {
+				t.Fatalf("rank %d: started %d != done %d", rank, started[rank], done[rank])
+			}
+			if started[rank] != want {
+				t.Fatalf("rank %d: %d collectives counted, want %d", rank, started[rank], want)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"comb/internal/core"
+	"comb/internal/method/collov"
 	"comb/internal/pingpong"
 	"comb/internal/runner"
 	"comb/internal/transport"
@@ -58,6 +59,11 @@ func init() {
 		Name:     "faults/bandwidth-monotone",
 		Describe: "faults never raise delivery-bound bandwidth (pww, pingpong) above the clean twin",
 		Check:    checkBandwidthMonotone,
+	})
+	RegisterRelation(Relation{
+		Name:     "collov/overlap-monotone",
+		Describe: "wire faults never raise the collective-overlap fraction above the clean twin",
+		Check:    checkOverlapMonotone,
 	})
 	RegisterRelation(Relation{
 		Name:     "pww/wait-monotone-gm",
@@ -242,6 +248,55 @@ func checkBandwidthMonotone(_ context.Context, m *Matrix) []Violation {
 				Pack:     m.Pack.Name,
 				Detail: fmt.Sprintf("%s/%s: faulted bandwidth %.3f MB/s exceeds clean %.3f MB/s",
 					c.Workload, c.System, fbw, cbw),
+				Replay: c.Replay(),
+			})
+		}
+	}
+	return out
+}
+
+// checkOverlapMonotone: the collov measurement reports how much injected
+// CPU work hides inside a nonblocking collective.  Wire faults stretch
+// the collective's wire phase and add host handling (retransmits,
+// duplicate segments), so the work a faulted run can hide — as a
+// fraction of its own, longer reference — must not exceed the clean
+// twin's.  Jitter faults are excluded like in the availability relation:
+// they inflate the reference and the injected-work cost asymmetrically.
+// The comparison adds each run's StepFraction on top of relTol: the
+// answer is quantized to one work-axis step, and the two runs derive
+// their axes from different reference times, so a one-cell shift is
+// measurement resolution, not a broken injector.
+func checkOverlapMonotone(_ context.Context, m *Matrix) []Violation {
+	var out []Violation
+	for _, c := range m.Cells {
+		if !c.Faulted || c.Err != nil {
+			continue
+		}
+		if c.Spec.Faults == nil || !c.Spec.Faults.WireOnly() {
+			continue
+		}
+		faulted, ok := runner.As[*collov.Result](c.Result)
+		if !ok {
+			continue
+		}
+		twin := m.CleanTwin(c)
+		if twin == nil || twin.Err != nil {
+			continue
+		}
+		clean, ok := runner.As[*collov.Result](twin.Result)
+		if !ok {
+			continue
+		}
+		slack := clean.StepFraction
+		if faulted.StepFraction > slack {
+			slack = faulted.StepFraction
+		}
+		if faulted.OverlapFraction > clean.OverlapFraction*(1+relTol)+slack {
+			out = append(out, Violation{
+				Relation: "collov/overlap-monotone",
+				Pack:     m.Pack.Name,
+				Detail: fmt.Sprintf("%s/%s: faulted overlap %.4f exceeds clean %.4f (step slack %.4f)",
+					c.Workload, c.System, faulted.OverlapFraction, clean.OverlapFraction, slack),
 				Replay: c.Replay(),
 			})
 		}

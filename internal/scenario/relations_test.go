@@ -109,6 +109,7 @@ func TestRelationCatalog(t *testing.T) {
 		t.Errorf("Relations() not sorted: %v", names)
 	}
 	want := []string{
+		"collov/overlap-monotone",
 		"faults/availability-monotone",
 		"faults/bandwidth-monotone",
 		"ideal/bandwidth-dominates",

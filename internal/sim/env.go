@@ -53,6 +53,11 @@ type Env struct {
 	// state (the invariant checker hooks here).
 	onStep []func(at Time)
 
+	// instEnd holds one-shot callbacks that fire when the dispatch loop
+	// is about to leave the current instant (or the queue drains).  See
+	// AtInstantEnd.
+	instEnd []func()
+
 	slots     []timerSlot // cancellable-timer slots, addressed by Timer handles
 	freeSlots []int32
 
@@ -199,6 +204,39 @@ func (e *Env) Stopped() bool { return e.stopped }
 // mutate the simulation: they exist for passive monitoring (the
 // invariant checker).  Multiple observers run in registration order.
 func (e *Env) OnStep(fn func(at Time)) { e.onStep = append(e.onStep, fn) }
+
+// AtInstantEnd registers a one-shot callback that runs after every event
+// at the current instant has executed, before the clock advances past it
+// (or when the queue drains).  Callbacks may schedule new events, but
+// only at strictly later instants; scheduling at the current instant
+// would reopen an instant the loop has already closed and panics.
+//
+// The fabric uses this to batch the receive-side resource claims of every
+// message born in one instant and replay them in a deterministic global
+// order — the same order the parallel engine's merge phase uses — instead
+// of the incidental order in which the send events happened to execute.
+func (e *Env) AtInstantEnd(fn func()) {
+	e.instEnd = append(e.instEnd, fn)
+}
+
+// runInstEnd drains and runs the registered instant-end callbacks.  The
+// slice is detached first so callbacks registering follow-ups (for later
+// instants) do not grow the batch being drained.
+func (e *Env) runInstEnd() {
+	fns := e.instEnd
+	e.instEnd = nil
+	mark := e.now
+	for i, fn := range fns {
+		fns[i] = nil
+		fn()
+	}
+	if e.instEnd == nil {
+		e.instEnd = fns[:0]
+	}
+	if e.ringPop < len(e.ring) || (len(e.heap) > 0 && e.heap[0].at <= mark) {
+		panic("sim: instant-end callback scheduled an event at the closed instant")
+	}
+}
 
 // Schedule arranges for fn to run at Now()+delay.  A negative delay
 // panics.  The callback cannot be cancelled; use ScheduleTimer when
@@ -421,11 +459,19 @@ func (e *Env) run(deadline Time) {
 				q = e.popRing()
 			}
 		} else if len(e.heap) > 0 {
+			if len(e.instEnd) > 0 && e.heap[0].at > e.now {
+				e.runInstEnd()
+				continue
+			}
 			if deadline >= 0 && e.heap[0].at > deadline {
 				return
 			}
 			q = e.popHeap()
 		} else {
+			if len(e.instEnd) > 0 {
+				e.runInstEnd()
+				continue
+			}
 			return
 		}
 		if q.fn == nil && q.fn1 == nil {
@@ -475,6 +521,7 @@ func (e *Env) Close() {
 	e.slots = nil
 	e.freeSlots = nil
 	e.wakes = nil
+	e.instEnd = nil
 }
 
 // wakeRec is a pooled "resume this process with this value" record.

@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+func TestAtInstantEndRunsAfterInstant(t *testing.T) {
+	e := NewEnv()
+	var order []string
+	e.Schedule(5, func() {
+		order = append(order, "a")
+		e.AtInstantEnd(func() {
+			if e.Now() != 5 {
+				t.Errorf("instant-end at t=%v, want 5", e.Now())
+			}
+			order = append(order, "end")
+		})
+	})
+	e.Schedule(5, func() { order = append(order, "b") })
+	e.Schedule(10, func() { order = append(order, "later") })
+	e.Run()
+	want := []string{"a", "b", "end", "later"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAtInstantEndRunsOnQueueDrain(t *testing.T) {
+	e := NewEnv()
+	fired := false
+	e.Schedule(3, func() {
+		e.AtInstantEnd(func() { fired = true })
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("instant-end callback must fire when the queue drains")
+	}
+}
+
+func TestAtInstantEndMayScheduleLater(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	e.Schedule(4, func() {
+		e.AtInstantEnd(func() {
+			e.Schedule(6, func() { at = e.Now() })
+		})
+	})
+	e.Run()
+	if at != 10 {
+		t.Fatalf("follow-up ran at t=%v, want 10", at)
+	}
+}
+
+func TestAtInstantEndChainsAcrossInstants(t *testing.T) {
+	// A callback registered during the drain belongs to a later instant:
+	// it must not join the batch being drained, and it must still fire.
+	e := NewEnv()
+	var ends []Time
+	e.Schedule(2, func() {
+		e.AtInstantEnd(func() {
+			ends = append(ends, e.Now())
+			e.Schedule(3, func() {
+				e.AtInstantEnd(func() { ends = append(ends, e.Now()) })
+			})
+		})
+	})
+	e.Run()
+	if len(ends) != 2 || ends[0] != 2 || ends[1] != 5 {
+		t.Fatalf("instant-end times = %v, want [2 5]", ends)
+	}
+}
+
+func TestAtInstantEndRejectsSameInstantSchedule(t *testing.T) {
+	e := NewEnv()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling at the closed instant must panic")
+		}
+	}()
+	e.Schedule(1, func() {
+		e.AtInstantEnd(func() { e.Schedule(0, func() {}) })
+	})
+	e.Run()
+}

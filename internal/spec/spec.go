@@ -60,6 +60,11 @@ const (
 	MethodPingpong Method = "pingpong"
 	// MethodNetperf is the netperf-style availability baseline (§5).
 	MethodNetperf Method = "netperf"
+	// MethodCollov is the collective/computation overlap benchmark
+	// (max-work-injection over Ibcast/Iallreduce).
+	MethodCollov Method = "collov"
+	// MethodHalo is the 2D stencil halo exchange (progress disciplines).
+	MethodHalo Method = "halo"
 )
 
 // VersionError reports a spec document whose specVersion this build does

@@ -1,0 +1,42 @@
+package sweep
+
+import (
+	"testing"
+
+	"comb/internal/method/collov"
+)
+
+func TestCollovPointsCanonical(t *testing.T) {
+	full := Options{}.collovPoints()
+	if want := len(collovSeries) * 3; len(full) != want {
+		t.Fatalf("full point list has %d points, want %d", len(full), want)
+	}
+	quick := Options{Quick: true}.collovPoints()
+	if want := len(collovSeries); len(quick) != want {
+		t.Fatalf("quick point list has %d points, want %d", len(quick), want)
+	}
+	for _, pt := range full {
+		if pt.Method != "collov" || pt.Nodes != collovNodes || pt.Seed != 0 {
+			t.Fatalf("non-canonical point: %+v", pt)
+		}
+		p, ok := pt.Params.(collov.Params)
+		if !ok {
+			t.Fatalf("point params are %T", pt.Params)
+		}
+		// Reps/grid/search are part of cache keys and the golden CSV;
+		// they must not vary with Quick or the size axis.
+		if p.Reps != collovReps || p.WorkGrid != collovGrid || p.Search != collov.SearchBisect {
+			t.Fatalf("non-canonical params: %+v", p)
+		}
+	}
+}
+
+func TestCollovPointAtRejectsUnknownSystem(t *testing.T) {
+	o := Options{Quick: true}
+	if _, err := collovPointAt(o, "nosuch", "allreduce", 16_384, 0); err == nil {
+		t.Fatal("unknown system must propagate an error")
+	}
+	if _, err := collovPointAt(o, "gm", "nosuch", 16_384, 0); err == nil {
+		t.Fatal("unknown collective must propagate an error")
+	}
+}

@@ -10,7 +10,9 @@ import (
 
 // Figure regenerates one of the paper's evaluation figures.
 type Figure struct {
-	// ID is the paper's figure number, "4" through "17".
+	// ID is the figure number: "4" through "17" reproduce the paper's
+	// evaluation figures; "18" is the multi-rank collective-overlap
+	// extension.
 	ID string
 	// Title matches the paper's caption.
 	Title string
@@ -162,6 +164,13 @@ func Figures() []Figure {
 				return append(pts, o.pwwPoints([]string{"gm"}, []int{100_000}, false)...)
 			},
 		},
+		{
+			ID:     "18",
+			Title:  "Collective Overlap: Overlapable Work Fraction (8 nodes)",
+			Expect: "offloaded transports hide most work behind bcast; host-progressed gm hides none",
+			Run:    collovOverlap,
+			Points: func(o Options) []runner.Point { return o.collovPoints() },
+		},
 	}
 }
 
@@ -219,7 +228,7 @@ func ByID(id string) (Figure, error) {
 			return f, nil
 		}
 	}
-	return Figure{}, fmt.Errorf("sweep: unknown figure %q (have 4-17)", id)
+	return Figure{}, fmt.Errorf("sweep: unknown figure %q (have 4-18)", id)
 }
 
 // yFunc selects and labels the y value extracted from a result.

@@ -7,8 +7,8 @@ import (
 
 func TestFiguresRegistryComplete(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 14 {
-		t.Fatalf("have %d figures, want 14 (paper Figures 4-17)", len(figs))
+	if len(figs) != 15 {
+		t.Fatalf("have %d figures, want 15 (paper Figures 4-17 plus the collective-overlap Figure 18)", len(figs))
 	}
 	want := 4
 	for _, f := range figs {
@@ -74,7 +74,7 @@ func TestQuickFigureBuilds(t *testing.T) {
 	// table shape.  (The full set is exercised by cmd/comb and benches.)
 	ClearCache()
 	opt := Options{Quick: true}
-	for _, id := range []string{"5", "8", "11", "13", "17"} {
+	for _, id := range []string{"5", "8", "11", "13", "17", "18"} {
 		f, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 
+	"comb/internal/method/collov"
+	"comb/internal/method/halo"
 	"comb/internal/netperf"
 	"comb/internal/pingpong"
 )
@@ -41,6 +43,16 @@ func parallelCases() []struct {
 			Method: MethodPingpong,
 			Nodes:  8,
 			Params: pingpong.Params{MsgSize: 8192, Reps: 5},
+		}},
+		{"collov", RunSpec{
+			Method: MethodCollov,
+			Nodes:  8,
+			Params: collov.Params{MsgSize: 16_384, Reps: 2, WorkGrid: 8},
+		}},
+		{"halo", RunSpec{
+			Method: MethodHalo,
+			Nodes:  8,
+			Params: halo.Params{MsgSize: 8192, Iters: 4, WorkIters: 50_000},
 		}},
 	}
 }

@@ -26,8 +26,8 @@
 # instead of the exact value (keep that headroom when re-recording).
 # BENCH_FILTER narrows the benchmark regex (default: the per-figure set,
 # which covers the whole sweep->runner->sim stack, the serve
-# hot/cold-cache service benchmarks, and the DESNodes serial-vs-parallel
-# engine pairs; the parallel DESNodes baselines are machine-shaped —
+# hot/cold-cache service benchmarks, the DESNodes serial-vs-parallel
+# engine pairs, and the multi-rank Collov/Halo method benchmarks; the parallel DESNodes baselines are machine-shaped —
 # re-record on the target host, single-core runners make parallel look
 # slower than serial and that is expected, the gate only guards drift
 # against each benchmark's own committed number).
@@ -36,7 +36,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE=BENCH_baseline.json
 TOLERANCE="${BENCH_TOLERANCE:-20}"
-FILTER="${BENCH_FILTER:-^Benchmark(Fig|Serve|DESNodes)}"
+FILTER="${BENCH_FILTER:-^Benchmark(Fig|Serve|DESNodes|Collov|Halo)}"
 BENCHTIME="${BENCH_TIME:-1x}"
 COUNT="${BENCH_COUNT:-5}"
 

@@ -15,8 +15,11 @@ cd "$(dirname "$0")/.."
 # sim/cluster added with the parallel engine at 92.4 82.1, which also
 # lifted invariant to 89.8 (partitioned-checker suite) — the window
 # scheduler and partitioned fabric are correctness-critical and must
-# stay directly unit-tested, not just exercised through the facade)
+# stay directly unit-tested, not just exercised through the facade;
+# mpi added with the N-rank communicator at 87.6 — the tree collectives
+# and nonblocking-collective state machine back every multi-rank method)
 floors='
+comb/internal/mpi 80
 comb/internal/invariant 85
 comb/internal/faultinject 80
 comb/internal/selfcheck 50

@@ -42,7 +42,7 @@ echo "==> method docs"
 # Every built-in benchmark method must be documented in the extension
 # guide (the registry makes adding one cheap; documenting it stays part
 # of the contract).
-for m in polling pww pingpong netperf; do
+for m in polling pww pingpong netperf collov halo; do
     if ! grep -q "$m" docs/EXTENDING.md; then
         echo "docs/EXTENDING.md does not mention method: $m"
         fail=1

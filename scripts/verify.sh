@@ -30,7 +30,7 @@ echo "==> comb methods smoke"
 go build -o /tmp/comb-verify ./cmd/comb
 methods=$(/tmp/comb-verify methods)
 echo "$methods"
-for m in polling pww pingpong netperf; do
+for m in polling pww pingpong netperf collov halo; do
     if ! echo "$methods" | grep -q "^$m "; then
         echo "verify: method $m missing from 'comb methods'"
         exit 1
